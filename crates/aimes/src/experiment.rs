@@ -1,0 +1,223 @@
+//! The experiment runner: the "virtual laboratory" mode of the middleware.
+//!
+//! §IV-A methodology, reproduced: each experiment combines one execution
+//! strategy with one skeleton class across the nine application sizes;
+//! every application runs many times; submission instants are drawn from a
+//! window "to avoid effects of short-term resource load patterns"; each
+//! repetition gets its own seed so it faces an independent realization of
+//! the background load.
+//!
+//! Repetitions are independent simulations, so they run in parallel across
+//! host cores with rayon (each simulation itself stays single-threaded and
+//! deterministic).
+
+use crate::middleware::{run_application, RunOptions, RunResult};
+use crate::stats::Summary;
+use aimes_cluster::ClusterConfig;
+use aimes_sim::{SimRng, SimTime};
+use aimes_skeleton::{paper_bag, SkeletonConfig, TaskDurationSpec};
+use aimes_strategy::ExecutionStrategy;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One experiment: a strategy × a skeleton family × sizes × repetitions.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Short id, e.g. `exp3`.
+    pub id: String,
+    /// Human-readable description for reports.
+    pub description: String,
+    pub strategy: ExecutionStrategy,
+    pub duration_spec: TaskDurationSpec,
+    pub task_counts: Vec<u32>,
+    pub repetitions: usize,
+    pub base_seed: u64,
+    pub resources: Vec<ClusterConfig>,
+    /// Submission window in hours after simulation start.
+    pub submit_window_hours: (f64, f64),
+}
+
+impl ExperimentConfig {
+    /// The skeleton for one application size.
+    pub fn skeleton(&self, n_tasks: u32) -> SkeletonConfig {
+        paper_bag(n_tasks, self.duration_spec)
+    }
+}
+
+/// All runs for one application size, with summaries.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentPoint {
+    pub n_tasks: u32,
+    pub runs: Vec<RunResult>,
+    pub errors: Vec<String>,
+    pub ttc: Summary,
+    pub tw: Summary,
+    pub tx: Summary,
+    pub ts: Summary,
+}
+
+/// A completed experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    pub id: String,
+    pub description: String,
+    pub strategy_label: String,
+    pub duration_label: String,
+    pub points: Vec<ExperimentPoint>,
+}
+
+impl ExperimentResult {
+    /// The TTC series `(n_tasks, mean_ttc_secs)` — one Fig. 2 line.
+    pub fn ttc_series(&self) -> Vec<(u32, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.n_tasks, p.ttc.mean))
+            .collect()
+    }
+}
+
+const EMPTY_SUMMARY: Summary = Summary {
+    n: 0,
+    mean: f64::NAN,
+    stdev: f64::NAN,
+    min: f64::NAN,
+    max: f64::NAN,
+    median: f64::NAN,
+    ci95: f64::NAN,
+};
+
+/// Run every (size × repetition) combination in parallel.
+pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
+    let jobs: Vec<(u32, usize)> = config
+        .task_counts
+        .iter()
+        .flat_map(|n| (0..config.repetitions).map(move |r| (*n, r)))
+        .collect();
+    let outcomes: Vec<(u32, Result<RunResult, String>)> = jobs
+        .par_iter()
+        .map(|(n, rep)| (*n, run_one(config, *n, *rep)))
+        .collect();
+
+    let points = config
+        .task_counts
+        .iter()
+        .map(|n| {
+            let mut runs = Vec::new();
+            let mut errors = Vec::new();
+            for (m, out) in &outcomes {
+                if m == n {
+                    match out {
+                        Ok(r) => runs.push(r.clone()),
+                        Err(e) => errors.push(e.clone()),
+                    }
+                }
+            }
+            let summarize = |f: &dyn Fn(&RunResult) -> f64| {
+                Summary::of(&runs.iter().map(f).collect::<Vec<_>>()).unwrap_or(EMPTY_SUMMARY)
+            };
+            ExperimentPoint {
+                n_tasks: *n,
+                ttc: summarize(&|r| r.breakdown.ttc.as_secs()),
+                tw: summarize(&|r| r.breakdown.tw.as_secs()),
+                tx: summarize(&|r| r.breakdown.tx.as_secs()),
+                ts: summarize(&|r| r.breakdown.ts.as_secs()),
+                runs,
+                errors,
+            }
+        })
+        .collect();
+
+    ExperimentResult {
+        id: config.id.clone(),
+        description: config.description.clone(),
+        strategy_label: config.strategy.label(),
+        duration_label: config.duration_spec.label().to_string(),
+        points,
+    }
+}
+
+/// Execute one repetition.
+fn run_one(config: &ExperimentConfig, n_tasks: u32, rep: usize) -> Result<RunResult, String> {
+    // Stable per-run seed independent of execution order.
+    let seed = SimRng::new(config.base_seed)
+        .fork_indexed(&format!("{}-{}", config.id, n_tasks), rep as u64)
+        .root_seed();
+    // Submission instant inside the window, drawn from the run's seed.
+    let mut rng = SimRng::new(seed).fork("submit-offset");
+    let (lo, hi) = config.submit_window_hours;
+    let submit_at = SimTime::from_secs(rng.uniform(lo * 3600.0, hi * 3600.0));
+    run_application(
+        &config.resources,
+        &config.skeleton(n_tasks),
+        &config.strategy,
+        &RunOptions {
+            seed,
+            submit_at,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ExperimentConfig {
+        ExperimentConfig {
+            id: "test".into(),
+            description: "idle-pool smoke experiment".into(),
+            strategy: ExecutionStrategy::paper_late(2),
+            duration_spec: TaskDurationSpec::Uniform15Min,
+            task_counts: vec![8, 16],
+            repetitions: 3,
+            base_seed: 99,
+            resources: ["a", "b", "c"]
+                .iter()
+                .map(|n| ClusterConfig::test(n, 512))
+                .collect(),
+            submit_window_hours: (0.1, 0.5),
+        }
+    }
+
+    #[test]
+    fn experiment_produces_points_and_summaries() {
+        let result = run_experiment(&small_config());
+        assert_eq!(result.points.len(), 2);
+        for p in &result.points {
+            assert_eq!(p.runs.len(), 3, "errors: {:?}", p.errors);
+            assert!(p.errors.is_empty());
+            assert_eq!(p.ttc.n, 3);
+            assert!(p.ttc.mean > 900.0);
+            // Components are unions within the run: bounded by TTC.
+            assert!(p.tw.mean <= p.ttc.mean);
+            assert!(p.tx.mean <= p.ttc.mean);
+            assert!(p.ts.mean <= p.ttc.mean);
+        }
+        let series = result.ttc_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, 8);
+    }
+
+    #[test]
+    fn runs_are_reproducible_across_invocations() {
+        let a = run_experiment(&small_config());
+        let b = run_experiment(&small_config());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.ttc.mean, pb.ttc.mean);
+            assert_eq!(pa.tw.mean, pb.tw.mean);
+        }
+    }
+
+    #[test]
+    fn repetitions_differ_from_each_other() {
+        // Different seeds → different skeleton samples and submit offsets;
+        // with Gaussian durations the TTC spread must be visible even on
+        // an idle pool.
+        let mut cfg = small_config();
+        cfg.duration_spec = TaskDurationSpec::Gaussian;
+        cfg.task_counts = vec![8];
+        let result = run_experiment(&cfg);
+        let p = &result.points[0];
+        assert!(p.ttc.stdev > 0.0, "repetitions should vary: {:?}", p.ttc);
+    }
+}

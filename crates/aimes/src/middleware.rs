@@ -1,0 +1,351 @@
+//! One end-to-end application execution through the integrated middleware.
+//!
+//! Mirrors Figure 1: the skeleton API describes the application (1), the
+//! bundle API describes the resources (2a/2b), the Execution Manager
+//! derives a strategy (3), pilots are described via the pilot system (4)
+//! and scheduled via the SAGA layer (5), and units are executed on active
+//! pilots with input/output staging (6). All pilots are cancelled when the
+//! application completes "so as not to waste resources".
+
+use crate::ttc::{decompose, TtcBreakdown};
+use aimes_bundle::Bundle;
+use aimes_cluster::{Cluster, ClusterConfig};
+use aimes_pilot::{Pilot, PilotManager, UnitManager, UnitManagerStats};
+use aimes_saga::Session;
+use aimes_sim::{SimDuration, SimTime, Simulation, Tracer};
+use aimes_skeleton::{SkeletonApp, SkeletonConfig};
+use aimes_strategy::{ExecutionManager, ExecutionStrategy};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Options for one run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Experiment seed: drives background load, skeleton sampling,
+    /// submission jitter, resource selection.
+    pub seed: u64,
+    /// When the application is handed to the middleware (the paper ran
+    /// applications "at irregular intervals so as to avoid effects of
+    /// short-term resource load patterns"); the experiment layer draws
+    /// this from a window per repetition.
+    pub submit_at: SimTime,
+    /// Hard cap on simulated time after submission (runaway guard).
+    pub deadline: SimDuration,
+    /// Record a full trace (costs memory; off for sweeps).
+    pub trace: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 0,
+            submit_at: SimTime::from_secs(6.0 * 3600.0),
+            deadline: SimDuration::from_hours(96.0),
+            trace: false,
+        }
+    }
+}
+
+/// The measured outcome of one run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    pub strategy_label: String,
+    pub n_tasks: u32,
+    pub breakdown: TtcBreakdown,
+    pub resources_used: Vec<String>,
+    pub units_done: usize,
+    pub units_failed: usize,
+    pub restarts: u64,
+    /// Per-pilot setup times (seconds), submission order.
+    pub pilot_setup_secs: Vec<f64>,
+    /// Allocation consumption (paper §V): core-hours *charged* by the
+    /// resources — every active pilot's cores for its active span.
+    pub charged_core_hours: f64,
+    /// Core-hours actually spent executing tasks.
+    pub used_core_hours: f64,
+}
+
+impl RunResult {
+    /// Allocation efficiency: used / charged core-hours — an energy-
+    /// efficiency proxy (idle pilot cores burn allocation and power for
+    /// no work). In (0, 1] for any run that executed something.
+    pub fn allocation_efficiency(&self) -> f64 {
+        if self.charged_core_hours <= 0.0 {
+            0.0
+        } else {
+            self.used_core_hours / self.charged_core_hours
+        }
+    }
+}
+
+/// Execute `app_config` under `strategy` on the given resource pool.
+/// Returns an error if the plan cannot be derived or the run misses its
+/// deadline.
+///
+/// ```
+/// use aimes::middleware::{run_application, RunOptions};
+/// use aimes::paper;
+/// use aimes_skeleton::{paper_bag, TaskDurationSpec};
+/// use aimes_sim::SimTime;
+///
+/// let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+/// let result = run_application(
+///     &paper::testbed(),
+///     &app,
+///     &paper::late_strategy(3),
+///     &RunOptions {
+///         seed: 1,
+///         submit_at: SimTime::from_secs(4.0 * 3600.0),
+///         ..Default::default()
+///     },
+/// ).unwrap();
+/// assert_eq!(result.units_done, 16);
+/// let b = &result.breakdown;
+/// assert!(b.tw + b.tx + b.ts >= b.ttc); // components overlap inside TTC
+/// ```
+pub fn run_application(
+    resources: &[ClusterConfig],
+    app_config: &SkeletonConfig,
+    strategy: &ExecutionStrategy,
+    options: &RunOptions,
+) -> Result<RunResult, String> {
+    let tracer = if options.trace {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let mut sim = Simulation::with_tracer(options.seed, tracer);
+
+    // Resource layer: clusters with background load, SAGA session, bundle.
+    let mut session = Session::new();
+    let mut bundle = Bundle::new();
+    for cfg in resources {
+        let cluster = Cluster::new(cfg.clone());
+        cluster.install(&mut sim);
+        session.add_resource(&sim, cluster.clone());
+        bundle.add(cluster);
+    }
+    let session = Rc::new(session);
+
+    // Generate the application (same seed → same workload across
+    // strategies with the same experiment seed).
+    let mut app_rng = sim.fork_rng("skeleton");
+    let app = SkeletonApp::generate(app_config, &mut app_rng)
+        .map_err(|e| format!("skeleton generation failed: {e}"))?;
+    let n_tasks = app.tasks().len() as u32;
+
+    // Let the resource pool evolve to the submission instant. The marker
+    // event pins the clock there even if the pool is idle.
+    sim.schedule_at(options.submit_at, |_| {});
+    sim.run_until(options.submit_at);
+    let submitted = options.submit_at.max(sim.now());
+    debug_assert_eq!(submitted, sim.now());
+
+    // Steps 1–4: derive the plan at submission time.
+    let em = ExecutionManager::default();
+    let mut selection_rng = sim.fork_rng("resource-selection");
+    let plan =
+        em.derive_plan_with_rng(submitted, &app, &mut bundle, strategy, &mut selection_rng)?;
+
+    // Step 5–6: enact.
+    let pm = PilotManager::new(session);
+    let um = UnitManager::new(pm.clone(), plan.um_config.clone());
+    let finished: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+    {
+        let pm2 = pm.clone();
+        let fin = finished.clone();
+        um.on_all_done(move |sim| {
+            *fin.borrow_mut() = Some(sim.now());
+            pm2.cancel_all(sim);
+        });
+    }
+    pm.submit(&mut sim, plan.pilots.clone());
+    um.submit_units(&mut sim, app.tasks());
+
+    // Run until the application completes or the deadline passes.
+    let deadline = submitted + options.deadline;
+    while finished.borrow().is_none() {
+        if sim.now() > deadline {
+            return Err(format!(
+                "run missed its deadline: {} tasks under {} still unfinished at {:?} \
+                 (stats {:?})",
+                n_tasks,
+                strategy.label(),
+                sim.now(),
+                um.stats()
+            ));
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    let finished_at = finished
+        .borrow()
+        .ok_or_else(|| format!("event queue drained before completion ({:?})", um.stats()))?;
+
+    let stats: UnitManagerStats = um.stats();
+    let units = um.units();
+    let pilots: Vec<Pilot> = pm.pilots();
+    let breakdown = decompose(&units, &pilots, submitted, finished_at);
+    // Allocation accounting (§V metrics): charged = active pilot spans,
+    // used = task-execution core time.
+    let charged_core_hours: f64 = pilots
+        .iter()
+        .filter_map(|p| {
+            let active = p.time_of(aimes_pilot::PilotState::Active)?;
+            // Pilots still alive at run end (their cancellation lands just
+            // after the last unit finishes) are charged up to run end.
+            let end = if p.state.is_terminal() {
+                p.timestamps.last().map(|(_, t)| *t)?
+            } else {
+                finished_at
+            };
+            Some(f64::from(p.description.cores) * end.saturating_since(active).as_hours())
+        })
+        .sum();
+    let used_core_hours: f64 = units
+        .iter()
+        .filter_map(|u| {
+            u.execution_span()
+                .map(|d| f64::from(u.task.cores) * d.as_hours())
+        })
+        .sum();
+    Ok(RunResult {
+        charged_core_hours,
+        used_core_hours,
+        strategy_label: strategy.label(),
+        n_tasks,
+        breakdown,
+        resources_used: plan.resources,
+        units_done: stats.done,
+        units_failed: stats.failed,
+        restarts: stats.restarts,
+        pilot_setup_secs: pilots
+            .iter()
+            .filter_map(|p| p.setup_time().map(|d| d.as_secs()))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimes_skeleton::{paper_bag, TaskDurationSpec};
+
+    fn idle_pool() -> Vec<ClusterConfig> {
+        ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| ClusterConfig::test(n, 4096))
+            .collect()
+    }
+
+    #[test]
+    fn early_strategy_completes_on_idle_pool() {
+        let app = paper_bag(32, TaskDurationSpec::Uniform15Min);
+        let result = run_application(
+            &idle_pool(),
+            &app,
+            &ExecutionStrategy::paper_early(),
+            &RunOptions {
+                seed: 1,
+                submit_at: SimTime::from_secs(100.0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.units_done, 32);
+        assert_eq!(result.units_failed, 0);
+        assert_eq!(result.resources_used.len(), 1);
+        // Idle pool: Tw is just middleware latency + bootstrap (< 60 s).
+        assert!(result.breakdown.tw.as_secs() < 60.0);
+        // TTC ≈ Tw + staging + 900 s execution.
+        let ttc = result.breakdown.ttc.as_secs();
+        assert!(ttc > 900.0 && ttc < 1200.0, "ttc {ttc}");
+        // Components never exceed TTC.
+        assert!(result.breakdown.tx <= result.breakdown.ttc);
+        assert!(result.breakdown.ts <= result.breakdown.ttc);
+        // Allocation accounting: 32 tasks x 15 min = 8 used core-hours;
+        // the single 32-core pilot is charged for its whole active span,
+        // so efficiency is high but below 1 (staging + cancellation lag).
+        assert!((result.used_core_hours - 8.0).abs() < 0.01);
+        assert!(result.charged_core_hours >= result.used_core_hours);
+        let eff = result.allocation_efficiency();
+        assert!(eff > 0.5 && eff <= 1.0, "efficiency {eff}");
+    }
+
+    #[test]
+    fn late_binding_charges_more_allocation_for_idle_pilots() {
+        // Same app under early-1p vs late-3p on an idle pool: the late
+        // strategy keeps extra pilots alive while the first one does the
+        // work → lower allocation efficiency.
+        let app = paper_bag(32, TaskDurationSpec::Uniform15Min);
+        let opts = RunOptions {
+            seed: 4,
+            submit_at: SimTime::from_secs(100.0),
+            ..Default::default()
+        };
+        let early =
+            run_application(&idle_pool(), &app, &ExecutionStrategy::paper_early(), &opts).unwrap();
+        let late =
+            run_application(&idle_pool(), &app, &ExecutionStrategy::paper_late(3), &opts).unwrap();
+        assert!((early.used_core_hours - late.used_core_hours).abs() < 1e-6);
+        assert!(
+            late.allocation_efficiency() < early.allocation_efficiency(),
+            "late {} vs early {}",
+            late.allocation_efficiency(),
+            early.allocation_efficiency()
+        );
+    }
+
+    #[test]
+    fn late_strategy_uses_three_resources() {
+        let app = paper_bag(24, TaskDurationSpec::Gaussian);
+        let result = run_application(
+            &idle_pool(),
+            &app,
+            &ExecutionStrategy::paper_late(3),
+            &RunOptions {
+                seed: 2,
+                submit_at: SimTime::from_secs(100.0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.units_done, 24);
+        assert_eq!(result.resources_used.len(), 3);
+        assert_eq!(result.pilot_setup_secs.len(), 3);
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let app = paper_bag(16, TaskDurationSpec::Gaussian);
+        let opts = RunOptions {
+            seed: 7,
+            submit_at: SimTime::from_secs(50.0),
+            ..Default::default()
+        };
+        let run = || {
+            run_application(&idle_pool(), &app, &ExecutionStrategy::paper_late(2), &opts).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.resources_used, b.resources_used);
+        assert_eq!(a.pilot_setup_secs, b.pilot_setup_secs);
+    }
+
+    #[test]
+    fn oversized_app_fails_to_plan() {
+        let small: Vec<ClusterConfig> = vec![ClusterConfig::test("tiny", 64)];
+        let app = paper_bag(2048, TaskDurationSpec::Uniform15Min);
+        let err = run_application(
+            &small,
+            &app,
+            &ExecutionStrategy::paper_early(),
+            &RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("qualify"), "{err}");
+    }
+}

@@ -1,0 +1,255 @@
+//! The paper's experiment definitions (Table I) and the §V ablations.
+//!
+//! Table I: four experiments over nine bag-of-tasks sizes (2^3..2^11
+//! single-core tasks). Experiments 1–2 use early binding, direct
+//! scheduling, one pilot with `#Tasks` cores and walltime `Tx + Ts + Trp`;
+//! experiments 3–4 use late binding, backfill scheduling, three pilots
+//! with `#Tasks/#Pilots` cores and walltime `(Tx + Ts + Trp) · #Pilots`.
+//! Task durations are 15 min constant (1, 3) or truncated Gaussian
+//! (2, 4). Resources are drawn from the five-resource pool per run, as in
+//! the paper's methodology.
+
+use crate::experiment::ExperimentConfig;
+use aimes_cluster::{paper_testbed, ClusterConfig};
+use aimes_skeleton::{paper_task_counts, TaskDurationSpec};
+use aimes_strategy::{ExecutionStrategy, ResourceSelection};
+
+/// The simulated five-resource pool (4 "XSEDE" + 1 "NERSC" analogs).
+pub fn testbed() -> Vec<ClusterConfig> {
+    paper_testbed().into_iter().map(|s| s.config).collect()
+}
+
+/// The strategy of Table I experiments 1–2, with the paper's
+/// random-from-pool resource selection.
+pub fn early_strategy() -> ExecutionStrategy {
+    let mut s = ExecutionStrategy::paper_early();
+    s.selection = ResourceSelection::Random;
+    s
+}
+
+/// The strategy of Table I experiments 3–4.
+pub fn late_strategy(pilots: u32) -> ExecutionStrategy {
+    let mut s = ExecutionStrategy::paper_late(pilots);
+    s.selection = ResourceSelection::Random;
+    s
+}
+
+/// Build experiment 1–4 from Table I.
+///
+/// * `repetitions` — runs per application size;
+/// * `base_seed` — experiment family seed;
+/// * `sizes` — `None` for the paper's nine sizes.
+pub fn experiment(
+    id: u32,
+    repetitions: usize,
+    base_seed: u64,
+    sizes: Option<Vec<u32>>,
+) -> ExperimentConfig {
+    let (strategy, duration_spec, description) = match id {
+        1 => (
+            early_strategy(),
+            TaskDurationSpec::Uniform15Min,
+            "Early binding, direct scheduler, 1 pilot (#Tasks cores), 15 min tasks",
+        ),
+        2 => (
+            early_strategy(),
+            TaskDurationSpec::Gaussian,
+            "Early binding, direct scheduler, 1 pilot (#Tasks cores), Gaussian tasks",
+        ),
+        3 => (
+            late_strategy(3),
+            TaskDurationSpec::Uniform15Min,
+            "Late binding, backfill scheduler, 3 pilots (#Tasks/3 cores), 15 min tasks",
+        ),
+        4 => (
+            late_strategy(3),
+            TaskDurationSpec::Gaussian,
+            "Late binding, backfill scheduler, 3 pilots (#Tasks/3 cores), Gaussian tasks",
+        ),
+        other => panic!("Table I defines experiments 1-4, not {other}"),
+    };
+    ExperimentConfig {
+        id: format!("exp{id}"),
+        description: description.to_string(),
+        strategy,
+        duration_spec,
+        task_counts: sizes.unwrap_or_else(paper_task_counts),
+        repetitions,
+        base_seed,
+        resources: testbed(),
+        // Submissions spread over half a day of background evolution.
+        submit_window_hours: (4.0, 16.0),
+    }
+}
+
+/// Table I as printable rows: (experiment, #tasks, duration, binding,
+/// scheduler, #pilots, pilot size, walltime formula).
+pub fn table1_rows() -> Vec<[String; 8]> {
+    let mut rows = Vec::new();
+    for id in 1..=4u32 {
+        let cfg = experiment(id, 1, 0, None);
+        let (binding, scheduler, pilots, size, wall) = match id {
+            1 | 2 => ("Early", "Direct", "1", "#Tasks", "Tx + Ts + Trp"),
+            _ => (
+                "Late",
+                "Backfill",
+                "1-3",
+                "#Tasks / #Pilots",
+                "(Tx + Ts + Trp) * #Pilots",
+            ),
+        };
+        let duration = match cfg.duration_spec {
+            TaskDurationSpec::Uniform15Min => "15 min",
+            TaskDurationSpec::Gaussian => "1-30 min (trunc. Gaussian)",
+        };
+        rows.push([
+            format!("{id}"),
+            "2^n, n = [3, 11]".to_string(),
+            duration.to_string(),
+            binding.to_string(),
+            scheduler.to_string(),
+            pilots.to_string(),
+            size.to_string(),
+            wall.to_string(),
+        ]);
+    }
+    rows
+}
+
+/// §V ablation: late binding with a sweep of pilot counts (where does the
+/// min-over-k benefit saturate? The paper: "already overcome by using
+/// three resources").
+pub fn pilot_count_ablation(
+    pilots: u32,
+    repetitions: usize,
+    base_seed: u64,
+    sizes: Option<Vec<u32>>,
+) -> ExperimentConfig {
+    assert!((1..=5).contains(&pilots));
+    let strategy = late_strategy(pilots);
+    ExperimentConfig {
+        id: format!("ablation-pilots-{pilots}"),
+        description: format!("Late binding, backfill, {pilots} pilot(s) — pilot-count sweep"),
+        strategy,
+        duration_spec: TaskDurationSpec::Uniform15Min,
+        task_counts: sizes.unwrap_or_else(|| vec![256, 1024]),
+        repetitions,
+        base_seed,
+        resources: testbed(),
+        submit_window_hours: (4.0, 16.0),
+    }
+}
+
+/// Scheduler ablation: late binding with round-robin instead of backfill.
+pub fn scheduler_ablation(
+    use_backfill: bool,
+    repetitions: usize,
+    base_seed: u64,
+    sizes: Option<Vec<u32>>,
+) -> ExperimentConfig {
+    let mut strategy = late_strategy(3);
+    if !use_backfill {
+        strategy.scheduler = aimes_pilot::UnitScheduler::RoundRobin;
+    }
+    ExperimentConfig {
+        id: format!(
+            "ablation-sched-{}",
+            if use_backfill { "backfill" } else { "rr" }
+        ),
+        description: "Late binding scheduler ablation: backfill vs round robin".into(),
+        strategy,
+        duration_spec: TaskDurationSpec::Gaussian,
+        task_counts: sizes.unwrap_or_else(|| vec![256, 1024]),
+        repetitions,
+        base_seed,
+        resources: testbed(),
+        submit_window_hours: (4.0, 16.0),
+    }
+}
+
+/// Resource-selection ablation: bundle-informed ranking vs the paper's
+/// random draw (quantifies the value of the Bundle's information).
+pub fn selection_ablation(
+    ranked: bool,
+    repetitions: usize,
+    base_seed: u64,
+    sizes: Option<Vec<u32>>,
+) -> ExperimentConfig {
+    let mut strategy = late_strategy(3);
+    strategy.selection = if ranked {
+        ResourceSelection::RankedByWait
+    } else {
+        ResourceSelection::Random
+    };
+    ExperimentConfig {
+        id: format!(
+            "ablation-select-{}",
+            if ranked { "ranked" } else { "random" }
+        ),
+        description: "Resource selection ablation: bundle-ranked vs random".into(),
+        strategy,
+        duration_spec: TaskDurationSpec::Uniform15Min,
+        task_counts: sizes.unwrap_or_else(|| vec![256, 1024]),
+        repetitions,
+        base_seed,
+        resources: testbed(),
+        submit_window_hours: (4.0, 16.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimes_pilot::{Binding, UnitScheduler};
+
+    #[test]
+    fn four_experiments_match_table1() {
+        let e1 = experiment(1, 4, 0, None);
+        assert_eq!(e1.strategy.binding, Binding::Early);
+        assert_eq!(e1.strategy.scheduler, UnitScheduler::Direct);
+        assert_eq!(e1.strategy.pilot_count, 1);
+        assert_eq!(e1.duration_spec, TaskDurationSpec::Uniform15Min);
+        assert_eq!(
+            e1.task_counts,
+            vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+        );
+
+        let e4 = experiment(4, 4, 0, None);
+        assert_eq!(e4.strategy.binding, Binding::Late);
+        assert_eq!(e4.strategy.scheduler, UnitScheduler::Backfill);
+        assert_eq!(e4.strategy.pilot_count, 3);
+        assert_eq!(e4.duration_spec, TaskDurationSpec::Gaussian);
+    }
+
+    #[test]
+    #[should_panic(expected = "experiments 1-4")]
+    fn experiment_ids_bounded() {
+        experiment(5, 1, 0, None);
+    }
+
+    #[test]
+    fn testbed_has_five_resources() {
+        assert_eq!(testbed().len(), 5);
+    }
+
+    #[test]
+    fn table1_rows_render() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0][3], "Early");
+        assert_eq!(rows[2][4], "Backfill");
+    }
+
+    #[test]
+    fn ablations_build() {
+        assert_eq!(pilot_count_ablation(5, 2, 0, None).strategy.pilot_count, 5);
+        assert_eq!(
+            scheduler_ablation(false, 2, 0, None).strategy.scheduler,
+            UnitScheduler::RoundRobin
+        );
+        assert_eq!(
+            selection_ablation(true, 2, 0, None).strategy.selection,
+            ResourceSelection::RankedByWait
+        );
+    }
+}

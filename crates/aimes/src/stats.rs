@@ -1,0 +1,118 @@
+//! Summary statistics for experiment repetitions.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample of measurements.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub stdev: f64,
+    pub min: f64,
+    pub max: f64,
+    pub median: f64,
+    /// Half-width of the 95 % confidence interval of the mean (normal
+    /// approximation; the experiment repetitions are independent).
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let stdev = var.sqrt();
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            stdev,
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+            ci95: 1.96 * stdev / (n as f64).sqrt(),
+        })
+    }
+
+    /// Coefficient of variation (stdev / mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stdev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[5.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stdev, 0.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.mean, 5.0);
+        // Sample stdev with Bessel correction: sqrt(32/7).
+        assert!((s.stdev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn cv_handles_zero_mean() {
+        let s = Summary::of(&[0.0, 0.0]).unwrap();
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounds(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::of(&values).unwrap();
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+            prop_assert!(s.stdev >= 0.0);
+            prop_assert!(s.ci95 >= 0.0);
+        }
+
+        #[test]
+        fn prop_constant_sample_no_spread(v in -1e6f64..1e6, n in 1usize..50) {
+            let s = Summary::of(&vec![v; n]).unwrap();
+            // Tolerances are relative: the mean of n ~1e6 values carries
+            // accumulated rounding of a few ulps.
+            let tol = 1e-9 * v.abs().max(1.0);
+            prop_assert!(s.stdev.abs() <= tol);
+            prop_assert!((s.mean - v).abs() <= tol);
+        }
+    }
+}

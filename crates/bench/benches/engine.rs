@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the simulation substrate: event queue, engine,
+//! RNG, and distribution sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aimes_sim::{EventQueue, SimDuration, SimRng, SimTime, Simulation, Tracer};
+use aimes_workload::Distribution;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut rng = SimRng::new(1);
+                for i in 0..n {
+                    q.schedule(SimTime::from_secs(rng.uniform(0.0, 1e6)), i);
+                }
+                let mut count = 0;
+                while let Some(ev) = q.pop() {
+                    count += black_box(ev.payload) & 1;
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_timer_cascade(c: &mut Criterion) {
+    // 10k chained timers: the engine's per-event overhead.
+    c.bench_function("engine/timer_cascade_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::with_tracer(1, Tracer::disabled());
+            fn tick(sim: &mut Simulation, remaining: u32) {
+                if remaining > 0 {
+                    sim.schedule_in(SimDuration::from_secs(1.0), move |s| tick(s, remaining - 1));
+                }
+            }
+            tick(&mut sim, 10_000);
+            sim.run_to_completion();
+            black_box(sim.events_processed())
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("uniform01_x1k", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.uniform01();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("below_x1k", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc ^= rng.below(1_000_003);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions");
+    let dists: Vec<(&str, Distribution)> = vec![
+        (
+            "truncated_gaussian",
+            Distribution::truncated_gaussian(900.0, 300.0, 60.0, 1800.0),
+        ),
+        (
+            "lognormal",
+            Distribution::LogNormal {
+                mu: 8.2,
+                sigma: 1.4,
+            },
+        ),
+        (
+            "gamma",
+            Distribution::Gamma {
+                shape: 2.5,
+                scale: 10.0,
+            },
+        ),
+    ];
+    for (name, dist) in dists {
+        group.bench_function(format!("{name}_x1k"), |b| {
+            let mut rng = SimRng::new(3);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..1000 {
+                    acc += dist.sample(&mut rng);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_engine_timer_cascade,
+    bench_rng,
+    bench_distributions
+);
+criterion_main!(benches);

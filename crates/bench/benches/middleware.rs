@@ -1,0 +1,53 @@
+//! End-to-end middleware benchmarks: full application runs on the
+//! testbed (the per-run cost that bounds experiment regeneration time)
+//! and skeleton generation at the largest paper size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aimes::middleware::{run_application, RunOptions};
+use aimes::paper;
+use aimes_sim::{SimRng, SimTime};
+use aimes_skeleton::{paper_bag, SkeletonApp, TaskDurationSpec};
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_run");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("early_1p", paper::early_strategy()),
+        ("late_3p", paper::late_strategy(3)),
+    ] {
+        for n_tasks in [64u32, 512] {
+            let app = paper_bag(n_tasks, TaskDurationSpec::Uniform15Min);
+            group.bench_with_input(BenchmarkId::new(label, n_tasks), &n_tasks, |b, _| {
+                b.iter(|| {
+                    let r = run_application(
+                        &paper::testbed(),
+                        &app,
+                        &strategy,
+                        &RunOptions {
+                            seed: 42,
+                            submit_at: SimTime::from_secs(6.0 * 3600.0),
+                            ..Default::default()
+                        },
+                    )
+                    .expect("run completes");
+                    black_box(r.breakdown.ttc)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_skeleton_generation(c: &mut Criterion) {
+    let cfg = paper_bag(2048, TaskDurationSpec::Gaussian);
+    c.bench_function("skeleton/generate_2048_tasks", |b| {
+        b.iter(|| {
+            let app = SkeletonApp::generate(&cfg, &mut SimRng::new(1)).expect("valid");
+            black_box(app.tasks().len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_full_run, bench_skeleton_generation);
+criterion_main!(benches);

@@ -1,0 +1,912 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments -- <command> [--reps N] [--seed S] [--quick]
+//!
+//! commands:
+//!   table1              print the experiment-design matrix (Table I)
+//!   fig2                TTC comparison of experiments 1-4 (Figure 2)
+//!   fig3                TTC decomposition per experiment (Figure 3 a-d)
+//!   fig4                TTC error bars, exp 1 vs exp 3 (Figure 4 a-b)
+//!   ablation-pilots     late-binding pilot-count sweep (1..5)
+//!   ablation-sched      backfill vs round-robin under late binding
+//!   ablation-select     bundle-ranked vs random resource selection
+//!   ablation-data       data-heavy regime: input size sweep until Ts dominates
+//!   ablation-crossover  long tasks: where early binding becomes competitive
+//!   ablation-throughput tasks/hour under each strategy
+//!   ablation-hetero     heterogeneous task-duration mixes
+//!   all                 everything above
+//! ```
+//!
+//! `--quick` restricts sizes to {8, 64, 512} and 3 repetitions for a fast
+//! shape check.
+
+use aimes::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+use aimes::middleware::{run_application, RunOptions};
+use aimes::paper;
+use aimes::report;
+use aimes::stats::Summary;
+use aimes_sim::{SimRng, SimTime};
+use aimes_skeleton::{bag_of_tasks, paper_task_counts, TaskDurationSpec};
+use aimes_strategy::ExecutionStrategy;
+use aimes_workload::Distribution;
+
+struct Options {
+    reps: usize,
+    seed: u64,
+    quick: bool,
+}
+
+fn parse_args() -> (String, Options) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("help");
+    let mut opts = Options {
+        reps: aimes_bench::DEFAULT_REPETITIONS,
+        seed: 20160523, // IPDPS 2016 opening day
+        quick: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                opts.reps = args[i].parse().expect("--reps takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args[i].parse().expect("--seed takes a number");
+            }
+            "--quick" => opts.quick = true,
+            c if !c.starts_with("--") => command = c.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    if opts.quick {
+        opts.reps = opts.reps.min(3);
+    }
+    (command, opts)
+}
+
+fn sizes(opts: &Options) -> Option<Vec<u32>> {
+    opts.quick.then(aimes_bench::quick_sizes)
+}
+
+fn run(cfg: &ExperimentConfig) -> ExperimentResult {
+    eprintln!(
+        "running {} ({} sizes x {} reps) ...",
+        cfg.id,
+        cfg.task_counts.len(),
+        cfg.repetitions
+    );
+    let start = std::time::Instant::now();
+    let result = run_experiment(cfg);
+    eprintln!("  {} done in {:.1}s", cfg.id, start.elapsed().as_secs_f64());
+    for p in &result.points {
+        if !p.errors.is_empty() {
+            eprintln!(
+                "  WARNING {}@{}: {}/{} runs failed: {}",
+                cfg.id,
+                p.n_tasks,
+                p.errors.len(),
+                p.errors.len() + p.runs.len(),
+                p.errors[0]
+            );
+        }
+    }
+    result
+}
+
+fn table1() {
+    println!("## Table I — skeleton applications and execution strategies\n");
+    let rows = paper::table1_rows();
+    let rows: Vec<Vec<String>> = rows.into_iter().map(|r| r.to_vec()).collect();
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Experiment",
+                "#Tasks",
+                "Task duration",
+                "Binding",
+                "Scheduler",
+                "#Pilots",
+                "Pilot size",
+                "Pilot walltime"
+            ],
+            &rows
+        )
+    );
+}
+
+fn experiments_1_to_4(opts: &Options) -> Vec<ExperimentResult> {
+    (1..=4)
+        .map(|id| run(&paper::experiment(id, opts.reps, opts.seed, sizes(opts))))
+        .collect()
+}
+
+fn fig2(opts: &Options) {
+    let results = experiments_1_to_4(opts);
+    println!("## Figure 2 — TTC comparison, experiments 1-4\n");
+    let refs: Vec<&ExperimentResult> = results.iter().collect();
+    println!("{}", report::fig2_table(&refs));
+    println!("```\n{}```\n", report::fig2_chart(&refs));
+    println!("### CSV\n```\n{}```", report::csv_export(&refs));
+}
+
+fn fig3(opts: &Options) {
+    let results = experiments_1_to_4(opts);
+    println!("## Figure 3 — TTC decomposition (Tw, Tx, Ts) per experiment\n");
+    for (panel, r) in ["(a)", "(b)", "(c)", "(d)"].iter().zip(&results) {
+        println!("### {panel} {}", report::fig3_table(r));
+    }
+}
+
+fn fig4(opts: &Options) {
+    let e1 = run(&paper::experiment(1, opts.reps, opts.seed, sizes(opts)));
+    let e3 = run(&paper::experiment(3, opts.reps, opts.seed, sizes(opts)));
+    println!("## Figure 4 — TTC error bars: early (a) vs late (b)\n");
+    println!("### (a) {}", report::fig4_table(&e1));
+    println!("### (b) {}", report::fig4_table(&e3));
+}
+
+fn ablation_pilots(opts: &Options) {
+    println!("## Ablation — late-binding pilot-count sweep\n");
+    let sizes = sizes(opts).unwrap_or_else(|| vec![256, 1024]);
+    let mut rows = Vec::new();
+    for k in 1..=5u32 {
+        let r = run(&paper::pilot_count_ablation(
+            k,
+            opts.reps,
+            opts.seed,
+            Some(sizes.clone()),
+        ));
+        for p in &r.points {
+            rows.push(vec![
+                k.to_string(),
+                p.n_tasks.to_string(),
+                format!("{:.0}", p.ttc.mean),
+                format!("{:.0}", p.ttc.stdev),
+                format!("{:.0}", p.tw.mean),
+                format!("{:.0}", p.tw.stdev),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "#Pilots",
+                "#Tasks",
+                "TTC mean(s)",
+                "TTC stdev",
+                "Tw mean(s)",
+                "Tw stdev"
+            ],
+            &rows
+        )
+    );
+}
+
+fn ablation_sched(opts: &Options) {
+    println!("## Ablation — late-binding scheduler: backfill vs round robin\n");
+    let sizes = sizes(opts).unwrap_or_else(|| vec![256, 1024]);
+    let mut rows = Vec::new();
+    for backfill in [true, false] {
+        let r = run(&paper::scheduler_ablation(
+            backfill,
+            opts.reps,
+            opts.seed,
+            Some(sizes.clone()),
+        ));
+        for p in &r.points {
+            let restarts: f64 =
+                p.runs.iter().map(|x| x.restarts as f64).sum::<f64>() / p.runs.len().max(1) as f64;
+            rows.push(vec![
+                if backfill { "backfill" } else { "round-robin" }.to_string(),
+                p.n_tasks.to_string(),
+                format!("{:.0}", p.ttc.mean),
+                format!("{:.0}", p.ttc.stdev),
+                format!("{restarts:.1}"),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Scheduler",
+                "#Tasks",
+                "TTC mean(s)",
+                "TTC stdev",
+                "mean restarts/run"
+            ],
+            &rows
+        )
+    );
+}
+
+fn ablation_select(opts: &Options) {
+    println!("## Ablation — resource selection: bundle-ranked vs random\n");
+    let sizes = sizes(opts).unwrap_or_else(|| vec![256, 1024]);
+    let mut rows = Vec::new();
+    for ranked in [false, true] {
+        let r = run(&paper::selection_ablation(
+            ranked,
+            opts.reps,
+            opts.seed,
+            Some(sizes.clone()),
+        ));
+        for p in &r.points {
+            rows.push(vec![
+                if ranked { "ranked-by-wait" } else { "random" }.to_string(),
+                p.n_tasks.to_string(),
+                format!("{:.0}", p.ttc.mean),
+                format!("{:.0}", p.tw.mean),
+                format!("{:.0}", p.tw.stdev),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Selection",
+                "#Tasks",
+                "TTC mean(s)",
+                "Tw mean(s)",
+                "Tw stdev"
+            ],
+            &rows
+        )
+    );
+}
+
+/// Data-heavy regime: grow per-task input until Ts dominates TTC
+/// (§IV-B: "Larger amounts of data could make Ts dominant").
+fn ablation_data(opts: &Options) {
+    println!("## Ablation — data-heavy regime: per-task input size sweep\n");
+    let n_tasks = if opts.quick { 64 } else { 256 };
+    let mut rows = Vec::new();
+    for input_mb in [1.0, 10.0, 50.0, 200.0] {
+        let app = bag_of_tasks(
+            &format!("data-{input_mb}"),
+            n_tasks,
+            Distribution::Constant { value: 900.0 },
+            input_mb,
+            0.002,
+        );
+        let mut ttcs = Vec::new();
+        let mut ts_fracs = Vec::new();
+        for rep in 0..opts.reps {
+            let seed = SimRng::new(opts.seed)
+                .fork_indexed("ablation-data", (input_mb as u64) << 8 | rep as u64)
+                .root_seed();
+            let mut rng = SimRng::new(seed).fork("submit");
+            let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+            let result = run_application(
+                &paper::testbed(),
+                &app,
+                &paper::late_strategy(3),
+                &RunOptions {
+                    seed,
+                    submit_at,
+                    ..Default::default()
+                },
+            );
+            if let Ok(r) = result {
+                ttcs.push(r.breakdown.ttc.as_secs());
+                ts_fracs.push(r.breakdown.ts.as_secs() / r.breakdown.ttc.as_secs());
+            }
+        }
+        let ttc = Summary::of(&ttcs).expect("runs succeeded");
+        let frac = Summary::of(&ts_fracs).expect("runs succeeded");
+        rows.push(vec![
+            format!("{input_mb:.0}"),
+            format!("{:.0}", ttc.mean),
+            format!("{:.2}", frac.mean),
+        ]);
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &["Input MB/task", "TTC mean(s)", "Ts fraction of TTC"],
+            &rows
+        )
+    );
+}
+
+/// Long-task crossover: with Tx ≫ Tw, early binding's bigger pilot wins
+/// back (§IV-B: "early binding would still be desirable for applications
+/// with a duration of Tx long enough...").
+fn ablation_crossover(opts: &Options) {
+    println!("## Ablation — task-duration crossover: early vs late binding\n");
+    let n_tasks = if opts.quick { 64 } else { 256 };
+    let mut rows = Vec::new();
+    for task_mins in [15.0, 60.0, 240.0] {
+        for (label, strategy) in [
+            ("early-1p", paper::early_strategy()),
+            ("late-3p", paper::late_strategy(3)),
+        ] {
+            let app = bag_of_tasks(
+                &format!("cross-{task_mins}"),
+                n_tasks,
+                Distribution::Constant {
+                    value: task_mins * 60.0,
+                },
+                1.0,
+                0.002,
+            );
+            let mut ttcs = Vec::new();
+            for rep in 0..opts.reps {
+                let seed = SimRng::new(opts.seed)
+                    .fork_indexed(&format!("crossover-{label}-{task_mins}"), rep as u64)
+                    .root_seed();
+                let mut rng = SimRng::new(seed).fork("submit");
+                let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+                if let Ok(r) = run_application(
+                    &paper::testbed(),
+                    &app,
+                    &strategy,
+                    &RunOptions {
+                        seed,
+                        submit_at,
+                        ..Default::default()
+                    },
+                ) {
+                    ttcs.push(r.breakdown.ttc.as_secs());
+                }
+            }
+            if let Some(s) = Summary::of(&ttcs) {
+                rows.push(vec![
+                    format!("{task_mins:.0}"),
+                    label.to_string(),
+                    format!("{:.0}", s.mean),
+                    format!("{:.0}", s.stdev),
+                    s.n.to_string(),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &["Task mins", "Strategy", "TTC mean(s)", "TTC stdev", "runs"],
+            &rows
+        )
+    );
+}
+
+/// Throughput metric (§V: "generalizing to investigate different metrics
+/// including throughput").
+fn ablation_throughput(opts: &Options) {
+    println!("## Ablation — throughput (tasks/hour) per strategy\n");
+    let sizes = sizes(opts).unwrap_or_else(|| vec![256, 1024]);
+    let mut rows = Vec::new();
+    for id in 1..=4u32 {
+        let r = run(&paper::experiment(
+            id,
+            opts.reps,
+            opts.seed,
+            Some(sizes.clone()),
+        ));
+        for p in &r.points {
+            if p.ttc.n == 0 {
+                continue;
+            }
+            let tput: Vec<f64> = p
+                .runs
+                .iter()
+                .map(|x| f64::from(x.n_tasks) / (x.breakdown.ttc.as_secs() / 3600.0))
+                .collect();
+            let eff: Vec<f64> = p.runs.iter().map(|x| x.allocation_efficiency()).collect();
+            let s = Summary::of(&tput).expect("non-empty");
+            let e = Summary::of(&eff).expect("non-empty");
+            rows.push(vec![
+                r.id.clone(),
+                p.n_tasks.to_string(),
+                format!("{:.0}", s.mean),
+                format!("{:.0}", s.stdev),
+                format!("{:.2}", e.mean),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Experiment",
+                "#Tasks",
+                "tasks/hour mean",
+                "stdev",
+                "alloc efficiency"
+            ],
+            &rows
+        )
+    );
+}
+
+/// Heterogeneous task sizes (§V: "distributed applications comprised of
+/// non-uniform task sizes").
+fn ablation_hetero(opts: &Options) {
+    println!("## Ablation — heterogeneous task-duration mixes (late, 3 pilots)\n");
+    let n_tasks = if opts.quick { 64 } else { 256 };
+    let mixes: Vec<(&str, Distribution)> = vec![
+        ("constant-15m", Distribution::Constant { value: 900.0 }),
+        (
+            "gaussian",
+            Distribution::truncated_gaussian(900.0, 300.0, 60.0, 1800.0),
+        ),
+        (
+            "bimodal-short-long",
+            Distribution::Mixture {
+                p: 0.8,
+                a: Box::new(Distribution::Constant { value: 300.0 }),
+                b: Box::new(Distribution::Constant { value: 3600.0 }),
+            },
+        ),
+        (
+            "lognormal-heavy-tail",
+            Distribution::LogNormal {
+                mu: 6.5,
+                sigma: 0.8,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, dist) in mixes {
+        let app = bag_of_tasks(&format!("hetero-{label}"), n_tasks, dist, 1.0, 0.002);
+        let mut ttcs = Vec::new();
+        for rep in 0..opts.reps {
+            let seed = SimRng::new(opts.seed)
+                .fork_indexed(&format!("hetero-{label}"), rep as u64)
+                .root_seed();
+            let mut rng = SimRng::new(seed).fork("submit");
+            let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+            if let Ok(r) = run_application(
+                &paper::testbed(),
+                &app,
+                &paper::late_strategy(3),
+                &RunOptions {
+                    seed,
+                    submit_at,
+                    ..Default::default()
+                },
+            ) {
+                ttcs.push(r.breakdown.ttc.as_secs());
+            }
+        }
+        if let Some(s) = Summary::of(&ttcs) {
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.0}", s.mean),
+                format!("{:.0}", s.stdev),
+                s.n.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(&["Duration mix", "TTC mean(s)", "TTC stdev", "runs"], &rows)
+    );
+}
+
+/// Adaptive vs static execution on a deliberately poor initial choice
+/// (§V: dynamic execution).
+fn ablation_adaptive(opts: &Options) {
+    use aimes::adaptive::{run_adaptive, AdaptiveConfig};
+    use aimes_strategy::{PilotSizing, ResourceSelection};
+    println!("## Ablation — dynamic execution: static vs adaptive strategy\n");
+    let n_tasks = if opts.quick { 64 } else { 256 };
+    let app = bag_of_tasks(
+        "adaptive",
+        n_tasks,
+        Distribution::Constant { value: 900.0 },
+        1.0,
+        0.002,
+    );
+    let mut base = ExecutionStrategy::paper_late(2);
+    base.pilot_count = 1;
+    base.sizing = PilotSizing::Fixed(n_tasks);
+    base.selection = ResourceSelection::Fixed(vec!["hopper".into()]);
+    let mut rows = Vec::new();
+    for (label, adaptive) in [("static-pinned", false), ("adaptive", true)] {
+        let mut ttcs = Vec::new();
+        let mut rescued = 0usize;
+        for rep in 0..opts.reps {
+            // Paired seeds: both modes face the same background load and
+            // submission instant.
+            let seed = SimRng::new(opts.seed)
+                .fork_indexed("adaptive-pair", rep as u64)
+                .root_seed();
+            let mut rng = SimRng::new(seed).fork("submit");
+            let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+            let run_opts = RunOptions {
+                seed,
+                submit_at,
+                ..Default::default()
+            };
+            if adaptive {
+                let cfg = AdaptiveConfig {
+                    base: base.clone(),
+                    patience: aimes_sim::SimDuration::from_mins(20.0),
+                    reinforce_by: 1,
+                    max_rounds: 3,
+                };
+                if let Ok(r) = run_adaptive(&paper::testbed(), &app, &cfg, &run_opts) {
+                    ttcs.push(r.breakdown.ttc.as_secs());
+                    if r.reinforcement_rounds > 0 {
+                        rescued += 1;
+                    }
+                }
+            } else if let Ok(r) = run_application(&paper::testbed(), &app, &base, &run_opts) {
+                ttcs.push(r.breakdown.ttc.as_secs());
+            }
+        }
+        if let Some(s) = Summary::of(&ttcs) {
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.0}", s.mean),
+                format!("{:.0}", s.stdev),
+                format!("{:.0}", s.max),
+                rescued.to_string(),
+                s.n.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Mode",
+                "TTC mean(s)",
+                "stdev",
+                "max",
+                "runs reinforced",
+                "runs"
+            ],
+            &rows
+        )
+    );
+}
+
+/// Walltime-sensitivity: explicitly under/over-requested pilot walltimes
+/// (FixedSecs) under backfill vs round robin.
+fn ablation_walltime(opts: &Options) {
+    use aimes_strategy::{PilotSizing, WalltimePolicy};
+    println!("## Ablation — walltime sensitivity (late binding, 2 pilots)\n");
+    let n_tasks = if opts.quick { 32 } else { 64 };
+    // 2 pilots x (n/4) cores → 2 waves of 900 s each per pilot, ~1900 s
+    // needed; sweep the requested walltime across that boundary. An idle
+    // pool isolates the walltime effect from queue-wait noise.
+    let pool: Vec<aimes_cluster::ClusterConfig> = ["wa", "wb", "wc"]
+        .iter()
+        .map(|n| aimes_cluster::ClusterConfig::test(n, 4096))
+        .collect();
+    let app = bag_of_tasks(
+        "walltime",
+        n_tasks,
+        Distribution::Constant { value: 900.0 },
+        1.0,
+        0.002,
+    );
+    let mut rows = Vec::new();
+    for secs in [1000u64, 2000, 4000, 8000] {
+        for scheduler in [
+            aimes_pilot::UnitScheduler::Backfill,
+            aimes_pilot::UnitScheduler::RoundRobin,
+        ] {
+            let mut strategy = ExecutionStrategy::paper_late(2);
+            strategy.scheduler = scheduler;
+            strategy.sizing = PilotSizing::Fixed(n_tasks / 4);
+            strategy.walltime = WalltimePolicy::FixedSecs(secs);
+            strategy.selection = aimes_strategy::ResourceSelection::Random;
+            let mut ttcs = Vec::new();
+            let mut failures = 0usize;
+            let mut restarts = 0u64;
+            for rep in 0..opts.reps {
+                let seed = SimRng::new(opts.seed)
+                    .fork_indexed(&format!("walltime-{secs}-{scheduler:?}"), rep as u64)
+                    .root_seed();
+                let mut rng = SimRng::new(seed).fork("submit");
+                let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+                match run_application(
+                    &pool,
+                    &app,
+                    &strategy,
+                    &RunOptions {
+                        seed,
+                        submit_at,
+                        ..Default::default()
+                    },
+                ) {
+                    Ok(r) => {
+                        ttcs.push(r.breakdown.ttc.as_secs());
+                        restarts += r.restarts;
+                        if r.units_failed > 0 {
+                            failures += 1;
+                        }
+                    }
+                    Err(_) => failures += 1,
+                }
+            }
+            let (mean, n) = match Summary::of(&ttcs) {
+                Some(s) => (format!("{:.0}", s.mean), s.n),
+                None => ("-".into(), 0),
+            };
+            rows.push(vec![
+                secs.to_string(),
+                format!("{scheduler:?}"),
+                mean,
+                n.to_string(),
+                failures.to_string(),
+                restarts.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Walltime(s)",
+                "Scheduler",
+                "TTC mean(s)",
+                "ok runs",
+                "degraded/failed",
+                "restarts"
+            ],
+            &rows
+        )
+    );
+}
+
+/// Debug-queue ablation: small short pilots routed to the testbed's
+/// high-priority debug queues vs the normal queues — the classic pilot
+/// trick of exploiting queue structure (enabled by the Bundle knowing the
+/// queue composition).
+fn ablation_queue(opts: &Options) {
+    use aimes_strategy::ResourceSelection;
+    println!("## Ablation — submission queue: normal vs debug (5-min tasks)\n");
+    let n_tasks = if opts.quick { 16 } else { 48 };
+    // 5-minute tasks keep the late-3p walltime under the 30-min debug
+    // ceiling; the pilots are small enough for the debug core caps.
+    let app = bag_of_tasks(
+        "queue",
+        n_tasks,
+        Distribution::Constant { value: 300.0 },
+        1.0,
+        0.002,
+    );
+    let mut rows = Vec::new();
+    for queue in [None, Some("debug".to_string())] {
+        let mut strategy = ExecutionStrategy::paper_late(3);
+        strategy.selection = ResourceSelection::Random;
+        strategy.queue = queue.clone();
+        let mut ttcs = Vec::new();
+        let mut tws = Vec::new();
+        for rep in 0..opts.reps {
+            // Paired seeds across the two queue settings.
+            let seed = SimRng::new(opts.seed)
+                .fork_indexed("queue-pair", rep as u64)
+                .root_seed();
+            let mut rng = SimRng::new(seed).fork("submit");
+            let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+            if let Ok(r) = run_application(
+                &paper::testbed(),
+                &app,
+                &strategy,
+                &RunOptions {
+                    seed,
+                    submit_at,
+                    ..Default::default()
+                },
+            ) {
+                ttcs.push(r.breakdown.ttc.as_secs());
+                tws.push(r.breakdown.tw.as_secs());
+            }
+        }
+        if let (Some(t), Some(w)) = (Summary::of(&ttcs), Summary::of(&tws)) {
+            rows.push(vec![
+                queue.unwrap_or_else(|| "normal".into()),
+                format!("{:.0}", t.mean),
+                format!("{:.0}", t.max),
+                format!("{:.0}", w.mean),
+                format!("{:.0}", w.max),
+                t.n.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Queue",
+                "TTC mean(s)",
+                "TTC max",
+                "Tw mean(s)",
+                "Tw max",
+                "runs"
+            ],
+            &rows
+        )
+    );
+}
+
+/// Predictor evaluation: the Bundle's predictive machinery (QBETS-style
+/// quantile bound, exponential smoothing, conservative queue replay)
+/// scored against realized pilot waits on a saturated machine.
+fn ablation_predictor(opts: &Options) {
+    use aimes_bundle::{ExpSmoothing, QuantileBound, WaitPredictor};
+    use aimes_cluster::{Cluster, JobRequest};
+    use aimes_sim::{Simulation, Tracer};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    println!("## Ablation — queue-wait predictors vs realized waits\n");
+    let spec = aimes_cluster::testbed_resource("stampede").expect("in testbed");
+    let mut sim = Simulation::with_tracer(opts.seed, Tracer::disabled());
+    let cluster = Cluster::new(spec.config);
+    cluster.install(&mut sim);
+
+    // Probe: a 256-core, 2-hour pilot-shaped job every ~2 h over 8 days —
+    // big enough that it cannot always slip into a backfill hole.
+    let probes = if opts.quick { 24 } else { 96 };
+    let cores = 256u32;
+    let walltime = aimes_sim::SimDuration::from_hours(2.0);
+    type Obs = (Option<f64>, Option<f64>, Option<f64>, f64); // qbets, smooth, replay, realized
+    let observations: Rc<RefCell<Vec<Obs>>> = Rc::new(RefCell::new(vec![]));
+    let qbets = Rc::new(RefCell::new(QuantileBound::qbets_default()));
+    let smooth = Rc::new(RefCell::new(ExpSmoothing::new(0.3)));
+    let mut rng = sim.fork_rng("probe-times");
+    for k in 0..probes {
+        let at = SimTime::from_secs((k as f64 * 2.0 + rng.uniform(0.0, 1.0)) * 3600.0);
+        let cluster2 = cluster.clone();
+        let obs = observations.clone();
+        let qb = qbets.clone();
+        let sm = smooth.clone();
+        sim.schedule_at(at, move |sim| {
+            let predicted_q = qb.borrow().predict().map(|d| d.as_secs());
+            let predicted_s = sm.borrow().predict().map(|d| d.as_secs());
+            let predicted_r = cluster2
+                .estimate_wait(sim.now(), cores, walltime)
+                .map(|d| d.as_secs());
+            let id = cluster2.submit(sim, JobRequest::pilot(cores, walltime, "probe"));
+            let cluster3 = cluster2.clone();
+            let submit_time = sim.now();
+            cluster2.watch(id, move |sim, state| {
+                if state == aimes_cluster::JobState::Running {
+                    let realized = sim.now().since(submit_time);
+                    obs.borrow_mut().push((
+                        predicted_q,
+                        predicted_s,
+                        predicted_r,
+                        realized.as_secs(),
+                    ));
+                    qb.borrow_mut().observe(realized);
+                    sm.borrow_mut().observe(realized);
+                    let _ = &cluster3;
+                }
+            });
+        });
+    }
+    sim.run_until(SimTime::from_secs(10.0 * 24.0 * 3600.0));
+
+    let obs = observations.borrow();
+    let score = |name: &str, pick: &dyn Fn(&Obs) -> Option<f64>, bound: bool| -> Vec<String> {
+        let pairs: Vec<(f64, f64)> = obs
+            .iter()
+            .filter_map(|o| pick(o).map(|p| (p, o.3)))
+            .collect();
+        if pairs.is_empty() {
+            return vec![name.into(), "-".into(), "-".into(), "-".into(), "0".into()];
+        }
+        let n = pairs.len() as f64;
+        let mae = pairs.iter().map(|(p, r)| (p - r).abs()).sum::<f64>() / n;
+        let bias = pairs.iter().map(|(p, r)| p - r).sum::<f64>() / n;
+        let coverage = pairs.iter().filter(|(p, r)| r <= p).count() as f64 / n;
+        vec![
+            name.into(),
+            format!("{mae:.0}"),
+            format!("{bias:+.0}"),
+            if bound {
+                format!("{:.0} %", coverage * 100.0)
+            } else {
+                "-".into()
+            },
+            pairs.len().to_string(),
+        ]
+    };
+    let rows = vec![
+        score("qbets-95/95", &|o: &Obs| o.0, true),
+        score("exp-smoothing", &|o: &Obs| o.1, false),
+        score("queue-replay", &|o: &Obs| o.2, true),
+    ];
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Predictor",
+                "MAE(s)",
+                "bias(s)",
+                "coverage (bound)",
+                "probes"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "(realized waits: n = {}, mean = {:.0} s, max = {:.0} s)\n",
+        obs.len(),
+        obs.iter().map(|o| o.3).sum::<f64>() / obs.len().max(1) as f64,
+        obs.iter().map(|o| o.3).fold(0.0, f64::max)
+    );
+}
+
+fn main() {
+    let (command, opts) = parse_args();
+    match command.as_str() {
+        "table1" => table1(),
+        "fig2" => fig2(&opts),
+        "fig3" => fig3(&opts),
+        "fig4" => fig4(&opts),
+        "ablation-pilots" => ablation_pilots(&opts),
+        "ablation-sched" => ablation_sched(&opts),
+        "ablation-select" => ablation_select(&opts),
+        "ablation-data" => ablation_data(&opts),
+        "ablation-crossover" => ablation_crossover(&opts),
+        "ablation-throughput" => ablation_throughput(&opts),
+        "ablation-hetero" => ablation_hetero(&opts),
+        "ablation-adaptive" => ablation_adaptive(&opts),
+        "ablation-walltime" => ablation_walltime(&opts),
+        "ablation-queue" => ablation_queue(&opts),
+        "ablation-predictor" => ablation_predictor(&opts),
+        "all" => {
+            table1();
+            // Run experiments 1-4 once and render both figures from them.
+            let results = experiments_1_to_4(&opts);
+            let refs: Vec<&ExperimentResult> = results.iter().collect();
+            println!("## Figure 2 — TTC comparison, experiments 1-4\n");
+            println!("{}", report::fig2_table(&refs));
+            println!("```\n{}```\n", report::fig2_chart(&refs));
+            println!("## Figure 3 — TTC decomposition per experiment\n");
+            for (panel, r) in ["(a)", "(b)", "(c)", "(d)"].iter().zip(&results) {
+                println!("### {panel} {}", report::fig3_table(r));
+            }
+            println!("## Figure 4 — TTC error bars\n");
+            println!("### (a) {}", report::fig4_table(&results[0]));
+            println!("### (b) {}", report::fig4_table(&results[2]));
+            println!("### CSV\n```\n{}```", report::csv_export(&refs));
+            ablation_pilots(&opts);
+            ablation_sched(&opts);
+            ablation_select(&opts);
+            ablation_data(&opts);
+            ablation_crossover(&opts);
+            ablation_throughput(&opts);
+            ablation_hetero(&opts);
+            ablation_adaptive(&opts);
+            ablation_walltime(&opts);
+            ablation_queue(&opts);
+            ablation_predictor(&opts);
+        }
+        _ => {
+            println!(
+                "commands: table1 | fig2 | fig3 | fig4 | ablation-pilots | \
+                 ablation-sched | ablation-select | ablation-data | \
+                 ablation-crossover | ablation-throughput | ablation-hetero | \n\
+                 ablation-adaptive | ablation-walltime | ablation-queue | \n\
+                 ablation-predictor | all\n\
+                 flags: --reps N --seed S --quick"
+            );
+        }
+    }
+}
+
+// The paper-sizes helper is exercised by `fig2` by default; keep the
+// import used in all configurations.
+#[allow(unused_imports)]
+use paper_task_counts as _paper_sizes;
+#[allow(unused_imports)]
+use ExecutionStrategy as _Strategy;
+#[allow(unused_imports)]
+use TaskDurationSpec as _Spec;

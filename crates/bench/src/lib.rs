@@ -1,0 +1,18 @@
+//! # aimes-bench — experiment regeneration and micro-benchmarks
+//!
+//! The `experiments` binary regenerates every table and figure of the
+//! paper's evaluation section (see `cargo run -p aimes-bench --release
+//! --bin experiments -- help`); the Criterion benches measure the
+//! simulation substrate itself (event engine, batch scheduler, end-to-end
+//! middleware runs).
+
+/// Default repetitions per (experiment, size) point for figure-quality
+/// output. The paper ran "more than 20,000 runs" over a year; eight
+/// repetitions per point keep the regeneration under a few minutes while
+/// giving stable means and visible error bars.
+pub const DEFAULT_REPETITIONS: usize = 8;
+
+/// Reduced sizes for quick shape checks.
+pub fn quick_sizes() -> Vec<u32> {
+    vec![8, 64, 512]
+}

@@ -1,0 +1,258 @@
+//! The Bundle aggregate.
+//!
+//! §III-B: "A resource bundle may contain an arbitrary number of resource
+//! categories ... but it does not 'own' the resources. In this way, a
+//! resource may be shared across multiple bundles and users can be provided
+//! with a convenient handle for performing aggregated operations such as
+//! querying and monitoring."
+
+use crate::query::{QueryMode, ResourceQuery};
+use crate::repr::ResourceRepresentation;
+use aimes_cluster::Cluster;
+use aimes_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One resource inside a bundle.
+pub struct BundleResource {
+    pub query: ResourceQuery,
+    pub cluster: Cluster,
+}
+
+/// A handle over a collection of resources.
+///
+/// Iteration order is name-sorted (BTreeMap) so every aggregated operation
+/// is deterministic regardless of insertion order.
+///
+/// ```
+/// use aimes_bundle::{Bundle, QueryMode};
+/// use aimes_cluster::{Cluster, ClusterConfig};
+/// use aimes_sim::{SimDuration, SimTime};
+///
+/// let mut bundle = Bundle::new();
+/// bundle.add(Cluster::new(ClusterConfig::test("alpha", 1024)));
+/// bundle.add(Cluster::new(ClusterConfig::test("beta", 256)));
+/// // Rank resources for a 512-core, 1-hour pilot: only alpha fits.
+/// let ranked = bundle.rank_by_setup_time(
+///     SimTime::ZERO, 512, SimDuration::from_hours(1.0), QueryMode::OnDemand);
+/// assert_eq!(ranked.len(), 1);
+/// assert_eq!(ranked[0].0, "alpha");
+/// ```
+#[derive(Default)]
+pub struct Bundle {
+    resources: BTreeMap<String, BundleResource>,
+}
+
+impl Bundle {
+    /// An empty bundle.
+    pub fn new() -> Self {
+        Bundle {
+            resources: BTreeMap::new(),
+        }
+    }
+
+    /// Add a resource (a cheap handle; the bundle never owns the cluster).
+    pub fn add(&mut self, cluster: Cluster) {
+        let name = cluster.name();
+        self.resources.insert(
+            name,
+            BundleResource {
+                query: ResourceQuery::new(cluster.clone()),
+                cluster,
+            },
+        );
+    }
+
+    /// Names, sorted.
+    pub fn resource_names(&self) -> Vec<String> {
+        self.resources.keys().cloned().collect()
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// True if the bundle is empty.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Access one resource's query interface.
+    pub fn resource_mut(&mut self, name: &str) -> Option<&mut BundleResource> {
+        self.resources.get_mut(name)
+    }
+
+    /// Access one resource's cluster handle.
+    pub fn cluster(&self, name: &str) -> Option<Cluster> {
+        self.resources.get(name).map(|r| r.cluster.clone())
+    }
+
+    /// Aggregate query: all representations at `now`.
+    pub fn representations(&self, now: SimTime) -> Vec<ResourceRepresentation> {
+        self.resources
+            .values()
+            .map(|r| ResourceRepresentation::from_cluster(&r.cluster, now))
+            .collect()
+    }
+
+    /// Aggregate query: estimated setup time per resource for a pilot of
+    /// `cores`×`walltime`. Resources that cannot fit the pilot (or, in
+    /// predictive mode, have no history) are omitted.
+    pub fn setup_times(
+        &mut self,
+        now: SimTime,
+        cores: u32,
+        walltime: SimDuration,
+        mode: QueryMode,
+    ) -> Vec<(String, SimDuration)> {
+        self.resources
+            .iter_mut()
+            .filter_map(|(name, r)| {
+                r.query
+                    .setup_time(now, cores, walltime, mode)
+                    .map(|w| (name.clone(), w))
+            })
+            .collect()
+    }
+
+    /// Rank resources by estimated setup time, shortest first. Ties break
+    /// by name (deterministic).
+    pub fn rank_by_setup_time(
+        &mut self,
+        now: SimTime,
+        cores: u32,
+        walltime: SimDuration,
+        mode: QueryMode,
+    ) -> Vec<(String, SimDuration)> {
+        let mut est = self.setup_times(now, cores, walltime, mode);
+        est.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        est
+    }
+
+    /// Discovery interface: names of the resources satisfying a
+    /// requirement at `now`.
+    pub fn discover(
+        &self,
+        now: SimTime,
+        requirement: &crate::discovery::Requirement,
+    ) -> Vec<String> {
+        let clusters: Vec<Cluster> = self.resources.values().map(|r| r.cluster.clone()).collect();
+        crate::discovery::discover(&clusters, now, requirement)
+    }
+
+    /// Discovery interface: a tailored bundle of the matching resources
+    /// (handles are shared; see the type docs).
+    pub fn tailor(&self, now: SimTime, requirement: &crate::discovery::Requirement) -> Bundle {
+        let mut out = Bundle::new();
+        for name in self.discover(now, requirement) {
+            out.add(self.resources[&name].cluster.clone());
+        }
+        out
+    }
+
+    /// Total cores across the bundle.
+    pub fn total_cores(&self) -> u64 {
+        self.resources
+            .values()
+            .map(|r| u64::from(r.cluster.config().total_cores))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimes_cluster::{ClusterConfig, JobRequest};
+    use aimes_sim::Simulation;
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn bundle_of(sizes: &[(&str, u32)]) -> Bundle {
+        let mut b = Bundle::new();
+        for (name, cores) in sizes {
+            b.add(Cluster::new(ClusterConfig::test(name, *cores)));
+        }
+        b
+    }
+
+    #[test]
+    fn names_sorted_and_counts() {
+        let b = bundle_of(&[("zeta", 4), ("alpha", 8), ("mid", 16)]);
+        assert_eq!(b.resource_names(), vec!["alpha", "mid", "zeta"]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.total_cores(), 28);
+    }
+
+    #[test]
+    fn shared_not_owned() {
+        // The same cluster can appear in two bundles; both see its state.
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("shared", 8));
+        let mut b1 = Bundle::new();
+        let mut b2 = Bundle::new();
+        b1.add(c.clone());
+        b2.add(c.clone());
+        c.submit(&mut sim, JobRequest::background(8, d(100.0), d(100.0)));
+        sim.run_until(sim.now());
+        let r1 = &b1.representations(sim.now())[0];
+        let r2 = &b2.representations(sim.now())[0];
+        assert_eq!(r1.compute.free_cores, 0);
+        assert_eq!(r2.compute.free_cores, 0);
+    }
+
+    #[test]
+    fn ranking_prefers_idle_resources() {
+        let mut sim = Simulation::new(1);
+        let b = &mut bundle_of(&[("busy", 8), ("idle", 8)]);
+        let busy = b.cluster("busy").unwrap();
+        busy.submit(&mut sim, JobRequest::background(8, d(500.0), d(500.0)));
+        sim.run_until(sim.now());
+        let ranked = b.rank_by_setup_time(sim.now(), 8, d(60.0), QueryMode::OnDemand);
+        assert_eq!(ranked[0].0, "idle");
+        assert_eq!(ranked[0].1, SimDuration::ZERO);
+        assert_eq!(ranked[1].0, "busy");
+        assert_eq!(ranked[1].1, d(500.0));
+    }
+
+    #[test]
+    fn oversized_requests_omitted() {
+        let mut b = bundle_of(&[("small", 4), ("large", 64)]);
+        let sim = Simulation::new(1);
+        let est = b.setup_times(sim.now(), 32, d(60.0), QueryMode::OnDemand);
+        assert_eq!(est.len(), 1);
+        assert_eq!(est[0].0, "large");
+    }
+
+    #[test]
+    fn ranking_ties_break_by_name() {
+        let mut b = bundle_of(&[("bbb", 8), ("aaa", 8)]);
+        let sim = Simulation::new(1);
+        let ranked = b.rank_by_setup_time(sim.now(), 4, d(60.0), QueryMode::OnDemand);
+        assert_eq!(ranked[0].0, "aaa");
+        assert_eq!(ranked[1].0, "bbb");
+    }
+
+    #[test]
+    fn tailor_builds_shared_subset_bundle() {
+        use crate::discovery::Requirement;
+        let b = bundle_of(&[("big", 64), ("small", 8)]);
+        let req = Requirement::parse("total_cores >= 32").unwrap();
+        let now = SimTime::ZERO;
+        assert_eq!(b.discover(now, &req), vec!["big"]);
+        let tailored = b.tailor(now, &req);
+        assert_eq!(tailored.resource_names(), vec!["big"]);
+        assert_eq!(tailored.total_cores(), 64);
+    }
+
+    #[test]
+    fn predictive_mode_needs_history() {
+        let mut b = bundle_of(&[("fresh", 8)]);
+        let sim = Simulation::new(1);
+        assert!(b
+            .setup_times(sim.now(), 4, d(60.0), QueryMode::Predictive)
+            .is_empty());
+    }
+}

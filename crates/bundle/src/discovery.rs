@@ -1,0 +1,314 @@
+//! The discovery interface.
+//!
+//! §III-B: "The discovery interface, which is future work, will let the
+//! user request resources based on abstract requirements so that a
+//! tailored bundle can be created. A language for specifying resource
+//! requirements is being developed" (citing the Tiera compact notation).
+//!
+//! This module implements that language: a conjunction of attribute
+//! comparisons such as
+//!
+//! ```text
+//! total_cores >= 2048 && policy == easy_backfill && utilization < 0.95
+//! ```
+//!
+//! parsed into a [`Requirement`] and evaluated against live resource
+//! representations to produce a tailored bundle.
+
+use crate::repr::ResourceRepresentation;
+use aimes_cluster::{Cluster, SchedulingPolicy};
+use aimes_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Attributes the language can constrain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Attribute {
+    TotalCores,
+    FreeCores,
+    CoresPerNode,
+    QueuedJobs,
+    RunningJobs,
+    Utilization,
+    QueuePressure,
+    IngressMbps,
+    /// Scheduling policy, compared as `fcfs` / `easy_backfill`.
+    Policy,
+}
+
+impl Attribute {
+    fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "total_cores" => Attribute::TotalCores,
+            "free_cores" => Attribute::FreeCores,
+            "cores_per_node" => Attribute::CoresPerNode,
+            "queued_jobs" => Attribute::QueuedJobs,
+            "running_jobs" => Attribute::RunningJobs,
+            "utilization" => Attribute::Utilization,
+            "queue_pressure" => Attribute::QueuePressure,
+            "ingress_mbps" => Attribute::IngressMbps,
+            "policy" => Attribute::Policy,
+            other => return Err(format!("unknown attribute `{other}`")),
+        })
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Op {
+    Ge,
+    Le,
+    Gt,
+    Lt,
+    Eq,
+    Ne,
+}
+
+impl Op {
+    fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            ">=" => Op::Ge,
+            "<=" => Op::Le,
+            ">" => Op::Gt,
+            "<" => Op::Lt,
+            "==" => Op::Eq,
+            "!=" => Op::Ne,
+            other => return Err(format!("unknown operator `{other}`")),
+        })
+    }
+
+    fn eval_f64(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            Op::Ge => lhs >= rhs,
+            Op::Le => lhs <= rhs,
+            Op::Gt => lhs > rhs,
+            Op::Lt => lhs < rhs,
+            Op::Eq => lhs == rhs,
+            Op::Ne => lhs != rhs,
+        }
+    }
+}
+
+/// The right-hand side of a comparison.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Value {
+    Number(f64),
+    Symbol(String),
+}
+
+/// One `attribute op value` clause.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Constraint {
+    pub attribute: Attribute,
+    pub op: Op,
+    pub value: Value,
+}
+
+/// A conjunction of constraints.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Requirement {
+    pub constraints: Vec<Constraint>,
+}
+
+impl Requirement {
+    /// Parse the compact notation: clauses joined by `&&`.
+    pub fn parse(input: &str) -> Result<Requirement, String> {
+        let input = input.trim();
+        if input.is_empty() {
+            return Ok(Requirement::default());
+        }
+        let mut constraints = Vec::new();
+        for clause in input.split("&&") {
+            let tokens: Vec<&str> = clause.split_whitespace().collect();
+            if tokens.len() != 3 {
+                return Err(format!(
+                    "clause `{}` must be `attribute op value`",
+                    clause.trim()
+                ));
+            }
+            let attribute = Attribute::parse(tokens[0])?;
+            let op = Op::parse(tokens[1])?;
+            let value = match tokens[2].parse::<f64>() {
+                Ok(n) => Value::Number(n),
+                Err(_) => Value::Symbol(tokens[2].to_string()),
+            };
+            // Type check: policy compares symbols with ==/!=; numeric
+            // attributes need numbers.
+            match (attribute, &value, op) {
+                (Attribute::Policy, Value::Symbol(_), Op::Eq | Op::Ne) => {}
+                (Attribute::Policy, _, _) => {
+                    return Err("policy supports only `== symbol` / `!= symbol`".into());
+                }
+                (_, Value::Symbol(s), _) => {
+                    return Err(format!("attribute needs a numeric value, got `{s}`"));
+                }
+                _ => {}
+            }
+            constraints.push(Constraint {
+                attribute,
+                op,
+                value,
+            });
+        }
+        Ok(Requirement { constraints })
+    }
+
+    /// Does a resource satisfy every constraint?
+    pub fn matches(&self, repr: &ResourceRepresentation, policy: SchedulingPolicy) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| match (c.attribute, &c.value) {
+                (Attribute::Policy, Value::Symbol(sym)) => {
+                    let actual = match policy {
+                        SchedulingPolicy::Fcfs => "fcfs",
+                        SchedulingPolicy::EasyBackfill => "easy_backfill",
+                    };
+                    match c.op {
+                        Op::Eq => actual == sym,
+                        Op::Ne => actual != sym,
+                        _ => false,
+                    }
+                }
+                (attr, Value::Number(n)) => {
+                    let lhs = match attr {
+                        Attribute::TotalCores => f64::from(repr.compute.total_cores),
+                        Attribute::FreeCores => f64::from(repr.compute.free_cores),
+                        Attribute::CoresPerNode => f64::from(repr.compute.cores_per_node),
+                        Attribute::QueuedJobs => repr.compute.queued_jobs as f64,
+                        Attribute::RunningJobs => repr.compute.running_jobs as f64,
+                        Attribute::Utilization => repr.compute.utilization,
+                        Attribute::QueuePressure => repr.queue_pressure(),
+                        Attribute::IngressMbps => repr.network.ingress_mbps,
+                        Attribute::Policy => return false,
+                    };
+                    c.op.eval_f64(lhs, *n)
+                }
+                _ => false,
+            })
+    }
+}
+
+/// Evaluate a requirement against a set of resources at `now`; returns the
+/// names that qualify (sorted — deterministic).
+pub fn discover(clusters: &[Cluster], now: SimTime, requirement: &Requirement) -> Vec<String> {
+    let mut names: Vec<String> = clusters
+        .iter()
+        .filter(|c| {
+            let repr = ResourceRepresentation::from_cluster(c, now);
+            requirement.matches(&repr, c.config().policy)
+        })
+        .map(|c| c.name())
+        .collect();
+    names.sort();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimes_cluster::{ClusterConfig, JobRequest};
+    use aimes_sim::{SimDuration, Simulation};
+
+    fn cluster(name: &str, cores: u32, policy: SchedulingPolicy) -> Cluster {
+        let mut cfg = ClusterConfig::test(name, cores);
+        cfg.policy = policy;
+        Cluster::new(cfg)
+    }
+
+    #[test]
+    fn parse_single_clause() {
+        let r = Requirement::parse("total_cores >= 2048").unwrap();
+        assert_eq!(r.constraints.len(), 1);
+        assert_eq!(r.constraints[0].attribute, Attribute::TotalCores);
+        assert_eq!(r.constraints[0].op, Op::Ge);
+        assert_eq!(r.constraints[0].value, Value::Number(2048.0));
+    }
+
+    #[test]
+    fn parse_conjunction() {
+        let r = Requirement::parse(
+            "total_cores >= 1024 && policy == easy_backfill && utilization < 0.9",
+        )
+        .unwrap();
+        assert_eq!(r.constraints.len(), 3);
+    }
+
+    #[test]
+    fn parse_empty_matches_everything() {
+        let r = Requirement::parse("   ").unwrap();
+        let c = cluster("x", 8, SchedulingPolicy::Fcfs);
+        let repr = ResourceRepresentation::from_cluster(&c, SimTime::ZERO);
+        assert!(r.matches(&repr, SchedulingPolicy::Fcfs));
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(Requirement::parse("nonsense")
+            .unwrap_err()
+            .contains("attribute op value"));
+        assert!(Requirement::parse("bogus_attr > 1")
+            .unwrap_err()
+            .contains("unknown attribute"));
+        assert!(Requirement::parse("total_cores >> 1")
+            .unwrap_err()
+            .contains("unknown operator"));
+        assert!(Requirement::parse("total_cores >= many")
+            .unwrap_err()
+            .contains("numeric"));
+        assert!(Requirement::parse("policy >= fcfs")
+            .unwrap_err()
+            .contains("policy supports"));
+    }
+
+    #[test]
+    fn discover_filters_by_size_and_policy() {
+        let clusters = vec![
+            cluster("big-bf", 8192, SchedulingPolicy::EasyBackfill),
+            cluster("big-fcfs", 8192, SchedulingPolicy::Fcfs),
+            cluster("small-bf", 512, SchedulingPolicy::EasyBackfill),
+        ];
+        let r = Requirement::parse("total_cores >= 1024 && policy == easy_backfill").unwrap();
+        assert_eq!(discover(&clusters, SimTime::ZERO, &r), vec!["big-bf"]);
+        let r2 = Requirement::parse("policy != easy_backfill").unwrap();
+        assert_eq!(discover(&clusters, SimTime::ZERO, &r2), vec!["big-fcfs"]);
+    }
+
+    #[test]
+    fn discover_sees_live_state() {
+        let mut sim = Simulation::new(1);
+        let busy = cluster("busy", 64, SchedulingPolicy::EasyBackfill);
+        let idle = cluster("idle", 64, SchedulingPolicy::EasyBackfill);
+        let d = SimDuration::from_secs(1000.0);
+        busy.submit(&mut sim, JobRequest::background(64, d, d));
+        sim.run_until(sim.now());
+        let clusters = vec![busy, idle];
+        let r = Requirement::parse("free_cores >= 32").unwrap();
+        assert_eq!(discover(&clusters, sim.now(), &r), vec!["idle"]);
+        let r2 = Requirement::parse("queued_jobs == 0 && free_cores < 32").unwrap();
+        assert_eq!(discover(&clusters, sim.now(), &r2), vec!["busy"]);
+    }
+
+    #[test]
+    fn requirement_serde_roundtrip() {
+        let r = Requirement::parse("utilization <= 0.85 && ingress_mbps > 50").unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Requirement = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn testbed_discovery_end_to_end() {
+        // Tailor a bundle from the paper testbed: backfill machines big
+        // enough for a 2048-core pilot.
+        let clusters: Vec<Cluster> = aimes_cluster::paper_testbed()
+            .into_iter()
+            .map(|s| {
+                let mut cfg = s.config;
+                cfg.workload = None;
+                Cluster::new(cfg)
+            })
+            .collect();
+        let r = Requirement::parse("total_cores >= 4096 && policy == easy_backfill").unwrap();
+        let names = discover(&clusters, SimTime::ZERO, &r);
+        assert_eq!(names, vec!["gordon", "hopper", "stampede", "trestles"]);
+    }
+}

@@ -1,0 +1,39 @@
+//! # aimes-bundle — the Bundle resource abstraction
+//!
+//! §III-B: "Our resource abstraction is called 'Bundle' to connote the
+//! characterization of a collection of resources. ... A resource bundle has
+//! two components: resource representation and resource interface."
+//!
+//! * [`repr`] — the uniform resource representation over the compute,
+//!   network, and storage categories, with cross-platform measures such as
+//!   "setup time" (queue wait on HPC, VM startup on clouds).
+//! * [`query`] — the query interface with its two modes: **on-demand**
+//!   (real-time measurements) and **predictive** (forecasts from
+//!   historical measurements).
+//! * [`predictor`] — queue-wait estimators: a QBETS-style binomial
+//!   quantile bound, exponential smoothing, and a queue-replay estimator.
+//! * [`monitor`] — the monitoring interface: threshold subscriptions with
+//!   notification events ("when the average performance has dropped below
+//!   a certain threshold for a certain period, subscribers ... will be
+//!   notified").
+//! * [`discovery`] — the discovery interface (the paper's named future
+//!   work): a compact requirements language that tailors a bundle from
+//!   abstract constraints.
+//! * [`bundle`] — the aggregate: a [`bundle::Bundle`] over many resources
+//!   with ranking operations the Execution Manager uses for resource
+//!   selection. A resource "may be shared across multiple bundles": bundles
+//!   hold cheap handles, never ownership.
+
+pub mod bundle;
+pub mod discovery;
+pub mod monitor;
+pub mod predictor;
+pub mod query;
+pub mod repr;
+
+pub use bundle::{Bundle, BundleResource};
+pub use discovery::{discover, Requirement};
+pub use monitor::{Condition, Metric, MonitorHandle, MonitorService};
+pub use predictor::{ExpSmoothing, QuantileBound, WaitPredictor};
+pub use query::{QueryMode, ResourceQuery};
+pub use repr::{ComputeInfo, NetworkInfo, ResourceRepresentation, StorageInfo};

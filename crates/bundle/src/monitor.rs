@@ -1,0 +1,291 @@
+//! The monitoring interface.
+//!
+//! §III-B: "The monitoring interface can be used to inquire about resource
+//! state and to chose system events for which to receive notification. For
+//! example, performance variation within a cluster can be monitored so that
+//! when the average performance has dropped below a certain threshold for a
+//! certain period, subscribers of such an event will be notified."
+//!
+//! Implemented as periodic sampling of a chosen [`Metric`] with a dwell
+//! requirement: the predicate must hold for `dwell` continuous time before
+//! a notification fires, and the subscription re-arms once it stops
+//! holding.
+
+use aimes_cluster::Cluster;
+use aimes_sim::{SimDuration, SimTime, Simulation};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Observable per-resource metrics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// Time-averaged core utilization in [0, 1].
+    Utilization,
+    /// Number of queued jobs.
+    QueueLength,
+    /// Currently free cores.
+    FreeCores,
+    /// Queued core demand relative to machine size.
+    QueuePressure,
+}
+
+impl Metric {
+    fn sample(self, cluster: &Cluster, now: SimTime) -> f64 {
+        let m = cluster.metrics(now);
+        match self {
+            Metric::Utilization => m.utilization,
+            Metric::QueueLength => m.queued_jobs as f64,
+            Metric::FreeCores => f64::from(m.free_cores),
+            Metric::QueuePressure => m.queued_cores as f64 / f64::from(m.total_cores),
+        }
+    }
+}
+
+/// Condition for a subscription.
+#[derive(Clone, Copy, Debug)]
+pub enum Condition {
+    Above(f64),
+    Below(f64),
+}
+
+impl Condition {
+    fn holds(self, v: f64) -> bool {
+        match self {
+            Condition::Above(t) => v > t,
+            Condition::Below(t) => v < t,
+        }
+    }
+}
+
+/// Callback receiving the metric value when a notification fires.
+type NotificationCallback = Box<dyn FnMut(&mut Simulation, f64)>;
+
+struct Subscription {
+    cluster: Cluster,
+    metric: Metric,
+    condition: Condition,
+    dwell: SimDuration,
+    holding_since: Option<SimTime>,
+    active: bool,
+    fired: u64,
+    callback: NotificationCallback,
+}
+
+/// Handle to cancel a subscription and inspect its firing count.
+#[derive(Clone)]
+pub struct MonitorHandle {
+    sub: Rc<RefCell<Subscription>>,
+}
+
+impl MonitorHandle {
+    /// Stop future notifications.
+    pub fn cancel(&self) {
+        self.sub.borrow_mut().active = false;
+    }
+
+    /// How many notifications have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.sub.borrow().fired
+    }
+}
+
+/// The monitoring service: owns subscriptions and their sampling events.
+#[derive(Default)]
+pub struct MonitorService;
+
+impl MonitorService {
+    /// Subscribe to `metric` on `cluster`: `callback` fires (with the
+    /// current value) once the condition has held for `dwell`, then
+    /// re-arms after the condition breaks. Sampling happens every
+    /// `interval`.
+    pub fn subscribe(
+        sim: &mut Simulation,
+        cluster: Cluster,
+        metric: Metric,
+        condition: Condition,
+        dwell: SimDuration,
+        interval: SimDuration,
+        callback: impl FnMut(&mut Simulation, f64) + 'static,
+    ) -> MonitorHandle {
+        assert!(interval.as_secs() > 0.0, "interval must be positive");
+        let sub = Rc::new(RefCell::new(Subscription {
+            cluster,
+            metric,
+            condition,
+            dwell,
+            holding_since: None,
+            active: true,
+            fired: 0,
+            callback: Box::new(callback),
+        }));
+        Self::schedule_sample(sim, sub.clone(), interval);
+        MonitorHandle { sub }
+    }
+
+    fn schedule_sample(
+        sim: &mut Simulation,
+        sub: Rc<RefCell<Subscription>>,
+        interval: SimDuration,
+    ) {
+        sim.schedule_in(interval, move |sim| {
+            let now = sim.now();
+            enum Action {
+                Stop,
+                Continue,
+                Fire(f64),
+            }
+            let action = {
+                let mut s = sub.borrow_mut();
+                if !s.active {
+                    Action::Stop
+                } else {
+                    let v = s.metric.sample(&s.cluster, now);
+                    if s.condition.holds(v) {
+                        let since = *s.holding_since.get_or_insert(now);
+                        if now.since(since) >= s.dwell {
+                            s.fired += 1;
+                            // Re-arm: require the condition to break and
+                            // dwell again before the next notification.
+                            s.holding_since = None;
+                            Action::Fire(v)
+                        } else {
+                            Action::Continue
+                        }
+                    } else {
+                        s.holding_since = None;
+                        Action::Continue
+                    }
+                }
+            };
+            match action {
+                Action::Stop => {}
+                Action::Continue => Self::schedule_sample(sim, sub, interval),
+                Action::Fire(v) => {
+                    // Take the callback out to avoid holding the borrow
+                    // while user code runs.
+                    let mut cb = {
+                        let mut s = sub.borrow_mut();
+                        std::mem::replace(
+                            &mut s.callback,
+                            Box::new(|_: &mut Simulation, _: f64| {}),
+                        )
+                    };
+                    cb(sim, v);
+                    sub.borrow_mut().callback = cb;
+                    Self::schedule_sample(sim, sub, interval);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimes_cluster::{ClusterConfig, JobRequest};
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn fires_after_dwell() {
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("r", 4));
+        // Keep the machine fully busy from t=0 to t=100.
+        c.submit(&mut sim, JobRequest::background(4, d(100.0), d(100.0)));
+        let fired_at: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(vec![]));
+        let f2 = fired_at.clone();
+        let h = MonitorService::subscribe(
+            &mut sim,
+            c.clone(),
+            Metric::FreeCores,
+            Condition::Below(1.0),
+            d(30.0),
+            d(10.0),
+            move |sim, _v| f2.borrow_mut().push(sim.now().as_secs()),
+        );
+        sim.run_until(SimTime::from_secs(200.0));
+        // Condition holds from t=0; first sample at t=10; dwell of 30 s is
+        // satisfied at the t=40 sample.
+        assert_eq!(fired_at.borrow().first().copied(), Some(40.0));
+        assert!(h.fired() >= 1);
+    }
+
+    #[test]
+    fn does_not_fire_without_dwell() {
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("r", 4));
+        // Busy only for 15 s — shorter than the 30 s dwell.
+        c.submit(&mut sim, JobRequest::background(4, d(15.0), d(15.0)));
+        let h = MonitorService::subscribe(
+            &mut sim,
+            c.clone(),
+            Metric::FreeCores,
+            Condition::Below(1.0),
+            d(30.0),
+            d(5.0),
+            |_, _| panic!("must not fire"),
+        );
+        sim.run_until(SimTime::from_secs(100.0));
+        assert_eq!(h.fired(), 0);
+        h.cancel();
+    }
+
+    #[test]
+    fn rearms_after_condition_breaks() {
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("r", 4));
+        // Two busy periods separated by idleness.
+        c.submit(&mut sim, JobRequest::background(4, d(50.0), d(50.0)));
+        let c2 = c.clone();
+        sim.schedule_at(SimTime::from_secs(100.0), move |sim| {
+            c2.submit(sim, JobRequest::background(4, d(50.0), d(50.0)));
+        });
+        let h = MonitorService::subscribe(
+            &mut sim,
+            c.clone(),
+            Metric::FreeCores,
+            Condition::Below(1.0),
+            d(20.0),
+            d(10.0),
+            |_, _| {},
+        );
+        sim.run_until(SimTime::from_secs(200.0));
+        assert_eq!(h.fired(), 2);
+    }
+
+    #[test]
+    fn cancel_stops_sampling() {
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("r", 4));
+        c.submit(&mut sim, JobRequest::background(4, d(1000.0), d(1000.0)));
+        let h = MonitorService::subscribe(
+            &mut sim,
+            c,
+            Metric::Utilization,
+            Condition::Above(0.5),
+            d(10.0),
+            d(10.0),
+            |_, _| {},
+        );
+        h.cancel();
+        sim.run_until(SimTime::from_secs(500.0));
+        assert_eq!(h.fired(), 0);
+        // The sampling chain stopped: no events besides the job lifecycle.
+        assert!(sim.pending_events() <= 1);
+    }
+
+    #[test]
+    fn queue_metrics_observable() {
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("r", 4));
+        c.submit(&mut sim, JobRequest::background(4, d(100.0), d(100.0)));
+        c.submit(&mut sim, JobRequest::background(4, d(100.0), d(100.0)));
+        sim.run_until(sim.now());
+        let now = sim.now();
+        assert_eq!(Metric::QueueLength.sample(&c, now), 1.0);
+        assert_eq!(Metric::QueuePressure.sample(&c, now), 1.0);
+        assert_eq!(Metric::FreeCores.sample(&c, now), 0.0);
+    }
+}

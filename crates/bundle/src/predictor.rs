@@ -1,0 +1,295 @@
+//! Queue-wait prediction.
+//!
+//! §III-B: "Two query modes are supported: on-demand and predictive. ...
+//! the predictive mode offers forecasts based on historical measurements of
+//! resource utilization instead of queue waiting time, which is extremely
+//! hard to predict accurately \[24\], \[25\], \[36\]."
+//!
+//! [`QuantileBound`] follows the QBETS idea (Nurmi/Brevik/Wolski, the
+//! paper's ref \[24\]): rather than predicting the wait, bound a chosen
+//! quantile of the wait distribution from history, with a binomial
+//! confidence correction. [`ExpSmoothing`] is the naive point-forecast
+//! baseline the literature warns about.
+
+use aimes_sim::SimDuration;
+
+/// A predictor of queue waits from a history of observed waits.
+pub trait WaitPredictor {
+    /// Ingest one observed wait.
+    fn observe(&mut self, wait: SimDuration);
+
+    /// Forecast a wait bound/estimate; `None` until enough history exists.
+    fn predict(&self) -> Option<SimDuration>;
+
+    /// Number of observations ingested.
+    fn observations(&self) -> usize;
+}
+
+/// QBETS-style quantile upper bound.
+///
+/// Keeps the most recent `window` observations; predicts an upper bound on
+/// the `quantile`-quantile of the wait distribution at `confidence`
+/// confidence, using the normal approximation to the binomial order
+/// statistic: the bound is the sample at rank
+/// `ceil(n·q + z·sqrt(n·q·(1−q)))`.
+#[derive(Clone, Debug)]
+pub struct QuantileBound {
+    window: usize,
+    quantile: f64,
+    z: f64,
+    samples: Vec<f64>,
+    total_seen: usize,
+}
+
+impl QuantileBound {
+    /// `quantile` in (0,1); `confidence` in (0.5, 1) mapped to a z-score.
+    pub fn new(window: usize, quantile: f64, confidence: f64) -> Self {
+        assert!(window >= 4, "window too small");
+        assert!((0.0..1.0).contains(&quantile) && quantile > 0.0);
+        assert!((0.5..1.0).contains(&confidence));
+        // Inverse normal CDF at `confidence`, via Acklam-style rational
+        // approximation restricted to the upper tail we need.
+        let z = inverse_normal_cdf(confidence);
+        QuantileBound {
+            window,
+            quantile,
+            z,
+            samples: Vec::new(),
+            total_seen: 0,
+        }
+    }
+
+    /// The canonical QBETS configuration: 95th-percentile bound at 95 %
+    /// confidence over a 64-observation window.
+    pub fn qbets_default() -> Self {
+        QuantileBound::new(64, 0.95, 0.95)
+    }
+}
+
+impl WaitPredictor for QuantileBound {
+    fn observe(&mut self, wait: SimDuration) {
+        if self.samples.len() == self.window {
+            self.samples.remove(0);
+        }
+        self.samples.push(wait.as_secs());
+        self.total_seen += 1;
+    }
+
+    fn predict(&self) -> Option<SimDuration> {
+        let n = self.samples.len();
+        if n < 4 {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("waits are finite"));
+        let nf = n as f64;
+        let rank = (nf * self.quantile
+            + self.z * (nf * self.quantile * (1.0 - self.quantile)).sqrt())
+        .ceil() as usize;
+        let idx = rank.min(n).saturating_sub(1);
+        Some(SimDuration::from_secs(sorted[idx]))
+    }
+
+    fn observations(&self) -> usize {
+        self.total_seen
+    }
+}
+
+/// Exponentially smoothed point forecast (the weak baseline).
+#[derive(Clone, Debug)]
+pub struct ExpSmoothing {
+    alpha: f64,
+    level: Option<f64>,
+    total_seen: usize,
+}
+
+impl ExpSmoothing {
+    /// `alpha` in (0, 1]: weight of the newest observation.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        ExpSmoothing {
+            alpha,
+            level: None,
+            total_seen: 0,
+        }
+    }
+}
+
+impl WaitPredictor for ExpSmoothing {
+    fn observe(&mut self, wait: SimDuration) {
+        let w = wait.as_secs();
+        self.level = Some(match self.level {
+            None => w,
+            Some(l) => self.alpha * w + (1.0 - self.alpha) * l,
+        });
+        self.total_seen += 1;
+    }
+
+    fn predict(&self) -> Option<SimDuration> {
+        self.level.map(SimDuration::from_secs)
+    }
+
+    fn observations(&self) -> usize {
+        self.total_seen
+    }
+}
+
+/// Inverse standard-normal CDF for p in (0.5, 1): Acklam's rational
+/// approximation (relative error < 1.15e-9 in this range).
+fn inverse_normal_cdf(p: f64) -> f64 {
+    debug_assert!((0.5..1.0).contains(&p));
+    // Coefficients for the central region.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_HIGH: f64 = 0.97575;
+    if p < P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        // Upper tail: mirror of Acklam's lower-tail branch (negated).
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn inverse_normal_known_values() {
+        assert!((inverse_normal_cdf(0.95) - 1.6449).abs() < 1e-3);
+        assert!((inverse_normal_cdf(0.975) - 1.9600).abs() < 1e-3);
+        assert!((inverse_normal_cdf(0.99) - 2.3263).abs() < 1e-3);
+        assert!((inverse_normal_cdf(0.5001) - 0.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantile_bound_needs_history() {
+        let mut p = QuantileBound::qbets_default();
+        assert!(p.predict().is_none());
+        for i in 0..3 {
+            p.observe(d(f64::from(i)));
+        }
+        assert!(p.predict().is_none());
+        p.observe(d(3.0));
+        assert!(p.predict().is_some());
+        assert_eq!(p.observations(), 4);
+    }
+
+    #[test]
+    fn quantile_bound_is_conservative() {
+        // With uniform waits 0..100, the 95 % bound at 95 % confidence
+        // should sit near the top of the sample, above the true median.
+        let mut p = QuantileBound::new(64, 0.95, 0.95);
+        for i in 0..64 {
+            p.observe(d(f64::from(i) * 100.0 / 63.0));
+        }
+        let bound = p.predict().unwrap().as_secs();
+        assert!(bound > 90.0, "bound {bound}");
+    }
+
+    #[test]
+    fn quantile_bound_window_slides() {
+        let mut p = QuantileBound::new(8, 0.5, 0.6);
+        for _ in 0..8 {
+            p.observe(d(1000.0));
+        }
+        // New regime: much shorter waits displace the old ones.
+        for _ in 0..8 {
+            p.observe(d(10.0));
+        }
+        assert_eq!(p.predict().unwrap(), d(10.0));
+        assert_eq!(p.observations(), 16);
+    }
+
+    #[test]
+    fn exp_smoothing_converges() {
+        let mut p = ExpSmoothing::new(0.5);
+        assert!(p.predict().is_none());
+        for _ in 0..20 {
+            p.observe(d(100.0));
+        }
+        assert!((p.predict().unwrap().as_secs() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exp_smoothing_tracks_changes_gradually() {
+        let mut p = ExpSmoothing::new(0.25);
+        p.observe(d(0.0));
+        p.observe(d(100.0));
+        let v = p.predict().unwrap().as_secs();
+        assert!((v - 25.0).abs() < 1e-9, "got {v}");
+    }
+
+    proptest! {
+        /// The quantile bound is always one of the observed samples and at
+        /// least the plain empirical quantile.
+        #[test]
+        fn prop_bound_dominates_empirical_quantile(
+            waits in proptest::collection::vec(0.0f64..1e5, 8..64),
+        ) {
+            let mut p = QuantileBound::new(64, 0.9, 0.9);
+            for w in &waits {
+                p.observe(d(*w));
+            }
+            let bound = p.predict().unwrap().as_secs();
+            let mut sorted = waits.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(sorted.contains(&bound));
+            let emp = sorted[((sorted.len() as f64 * 0.9) as usize).min(sorted.len() - 1)];
+            prop_assert!(bound >= emp);
+        }
+
+        /// Smoothing output is always within the observed range.
+        #[test]
+        fn prop_smoothing_in_range(
+            waits in proptest::collection::vec(0.0f64..1e5, 1..50),
+            alpha in 0.05f64..1.0,
+        ) {
+            let mut p = ExpSmoothing::new(alpha);
+            for w in &waits {
+                p.observe(d(*w));
+            }
+            let v = p.predict().unwrap().as_secs();
+            let lo = waits.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = waits.iter().cloned().fold(0.0, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The bundle query interface.
+//!
+//! §III-B: "The resource interface exposes information about resources
+//! availability and capabilities via an API. Two query modes are supported:
+//! on-demand and predictive." The query interface also answers end-to-end
+//! questions such as "how long would it take to transfer a file from one
+//! location to a resource" — estimates "within an order of magnitude" are
+//! still useful (refs \[37\], \[38\]).
+
+use crate::predictor::{QuantileBound, WaitPredictor};
+use crate::repr::ResourceRepresentation;
+use aimes_cluster::Cluster;
+use aimes_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which information source a query uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum QueryMode {
+    /// Real-time measurement of the resource's current state.
+    OnDemand,
+    /// Forecast from historical measurements.
+    Predictive,
+}
+
+/// Query facade over one resource.
+pub struct ResourceQuery {
+    cluster: Cluster,
+    predictor: QuantileBound,
+}
+
+impl ResourceQuery {
+    /// Wrap a resource. The predictive mode learns from the resource's
+    /// start history as queries are made.
+    pub fn new(cluster: Cluster) -> Self {
+        ResourceQuery {
+            cluster,
+            predictor: QuantileBound::qbets_default(),
+        }
+    }
+
+    /// The resource's name.
+    pub fn name(&self) -> String {
+        self.cluster.name()
+    }
+
+    /// Uniform representation at `now` (always on-demand: it is a
+    /// snapshot by definition).
+    pub fn representation(&self, now: SimTime) -> ResourceRepresentation {
+        ResourceRepresentation::from_cluster(&self.cluster, now)
+    }
+
+    /// Estimated "setup time" (queue wait) for a pilot of `cores` cores
+    /// and `walltime`, under the chosen mode.
+    ///
+    /// * `OnDemand` replays the current queue against the availability
+    ///   profile (what the scheduler would do if nothing else arrived).
+    /// * `Predictive` returns the QBETS-style quantile bound learned from
+    ///   the resource's historical start records, independent of the
+    ///   momentary queue state.
+    ///
+    /// Returns `None` when the job can never fit (oversized) or when the
+    /// predictive history is still empty.
+    pub fn setup_time(
+        &mut self,
+        now: SimTime,
+        cores: u32,
+        walltime: SimDuration,
+        mode: QueryMode,
+    ) -> Option<SimDuration> {
+        match mode {
+            QueryMode::OnDemand => self.cluster.estimate_wait(now, cores, walltime),
+            QueryMode::Predictive => {
+                self.refresh_history();
+                if cores > self.cluster.config().total_cores {
+                    return None;
+                }
+                self.predictor.predict()
+            }
+        }
+    }
+
+    /// Feed all start records the cluster has accumulated into the
+    /// predictor (idempotent per record because the history is a sliding
+    /// window over a monotone log; we track how many we have consumed).
+    fn refresh_history(&mut self) {
+        let history = self.cluster.wait_history();
+        let consumed = self.predictor.observations();
+        for rec in history.iter().skip(consumed.min(history.len())) {
+            self.predictor.observe(rec.wait);
+        }
+    }
+
+    /// End-to-end transfer estimate for `megabytes` into (`true`) or out
+    /// of the resource.
+    pub fn transfer_time(&self, megabytes: f64, ingress: bool) -> SimDuration {
+        self.cluster.transfer_time(megabytes, ingress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimes_cluster::{ClusterConfig, JobRequest};
+    use aimes_sim::Simulation;
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn on_demand_setup_time_replays_queue() {
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("r", 16));
+        c.submit(&mut sim, JobRequest::background(16, d(500.0), d(500.0)));
+        sim.run_until(sim.now());
+        let mut q = ResourceQuery::new(c);
+        let w = q
+            .setup_time(sim.now(), 16, d(100.0), QueryMode::OnDemand)
+            .unwrap();
+        assert_eq!(w, d(500.0));
+        // An idle-machine-sized request that can never fit:
+        assert!(q
+            .setup_time(sim.now(), 32, d(100.0), QueryMode::OnDemand)
+            .is_none());
+    }
+
+    #[test]
+    fn predictive_needs_history_then_learns() {
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("r", 4));
+        let mut q = ResourceQuery::new(c.clone());
+        assert!(q
+            .setup_time(sim.now(), 2, d(10.0), QueryMode::Predictive)
+            .is_none());
+        // Generate some waits: serial 4-core jobs.
+        for _ in 0..8 {
+            c.submit(&mut sim, JobRequest::background(4, d(100.0), d(100.0)));
+        }
+        sim.run_to_completion();
+        let w = q
+            .setup_time(sim.now(), 2, d(10.0), QueryMode::Predictive)
+            .unwrap();
+        // Waits were 0, 100, ..., 700; the 95 % bound is near the top.
+        assert!(w >= d(600.0), "bound {w:?}");
+        // Oversized requests are still rejected.
+        assert!(q
+            .setup_time(sim.now(), 8, d(10.0), QueryMode::Predictive)
+            .is_none());
+    }
+
+    #[test]
+    fn transfer_time_passthrough() {
+        let c = Cluster::new(ClusterConfig::test("r", 4));
+        let q = ResourceQuery::new(c);
+        // 100 MB / 100 MBps + 1 s latency.
+        assert_eq!(q.transfer_time(100.0, true), d(2.0));
+        assert_eq!(q.name(), "r");
+    }
+
+    #[test]
+    fn representation_snapshot() {
+        let sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("r", 4));
+        let q = ResourceQuery::new(c);
+        let r = q.representation(sim.now());
+        assert_eq!(r.compute.total_cores, 4);
+    }
+}

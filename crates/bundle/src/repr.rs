@@ -1,0 +1,140 @@
+//! Uniform resource representation.
+//!
+//! §III-B: "the resource bundle models resources across three basic
+//! categories: compute, network, and storage. Resource measures that are
+//! meaningful across multiple platforms are identified in each category.
+//! For example, the property 'setup time' of a compute resource means queue
+//! wait time on a HPC cluster or virtual machine startup latency on a
+//! cloud."
+
+use aimes_cluster::{Cluster, ClusterMetrics};
+use aimes_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Compute category.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ComputeInfo {
+    pub total_cores: u32,
+    pub cores_per_node: u32,
+    pub free_cores: u32,
+    pub running_jobs: usize,
+    pub queued_jobs: usize,
+    pub queued_cores: u64,
+    /// Time-averaged utilization in [0, 1].
+    pub utilization: f64,
+}
+
+/// Network category (wide-area, as seen from the middleware host).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkInfo {
+    pub ingress_mbps: f64,
+    pub egress_mbps: f64,
+    pub latency_secs: f64,
+}
+
+/// Storage category. The simulated resources model a shared filesystem
+/// whose effective bandwidth the staging model uses; capacity is nominal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StorageInfo {
+    pub capacity_gb: f64,
+    pub shared_fs: bool,
+}
+
+/// The uniform characterization of one resource.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRepresentation {
+    pub name: String,
+    pub compute: ComputeInfo,
+    pub network: NetworkInfo,
+    pub storage: StorageInfo,
+}
+
+impl ResourceRepresentation {
+    /// Build the representation from a live cluster at time `now`.
+    pub fn from_cluster(cluster: &Cluster, now: SimTime) -> Self {
+        let cfg = cluster.config();
+        let m: ClusterMetrics = cluster.metrics(now);
+        ResourceRepresentation {
+            name: cfg.name.clone(),
+            compute: ComputeInfo {
+                total_cores: m.total_cores,
+                cores_per_node: cfg.cores_per_node,
+                free_cores: m.free_cores,
+                running_jobs: m.running_jobs,
+                queued_jobs: m.queued_jobs,
+                queued_cores: m.queued_cores,
+                utilization: m.utilization,
+            },
+            network: NetworkInfo {
+                ingress_mbps: cfg.ingress_mbps,
+                egress_mbps: cfg.egress_mbps,
+                latency_secs: cfg.transfer_latency.as_secs(),
+            },
+            storage: StorageInfo {
+                // Nominal: 1 GB of scratch per core, shared filesystem.
+                capacity_gb: f64::from(cfg.total_cores),
+                shared_fs: true,
+            },
+        }
+    }
+
+    /// Queue pressure: queued core demand relative to machine size. The
+    /// simplest cross-resource congestion signal.
+    pub fn queue_pressure(&self) -> f64 {
+        self.compute.queued_cores as f64 / f64::from(self.compute.total_cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimes_cluster::{ClusterConfig, JobRequest};
+    use aimes_sim::{SimDuration, Simulation};
+
+    #[test]
+    fn representation_mirrors_cluster() {
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("res", 128));
+        c.submit(
+            &mut sim,
+            JobRequest::background(
+                32,
+                SimDuration::from_secs(100.0),
+                SimDuration::from_secs(100.0),
+            ),
+        );
+        sim.run_until(sim.now());
+        let r = ResourceRepresentation::from_cluster(&c, sim.now());
+        assert_eq!(r.name, "res");
+        assert_eq!(r.compute.total_cores, 128);
+        assert_eq!(r.compute.free_cores, 96);
+        assert_eq!(r.compute.running_jobs, 1);
+        assert_eq!(r.network.ingress_mbps, 100.0);
+        assert!(r.storage.shared_fs);
+    }
+
+    #[test]
+    fn queue_pressure_scales_with_backlog() {
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("res", 16));
+        let d = SimDuration::from_secs(1000.0);
+        c.submit(&mut sim, JobRequest::background(16, d, d));
+        c.submit(&mut sim, JobRequest::background(16, d, d));
+        c.submit(&mut sim, JobRequest::background(16, d, d));
+        sim.run_until(sim.now());
+        let r = ResourceRepresentation::from_cluster(&c, sim.now());
+        // One running, two queued → 32 queued cores on a 16-core machine.
+        assert_eq!(r.queue_pressure(), 2.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut sim = Simulation::new(1);
+        let c = Cluster::new(ClusterConfig::test("res", 8));
+        sim.run_until(sim.now());
+        let r = ResourceRepresentation::from_cluster(&c, sim.now());
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ResourceRepresentation = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

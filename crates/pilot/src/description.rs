@@ -1,0 +1,77 @@
+//! Pilot descriptions: what the Execution Manager asks the pilot system to
+//! instantiate (Figure 1, step 4).
+
+use aimes_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A pilot to be placed on one resource.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PilotDescription {
+    /// Target resource name (must exist in the SAGA session).
+    pub resource: String,
+    /// Cores the pilot occupies.
+    pub cores: u32,
+    /// Walltime requested from the resource's scheduler; the pilot's time
+    /// boundary for executing units.
+    pub walltime: SimDuration,
+    /// Named submission queue (`None` = the resource's default). Small
+    /// short pilots can exploit high-priority debug queues.
+    #[serde(default)]
+    pub queue: Option<String>,
+}
+
+impl PilotDescription {
+    /// Describe a pilot.
+    pub fn new(resource: impl Into<String>, cores: u32, walltime: SimDuration) -> Self {
+        let d = PilotDescription {
+            resource: resource.into(),
+            cores,
+            walltime,
+            queue: None,
+        };
+        assert!(d.cores > 0, "pilot needs at least one core");
+        assert!(
+            d.walltime.as_secs() > 0.0,
+            "pilot needs a positive walltime"
+        );
+        d
+    }
+
+    /// Route the pilot to a named queue.
+    pub fn with_queue(mut self, queue: impl Into<String>) -> Self {
+        self.queue = Some(queue.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates() {
+        let d = PilotDescription::new("stampede", 128, SimDuration::from_hours(2.0));
+        assert_eq!(d.resource, "stampede");
+        assert_eq!(d.cores, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        PilotDescription::new("x", 0, SimDuration::from_hours(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive walltime")]
+    fn zero_walltime_rejected() {
+        PilotDescription::new("x", 1, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = PilotDescription::new("gordon", 64, SimDuration::from_mins(90.0));
+        let json = serde_json::to_string(&d).unwrap();
+        let back: PilotDescription = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

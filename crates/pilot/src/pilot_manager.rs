@@ -1,0 +1,374 @@
+//! The pilot manager: describes pilots, launches them through SAGA, and
+//! maintains their instrumented state models (Figure 1, steps 4–5).
+
+use crate::description::PilotDescription;
+use crate::pilot::{Pilot, PilotId, PilotState};
+use aimes_saga::{JobDescription, SagaJobState, Session};
+use aimes_sim::{SimDuration, Simulation};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Subscriber to pilot state changes.
+pub type PilotCallback = Box<dyn FnMut(&mut Simulation, PilotId, PilotState)>;
+
+struct PmState {
+    session: Rc<Session>,
+    pilots: Vec<Pilot>,
+    subscribers: Vec<PilotCallback>,
+    /// Agent bootstrap time once the backend job runs (the pilot's own
+    /// startup: environment setup, agent launch).
+    bootstrap_delay: SimDuration,
+}
+
+/// Handle to the pilot manager.
+#[derive(Clone)]
+pub struct PilotManager {
+    inner: Rc<RefCell<PmState>>,
+}
+
+impl PilotManager {
+    /// Create a manager over a SAGA session.
+    pub fn new(session: Rc<Session>) -> Self {
+        PilotManager {
+            inner: Rc::new(RefCell::new(PmState {
+                session,
+                pilots: Vec::new(),
+                subscribers: Vec::new(),
+                bootstrap_delay: SimDuration::from_secs(30.0),
+            })),
+        }
+    }
+
+    /// Override the agent bootstrap delay (default 30 s).
+    pub fn set_bootstrap_delay(&self, delay: SimDuration) {
+        self.inner.borrow_mut().bootstrap_delay = delay;
+    }
+
+    /// Subscribe to all pilot state transitions.
+    pub fn subscribe(&self, cb: impl FnMut(&mut Simulation, PilotId, PilotState) + 'static) {
+        self.inner.borrow_mut().subscribers.push(Box::new(cb));
+    }
+
+    /// Submit pilots. Each is described to the resource named in its
+    /// description; unknown resources panic (the Execution Manager selects
+    /// resources from the bundle, which mirrors the session).
+    pub fn submit(
+        &self,
+        sim: &mut Simulation,
+        descriptions: Vec<PilotDescription>,
+    ) -> Vec<PilotId> {
+        let mut ids = Vec::with_capacity(descriptions.len());
+        for desc in descriptions {
+            let id = {
+                let mut st = self.inner.borrow_mut();
+                let id = PilotId(st.pilots.len() as u32);
+                st.pilots.push(Pilot::new(id, desc.clone(), sim.now()));
+                id
+            };
+            ids.push(id);
+            self.transition(sim, id, PilotState::PendingLaunch);
+            let service = {
+                let st = self.inner.borrow();
+                st.session
+                    .service(&desc.resource)
+                    .unwrap_or_else(|| panic!("unknown resource {}", desc.resource))
+            };
+            let this = self.clone();
+            let mut job = JobDescription::new(desc.cores, desc.walltime, id.to_string());
+            job.queue = desc.queue.clone();
+            let saga_id = service.submit(sim, job, move |sim, state| {
+                this.on_saga_state(sim, id, state);
+            });
+            self.inner.borrow_mut().pilots[id.0 as usize].saga_job = Some(saga_id);
+        }
+        ids
+    }
+
+    fn on_saga_state(&self, sim: &mut Simulation, id: PilotId, state: SagaJobState) {
+        let current = self.state(id);
+        match state {
+            SagaJobState::New => {}
+            SagaJobState::Pending => self.transition(sim, id, PilotState::Launching),
+            SagaJobState::Running => {
+                self.transition(sim, id, PilotState::PendingActive);
+                let delay = self.inner.borrow().bootstrap_delay;
+                let this = self.clone();
+                sim.schedule_in(delay, move |sim| {
+                    // The backend job may have died during bootstrap.
+                    if this.state(id) == PilotState::PendingActive {
+                        this.transition(sim, id, PilotState::Active);
+                    }
+                });
+            }
+            SagaJobState::Done => {
+                // Walltime reached. If the agent never finished
+                // bootstrapping, the pilot failed to deliver.
+                match current {
+                    PilotState::Active => self.transition(sim, id, PilotState::Done),
+                    s if !s.is_terminal() => self.transition(sim, id, PilotState::Failed),
+                    _ => {}
+                }
+            }
+            SagaJobState::Failed => {
+                if !current.is_terminal() {
+                    self.transition(sim, id, PilotState::Failed);
+                }
+            }
+            SagaJobState::Canceled => {
+                if !current.is_terminal() {
+                    self.transition(sim, id, PilotState::Canceled);
+                }
+            }
+        }
+    }
+
+    fn transition(&self, sim: &mut Simulation, id: PilotId, next: PilotState) {
+        {
+            let mut st = self.inner.borrow_mut();
+            st.pilots[id.0 as usize].transition(next, sim.now());
+        }
+        sim.tracer().record(
+            sim.now(),
+            id.to_string(),
+            format!("{next:?}"),
+            self.pilot(id).description.resource.clone(),
+        );
+        // Deliver to subscribers without holding the borrow.
+        let mut subs = std::mem::take(&mut self.inner.borrow_mut().subscribers);
+        for cb in subs.iter_mut() {
+            cb(sim, id, next);
+        }
+        let mut st = self.inner.borrow_mut();
+        let mut newly = std::mem::take(&mut st.subscribers);
+        st.subscribers = subs;
+        st.subscribers.append(&mut newly);
+    }
+
+    /// Cancel a pilot (drains through SAGA; the state model follows).
+    pub fn cancel(&self, sim: &mut Simulation, id: PilotId) {
+        let saga = self.pilot(id).saga_job;
+        let (service, desc_resource) = {
+            let st = self.inner.borrow();
+            let p = &st.pilots[id.0 as usize];
+            (
+                st.session.service(&p.description.resource),
+                p.description.resource.clone(),
+            )
+        };
+        let _ = desc_resource;
+        if let (Some(service), Some(saga)) = (service, saga) {
+            service.cancel(sim, saga);
+        }
+    }
+
+    /// Cancel every non-terminal pilot (the middleware does this when all
+    /// tasks are done, "so as not to waste resources", §III-E).
+    pub fn cancel_all(&self, sim: &mut Simulation) {
+        let live: Vec<PilotId> = {
+            let st = self.inner.borrow();
+            st.pilots
+                .iter()
+                .filter(|p| !p.state.is_terminal())
+                .map(|p| p.id)
+                .collect()
+        };
+        for id in live {
+            self.cancel(sim, id);
+        }
+    }
+
+    /// Snapshot of one pilot.
+    pub fn pilot(&self, id: PilotId) -> Pilot {
+        self.inner.borrow().pilots[id.0 as usize].clone()
+    }
+
+    /// Current state of one pilot.
+    pub fn state(&self, id: PilotId) -> PilotState {
+        self.inner.borrow().pilots[id.0 as usize].state
+    }
+
+    /// All pilots (snapshot).
+    pub fn pilots(&self) -> Vec<Pilot> {
+        self.inner.borrow().pilots.clone()
+    }
+
+    /// The SAGA session (shared).
+    pub fn session(&self) -> Rc<Session> {
+        self.inner.borrow().session.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimes_cluster::{Cluster, ClusterConfig};
+    use aimes_sim::SimTime;
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn setup(cores: u32) -> (Simulation, PilotManager) {
+        let sim = Simulation::new(17);
+        let mut session = Session::new();
+        session.add_resource(&sim, Cluster::new(ClusterConfig::test("stampede", cores)));
+        let pm = PilotManager::new(Rc::new(session));
+        pm.set_bootstrap_delay(d(10.0));
+        (sim, pm)
+    }
+
+    #[test]
+    fn pilot_reaches_active_then_done_at_walltime() {
+        let (mut sim, pm) = setup(128);
+        let ids = pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 64, d(600.0))],
+        );
+        sim.run_to_completion();
+        let p = pm.pilot(ids[0]);
+        assert_eq!(p.state, PilotState::Done);
+        let states: Vec<PilotState> = p.timestamps.iter().map(|(s, _)| *s).collect();
+        assert_eq!(
+            states,
+            vec![
+                PilotState::New,
+                PilotState::PendingLaunch,
+                PilotState::Launching,
+                PilotState::PendingActive,
+                PilotState::Active,
+                PilotState::Done
+            ]
+        );
+        // Setup time covers SAGA latency + bootstrap; queue was empty.
+        let setup = p.setup_time().unwrap();
+        assert!(setup >= d(10.0) && setup < d(20.0), "setup {setup:?}");
+        // Done at activation + walltime (the backend kills the job).
+        let active = p.time_of(PilotState::Active).unwrap();
+        let done = p.time_of(PilotState::Done).unwrap();
+        // Active happened bootstrap after Running; the job ends 600 s
+        // after it started *running*, i.e. 590 s after Active.
+        assert!((done.since(active).as_secs() - 590.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn queued_pilot_measures_queue_wait() {
+        let (mut sim, pm) = setup(64);
+        // Occupy the machine for 500 s so the pilot must wait.
+        let cluster = pm.session().service("stampede").unwrap().cluster();
+        cluster.submit(
+            &mut sim,
+            aimes_cluster::JobRequest::background(64, d(500.0), d(500.0)),
+        );
+        let ids = pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 64, d(100.0))],
+        );
+        sim.run_to_completion();
+        let p = pm.pilot(ids[0]);
+        assert_eq!(p.state, PilotState::Done);
+        let qw = p.queue_wait().unwrap();
+        assert!(
+            qw >= d(450.0) && qw <= d(510.0),
+            "queue wait {qw:?} should be ~500 s minus submission latency"
+        );
+    }
+
+    #[test]
+    fn subscribers_see_all_transitions() {
+        let (mut sim, pm) = setup(64);
+        let seen: Rc<RefCell<Vec<(PilotId, PilotState)>>> = Rc::new(RefCell::new(vec![]));
+        let s2 = seen.clone();
+        pm.subscribe(move |_sim, id, st| s2.borrow_mut().push((id, st)));
+        let ids = pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 8, d(60.0))],
+        );
+        sim.run_to_completion();
+        let states: Vec<PilotState> = seen
+            .borrow()
+            .iter()
+            .filter(|(id, _)| *id == ids[0])
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(
+            states,
+            vec![
+                PilotState::PendingLaunch,
+                PilotState::Launching,
+                PilotState::PendingActive,
+                PilotState::Active,
+                PilotState::Done
+            ]
+        );
+    }
+
+    #[test]
+    fn cancel_while_queued() {
+        let (mut sim, pm) = setup(64);
+        let cluster = pm.session().service("stampede").unwrap().cluster();
+        cluster.submit(
+            &mut sim,
+            aimes_cluster::JobRequest::background(64, d(5000.0), d(5000.0)),
+        );
+        let ids = pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 64, d(100.0))],
+        );
+        let pm2 = pm.clone();
+        let id = ids[0];
+        sim.schedule_at(SimTime::from_secs(50.0), move |sim| {
+            pm2.cancel(sim, id);
+        });
+        sim.run_to_completion();
+        assert_eq!(pm.state(id), PilotState::Canceled);
+        // Cancelled long before the blocking job ended.
+        let p = pm.pilot(id);
+        let cancelled = p.time_of(PilotState::Canceled).unwrap();
+        assert!(cancelled.as_secs() < 100.0);
+    }
+
+    #[test]
+    fn cancel_all_reaps_live_pilots() {
+        let (mut sim, pm) = setup(512);
+        pm.submit(
+            &mut sim,
+            vec![
+                PilotDescription::new("stampede", 8, d(10_000.0)),
+                PilotDescription::new("stampede", 8, d(10_000.0)),
+            ],
+        );
+        let pm2 = pm.clone();
+        sim.schedule_at(SimTime::from_secs(100.0), move |sim| {
+            pm2.cancel_all(sim);
+        });
+        sim.run_to_completion();
+        for p in pm.pilots() {
+            assert_eq!(p.state, PilotState::Canceled);
+        }
+        assert!(sim.now().as_secs() < 1000.0);
+    }
+
+    #[test]
+    fn pilot_dying_before_bootstrap_fails() {
+        let (mut sim, pm) = setup(64);
+        pm.set_bootstrap_delay(d(120.0));
+        // Pilot walltime shorter than bootstrap: the backend job ends
+        // while the agent is still starting.
+        let ids = pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 8, d(60.0))],
+        );
+        sim.run_to_completion();
+        assert_eq!(pm.state(ids[0]), PilotState::Failed);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn unknown_resource_panics() {
+        let (mut sim, pm) = setup(64);
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("nonexistent", 8, d(60.0))],
+        );
+    }
+}

@@ -1,0 +1,788 @@
+//! The unit manager: binds compute units to pilots and drives their
+//! execution (Figure 1, step 6).
+//!
+//! "Once the pilots become active, tasks' input files are staged on the
+//! resources of the active pilots and then tasks are scheduled and executed
+//! on those pilots. Tasks are automatically restarted in case of failure
+//! and, once executed, task output(s) are staged back to the source where
+//! the AIMES middleware is being used." (§III-E)
+
+use crate::agent::{Agent, StagingChannel};
+use crate::pilot::{PilotId, PilotState};
+use crate::pilot_manager::PilotManager;
+use crate::scheduler::{assign, Binding, PilotView, UnitScheduler, UnitView};
+use crate::unit::{ComputeUnit, UnitId, UnitState};
+use aimes_sim::{EventId, SimDuration, SimTime, Simulation};
+use aimes_skeleton::TaskSpec;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Unit-manager configuration.
+#[derive(Clone, Debug)]
+pub struct UmConfig {
+    pub scheduler: UnitScheduler,
+    pub binding: Binding,
+    /// Maximum execution attempts per unit before it is marked Failed.
+    pub max_attempts: u32,
+    /// Origin uplink bandwidth (MB/s) — the shared staging bottleneck.
+    pub origin_bandwidth_mbps: f64,
+    /// Per-transfer latency on the origin channel.
+    pub origin_latency: SimDuration,
+    /// Serialized middleware overhead per unit dispatch (the Trp
+    /// contribution that steepens Tx beyond ~256 tasks in Fig. 3).
+    pub dispatch_overhead: SimDuration,
+}
+
+impl UmConfig {
+    /// The paper-experiment configuration for a given binding/scheduler.
+    pub fn new(binding: Binding, scheduler: UnitScheduler) -> Self {
+        UmConfig {
+            scheduler,
+            binding,
+            max_attempts: 3,
+            origin_bandwidth_mbps: 5.0,
+            origin_latency: SimDuration::from_secs(0.1),
+            dispatch_overhead: SimDuration::from_secs(0.05),
+        }
+    }
+}
+
+/// Progress counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct UnitManagerStats {
+    pub total: usize,
+    pub done: usize,
+    pub failed: usize,
+    pub restarts: u64,
+}
+
+impl UnitManagerStats {
+    /// True once every unit reached a terminal state.
+    pub fn finished(&self) -> bool {
+        self.total > 0 && self.done + self.failed == self.total
+    }
+}
+
+/// Callback fired once when every unit reaches a terminal state.
+type CompletionCallback = Box<dyn FnOnce(&mut Simulation)>;
+
+struct UmState {
+    config: UmConfig,
+    units: Vec<ComputeUnit>,
+    /// Unresolved dependency count per unit.
+    dep_count: Vec<usize>,
+    /// Reverse dependency edges.
+    dependents: Vec<Vec<UnitId>>,
+    /// Eligible-but-unscheduled units, FIFO.
+    ready: VecDeque<UnitId>,
+    /// Early-binding assignment per unit.
+    bound: Vec<Option<PilotId>>,
+    agents: HashMap<PilotId, Agent>,
+    /// Cancellable pending event for units in StagingInput/Executing.
+    inflight: HashMap<UnitId, EventId>,
+    origin_channel: StagingChannel,
+    overhead_busy_until: SimTime,
+    rr_cursor: usize,
+    stats: UnitManagerStats,
+    on_all_done: Vec<CompletionCallback>,
+    schedule_pending: bool,
+    completion_fired: bool,
+}
+
+/// Handle to the unit manager.
+#[derive(Clone)]
+pub struct UnitManager {
+    inner: Rc<RefCell<UmState>>,
+    pm: PilotManager,
+}
+
+impl UnitManager {
+    /// Create a unit manager over a pilot manager; subscribes to pilot
+    /// state changes immediately.
+    pub fn new(pm: PilotManager, config: UmConfig) -> Self {
+        let um = UnitManager {
+            inner: Rc::new(RefCell::new(UmState {
+                origin_channel: StagingChannel::new(
+                    config.origin_bandwidth_mbps,
+                    config.origin_latency,
+                ),
+                config,
+                units: Vec::new(),
+                dep_count: Vec::new(),
+                dependents: Vec::new(),
+                ready: VecDeque::new(),
+                bound: Vec::new(),
+                agents: HashMap::new(),
+                inflight: HashMap::new(),
+                overhead_busy_until: SimTime::ZERO,
+                rr_cursor: 0,
+                stats: UnitManagerStats::default(),
+                on_all_done: Vec::new(),
+                schedule_pending: false,
+                completion_fired: false,
+            })),
+            pm: pm.clone(),
+        };
+        let weak = Rc::downgrade(&um.inner);
+        let pm2 = pm.clone();
+        pm.subscribe(move |sim, pilot, state| {
+            if let Some(inner) = weak.upgrade() {
+                let um = UnitManager {
+                    inner,
+                    pm: pm2.clone(),
+                };
+                um.on_pilot_state(sim, pilot, state);
+            }
+        });
+        um
+    }
+
+    /// Register a callback fired once when every unit has reached a
+    /// terminal state.
+    pub fn on_all_done(&self, cb: impl FnOnce(&mut Simulation) + 'static) {
+        self.inner.borrow_mut().on_all_done.push(Box::new(cb));
+    }
+
+    /// Submit the application's tasks as compute units. For early binding,
+    /// units are partitioned in contiguous blocks across the pilots known
+    /// to the pilot manager at this point.
+    pub fn submit_units(&self, sim: &mut Simulation, tasks: &[TaskSpec]) {
+        let now = sim.now();
+        {
+            let mut st = self.inner.borrow_mut();
+            let st = &mut *st;
+            assert!(st.units.is_empty(), "submit_units may be called once");
+            let n = tasks.len();
+            st.units.reserve(n);
+            st.dep_count = vec![0; n];
+            st.dependents = vec![Vec::new(); n];
+            st.bound = vec![None; n];
+            st.stats.total = n;
+            for (i, task) in tasks.iter().enumerate() {
+                assert_eq!(task.id.0 as usize, i, "task ids must be dense and in order");
+                let uid = UnitId(i as u32);
+                st.units.push(ComputeUnit::new(uid, task.clone(), now));
+                st.dep_count[i] = task.dependencies.len();
+                for dep in &task.dependencies {
+                    st.dependents[dep.0 as usize].push(uid);
+                }
+            }
+            if st.config.binding == Binding::Early {
+                let pilots = self.pm.pilots();
+                assert!(
+                    !pilots.is_empty(),
+                    "early binding requires pilots to be described first"
+                );
+                // Contiguous blocks proportional to pilot cores.
+                let total_cores: u64 = pilots.iter().map(|p| u64::from(p.description.cores)).sum();
+                let mut cursor = 0usize;
+                for (k, p) in pilots.iter().enumerate() {
+                    let share = if k + 1 == pilots.len() {
+                        n - cursor
+                    } else {
+                        ((u64::from(p.description.cores) * n as u64) / total_cores) as usize
+                    };
+                    for slot in &mut st.bound[cursor..(cursor + share).min(n)] {
+                        *slot = Some(p.id);
+                    }
+                    cursor = (cursor + share).min(n);
+                }
+            }
+        }
+        // Move dependency-free units to PendingExecution.
+        let ready_now: Vec<UnitId> = {
+            let st = self.inner.borrow();
+            (0..st.units.len() as u32)
+                .map(UnitId)
+                .filter(|u| st.dep_count[u.0 as usize] == 0)
+                .collect()
+        };
+        for uid in ready_now {
+            self.make_ready(sim, uid);
+        }
+        self.request_schedule(sim);
+    }
+
+    fn make_ready(&self, sim: &mut Simulation, uid: UnitId) {
+        {
+            let mut st = self.inner.borrow_mut();
+            st.units[uid.0 as usize].transition(UnitState::PendingExecution, sim.now());
+            st.ready.push_back(uid);
+        }
+        sim.tracer()
+            .record(sim.now(), uid.to_string(), "PendingExecution", "");
+    }
+
+    fn on_pilot_state(&self, sim: &mut Simulation, pilot: PilotId, state: PilotState) {
+        match state {
+            PilotState::Active => {
+                let p = self.pm.pilot(pilot);
+                let cluster = self
+                    .pm
+                    .session()
+                    .service(&p.description.resource)
+                    .expect("resource exists")
+                    .cluster();
+                let agent = Agent::new(
+                    pilot,
+                    cluster,
+                    p.description.cores,
+                    sim.now(),
+                    p.description.walltime,
+                );
+                self.inner.borrow_mut().agents.insert(pilot, agent);
+                self.request_schedule(sim);
+            }
+            s if s.is_terminal() => self.on_pilot_death(sim, pilot),
+            _ => {}
+        }
+    }
+
+    fn on_pilot_death(&self, sim: &mut Simulation, pilot: PilotId) {
+        let victims: Vec<UnitId> = {
+            let mut st = self.inner.borrow_mut();
+            st.agents.remove(&pilot);
+            st.units
+                .iter()
+                .filter(|u| {
+                    u.pilot == Some(pilot)
+                        && matches!(u.state, UnitState::StagingInput | UnitState::Executing)
+                })
+                .map(|u| u.id)
+                .collect()
+        };
+        for uid in victims {
+            let ev = self.inner.borrow_mut().inflight.remove(&uid);
+            if let Some(ev) = ev {
+                sim.cancel(ev);
+            }
+            self.restart_or_fail(sim, uid);
+        }
+        self.request_schedule(sim);
+    }
+
+    fn restart_or_fail(&self, sim: &mut Simulation, uid: UnitId) {
+        let (give_up, rebind) = {
+            let mut st = self.inner.borrow_mut();
+            let max = st.config.max_attempts;
+            let unit = &mut st.units[uid.0 as usize];
+            let give_up = unit.attempts >= max;
+            let rebind = st.config.binding == Binding::Early;
+            (give_up, rebind)
+        };
+        if give_up {
+            {
+                let mut st = self.inner.borrow_mut();
+                st.units[uid.0 as usize].transition(UnitState::Failed, sim.now());
+                st.stats.failed += 1;
+            }
+            sim.tracer()
+                .record(sim.now(), uid.to_string(), "Failed", "restarts exhausted");
+            self.check_completion(sim);
+            return;
+        }
+        {
+            let mut st = self.inner.borrow_mut();
+            st.stats.restarts += 1;
+            st.units[uid.0 as usize].transition(UnitState::PendingExecution, sim.now());
+            st.ready.push_back(uid);
+        }
+        if rebind {
+            // Early-binding failover: rebind to any live pilot.
+            let live = self
+                .pm
+                .pilots()
+                .into_iter()
+                .find(|p| !p.state.is_terminal())
+                .map(|p| p.id);
+            self.inner.borrow_mut().bound[uid.0 as usize] = live;
+            if live.is_none() {
+                // No pilot can ever run it: fail all its attempts now.
+                let ev = {
+                    let mut st = self.inner.borrow_mut();
+                    st.ready.retain(|u| *u != uid);
+                    st.units[uid.0 as usize].transition(UnitState::Failed, sim.now());
+                    st.stats.failed += 1;
+                    st.stats.restarts -= 1;
+                    st.inflight.remove(&uid)
+                };
+                if let Some(ev) = ev {
+                    sim.cancel(ev);
+                }
+                self.check_completion(sim);
+                return;
+            }
+        }
+        sim.tracer()
+            .record(sim.now(), uid.to_string(), "Restart", "");
+    }
+
+    /// Request a (coalesced) scheduling pass.
+    fn request_schedule(&self, sim: &mut Simulation) {
+        {
+            let mut st = self.inner.borrow_mut();
+            if st.schedule_pending {
+                return;
+            }
+            st.schedule_pending = true;
+        }
+        let this = self.clone();
+        sim.schedule_now(move |sim| {
+            this.inner.borrow_mut().schedule_pending = false;
+            this.do_schedule(sim);
+        });
+    }
+
+    fn do_schedule(&self, sim: &mut Simulation) {
+        let now = sim.now();
+        let assignments = {
+            let mut st = self.inner.borrow_mut();
+            let st = &mut *st;
+            if st.ready.is_empty() || st.agents.is_empty() {
+                return;
+            }
+            let pilots: Vec<PilotView> = st
+                .agents
+                .values()
+                .map(|a| PilotView {
+                    id: a.pilot,
+                    free_cores: a.free_cores,
+                    remaining_walltime: a.remaining_walltime(now),
+                })
+                .collect();
+            let units: Vec<UnitView> = st
+                .ready
+                .iter()
+                .map(|uid| {
+                    let u = &st.units[uid.0 as usize];
+                    UnitView {
+                        id: *uid,
+                        cores: u.task.cores,
+                        est_duration: u.task.duration,
+                        bound_to: st.bound[uid.0 as usize],
+                    }
+                })
+                .collect();
+            assign(st.config.scheduler, &units, &pilots, &mut st.rr_cursor)
+        };
+        if assignments.is_empty() {
+            return;
+        }
+        {
+            let mut st = self.inner.borrow_mut();
+            let placed: std::collections::HashSet<UnitId> =
+                assignments.iter().map(|(u, _)| *u).collect();
+            st.ready.retain(|u| !placed.contains(u));
+        }
+        for (uid, pid) in assignments {
+            self.start_unit(sim, uid, pid);
+        }
+    }
+
+    fn start_unit(&self, sim: &mut Simulation, uid: UnitId, pid: PilotId) {
+        let now = sim.now();
+        let (staging_end, resource) = {
+            let mut st = self.inner.borrow_mut();
+            let st = &mut *st;
+            let unit = &mut st.units[uid.0 as usize];
+            unit.pilot = Some(pid);
+            unit.attempts += 1;
+            let agent = st.agents.get_mut(&pid).expect("agent exists");
+            agent.reserve(unit.task.cores);
+            // Serialized middleware dispatch overhead, then the shared
+            // origin staging channel.
+            let overhead_start = now.max(st.overhead_busy_until);
+            st.overhead_busy_until = overhead_start + st.config.dispatch_overhead;
+            let (_t0, staging_end) = st
+                .origin_channel
+                .enqueue(st.overhead_busy_until, unit.task.input_mb());
+            unit.transition(UnitState::StagingInput, now);
+            (staging_end, agent.resource.clone())
+        };
+        sim.tracer().record(
+            now,
+            uid.to_string(),
+            "StagingInput",
+            format!("{pid} {resource}"),
+        );
+        let this = self.clone();
+        let ev = sim.schedule_at(staging_end, move |sim| this.on_input_staged(sim, uid));
+        self.inner.borrow_mut().inflight.insert(uid, ev);
+    }
+
+    fn on_input_staged(&self, sim: &mut Simulation, uid: UnitId) {
+        let now = sim.now();
+        let duration = {
+            let mut st = self.inner.borrow_mut();
+            let unit = &mut st.units[uid.0 as usize];
+            unit.transition(UnitState::Executing, now);
+            unit.task.duration
+        };
+        sim.tracer().record(now, uid.to_string(), "Executing", "");
+        let this = self.clone();
+        let ev = sim.schedule_in(duration, move |sim| this.on_executed(sim, uid));
+        self.inner.borrow_mut().inflight.insert(uid, ev);
+    }
+
+    fn on_executed(&self, sim: &mut Simulation, uid: UnitId) {
+        let now = sim.now();
+        let out_end = {
+            let mut st = self.inner.borrow_mut();
+            let st = &mut *st;
+            st.inflight.remove(&uid);
+            let unit = &mut st.units[uid.0 as usize];
+            unit.transition(UnitState::StagingOutput, now);
+            // Execution done: the core goes back to the pilot; output
+            // staging runs over the wide-area channel, off the core.
+            let cores = unit.task.cores;
+            let out_mb = unit.task.output_mb();
+            if let Some(pid) = unit.pilot {
+                if let Some(agent) = st.agents.get_mut(&pid) {
+                    agent.release(cores);
+                }
+            }
+            let (_t0, out_end) = st.origin_channel.enqueue(now, out_mb);
+            out_end
+        };
+        sim.tracer()
+            .record(now, uid.to_string(), "StagingOutput", "");
+        let this = self.clone();
+        sim.schedule_at(out_end, move |sim| this.on_done(sim, uid));
+        self.request_schedule(sim);
+    }
+
+    fn on_done(&self, sim: &mut Simulation, uid: UnitId) {
+        let now = sim.now();
+        let newly_ready: Vec<UnitId> = {
+            let mut st = self.inner.borrow_mut();
+            let st = &mut *st;
+            st.units[uid.0 as usize].transition(UnitState::Done, now);
+            st.stats.done += 1;
+            let mut ready = Vec::new();
+            for dep in std::mem::take(&mut st.dependents[uid.0 as usize]) {
+                let c = &mut st.dep_count[dep.0 as usize];
+                *c -= 1;
+                if *c == 0 {
+                    ready.push(dep);
+                }
+            }
+            ready
+        };
+        sim.tracer().record(now, uid.to_string(), "Done", "");
+        for dep in newly_ready {
+            self.make_ready(sim, dep);
+        }
+        self.request_schedule(sim);
+        self.check_completion(sim);
+    }
+
+    fn check_completion(&self, sim: &mut Simulation) {
+        let callbacks = {
+            let mut st = self.inner.borrow_mut();
+            if st.completion_fired || !st.stats.finished() {
+                return;
+            }
+            st.completion_fired = true;
+            std::mem::take(&mut st.on_all_done)
+        };
+        sim.tracer().record(
+            sim.now(),
+            "unit_manager",
+            "AllDone",
+            format!("{:?}", self.stats()),
+        );
+        for cb in callbacks {
+            cb(sim);
+        }
+    }
+
+    /// Progress counters.
+    pub fn stats(&self) -> UnitManagerStats {
+        self.inner.borrow().stats
+    }
+
+    /// Snapshot of one unit.
+    pub fn unit(&self, uid: UnitId) -> ComputeUnit {
+        self.inner.borrow().units[uid.0 as usize].clone()
+    }
+
+    /// Snapshot of all units.
+    pub fn units(&self) -> Vec<ComputeUnit> {
+        self.inner.borrow().units.clone()
+    }
+
+    /// The pilot manager this unit manager feeds.
+    pub fn pilot_manager(&self) -> PilotManager {
+        self.pm.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::PilotDescription;
+    use aimes_cluster::{Cluster, ClusterConfig};
+    use aimes_saga::Session;
+    use aimes_sim::SimRng;
+    use aimes_skeleton::{paper_bag, SkeletonApp, TaskDurationSpec};
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn setup(resources: &[(&str, u32)]) -> (Simulation, PilotManager) {
+        let sim = Simulation::new(23);
+        let mut session = Session::new();
+        for (name, cores) in resources {
+            session.add_resource(&sim, Cluster::new(ClusterConfig::test(name, *cores)));
+        }
+        let pm = PilotManager::new(Rc::new(session));
+        pm.set_bootstrap_delay(d(10.0));
+        (sim, pm)
+    }
+
+    fn bag_tasks(n: u32) -> Vec<TaskSpec> {
+        let cfg = paper_bag(n, TaskDurationSpec::Uniform15Min);
+        SkeletonApp::generate(&cfg, &mut SimRng::new(1))
+            .unwrap()
+            .tasks()
+            .to_vec()
+    }
+
+    #[test]
+    fn early_binding_single_pilot_runs_bag() {
+        let (mut sim, pm) = setup(&[("stampede", 64)]);
+        let um = UnitManager::new(
+            pm.clone(),
+            UmConfig::new(Binding::Early, UnitScheduler::Direct),
+        );
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 16, d(4000.0))],
+        );
+        um.submit_units(&mut sim, &bag_tasks(16));
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        let stats = um.stats();
+        assert_eq!(stats.done, 16);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.finished());
+        // All 16 ran concurrently: executing spans overlap; total time
+        // roughly setup + staging + 900 s.
+        assert!(sim.now().as_secs() < 1200.0, "took {}", sim.now());
+        for u in um.units() {
+            assert_eq!(u.state, UnitState::Done);
+            assert_eq!(u.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn late_binding_backfill_over_three_pilots() {
+        let (mut sim, pm) = setup(&[("stampede", 64), ("gordon", 64), ("trestles", 64)]);
+        let um = UnitManager::new(
+            pm.clone(),
+            UmConfig::new(Binding::Late, UnitScheduler::Backfill),
+        );
+        // 3 pilots, each a third of the tasks' cores; tasks flow to
+        // whichever activates first.
+        for r in ["stampede", "gordon", "trestles"] {
+            pm.submit(&mut sim, vec![PilotDescription::new(r, 8, d(8000.0))]);
+        }
+        um.submit_units(&mut sim, &bag_tasks(24));
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        assert_eq!(um.stats().done, 24);
+        // All three pilots should have executed something.
+        let mut used: Vec<PilotId> = um.units().iter().filter_map(|u| u.pilot).collect();
+        used.sort();
+        used.dedup();
+        assert_eq!(used.len(), 3, "all pilots should run units");
+        // Pilots were cancelled after completion, not run to walltime.
+        for p in pm.pilots() {
+            assert_eq!(p.state, PilotState::Canceled);
+        }
+    }
+
+    #[test]
+    fn sequential_waves_when_pilot_smaller_than_bag() {
+        let (mut sim, pm) = setup(&[("stampede", 64)]);
+        let um = UnitManager::new(
+            pm.clone(),
+            UmConfig::new(Binding::Late, UnitScheduler::Backfill),
+        );
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 4, d(8000.0))],
+        );
+        um.submit_units(&mut sim, &bag_tasks(8));
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        assert_eq!(um.stats().done, 8);
+        // Two waves of 900 s on 4 cores: at least 1800 s.
+        assert!(sim.now().as_secs() >= 1800.0);
+    }
+
+    #[test]
+    fn dependencies_gate_scheduling() {
+        use aimes_skeleton::{map_reduce, SkeletonApp};
+        use aimes_workload::Distribution;
+        let (mut sim, pm) = setup(&[("stampede", 64)]);
+        let um = UnitManager::new(
+            pm.clone(),
+            UmConfig::new(Binding::Late, UnitScheduler::Backfill),
+        );
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 16, d(8000.0))],
+        );
+        let dur = Distribution::Constant { value: 100.0 };
+        let cfg = map_reduce("mr", 8, 2, dur.clone(), dur, 1.0, 0.1, 1);
+        let app = SkeletonApp::generate(&cfg, &mut SimRng::new(2)).unwrap();
+        um.submit_units(&mut sim, app.tasks());
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        assert_eq!(um.stats().done, 10);
+        // Each reduce must start staging only after *its own* maps are
+        // done (many-to-one fan-in of 4 maps per reduce).
+        let units = um.units();
+        for r in &units[8..] {
+            let deps_done = r
+                .task
+                .dependencies
+                .iter()
+                .map(|d| units[d.0 as usize].last_time_of(UnitState::Done).unwrap())
+                .fold(SimTime::ZERO, SimTime::max);
+            let staged = r.last_time_of(UnitState::StagingInput).unwrap();
+            assert!(staged >= deps_done);
+        }
+    }
+
+    #[test]
+    fn units_restart_when_pilot_dies_midway() {
+        let (mut sim, pm) = setup(&[("stampede", 64), ("gordon", 64)]);
+        let um = UnitManager::new(
+            pm.clone(),
+            UmConfig::new(Binding::Late, UnitScheduler::RoundRobin),
+        );
+        // Pilot 0: walltime shorter than the tasks (900 s each) → its
+        // units are interrupted and must restart; pilot 1 is big enough.
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 8, d(400.0))],
+        );
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("gordon", 8, d(20_000.0))],
+        );
+        um.submit_units(&mut sim, &bag_tasks(8));
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        let stats = um.stats();
+        assert_eq!(stats.done, 8, "{stats:?}");
+        assert!(stats.restarts > 0, "expected restarts, got {stats:?}");
+    }
+
+    #[test]
+    fn units_fail_after_max_attempts() {
+        let (mut sim, pm) = setup(&[("stampede", 64)]);
+        let mut cfg = UmConfig::new(Binding::Late, UnitScheduler::RoundRobin);
+        cfg.max_attempts = 2;
+        let um = UnitManager::new(pm.clone(), cfg);
+        // Two consecutive short pilots; round robin keeps scheduling the
+        // 900 s tasks into 300 s pilots, exhausting attempts.
+        pm.submit(
+            &mut sim,
+            vec![
+                PilotDescription::new("stampede", 8, d(300.0)),
+                PilotDescription::new("stampede", 8, d(300.0)),
+            ],
+        );
+        um.submit_units(&mut sim, &bag_tasks(8));
+        sim.run_to_completion();
+        let stats = um.stats();
+        assert!(stats.finished());
+        assert_eq!(stats.failed, 8, "{stats:?}");
+    }
+
+    #[test]
+    fn backfill_refuses_pilot_too_short_for_tasks() {
+        let (mut sim, pm) = setup(&[("stampede", 64), ("gordon", 64)]);
+        let um = UnitManager::new(
+            pm.clone(),
+            UmConfig::new(Binding::Late, UnitScheduler::Backfill),
+        );
+        // Short pilot: backfill must never place 900 s tasks there.
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 8, d(400.0))],
+        );
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("gordon", 8, d(20_000.0))],
+        );
+        um.submit_units(&mut sim, &bag_tasks(8));
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        let stats = um.stats();
+        assert_eq!(stats.done, 8);
+        assert_eq!(stats.restarts, 0, "backfill should avoid the short pilot");
+        for u in um.units() {
+            assert_eq!(u.pilot, Some(PilotId(1)));
+        }
+    }
+
+    #[test]
+    fn staging_is_serialized_on_origin_channel() {
+        let (mut sim, pm) = setup(&[("stampede", 64)]);
+        let mut cfg = UmConfig::new(Binding::Late, UnitScheduler::Backfill);
+        cfg.origin_bandwidth_mbps = 1.0; // 1 MB file → 1 s each + 0.1 lat
+        cfg.dispatch_overhead = SimDuration::ZERO;
+        let um = UnitManager::new(pm.clone(), cfg);
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 16, d(8000.0))],
+        );
+        um.submit_units(&mut sim, &bag_tasks(16));
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        // Execution starts must be staggered by ~1.1 s (serialized
+        // staging), even though all cores were free.
+        let mut starts: Vec<f64> = um
+            .units()
+            .iter()
+            .map(|u| u.last_time_of(UnitState::Executing).unwrap().as_secs())
+            .collect();
+        starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let span = starts.last().unwrap() - starts.first().unwrap();
+        assert!(span >= 15.0 * 1.0, "staging stagger {span}");
+    }
+
+    #[test]
+    fn all_done_fires_exactly_once() {
+        let (mut sim, pm) = setup(&[("stampede", 64)]);
+        let um = UnitManager::new(
+            pm.clone(),
+            UmConfig::new(Binding::Late, UnitScheduler::Backfill),
+        );
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 8, d(4000.0))],
+        );
+        um.submit_units(&mut sim, &bag_tasks(8));
+        let fired = Rc::new(RefCell::new(0u32));
+        let f2 = fired.clone();
+        um.on_all_done(move |_| *f2.borrow_mut() += 1);
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        assert_eq!(*fired.borrow(), 1);
+    }
+}

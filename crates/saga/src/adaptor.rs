@@ -1,0 +1,139 @@
+//! Batch-system adaptors.
+//!
+//! SAGA's value is that each resource speaks its own middleware dialect
+//! behind one API. The dialects differ in ways that matter to the paper's
+//! experiments: how long a submission round-trip takes (SSH/GSISSH +
+//! scheduler command latency) and how often it transiently fails. Each
+//! adaptor models one flavour; [`adaptor_for`] assigns flavours to the
+//! testbed resources the way the real machines were fronted (SLURM on
+//! Stampede, PBS/Torque on the SDSC machines and Hopper, HTCondor pools for
+//! OSG-style resources).
+
+use aimes_sim::{SimDuration, SimRng};
+
+/// One middleware dialect: submission behaviour of a resource's front end.
+pub trait BatchAdaptor {
+    /// Flavour name for traces (`"slurm"`, `"pbs"`, `"condor"`).
+    fn flavor(&self) -> &'static str;
+
+    /// One submission round-trip (command + scheduler ingestion) latency.
+    fn submission_latency(&self, rng: &mut SimRng) -> SimDuration;
+
+    /// Probability that one submission attempt transiently fails (network
+    /// hiccup, scheduler timeout). The session retries these.
+    fn transient_failure_chance(&self) -> f64 {
+        0.0
+    }
+
+    /// Latency of a cancellation round-trip.
+    fn cancellation_latency(&self, rng: &mut SimRng) -> SimDuration {
+        self.submission_latency(rng)
+    }
+}
+
+/// SLURM front end: fast command round-trips, rare hiccups.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SlurmAdaptor;
+
+impl BatchAdaptor for SlurmAdaptor {
+    fn flavor(&self) -> &'static str {
+        "slurm"
+    }
+    fn submission_latency(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs(rng.uniform(0.5, 3.0))
+    }
+    fn transient_failure_chance(&self) -> f64 {
+        0.01
+    }
+}
+
+/// PBS/Torque front end: slower, occasionally flaky.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PbsAdaptor;
+
+impl BatchAdaptor for PbsAdaptor {
+    fn flavor(&self) -> &'static str {
+        "pbs"
+    }
+    fn submission_latency(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs(rng.uniform(2.0, 8.0))
+    }
+    fn transient_failure_chance(&self) -> f64 {
+        0.03
+    }
+}
+
+/// HTCondor pool front end: matchmaking adds seconds-to-tens-of-seconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CondorAdaptor;
+
+impl BatchAdaptor for CondorAdaptor {
+    fn flavor(&self) -> &'static str {
+        "condor"
+    }
+    fn submission_latency(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs(rng.uniform(5.0, 20.0))
+    }
+    fn transient_failure_chance(&self) -> f64 {
+        0.05
+    }
+}
+
+/// The flavour each testbed resource is fronted by.
+pub fn adaptor_for(resource: &str) -> Box<dyn BatchAdaptor> {
+    match resource {
+        "stampede" => Box::new(SlurmAdaptor),
+        "gordon" | "trestles" | "blacklight" | "hopper" => Box::new(PbsAdaptor),
+        // Anything unknown is treated as an HTCondor pool (the OSG case).
+        _ => Box::new(CondorAdaptor),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_within_documented_ranges() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..200 {
+            let s = SlurmAdaptor.submission_latency(&mut rng).as_secs();
+            assert!((0.5..3.0).contains(&s));
+            let p = PbsAdaptor.submission_latency(&mut rng).as_secs();
+            assert!((2.0..8.0).contains(&p));
+            let c = CondorAdaptor.submission_latency(&mut rng).as_secs();
+            assert!((5.0..20.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn flavors_are_distinct() {
+        assert_eq!(SlurmAdaptor.flavor(), "slurm");
+        assert_eq!(PbsAdaptor.flavor(), "pbs");
+        assert_eq!(CondorAdaptor.flavor(), "condor");
+    }
+
+    #[test]
+    fn testbed_assignment() {
+        assert_eq!(adaptor_for("stampede").flavor(), "slurm");
+        assert_eq!(adaptor_for("hopper").flavor(), "pbs");
+        assert_eq!(adaptor_for("gordon").flavor(), "pbs");
+        assert_eq!(adaptor_for("some-osg-pool").flavor(), "condor");
+    }
+
+    #[test]
+    fn failure_chances_ordered_by_flakiness() {
+        assert!(SlurmAdaptor.transient_failure_chance() < PbsAdaptor.transient_failure_chance());
+        assert!(PbsAdaptor.transient_failure_chance() < CondorAdaptor.transient_failure_chance());
+    }
+
+    #[test]
+    fn cancellation_latency_defaults_to_submission() {
+        let mut r1 = SimRng::new(5);
+        let mut r2 = SimRng::new(5);
+        assert_eq!(
+            PbsAdaptor.cancellation_latency(&mut r1),
+            PbsAdaptor.submission_latency(&mut r2)
+        );
+    }
+}

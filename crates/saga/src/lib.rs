@@ -1,0 +1,28 @@
+//! # aimes-saga — interoperability layer
+//!
+//! RADICAL-Pilot submits pilots and executes tasks on multiple resources
+//! through RADICAL-SAGA, "the reference implementation of the SAGA OGF
+//! standard" (§III-C): one uniform job API over many batch-system flavours.
+//! The paper's conclusions highlight exactly this layer — "the
+//! interoperability layer of our middleware abstracts the properties of
+//! diverse resources (Beowulf and Cray clusters, HTCondor pools, Unix
+//! workstations)" (§V).
+//!
+//! This crate reproduces that architecture:
+//!
+//! * [`job_api`] — the OGF-SAGA job model: [`job_api::JobDescription`],
+//!   [`job_api::SagaJobState`] (`New → Pending → Running → Done/Failed/
+//!   Canceled`).
+//! * [`adaptor`] — per-middleware adaptors (PBS-, SLURM-, HTCondor-
+//!   flavoured) with their own submission latencies and transient-failure
+//!   behaviours, bridging to the simulated clusters.
+//! * [`session`] — a session multiplexing job services over the resource
+//!   pool, with automatic retry of transient submission failures.
+
+pub mod adaptor;
+pub mod job_api;
+pub mod session;
+
+pub use adaptor::{adaptor_for, BatchAdaptor, CondorAdaptor, PbsAdaptor, SlurmAdaptor};
+pub use job_api::{JobDescription, SagaJobId, SagaJobState};
+pub use session::{JobService, Session};

@@ -1,0 +1,336 @@
+//! The simulation engine: virtual clock + event loop.
+//!
+//! Components register callbacks; the engine pops the earliest event,
+//! advances the clock to its time, and invokes the callback with mutable
+//! access to the engine (so it can schedule follow-up events, fork RNG
+//! streams, and record trace events). Components themselves live in
+//! `Rc<RefCell<_>>` cells captured by the callbacks — the engine is
+//! strictly single-threaded by design (see crate docs).
+
+use crate::event::{EventId, EventQueue};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Tracer;
+
+/// Callback invoked when an event fires.
+pub type Callback = Box<dyn FnOnce(&mut Simulation)>;
+
+/// Alias kept for API clarity: callbacks receive the engine itself.
+pub type EventContext = Simulation;
+
+/// Outcome of running the event loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The horizon passed with events still pending beyond it.
+    HorizonReached,
+    /// The safety event budget was exhausted (likely a scheduling loop).
+    BudgetExhausted,
+}
+
+/// Deterministic discrete-event simulation.
+///
+/// ```
+/// use aimes_sim::{SimDuration, Simulation};
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// let mut sim = Simulation::new(42);
+/// let fired = Rc::new(RefCell::new(Vec::new()));
+/// for delay in [30.0, 10.0, 20.0] {
+///     let fired = fired.clone();
+///     sim.schedule_in(SimDuration::from_secs(delay), move |sim| {
+///         fired.borrow_mut().push(sim.now().as_secs());
+///     });
+/// }
+/// sim.run_to_completion();
+/// assert_eq!(*fired.borrow(), vec![10.0, 20.0, 30.0]);
+/// ```
+pub struct Simulation {
+    now: SimTime,
+    queue: EventQueue<Callback>,
+    rng: SimRng,
+    tracer: Tracer,
+    events_processed: u64,
+    /// Safety valve against accidental infinite scheduling loops.
+    event_budget: u64,
+}
+
+impl Simulation {
+    /// Create a simulation with the given experiment seed and a recording
+    /// tracer.
+    pub fn new(seed: u64) -> Self {
+        Self::with_tracer(seed, Tracer::new())
+    }
+
+    /// Create a simulation with an explicit tracer (e.g. a disabled one for
+    /// benchmarks).
+    pub fn with_tracer(seed: u64, tracer: Tracer) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng: SimRng::new(seed),
+            tracer,
+            events_processed: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared tracer handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Fork a named RNG stream from the experiment seed (stable; see
+    /// [`SimRng::fork`]).
+    pub fn fork_rng(&self, label: &str) -> SimRng {
+        self.rng.fork(label)
+    }
+
+    /// Fork an indexed RNG stream (per entity).
+    pub fn fork_rng_indexed(&self, label: &str, index: u64) -> SimRng {
+        self.rng.fork_indexed(label, index)
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Limit the total number of events this simulation may process
+    /// (safety valve for tests).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Number of live pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `callback` to fire at absolute time `at`. Panics if `at` is
+    /// in the past — time travel would silently corrupt causality.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        callback: impl FnOnce(&mut Simulation) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: now={:?}, at={:?}",
+            self.now,
+            at
+        );
+        self.queue.schedule(at, Box::new(callback))
+    }
+
+    /// Schedule `callback` to fire `delay` from now.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        callback: impl FnOnce(&mut Simulation) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, callback)
+    }
+
+    /// Schedule `callback` to fire immediately after currently queued
+    /// same-time events.
+    pub fn schedule_now(&mut self, callback: impl FnOnce(&mut Simulation) + 'static) -> EventId {
+        self.schedule_at(self.now, callback)
+    }
+
+    /// Cancel a pending event. Returns true if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Process a single event, if any. Returns false when the queue is
+    /// drained.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                debug_assert!(ev.time >= self.now, "event queue yielded past event");
+                self.now = ev.time;
+                self.events_processed += 1;
+                (ev.payload)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue drains or the clock would pass `horizon`.
+    /// Events at exactly `horizon` are processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::BudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Run until the queue drains.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        loop {
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::BudgetExhausted;
+            }
+            if !self.step() {
+                return RunOutcome::Drained;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn clock_advances_to_event_times() {
+        let mut sim = Simulation::new(1);
+        let seen = Rc::new(RefCell::new(vec![]));
+        for &at in &[5.0, 1.0, 3.0] {
+            let seen = seen.clone();
+            sim.schedule_at(t(at), move |s| seen.borrow_mut().push(s.now().as_secs()));
+        }
+        assert_eq!(sim.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(*seen.borrow(), vec![1.0, 3.0, 5.0]);
+        assert_eq!(sim.now(), t(5.0));
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        let mut sim = Simulation::new(1);
+        let hits = Rc::new(RefCell::new(0u32));
+        let hits2 = hits.clone();
+        sim.schedule_in(d(1.0), move |s| {
+            *hits2.borrow_mut() += 1;
+            let hits3 = hits2.clone();
+            s.schedule_in(d(2.0), move |_| {
+                *hits3.borrow_mut() += 1;
+            });
+        });
+        sim.run_to_completion();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(sim.now(), t(3.0));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulation::new(1);
+        let hits = Rc::new(RefCell::new(0u32));
+        for at in [1.0, 2.0, 3.0, 10.0] {
+            let hits = hits.clone();
+            sim.schedule_at(t(at), move |_| *hits.borrow_mut() += 1);
+        }
+        assert_eq!(sim.run_until(t(3.0)), RunOutcome::HorizonReached);
+        assert_eq!(*hits.borrow(), 3);
+        // Clock does not advance past the last processed event.
+        assert_eq!(sim.now(), t(3.0));
+        assert_eq!(sim.pending_events(), 1);
+        assert_eq!(sim.run_until(t(100.0)), RunOutcome::Drained);
+        assert_eq!(*hits.borrow(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new(1);
+        sim.schedule_at(t(5.0), |s| {
+            s.schedule_at(t(1.0), |_| {});
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn cancellation_prevents_firing() {
+        let mut sim = Simulation::new(1);
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        let id = sim.schedule_at(t(1.0), move |_| *h.borrow_mut() += 1);
+        assert!(sim.cancel(id));
+        sim.run_to_completion();
+        assert_eq!(*hits.borrow(), 0);
+    }
+
+    #[test]
+    fn event_budget_stops_loops() {
+        let mut sim = Simulation::new(1);
+        fn reschedule(s: &mut Simulation) {
+            s.schedule_in(SimDuration::from_secs(1.0), reschedule);
+        }
+        sim.schedule_now(reschedule);
+        sim.set_event_budget(100);
+        assert_eq!(sim.run_to_completion(), RunOutcome::BudgetExhausted);
+        assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_schedule_order() {
+        let mut sim = Simulation::new(1);
+        let order = Rc::new(RefCell::new(vec![]));
+        for i in 0..10 {
+            let order = order.clone();
+            sim.schedule_at(t(1.0), move |_| order.borrow_mut().push(i));
+        }
+        sim.run_to_completion();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rng_forks_are_deterministic_across_runs() {
+        let run = |seed| {
+            let sim = Simulation::new(seed);
+            let mut r = sim.fork_rng("component");
+            (0..10).map(|_| r.uniform01()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn tracer_reachable_from_callbacks() {
+        let mut sim = Simulation::new(1);
+        sim.schedule_in(d(2.0), |s| {
+            let now = s.now();
+            s.tracer().record(now, "c", "fired", "");
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.tracer().len(), 1);
+        assert_eq!(sim.tracer().snapshot()[0].time, t(2.0));
+    }
+}

@@ -1,0 +1,268 @@
+//! The pending-event set: a time-ordered priority queue with stable
+//! tie-breaking and O(log n) cancellation.
+//!
+//! Determinism requires that events scheduled for the same instant fire in
+//! the order they were scheduled, regardless of heap internals. Each event
+//! therefore carries a monotonically increasing sequence number that breaks
+//! ties.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+/// An event in the queue: a firing time plus an arbitrary payload.
+#[derive(Debug)]
+pub struct ScheduledEvent<T> {
+    pub time: SimTime,
+    pub id: EventId,
+    seq: u64,
+    pub payload: T,
+}
+
+impl<T> PartialEq for ScheduledEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for ScheduledEvent<T> {}
+
+// BinaryHeap is a max-heap; invert the ordering so the earliest event (and
+// among equals, the earliest-scheduled) pops first.
+impl<T> Ord for ScheduledEvent<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for ScheduledEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-ordered event queue with lazy cancellation.
+///
+/// Cancelled events stay in the heap but are skipped on pop; the set of
+/// cancelled ids is pruned as they surface. This keeps cancellation O(log n)
+/// amortized without heap surgery.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<ScheduledEvent<T>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    next_id: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`. Returns a handle usable with
+    /// [`EventQueue::cancel`].
+    pub fn schedule(&mut self, time: SimTime, payload: T) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            id,
+            seq,
+            payload,
+        });
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns true if the event was
+    /// still pending (i.e., not yet fired or cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Remove and return the earliest live event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Firing time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Prune cancelled events at the head so the reported time is live.
+        while let Some(ev) = self.heap.peek() {
+            if self.cancelled.contains(&ev.id) {
+                let ev = self.heap.pop().expect("peeked event exists");
+                self.cancelled.remove(&ev.id);
+                continue;
+            }
+            return Some(ev.time);
+        }
+        None
+    }
+
+    /// Number of events in the heap, including not-yet-pruned cancellations.
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().payload, i);
+        }
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.raw_len(), 2); // lazy: still in the heap
+    }
+
+    proptest! {
+        /// Events always pop in non-decreasing time order, and equal-time
+        /// events pop in scheduling order.
+        #[test]
+        fn prop_pop_order(times in proptest::collection::vec(0u32..100, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &tt) in times.iter().enumerate() {
+                q.schedule(t(tt as f64), i);
+            }
+            let mut last_time = None;
+            let mut last_seq_at_time: Option<(f64, usize)> = None;
+            while let Some(ev) = q.pop() {
+                if let Some(lt) = last_time {
+                    prop_assert!(ev.time >= lt);
+                }
+                if let Some((lt, ls)) = last_seq_at_time {
+                    if ev.time.as_secs() == lt {
+                        prop_assert!(ev.payload > ls, "FIFO violated for ties");
+                    }
+                }
+                last_seq_at_time = Some((ev.time.as_secs(), ev.payload));
+                last_time = Some(ev.time);
+            }
+        }
+
+        /// Cancelling a random subset removes exactly those events.
+        #[test]
+        fn prop_cancellation(n in 1usize..100, cancel_mask in proptest::collection::vec(any::<bool>(), 100)) {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = (0..n).map(|i| q.schedule(t(i as f64), i)).collect();
+            let mut expect: Vec<usize> = vec![];
+            for (i, id) in ids.iter().enumerate() {
+                if cancel_mask[i] {
+                    q.cancel(*id);
+                } else {
+                    expect.push(i);
+                }
+            }
+            let mut got = vec![];
+            while let Some(ev) = q.pop() {
+                got.push(ev.payload);
+            }
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Structured execution traces.
+//!
+//! The paper's middleware is "instrumented to produce complete traces of an
+//! application execution"; the entire evaluation (the TTC decomposition into
+//! Tw/Tx/Ts) is computed from recorded state transitions. This module is the
+//! reproduction of that instrumentation: components append
+//! [`TraceEvent`]s to a shared [`Tracer`]; the analysis layer (crate
+//! `aimes`) replays the trace to compute time components.
+
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One recorded state transition or annotation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time at which the transition happened.
+    pub time: SimTime,
+    /// Component that emitted the event, e.g. `pilot.stampede.0` or
+    /// `unit.00042`.
+    pub component: String,
+    /// Transition or annotation name, e.g. `Active`, `Executing`.
+    pub event: String,
+    /// Free-form detail (resource name, core count, error text, ...).
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.3}] {} -> {} {}",
+            self.time.as_secs(),
+            self.component,
+            self.event,
+            self.detail
+        )
+    }
+}
+
+/// Destination for trace events. The default sink is an in-memory vector;
+/// experiments export it as JSON for post-processing.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceSink {
+    /// All recorded events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consume the sink, returning the events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+/// Cheaply cloneable handle to a shared trace sink.
+///
+/// The simulation itself is single-threaded, but traces are read by the
+/// (parallel) experiment harness after the run, so the sink is protected by
+/// a `parking_lot::Mutex` — uncontended in practice.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    sink: Arc<Mutex<TraceSink>>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A tracer that records everything.
+    pub fn new() -> Self {
+        Tracer {
+            sink: Arc::new(Mutex::new(TraceSink::default())),
+            enabled: true,
+        }
+    }
+
+    /// A tracer that drops everything (for benchmarks where trace volume
+    /// would distort measurements).
+    pub fn disabled() -> Self {
+        Tracer {
+            sink: Arc::new(Mutex::new(TraceSink::default())),
+            enabled: false,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a state transition.
+    pub fn record(
+        &self,
+        time: SimTime,
+        component: impl Into<String>,
+        event: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.sink.lock().events.push(TraceEvent {
+            time,
+            component: component.into(),
+            event: event.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Snapshot of all events recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.sink.lock().events.clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.sink.lock().events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events for one component, in order.
+    pub fn for_component(&self, component: &str) -> Vec<TraceEvent> {
+        self.sink
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.component == component)
+            .cloned()
+            .collect()
+    }
+
+    /// First occurrence time of `event` on `component`, if any.
+    pub fn first_time_of(&self, component: &str, event: &str) -> Option<SimTime> {
+        self.sink
+            .lock()
+            .events
+            .iter()
+            .find(|e| e.component == component && e.event == event)
+            .map(|e| e.time)
+    }
+
+    /// Serialize the whole trace as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.sink.lock().events).expect("trace serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let tr = Tracer::new();
+        tr.record(t(1.0), "pilot.0", "Launching", "");
+        tr.record(t(5.0), "pilot.0", "Active", "stampede");
+        let evs = tr.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].event, "Launching");
+        assert_eq!(evs[1].event, "Active");
+        assert_eq!(evs[1].detail, "stampede");
+    }
+
+    #[test]
+    fn disabled_tracer_drops_events() {
+        let tr = Tracer::disabled();
+        tr.record(t(1.0), "x", "y", "");
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn component_filter() {
+        let tr = Tracer::new();
+        tr.record(t(1.0), "a", "e1", "");
+        tr.record(t(2.0), "b", "e2", "");
+        tr.record(t(3.0), "a", "e3", "");
+        let a = tr.for_component("a");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[1].event, "e3");
+    }
+
+    #[test]
+    fn first_time_of_finds_earliest() {
+        let tr = Tracer::new();
+        tr.record(t(1.0), "u", "Executing", "");
+        tr.record(t(4.0), "u", "Executing", "");
+        assert_eq!(tr.first_time_of("u", "Executing"), Some(t(1.0)));
+        assert_eq!(tr.first_time_of("u", "Missing"), None);
+    }
+
+    #[test]
+    fn clones_share_sink() {
+        let tr = Tracer::new();
+        let tr2 = tr.clone();
+        tr2.record(t(1.0), "x", "y", "");
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let tr = Tracer::new();
+        tr.record(t(1.5), "pilot.0", "Active", "gordon");
+        let json = tr.to_json();
+        let back: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tr.snapshot());
+    }
+
+    #[test]
+    fn display_format_is_stable() {
+        let ev = TraceEvent {
+            time: t(12.0),
+            component: "unit.1".into(),
+            event: "Done".into(),
+            detail: "".into(),
+        };
+        let s = format!("{ev}");
+        assert!(s.contains("unit.1"));
+        assert!(s.contains("Done"));
+    }
+}

@@ -1,0 +1,731 @@
+//! Skeleton application generation and the paper's three output forms.
+
+use crate::config::FileSizeSpec;
+use crate::config::{SkeletonConfig, StageConfig, TaskDurationConfig, TaskMapping};
+use crate::task::{FileSpec, TaskId, TaskSpec};
+use aimes_sim::{SimDuration, SimRng};
+
+/// A generated skeleton application: concrete tasks with durations, files,
+/// and dependencies.
+///
+/// ```
+/// use aimes_sim::SimRng;
+/// use aimes_skeleton::{paper_bag, SkeletonApp, TaskDurationSpec};
+///
+/// // A Table I workload: 64 tasks, 1 MB in / 2 KB out, 15-minute tasks.
+/// let config = paper_bag(64, TaskDurationSpec::Uniform15Min);
+/// let app = SkeletonApp::generate(&config, &mut SimRng::new(1)).unwrap();
+/// assert_eq!(app.tasks().len(), 64);
+/// assert_eq!(app.critical_path().as_mins(), 15.0); // single stage
+/// // The same seed regenerates the identical application.
+/// let again = SkeletonApp::generate(&config, &mut SimRng::new(1)).unwrap();
+/// assert_eq!(app.tasks(), again.tasks());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SkeletonApp {
+    name: String,
+    tasks: Vec<TaskSpec>,
+    /// Task-index ranges per expanded stage.
+    stage_ranges: Vec<(usize, usize)>,
+    stage_names: Vec<String>,
+}
+
+impl SkeletonApp {
+    /// Expand a validated config into tasks, drawing all samples from
+    /// `rng`. The same seed always yields the same application — the
+    /// property that lets an experiment run the *same* workload under
+    /// different execution strategies.
+    pub fn generate(config: &SkeletonConfig, rng: &mut SimRng) -> Result<SkeletonApp, String> {
+        config.validate()?;
+        let expanded = expand_stages(config);
+        let mut tasks: Vec<TaskSpec> = Vec::new();
+        let mut stage_ranges = Vec::with_capacity(expanded.len());
+        let mut stage_names = Vec::with_capacity(expanded.len());
+        let mut prev_range: Option<(usize, usize)> = None;
+
+        for (stage_idx, (cfg, name)) in expanded.iter().enumerate() {
+            let start = tasks.len();
+            for i in 0..cfg.task_count {
+                let id = TaskId(tasks.len() as u32);
+                let (inputs, dependencies) = make_inputs(cfg, i, prev_range, &tasks, name, rng)?;
+                let input_mb: f64 = inputs.iter().map(|f| f.size_mb).sum();
+                let duration = match &cfg.duration {
+                    TaskDurationConfig::Dist { dist } => {
+                        SimDuration::from_secs(dist.sample(rng).max(0.0))
+                    }
+                    TaskDurationConfig::LinearOfInput { a, b } => {
+                        SimDuration::from_secs((a * input_mb + b).max(0.0))
+                    }
+                };
+                let out_mb = eval_size(&cfg.output_size_mb, input_mb, duration, rng)?;
+                let outputs = vec![FileSpec {
+                    name: format!("{name}.{i:05}.out"),
+                    size_mb: out_mb,
+                }];
+                tasks.push(TaskSpec {
+                    id,
+                    stage: stage_idx,
+                    stage_name: name.clone(),
+                    cores: cfg.cores_per_task,
+                    duration,
+                    inputs,
+                    outputs,
+                    dependencies,
+                });
+            }
+            let range = (start, tasks.len());
+            stage_ranges.push(range);
+            stage_names.push(name.clone());
+            prev_range = Some(range);
+        }
+        Ok(SkeletonApp {
+            name: config.name.clone(),
+            tasks,
+            stage_ranges,
+            stage_names,
+        })
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All tasks, id order (which is also a topological order).
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// Number of expanded stages.
+    pub fn stage_count(&self) -> usize {
+        self.stage_ranges.len()
+    }
+
+    /// Tasks of one expanded stage.
+    pub fn stage_tasks(&self, stage: usize) -> &[TaskSpec] {
+        let (a, b) = self.stage_ranges[stage];
+        &self.tasks[a..b]
+    }
+
+    /// Expanded stage names.
+    pub fn stage_names(&self) -> &[String] {
+        &self.stage_names
+    }
+
+    /// Sum of all task durations (the total compute work).
+    pub fn total_work(&self) -> SimDuration {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Length of the longest dependency chain (lower bound on Tx at
+    /// unbounded concurrency).
+    pub fn critical_path(&self) -> SimDuration {
+        let mut finish = vec![SimDuration::ZERO; self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let ready = t
+                .dependencies
+                .iter()
+                .map(|d| finish[d.0 as usize])
+                .fold(SimDuration::ZERO, SimDuration::max);
+            finish[i] = ready + t.duration;
+        }
+        finish.into_iter().fold(SimDuration::ZERO, SimDuration::max)
+    }
+
+    /// Maximum per-stage width in cores (the concurrency ceiling useful to
+    /// the Execution Manager when sizing pilots).
+    pub fn max_concurrent_cores(&self) -> u64 {
+        self.stage_ranges
+            .iter()
+            .map(|(a, b)| self.tasks[*a..*b].iter().map(|t| u64::from(t.cores)).sum())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total external input volume (files not produced by another task).
+    pub fn external_input_mb(&self) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.dependencies.is_empty())
+            .map(|t| t.input_mb())
+            .sum()
+    }
+
+    /// Total final output volume (files not consumed by another task).
+    pub fn final_output_mb(&self) -> f64 {
+        let consumed: std::collections::HashSet<&str> = self
+            .tasks
+            .iter()
+            .flat_map(|t| t.inputs.iter().map(|f| f.name.as_str()))
+            .collect();
+        self.tasks
+            .iter()
+            .flat_map(|t| t.outputs.iter())
+            .filter(|f| !consumed.contains(f.name.as_str()))
+            .map(|f| f.size_mb)
+            .sum()
+    }
+
+    /// Output form (a): sequential shell commands.
+    pub fn to_shell_script(&self) -> String {
+        let mut out = String::from("#!/bin/sh\n# generated skeleton application\n");
+        for t in &self.tasks {
+            out.push_str(&t.as_shell_command());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Output form (b): the dependency DAG as an edge list.
+    pub fn to_dag(&self) -> Vec<(TaskId, TaskId)> {
+        self.tasks
+            .iter()
+            .flat_map(|t| t.dependencies.iter().map(move |d| (*d, t.id)))
+            .collect()
+    }
+
+    /// Output form (d): the JSON structure consumed by the middleware.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.tasks).expect("tasks serialize")
+    }
+
+    /// Preparation script (paper output group 1): creates the input/output
+    /// directories and the external input files with their exact sizes.
+    pub fn preparation_script(&self) -> String {
+        let mut out = String::from(
+            "#!/bin/sh\n# prepares inputs for the skeleton application\nmkdir -p input output\n",
+        );
+        for t in &self.tasks {
+            if t.dependencies.is_empty() {
+                for f in &t.inputs {
+                    out.push_str(&format!(
+                        "dd if=/dev/zero of=input/{} bs=1024 count={} 2>/dev/null\n",
+                        f.name,
+                        (f.size_mb * 1024.0).ceil() as u64
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Output form (b): a Pegasus-style abstract DAG (DAX XML).
+    pub fn to_pegasus_dax(&self) -> String {
+        let mut out = String::new();
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        out.push_str(&format!(
+            "<adag name=\"{}\" jobCount=\"{}\" childCount=\"{}\">\n",
+            self.name,
+            self.tasks.len(),
+            self.tasks
+                .iter()
+                .filter(|t| !t.dependencies.is_empty())
+                .count()
+        ));
+        for t in &self.tasks {
+            out.push_str(&format!(
+                "  <job id=\"ID{:05}\" name=\"skeleton-task\" runtime=\"{:.1}\">\n",
+                t.id.0,
+                t.duration.as_secs()
+            ));
+            for f in &t.inputs {
+                out.push_str(&format!(
+                    "    <uses file=\"{}\" link=\"input\" size=\"{:.3}\"/>\n",
+                    f.name, f.size_mb
+                ));
+            }
+            for f in &t.outputs {
+                out.push_str(&format!(
+                    "    <uses file=\"{}\" link=\"output\" size=\"{:.3}\"/>\n",
+                    f.name, f.size_mb
+                ));
+            }
+            out.push_str("  </job>\n");
+        }
+        for t in &self.tasks {
+            if !t.dependencies.is_empty() {
+                out.push_str(&format!("  <child ref=\"ID{:05}\">\n", t.id.0));
+                for d in &t.dependencies {
+                    out.push_str(&format!("    <parent ref=\"ID{:05}\"/>\n", d.0));
+                }
+                out.push_str("  </child>\n");
+            }
+        }
+        out.push_str("</adag>\n");
+        out
+    }
+
+    /// Output form (c): a Swift-style parallel script. Stages become
+    /// `foreach` blocks over file arrays; data dependences are implicit in
+    /// the array wiring, as in real Swift.
+    pub fn to_swift_script(&self) -> String {
+        let mut out = String::new();
+        out.push_str("type file;\n\n");
+        out.push_str(
+            "app (file out) skeleton_task (file ins[], float sleep) {\n  \
+             skeletontask \"--sleep\" sleep @filenames(ins) @out;\n}\n\n",
+        );
+        for (i, name) in self.stage_names.iter().enumerate() {
+            let ident = name.replace(['.', '-'], "_");
+            let tasks = self.stage_tasks(i);
+            out.push_str(&format!(
+                "file {ident}_out[] <simple_mapper; prefix=\"{name}.\", suffix=\".out\">;\n"
+            ));
+            out.push_str(&format!(
+                "foreach j in [0:{}] {{\n",
+                tasks.len().saturating_sub(1)
+            ));
+            let mean_sleep: f64 =
+                tasks.iter().map(|t| t.duration.as_secs()).sum::<f64>() / tasks.len() as f64;
+            // Input arrays: external files or the previous stage's outputs.
+            let inputs = if tasks[0].dependencies.is_empty() {
+                format!("input_files(\"{name}\", j)")
+            } else {
+                let prev = self.stage_names[i - 1].replace(['.', '-'], "_");
+                format!("{prev}_out")
+            };
+            out.push_str(&format!(
+                "  {ident}_out[j] = skeleton_task({inputs}, {mean_sleep:.1});\n}}\n\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Expand the iteration group into a flat stage list with suffixed names.
+fn expand_stages(config: &SkeletonConfig) -> Vec<(StageConfig, String)> {
+    let mut out = Vec::new();
+    match config.iteration {
+        None => {
+            for s in &config.stages {
+                out.push((s.clone(), s.name.clone()));
+            }
+        }
+        Some(it) => {
+            for s in &config.stages[..it.from_stage] {
+                out.push((s.clone(), s.name.clone()));
+            }
+            for k in 0..it.count {
+                for s in &config.stages[it.from_stage..=it.to_stage] {
+                    let name = if it.count > 1 {
+                        format!("{}.iter{k}", s.name)
+                    } else {
+                        s.name.clone()
+                    };
+                    let mut s = s.clone();
+                    // After the first iteration, an External first stage
+                    // re-reads external data; other mappings consume the
+                    // previous expanded stage (the group's last).
+                    if k > 0 && s.mapping == TaskMapping::External {
+                        // keep external
+                    }
+                    s.name = name.clone();
+                    out.push((s, name));
+                }
+            }
+            for s in &config.stages[it.to_stage + 1..] {
+                out.push((s.clone(), s.name.clone()));
+            }
+        }
+    }
+    out
+}
+
+fn make_inputs(
+    cfg: &StageConfig,
+    task_index: u32,
+    prev_range: Option<(usize, usize)>,
+    tasks: &[TaskSpec],
+    stage_name: &str,
+    rng: &mut SimRng,
+) -> Result<(Vec<FileSpec>, Vec<TaskId>), String> {
+    match cfg.mapping {
+        TaskMapping::External => {
+            let size = match &cfg.input_size_mb {
+                FileSizeSpec::Dist { dist } => dist.sample(rng).max(0.0),
+                other => {
+                    return Err(format!(
+                        "external input size must be a distribution, got {other:?}"
+                    ));
+                }
+            };
+            Ok((
+                vec![FileSpec {
+                    name: format!("{stage_name}.{task_index:05}.in"),
+                    size_mb: size,
+                }],
+                vec![],
+            ))
+        }
+        TaskMapping::OneToOne => {
+            let (a, b) = prev_range.ok_or("one-to-one with no previous stage")?;
+            debug_assert_eq!(b - a, cfg.task_count as usize);
+            let src = &tasks[a + task_index as usize];
+            Ok((src.outputs.clone(), vec![src.id]))
+        }
+        TaskMapping::AllToAll => {
+            let (a, b) = prev_range.ok_or("all-to-all with no previous stage")?;
+            let mut files = Vec::with_capacity(b - a);
+            let mut deps = Vec::with_capacity(b - a);
+            for src in &tasks[a..b] {
+                files.extend(src.outputs.iter().cloned());
+                deps.push(src.id);
+            }
+            Ok((files, deps))
+        }
+        TaskMapping::ManyToOne => {
+            let (a, b) = prev_range.ok_or("many-to-one with no previous stage")?;
+            let prev_count = b - a;
+            let fan = prev_count / cfg.task_count as usize;
+            let lo = a + task_index as usize * fan;
+            let hi = lo + fan;
+            let mut files = Vec::with_capacity(fan);
+            let mut deps = Vec::with_capacity(fan);
+            for src in &tasks[lo..hi] {
+                files.extend(src.outputs.iter().cloned());
+                deps.push(src.id);
+            }
+            Ok((files, deps))
+        }
+    }
+}
+
+fn eval_size(
+    spec: &FileSizeSpec,
+    input_mb: f64,
+    duration: SimDuration,
+    rng: &mut SimRng,
+) -> Result<f64, String> {
+    Ok(match spec {
+        FileSizeSpec::Dist { dist } => dist.sample(rng).max(0.0),
+        FileSizeSpec::LinearOfInput { a, b } => (a * input_mb + b).max(0.0),
+        FileSizeSpec::PolyOfRuntime { coeffs } => {
+            let t = duration.as_secs();
+            coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c * t.powi(i as i32))
+                .sum::<f64>()
+                .max(0.0)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IterationSpec;
+    use aimes_workload::Distribution;
+    use proptest::prelude::*;
+
+    fn stage(name: &str, tasks: u32, mapping: TaskMapping) -> StageConfig {
+        StageConfig {
+            name: name.into(),
+            task_count: tasks,
+            cores_per_task: 1,
+            duration: TaskDurationConfig::Dist {
+                dist: Distribution::Constant { value: 900.0 },
+            },
+            input_size_mb: FileSizeSpec::constant(1.0),
+            output_size_mb: FileSizeSpec::constant(0.002),
+            mapping,
+        }
+    }
+
+    fn rng() -> SimRng {
+        SimRng::new(42)
+    }
+
+    #[test]
+    fn bag_of_tasks_generation() {
+        let cfg = SkeletonConfig {
+            name: "bot".into(),
+            stages: vec![stage("s0", 16, TaskMapping::External)],
+            iteration: None,
+        };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        assert_eq!(app.tasks().len(), 16);
+        assert_eq!(app.stage_count(), 1);
+        assert!(app.tasks().iter().all(|t| t.dependencies.is_empty()));
+        assert!(app.tasks().iter().all(|t| t.duration.as_mins() == 15.0));
+        assert!((app.external_input_mb() - 16.0).abs() < 1e-9);
+        assert!((app.final_output_mb() - 16.0 * 0.002).abs() < 1e-9);
+        assert_eq!(app.total_work(), SimDuration::from_mins(16.0 * 15.0));
+        assert_eq!(app.critical_path(), SimDuration::from_mins(15.0));
+        assert_eq!(app.max_concurrent_cores(), 16);
+    }
+
+    #[test]
+    fn one_to_one_wires_dependencies() {
+        let cfg = SkeletonConfig {
+            name: "pipe".into(),
+            stages: vec![
+                stage("a", 4, TaskMapping::External),
+                stage("b", 4, TaskMapping::OneToOne),
+            ],
+            iteration: None,
+        };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        assert_eq!(app.tasks().len(), 8);
+        for (i, t) in app.stage_tasks(1).iter().enumerate() {
+            assert_eq!(t.dependencies, vec![TaskId(i as u32)]);
+            assert_eq!(t.inputs.len(), 1);
+            assert_eq!(t.inputs[0].name, format!("a.{i:05}.out"));
+            assert!((t.input_mb() - 0.002).abs() < 1e-12);
+        }
+        assert_eq!(app.critical_path(), SimDuration::from_mins(30.0));
+    }
+
+    #[test]
+    fn all_to_all_reads_everything() {
+        let cfg = SkeletonConfig {
+            name: "sync".into(),
+            stages: vec![
+                stage("a", 4, TaskMapping::External),
+                stage("b", 2, TaskMapping::AllToAll),
+            ],
+            iteration: None,
+        };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        for t in app.stage_tasks(1) {
+            assert_eq!(t.dependencies.len(), 4);
+            assert_eq!(t.inputs.len(), 4);
+        }
+    }
+
+    #[test]
+    fn many_to_one_partitions() {
+        let cfg = SkeletonConfig {
+            name: "mr".into(),
+            stages: vec![
+                stage("map", 8, TaskMapping::External),
+                stage("reduce", 2, TaskMapping::ManyToOne),
+            ],
+            iteration: None,
+        };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        let r0 = &app.stage_tasks(1)[0];
+        let r1 = &app.stage_tasks(1)[1];
+        assert_eq!(r0.dependencies, (0..4).map(TaskId).collect::<Vec<_>>());
+        assert_eq!(r1.dependencies, (4..8).map(TaskId).collect::<Vec<_>>());
+        // Partition: no overlap, full coverage.
+        let all: Vec<_> = r0
+            .dependencies
+            .iter()
+            .chain(r1.dependencies.iter())
+            .collect();
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn iteration_expands_stages() {
+        let cfg = SkeletonConfig {
+            name: "it".into(),
+            stages: vec![
+                stage("gen", 4, TaskMapping::External),
+                stage("step", 4, TaskMapping::OneToOne),
+            ],
+            iteration: Some(IterationSpec {
+                from_stage: 1,
+                to_stage: 1,
+                count: 3,
+            }),
+        };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        assert_eq!(app.stage_count(), 4);
+        assert_eq!(app.tasks().len(), 16);
+        assert_eq!(
+            app.stage_names(),
+            &["gen", "step.iter0", "step.iter1", "step.iter2"]
+        );
+        // Chain: iter2 depends on iter1 depends on iter0 depends on gen.
+        assert_eq!(app.critical_path(), SimDuration::from_mins(15.0 * 4.0));
+    }
+
+    #[test]
+    fn linear_duration_of_input() {
+        let mut cfg = SkeletonConfig {
+            name: "lin".into(),
+            stages: vec![stage("s", 4, TaskMapping::External)],
+            iteration: None,
+        };
+        cfg.stages[0].input_size_mb = FileSizeSpec::constant(10.0);
+        cfg.stages[0].duration = TaskDurationConfig::LinearOfInput { a: 2.0, b: 30.0 };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        for t in app.tasks() {
+            assert_eq!(t.duration.as_secs(), 50.0);
+        }
+    }
+
+    #[test]
+    fn poly_output_of_runtime() {
+        let mut cfg = SkeletonConfig {
+            name: "poly".into(),
+            stages: vec![stage("s", 2, TaskMapping::External)],
+            iteration: None,
+        };
+        cfg.stages[0].duration = TaskDurationConfig::Dist {
+            dist: Distribution::Constant { value: 10.0 },
+        };
+        cfg.stages[0].output_size_mb = FileSizeSpec::PolyOfRuntime {
+            coeffs: vec![1.0, 0.5, 0.01],
+        };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        for t in app.tasks() {
+            // 1 + 0.5*10 + 0.01*100 = 7.
+            assert!((t.output_mb() - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut cfg = SkeletonConfig {
+            name: "det".into(),
+            stages: vec![stage("s", 32, TaskMapping::External)],
+            iteration: None,
+        };
+        cfg.stages[0].duration = TaskDurationConfig::Dist {
+            dist: Distribution::truncated_gaussian(900.0, 300.0, 60.0, 1800.0),
+        };
+        let a = SkeletonApp::generate(&cfg, &mut SimRng::new(5)).unwrap();
+        let b = SkeletonApp::generate(&cfg, &mut SimRng::new(5)).unwrap();
+        let c = SkeletonApp::generate(&cfg, &mut SimRng::new(6)).unwrap();
+        assert_eq!(a.tasks(), b.tasks());
+        assert_ne!(a.tasks(), c.tasks());
+    }
+
+    #[test]
+    fn shell_script_and_dag_and_json() {
+        let cfg = SkeletonConfig {
+            name: "emit".into(),
+            stages: vec![
+                stage("a", 2, TaskMapping::External),
+                stage("b", 2, TaskMapping::OneToOne),
+            ],
+            iteration: None,
+        };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        let sh = app.to_shell_script();
+        assert_eq!(
+            sh.lines()
+                .filter(|l| l.starts_with("skeleton-task"))
+                .count(),
+            4
+        );
+        let dag = app.to_dag();
+        assert_eq!(dag.len(), 2);
+        assert!(dag.contains(&(TaskId(0), TaskId(2))));
+        let json = app.to_json();
+        let back: Vec<TaskSpec> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, app.tasks());
+    }
+
+    #[test]
+    fn preparation_script_creates_external_inputs_only() {
+        let cfg = SkeletonConfig {
+            name: "prep".into(),
+            stages: vec![
+                stage("a", 3, TaskMapping::External),
+                stage("b", 3, TaskMapping::OneToOne),
+            ],
+            iteration: None,
+        };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        let script = app.preparation_script();
+        // Only the 3 external inputs get dd lines; intermediate files are
+        // produced by tasks, not preparation.
+        assert_eq!(script.matches("dd if=").count(), 3);
+        assert!(script.contains("mkdir -p input output"));
+        assert!(script.contains("a.00000.in"));
+        assert!(!script.contains("a.00000.out"));
+    }
+
+    #[test]
+    fn pegasus_dax_wires_parents() {
+        let cfg = SkeletonConfig {
+            name: "dax".into(),
+            stages: vec![
+                stage("map", 4, TaskMapping::External),
+                stage("reduce", 1, TaskMapping::AllToAll),
+            ],
+            iteration: None,
+        };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        let dax = app.to_pegasus_dax();
+        assert!(dax.starts_with("<?xml"));
+        assert_eq!(dax.matches("<job ").count(), 5);
+        assert_eq!(dax.matches("<child ").count(), 1);
+        assert_eq!(dax.matches("<parent ").count(), 4);
+        assert!(dax.contains("jobCount=\"5\""));
+        assert!(dax.contains("link=\"input\""));
+    }
+
+    #[test]
+    fn swift_script_has_one_foreach_per_stage() {
+        let cfg = SkeletonConfig {
+            name: "swift".into(),
+            stages: vec![
+                stage("gen", 8, TaskMapping::External),
+                stage("post", 8, TaskMapping::OneToOne),
+            ],
+            iteration: None,
+        };
+        let app = SkeletonApp::generate(&cfg, &mut rng()).unwrap();
+        let swift = app.to_swift_script();
+        assert_eq!(swift.matches("foreach").count(), 2);
+        assert!(swift.contains("type file;"));
+        assert!(swift.contains("gen_out"));
+        // Stage 2 consumes stage 1's output array.
+        assert!(swift.contains("skeleton_task(gen_out"));
+    }
+
+    proptest! {
+        /// Id order is a topological order: every dependency has a smaller id.
+        #[test]
+        fn prop_ids_topological(
+            widths in proptest::collection::vec(1u32..12, 1..5),
+            seed in any::<u64>(),
+        ) {
+            let mut stages = vec![stage("s0", widths[0], TaskMapping::External)];
+            for (i, w) in widths.iter().enumerate().skip(1) {
+                stages.push(stage(&format!("s{i}"), *w, TaskMapping::AllToAll));
+            }
+            let cfg = SkeletonConfig { name: "p".into(), stages, iteration: None };
+            let app = SkeletonApp::generate(&cfg, &mut SimRng::new(seed)).unwrap();
+            for t in app.tasks() {
+                for d in &t.dependencies {
+                    prop_assert!(d.0 < t.id.0);
+                }
+            }
+            prop_assert_eq!(
+                app.tasks().len() as u64,
+                cfg.total_tasks()
+            );
+        }
+
+        /// Critical path never exceeds total work, and is at least the
+        /// longest single task.
+        #[test]
+        fn prop_critical_path_bounds(
+            widths in proptest::collection::vec(1u32..8, 1..4),
+            seed in any::<u64>(),
+        ) {
+            let mut stages = vec![stage("s0", widths[0], TaskMapping::External)];
+            for (i, w) in widths.iter().enumerate().skip(1) {
+                stages.push(stage(&format!("s{i}"), *w, TaskMapping::AllToAll));
+            }
+            for s in &mut stages {
+                s.duration = TaskDurationConfig::Dist {
+                    dist: Distribution::Uniform { lo: 10.0, hi: 100.0 },
+                };
+            }
+            let cfg = SkeletonConfig { name: "p".into(), stages, iteration: None };
+            let app = SkeletonApp::generate(&cfg, &mut SimRng::new(seed)).unwrap();
+            let cp = app.critical_path();
+            prop_assert!(cp <= app.total_work());
+            let longest = app.tasks().iter().map(|t| t.duration)
+                .fold(SimDuration::ZERO, SimDuration::max);
+            prop_assert!(cp >= longest);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Concrete task objects generated from a skeleton config.
+
+use aimes_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Application-wide task identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task.{:05}", self.0)
+    }
+}
+
+/// One file a task reads or writes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FileSpec {
+    pub name: String,
+    pub size_mb: f64,
+}
+
+/// One generated task. The paper's task executables "copy the input files
+/// from the file system to RAM, sleep for some amount of time (specified as
+/// the runtime), and copy the output files from RAM to the file system" —
+/// i.e., a task is fully characterized by its duration and its files.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    pub id: TaskId,
+    /// Index of the (expanded) stage this task belongs to.
+    pub stage: usize,
+    /// Stage name (with iteration suffix where applicable).
+    pub stage_name: String,
+    pub cores: u32,
+    pub duration: SimDuration,
+    pub inputs: Vec<FileSpec>,
+    pub outputs: Vec<FileSpec>,
+    /// Tasks whose outputs this task consumes (empty for external input).
+    pub dependencies: Vec<TaskId>,
+}
+
+impl TaskSpec {
+    /// Total input volume in MB.
+    pub fn input_mb(&self) -> f64 {
+        self.inputs.iter().map(|f| f.size_mb).sum()
+    }
+
+    /// Total output volume in MB.
+    pub fn output_mb(&self) -> f64 {
+        self.outputs.iter().map(|f| f.size_mb).sum()
+    }
+
+    /// The shell-command rendering of this task (one of the paper's three
+    /// skeleton output forms).
+    pub fn as_shell_command(&self) -> String {
+        let ins: Vec<&str> = self.inputs.iter().map(|f| f.name.as_str()).collect();
+        let outs: Vec<&str> = self.outputs.iter().map(|f| f.name.as_str()).collect();
+        format!(
+            "skeleton-task --id {} --sleep {:.1} --inputs {} --outputs {}",
+            self.id,
+            self.duration.as_secs(),
+            ins.join(","),
+            outs.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> TaskSpec {
+        TaskSpec {
+            id: TaskId(3),
+            stage: 0,
+            stage_name: "map".into(),
+            cores: 1,
+            duration: SimDuration::from_mins(15.0),
+            inputs: vec![
+                FileSpec {
+                    name: "in.0".into(),
+                    size_mb: 1.0,
+                },
+                FileSpec {
+                    name: "in.1".into(),
+                    size_mb: 0.5,
+                },
+            ],
+            outputs: vec![FileSpec {
+                name: "out.0".into(),
+                size_mb: 0.002,
+            }],
+            dependencies: vec![TaskId(0)],
+        }
+    }
+
+    #[test]
+    fn volumes_sum() {
+        let t = task();
+        assert!((t.input_mb() - 1.5).abs() < 1e-12);
+        assert!((t.output_mb() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shell_command_contains_everything() {
+        let cmd = task().as_shell_command();
+        assert!(cmd.contains("--id task.00003"));
+        assert!(cmd.contains("--sleep 900.0"));
+        assert!(cmd.contains("in.0,in.1"));
+        assert!(cmd.contains("out.0"));
+    }
+
+    #[test]
+    fn task_id_display_padded() {
+        assert_eq!(TaskId(7).to_string(), "task.00007");
+        assert_eq!(TaskId(12345).to_string(), "task.12345");
+    }
+}

@@ -1,0 +1,175 @@
+//! The decision set of an execution strategy.
+//!
+//! Table I columns: binding, scheduler, number of pilots, pilot size,
+//! pilot walltime — plus the resource-selection decision that precedes
+//! them (§III-D step 3).
+
+use aimes_pilot::{Binding, UnitScheduler};
+use serde::{Deserialize, Serialize};
+
+/// How pilot core counts are derived from the application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PilotSizing {
+    /// One pilot sized to run every task concurrently (Table I early
+    /// binding: `#Tasks` cores).
+    TasksTotal,
+    /// Each pilot gets `#Tasks / #Pilots` cores (Table I late binding).
+    TasksOverPilots,
+    /// Fixed core count per pilot.
+    Fixed(u32),
+}
+
+/// How pilot walltimes are derived.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum WalltimePolicy {
+    /// `Tx + Ts + Trp` (Table I early binding: everything runs once,
+    /// concurrently).
+    SingleShot,
+    /// `(Tx + Ts + Trp) · #Pilots` (Table I late binding: the first
+    /// active pilot may end up executing every task).
+    ScaledByPilots,
+    /// An explicit walltime in seconds (no estimator, no safety margin) —
+    /// used by the walltime-sensitivity ablation and failure-injection
+    /// tests; real batch users guess walltimes exactly like this.
+    FixedSecs(u64),
+}
+
+/// How resources are chosen for the pilots.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ResourceSelection {
+    /// Rank by bundle setup-time estimate, take the best `#Pilots`.
+    RankedByWait,
+    /// Uniformly random distinct fitting resources — the paper's
+    /// experimental methodology ("the resources are chosen from a pool of
+    /// five", pilot submission order randomized) so that measured Tw
+    /// reflects the *unconditioned* per-resource wait distribution.
+    Random,
+    /// Use exactly these resources (one pilot each, cycling if fewer
+    /// names than pilots).
+    Fixed(Vec<String>),
+}
+
+/// A fully specified execution strategy.
+///
+/// ```
+/// use aimes_strategy::ExecutionStrategy;
+///
+/// let early = ExecutionStrategy::paper_early();
+/// let late = ExecutionStrategy::paper_late(3);
+/// // Table I sizing: one full-size pilot vs three third-size pilots.
+/// assert_eq!(early.pilot_cores(2048), 2048);
+/// assert_eq!(late.pilot_cores(2048), 683);
+/// assert_eq!(late.label(), "late-backfill-3p");
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ExecutionStrategy {
+    pub binding: Binding,
+    pub scheduler: UnitScheduler,
+    pub pilot_count: u32,
+    pub sizing: PilotSizing,
+    pub walltime: WalltimePolicy,
+    pub selection: ResourceSelection,
+    /// Named submission queue for every pilot (`None` = each resource's
+    /// default queue). Qualification against per-queue limits happens at
+    /// plan derivation.
+    #[serde(default)]
+    pub queue: Option<String>,
+}
+
+impl ExecutionStrategy {
+    /// Table I, experiments 1–2: early binding, direct scheduling, one
+    /// pilot with `#Tasks` cores, single-shot walltime.
+    pub fn paper_early() -> Self {
+        ExecutionStrategy {
+            binding: Binding::Early,
+            scheduler: UnitScheduler::Direct,
+            pilot_count: 1,
+            sizing: PilotSizing::TasksTotal,
+            walltime: WalltimePolicy::SingleShot,
+            selection: ResourceSelection::RankedByWait,
+            queue: None,
+        }
+    }
+
+    /// Table I, experiments 3–4: late binding, backfill scheduling,
+    /// `pilots` pilots (the paper uses up to 3) each with
+    /// `#Tasks / #Pilots` cores, walltime scaled by the pilot count.
+    pub fn paper_late(pilots: u32) -> Self {
+        assert!(pilots >= 1);
+        ExecutionStrategy {
+            binding: Binding::Late,
+            scheduler: UnitScheduler::Backfill,
+            pilot_count: pilots,
+            sizing: PilotSizing::TasksOverPilots,
+            walltime: WalltimePolicy::ScaledByPilots,
+            selection: ResourceSelection::RankedByWait,
+            queue: None,
+        }
+    }
+
+    /// Pilot core count for an application of `n_tasks` single-core tasks
+    /// (ceil division so every task fits somewhere).
+    pub fn pilot_cores(&self, n_tasks: u32) -> u32 {
+        match self.sizing {
+            PilotSizing::TasksTotal => n_tasks,
+            PilotSizing::TasksOverPilots => n_tasks.div_ceil(self.pilot_count),
+            PilotSizing::Fixed(c) => c,
+        }
+    }
+
+    /// Short label for tables and figures, e.g. `early-direct-1p`.
+    pub fn label(&self) -> String {
+        let b = match self.binding {
+            Binding::Early => "early",
+            Binding::Late => "late",
+        };
+        let s = match self.scheduler {
+            UnitScheduler::Direct => "direct",
+            UnitScheduler::RoundRobin => "rr",
+            UnitScheduler::Backfill => "backfill",
+        };
+        format!("{b}-{s}-{}p", self.pilot_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_early_matches_table1() {
+        let s = ExecutionStrategy::paper_early();
+        assert_eq!(s.binding, Binding::Early);
+        assert_eq!(s.scheduler, UnitScheduler::Direct);
+        assert_eq!(s.pilot_count, 1);
+        assert_eq!(s.pilot_cores(2048), 2048);
+        assert_eq!(s.walltime, WalltimePolicy::SingleShot);
+        assert_eq!(s.label(), "early-direct-1p");
+    }
+
+    #[test]
+    fn paper_late_matches_table1() {
+        let s = ExecutionStrategy::paper_late(3);
+        assert_eq!(s.binding, Binding::Late);
+        assert_eq!(s.scheduler, UnitScheduler::Backfill);
+        assert_eq!(s.pilot_cores(2048), 683); // ceil(2048/3)
+        assert_eq!(s.pilot_cores(8), 3);
+        assert_eq!(s.walltime, WalltimePolicy::ScaledByPilots);
+        assert_eq!(s.label(), "late-backfill-3p");
+    }
+
+    #[test]
+    fn fixed_sizing() {
+        let mut s = ExecutionStrategy::paper_late(2);
+        s.sizing = PilotSizing::Fixed(64);
+        assert_eq!(s.pilot_cores(2048), 64);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = ExecutionStrategy::paper_late(3);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ExecutionStrategy = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

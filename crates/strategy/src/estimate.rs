@@ -1,0 +1,215 @@
+//! Semi-empirical TTC estimation.
+//!
+//! §III-D: "this type of optimization uses semi-empirical heuristics" —
+//! analytic bounds for the components under middleware control (Tx, Ts,
+//! Trp) combined with empirical bundle forecasts for the one that is not
+//! (Tw). Walltime requests in Table I are exactly these estimates:
+//! `Tx + Ts + Trp` for early binding, `(Tx + Ts + Trp) · #Pilots` for
+//! late binding.
+
+use crate::decision::{ExecutionStrategy, WalltimePolicy};
+use aimes_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Application-side quantities the estimator needs (extracted from a
+/// skeleton by [`crate::derive::AppInfo`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppEstimate {
+    pub n_tasks: u32,
+    /// Longest single task (upper bound for a 1-wave execution).
+    pub max_task_duration: SimDuration,
+    /// Mean task duration.
+    pub mean_task_duration: SimDuration,
+    /// Total bytes staged in + out, MB.
+    pub total_staging_mb: f64,
+}
+
+/// Middleware-side constants (mirrors `UmConfig`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MiddlewareEstimate {
+    pub origin_bandwidth_mbps: f64,
+    pub per_transfer_latency: SimDuration,
+    pub dispatch_overhead: SimDuration,
+}
+
+impl Default for MiddlewareEstimate {
+    fn default() -> Self {
+        MiddlewareEstimate {
+            origin_bandwidth_mbps: 5.0,
+            per_transfer_latency: SimDuration::from_secs(0.1),
+            dispatch_overhead: SimDuration::from_secs(0.05),
+        }
+    }
+}
+
+/// A TTC estimate decomposed the way the paper reports it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TtcEstimate {
+    /// Estimated pilot setup + queue time (from the bundle; the paper's
+    /// Tw). For multi-pilot late binding this is the *minimum* over the
+    /// chosen resources — the first active pilot starts the clock.
+    pub tw: SimDuration,
+    /// Estimated task execution span (Tx).
+    pub tx: SimDuration,
+    /// Estimated staging span (Ts).
+    pub ts: SimDuration,
+    /// Estimated middleware overhead (Trp).
+    pub trp: SimDuration,
+}
+
+impl TtcEstimate {
+    /// Upper bound on TTC: no overlap assumed.
+    pub fn ttc_upper(&self) -> SimDuration {
+        self.tw + self.tx + self.ts + self.trp
+    }
+
+    /// The walltime to request per pilot under the strategy's policy.
+    pub fn pilot_walltime(&self, strategy: &ExecutionStrategy) -> SimDuration {
+        let single = self.tx + self.ts + self.trp;
+        match strategy.walltime {
+            WalltimePolicy::SingleShot => single,
+            WalltimePolicy::ScaledByPilots => single * f64::from(strategy.pilot_count),
+            WalltimePolicy::FixedSecs(secs) => SimDuration::from_secs(secs as f64),
+        }
+    }
+}
+
+/// Estimate Tx for `strategy`: the number of sequential waves on one
+/// pilot (if tasks spread evenly) times the longest task.
+pub fn estimate_tx(app: &AppEstimate, strategy: &ExecutionStrategy) -> SimDuration {
+    let pilot_cores = strategy.pilot_cores(app.n_tasks);
+    let share = app.n_tasks.div_ceil(strategy.pilot_count);
+    let waves = share.div_ceil(pilot_cores.max(1));
+    app.max_task_duration * f64::from(waves.max(1))
+}
+
+/// Estimate Ts: all files through the serialized origin channel.
+pub fn estimate_ts(app: &AppEstimate, mw: &MiddlewareEstimate) -> SimDuration {
+    let volume = SimDuration::from_secs(app.total_staging_mb / mw.origin_bandwidth_mbps);
+    // Two transfers per task (one in, one out).
+    volume + mw.per_transfer_latency * f64::from(app.n_tasks) * 2.0
+}
+
+/// Estimate Trp: serialized dispatch overhead over all tasks.
+pub fn estimate_trp(app: &AppEstimate, mw: &MiddlewareEstimate) -> SimDuration {
+    mw.dispatch_overhead * f64::from(app.n_tasks)
+}
+
+/// Assemble the full estimate. `wait_forecasts` are the bundle's
+/// setup-time estimates for the resources the strategy will use, in
+/// ranking order; early binding takes the first, late binding the minimum
+/// (first pilot active wins).
+pub fn estimate_ttc(
+    app: &AppEstimate,
+    strategy: &ExecutionStrategy,
+    mw: &MiddlewareEstimate,
+    wait_forecasts: &[SimDuration],
+) -> TtcEstimate {
+    let tw = wait_forecasts
+        .iter()
+        .take(strategy.pilot_count as usize)
+        .copied()
+        .min()
+        .unwrap_or(SimDuration::ZERO);
+    TtcEstimate {
+        tw,
+        tx: estimate_tx(app, strategy),
+        ts: estimate_ts(app, mw),
+        trp: estimate_trp(app, mw),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::ExecutionStrategy;
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn app(n: u32) -> AppEstimate {
+        AppEstimate {
+            n_tasks: n,
+            max_task_duration: d(1800.0),
+            mean_task_duration: d(900.0),
+            total_staging_mb: f64::from(n) * 1.002,
+        }
+    }
+
+    #[test]
+    fn early_tx_is_one_wave() {
+        let s = ExecutionStrategy::paper_early();
+        assert_eq!(estimate_tx(&app(2048), &s), d(1800.0));
+    }
+
+    #[test]
+    fn late_tx_is_one_wave_per_even_split() {
+        let s = ExecutionStrategy::paper_late(3);
+        // share = ceil(2048/3) = 683, pilot cores = 683 → 1 wave.
+        assert_eq!(estimate_tx(&app(2048), &s), d(1800.0));
+    }
+
+    #[test]
+    fn fixed_small_pilot_needs_multiple_waves() {
+        use crate::decision::PilotSizing;
+        let mut s = ExecutionStrategy::paper_late(2);
+        s.sizing = PilotSizing::Fixed(100);
+        // share = 512, 100 cores → 6 waves.
+        assert_eq!(estimate_tx(&app(1024), &s), d(1800.0 * 6.0));
+    }
+
+    #[test]
+    fn ts_scales_with_tasks() {
+        let mw = MiddlewareEstimate::default();
+        let small = estimate_ts(&app(8), &mw);
+        let large = estimate_ts(&app(2048), &mw);
+        assert!(large.as_secs() / small.as_secs() > 200.0);
+        // 2048 × 1.002 MB / 5 MBps + 4096 × 0.1 s ≈ 410 + 410 s.
+        assert!((large.as_secs() - 820.0).abs() < 20.0, "{large:?}");
+    }
+
+    #[test]
+    fn trp_linear_in_tasks() {
+        let mw = MiddlewareEstimate::default();
+        assert_eq!(estimate_trp(&app(2048), &mw), d(102.4));
+    }
+
+    #[test]
+    fn walltime_policies_match_table1() {
+        let mw = MiddlewareEstimate::default();
+        let a = app(512);
+        let early = ExecutionStrategy::paper_early();
+        let late = ExecutionStrategy::paper_late(3);
+        let est_e = estimate_ttc(&a, &early, &mw, &[d(100.0)]);
+        let est_l = estimate_ttc(&a, &late, &mw, &[d(100.0), d(200.0), d(300.0)]);
+        let single_e = est_e.tx + est_e.ts + est_e.trp;
+        assert_eq!(est_e.pilot_walltime(&early), single_e);
+        let single_l = est_l.tx + est_l.ts + est_l.trp;
+        assert_eq!(est_l.pilot_walltime(&late), single_l * 3.0);
+    }
+
+    #[test]
+    fn tw_is_min_over_chosen_resources() {
+        let mw = MiddlewareEstimate::default();
+        let a = app(64);
+        let late = ExecutionStrategy::paper_late(3);
+        let est = estimate_ttc(&a, &late, &mw, &[d(500.0), d(100.0), d(900.0), d(1.0)]);
+        // Only the first three forecasts are used (3 pilots); min = 100.
+        assert_eq!(est.tw, d(100.0));
+        let early = ExecutionStrategy::paper_early();
+        let est = estimate_ttc(&a, &early, &mw, &[d(500.0), d(100.0)]);
+        assert_eq!(est.tw, d(500.0));
+    }
+
+    #[test]
+    fn ttc_upper_sums_components() {
+        let e = TtcEstimate {
+            tw: d(1.0),
+            tx: d(2.0),
+            ts: d(3.0),
+            trp: d(4.0),
+        };
+        assert_eq!(e.ttc_upper(), d(10.0));
+    }
+}

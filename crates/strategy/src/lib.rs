@@ -1,0 +1,29 @@
+//! # aimes-strategy — the Execution Strategy abstraction
+//!
+//! §III-D: "We use 'Execution Strategy' to refer to all the decisions taken
+//! when executing a given application on one or more resources. ... We use
+//! the Execution Strategy abstraction to make explicit the decisions that,
+//! traditionally, remain implicit in the coupling of applications and
+//! resources."
+//!
+//! * [`decision`] — the decision set as typed values: binding, task
+//!   scheduler, pilot count, pilot sizing, walltime policy, resource
+//!   selection — the columns of the paper's Table I.
+//! * [`tree`] — the strategy space as a decision tree: enumeration of all
+//!   combinations and the paper's §IV-A pruning rules for redundant,
+//!   uninformative, or ineffective combinations.
+//! * [`estimate`] — the semi-empirical TTC estimator (Tx/Ts/Trp bounds
+//!   plus bundle wait forecasts) used to rank strategies.
+//! * [`mod@derive`] — the Execution Manager's five derivation steps (§III-D):
+//!   gather application info, gather resource info, choose resources,
+//!   describe pilots, plan the execution.
+
+pub mod decision;
+pub mod derive;
+pub mod estimate;
+pub mod tree;
+
+pub use decision::{ExecutionStrategy, PilotSizing, ResourceSelection, WalltimePolicy};
+pub use derive::{AppInfo, ExecutionManager, ExecutionPlan};
+pub use estimate::TtcEstimate;
+pub use tree::{enumerate_strategies, prune_reason, StrategySpace};

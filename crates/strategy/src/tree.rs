@@ -1,0 +1,181 @@
+//! The strategy space as a decision tree, with the paper's pruning rules.
+//!
+//! §III-D: "An Execution Strategy can be thought of as a tree, where each
+//! decision is a vertex and each edge is a dependence relation among
+//! decisions." §IV-A enumerates the combinations the experiments discard
+//! "because they are redundant, uninformative, or ineffective":
+//!
+//! 1. early binding and multiple pilots;
+//! 2. late binding and multiple pilots with enough cores to execute all
+//!    tasks concurrently;
+//! 3. early/late binding on pilots with the same walltime;
+//! 4. early/late binding with the same schedulers.
+
+use crate::decision::{ExecutionStrategy, PilotSizing, ResourceSelection, WalltimePolicy};
+use aimes_pilot::{Binding, UnitScheduler};
+
+/// Bounds of the strategy space to enumerate.
+#[derive(Clone, Debug)]
+pub struct StrategySpace {
+    /// Candidate pilot counts (e.g. 1..=3 for the paper).
+    pub pilot_counts: Vec<u32>,
+    /// Candidate bindings.
+    pub bindings: Vec<Binding>,
+    /// Candidate schedulers.
+    pub schedulers: Vec<UnitScheduler>,
+}
+
+impl Default for StrategySpace {
+    fn default() -> Self {
+        StrategySpace {
+            pilot_counts: vec![1, 2, 3],
+            bindings: vec![Binding::Early, Binding::Late],
+            schedulers: vec![
+                UnitScheduler::Direct,
+                UnitScheduler::RoundRobin,
+                UnitScheduler::Backfill,
+            ],
+        }
+    }
+}
+
+/// Why a combination is pruned, if it is. Mirrors §IV-A.
+pub fn prune_reason(s: &ExecutionStrategy) -> Option<&'static str> {
+    match (s.binding, s.pilot_count) {
+        (Binding::Early, n) if n > 1 => {
+            return Some(
+                "early binding with multiple pilots: TTC is determined by the \
+                 last pilot to activate — dominated by late binding",
+            );
+        }
+        _ => {}
+    }
+    if s.binding == Binding::Late && s.sizing == PilotSizing::TasksTotal {
+        return Some(
+            "late binding with pilots sized for full concurrency: equivalent \
+             to early binding on the first active pilot; the other pilots \
+             waste resources",
+        );
+    }
+    if s.binding == Binding::Late && s.pilot_count == 1 {
+        return Some(
+            "late binding with a single pilot: same TTC as early binding on \
+             one pilot (all tasks run as soon as it activates)",
+        );
+    }
+    match (s.binding, s.scheduler) {
+        (Binding::Early, UnitScheduler::Backfill) | (Binding::Early, UnitScheduler::RoundRobin) => {
+            Some(
+                "scheduler choice is immaterial under early binding with one \
+                 pilot: comparing schedulers would measure scheduler \
+                 implementations, not coupling",
+            )
+        }
+        (Binding::Late, UnitScheduler::Direct) => Some(
+            "direct submission requires pre-bound units: incompatible with \
+             late binding",
+        ),
+        _ => None,
+    }
+}
+
+/// Enumerate the non-pruned strategies of a space, with Table I sizing and
+/// walltime policies attached per binding.
+pub fn enumerate_strategies(space: &StrategySpace) -> Vec<ExecutionStrategy> {
+    let mut out = Vec::new();
+    for &binding in &space.bindings {
+        for &scheduler in &space.schedulers {
+            for &pilot_count in &space.pilot_counts {
+                let (sizing, walltime) = match binding {
+                    Binding::Early => (PilotSizing::TasksTotal, WalltimePolicy::SingleShot),
+                    Binding::Late => (PilotSizing::TasksOverPilots, WalltimePolicy::ScaledByPilots),
+                };
+                let s = ExecutionStrategy {
+                    binding,
+                    scheduler,
+                    pilot_count,
+                    sizing,
+                    walltime,
+                    selection: ResourceSelection::RankedByWait,
+                    queue: None,
+                };
+                if prune_reason(&s).is_none() {
+                    out.push(s);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_strategies_survive_pruning() {
+        assert!(prune_reason(&ExecutionStrategy::paper_early()).is_none());
+        assert!(prune_reason(&ExecutionStrategy::paper_late(2)).is_none());
+        assert!(prune_reason(&ExecutionStrategy::paper_late(3)).is_none());
+    }
+
+    #[test]
+    fn early_multi_pilot_pruned() {
+        let mut s = ExecutionStrategy::paper_early();
+        s.pilot_count = 3;
+        assert!(prune_reason(&s).unwrap().contains("early binding"));
+    }
+
+    #[test]
+    fn late_full_concurrency_pruned() {
+        let mut s = ExecutionStrategy::paper_late(3);
+        s.sizing = PilotSizing::TasksTotal;
+        assert!(prune_reason(&s).unwrap().contains("full concurrency"));
+    }
+
+    #[test]
+    fn late_single_pilot_pruned() {
+        let s = ExecutionStrategy::paper_late(1);
+        assert!(prune_reason(&s).unwrap().contains("single pilot"));
+    }
+
+    #[test]
+    fn scheduler_mismatches_pruned() {
+        let mut s = ExecutionStrategy::paper_early();
+        s.scheduler = UnitScheduler::Backfill;
+        assert!(prune_reason(&s).is_some());
+        let mut s = ExecutionStrategy::paper_late(3);
+        s.scheduler = UnitScheduler::Direct;
+        assert!(prune_reason(&s).is_some());
+    }
+
+    #[test]
+    fn enumeration_yields_expected_set() {
+        let space = StrategySpace::default();
+        let strategies = enumerate_strategies(&space);
+        // Early: only direct × 1 pilot = 1.
+        // Late: {rr, backfill} × {2, 3} pilots = 4.
+        assert_eq!(strategies.len(), 5);
+        assert!(strategies
+            .iter()
+            .any(|s| *s == ExecutionStrategy::paper_early()));
+        assert!(strategies
+            .iter()
+            .any(|s| *s == ExecutionStrategy::paper_late(3)));
+        // Every enumerated strategy is valid.
+        for s in &strategies {
+            assert!(prune_reason(s).is_none(), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn wider_space_scales() {
+        let space = StrategySpace {
+            pilot_counts: (1..=5).collect(),
+            ..StrategySpace::default()
+        };
+        let strategies = enumerate_strategies(&space);
+        // Early: 1. Late: 2 schedulers × 4 pilot counts (2..=5) = 8.
+        assert_eq!(strategies.len(), 9);
+    }
+}

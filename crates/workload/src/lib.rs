@@ -1,0 +1,25 @@
+//! # aimes-workload — distributions and synthetic background load
+//!
+//! The paper's experiments ran against *production* batch systems whose
+//! dynamism (time-varying load, queue length, job mix) is exactly what the
+//! execution strategies react to. This crate supplies the reproduction's
+//! stand-in: a statistical toolkit ([`dist`]) and a background-workload
+//! generator ([`generator`]) producing job streams with the arrival, size,
+//! and runtime characteristics reported in the parallel-workload-modelling
+//! literature (log-uniform job sizes, log-normal runtimes, Poisson arrivals
+//! with diurnal modulation, and user walltime-request overestimation — the
+//! key driver of backfill behaviour).
+//!
+//! [`trace_model`] computes the summary statistics used to check the
+//! generated load against the paper's workload claims (e.g. that 30 s–30 min
+//! jobs are ~35 % of the XSEDE mix).
+
+pub mod dist;
+pub mod generator;
+pub mod swf;
+pub mod trace_model;
+
+pub use dist::Distribution;
+pub use generator::{BackgroundJob, BackgroundWorkload, WorkloadConfig};
+pub use swf::{from_swf, to_swf};
+pub use trace_model::{summarize, WorkloadSummary};

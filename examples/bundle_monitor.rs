@@ -1,0 +1,109 @@
+//! Bundle interfaces in action: on-demand queries, predictive queue-wait
+//! bounds (QBETS-style), and threshold monitoring with notifications —
+//! §III-B's three interfaces against a live loaded resource pool.
+//!
+//! ```text
+//! cargo run --release --example bundle_monitor
+//! ```
+
+use aimes_repro::bundle::{Bundle, Condition, Metric, MonitorService, QueryMode};
+use aimes_repro::cluster::Cluster;
+use aimes_repro::middleware::paper;
+use aimes_repro::sim::{SimDuration, SimTime, Simulation, Tracer};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let mut sim = Simulation::with_tracer(3, Tracer::disabled());
+    let mut bundle = Bundle::new();
+    for cfg in paper::testbed() {
+        let cluster = Cluster::new(cfg);
+        cluster.install(&mut sim);
+        bundle.add(cluster);
+    }
+
+    // Monitoring interface: notify when stampede's queue pressure stays
+    // above 1.5x machine size for 30 min (sampled every 5 min).
+    let notifications: Rc<RefCell<Vec<(f64, f64)>>> = Rc::new(RefCell::new(vec![]));
+    let sink = notifications.clone();
+    let stampede = bundle.cluster("stampede").expect("in testbed");
+    MonitorService::subscribe(
+        &mut sim,
+        stampede,
+        Metric::QueuePressure,
+        Condition::Above(1.5),
+        SimDuration::from_mins(30.0),
+        SimDuration::from_mins(5.0),
+        move |sim, value| {
+            sink.borrow_mut().push((sim.now().as_hours(), value));
+        },
+    );
+
+    // Let 12 hours of background load play out.
+    let horizon = SimTime::from_secs(12.0 * 3600.0);
+    sim.schedule_at(horizon, |_| {});
+    sim.run_until(horizon);
+
+    // Query interface, on-demand mode: the uniform representation.
+    println!("resource snapshot at t = {:.0} h:", sim.now().as_hours());
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>8} {:>6}",
+        "resource", "cores", "free", "queued", "util", "press"
+    );
+    for repr in bundle.representations(sim.now()) {
+        println!(
+            "{:<12} {:>7} {:>7} {:>7} {:>8.2} {:>6.2}",
+            repr.name,
+            repr.compute.total_cores,
+            repr.compute.free_cores,
+            repr.compute.queued_jobs,
+            repr.compute.utilization,
+            repr.queue_pressure()
+        );
+    }
+
+    // Setup-time estimates for a 128-core, 1-hour pilot: on-demand
+    // (queue replay) next to predictive (QBETS bound over history).
+    println!("\nsetup-time estimates for a 128-core x 1 h pilot:");
+    let walltime = SimDuration::from_hours(1.0);
+    let names = bundle.resource_names();
+    for name in &names {
+        let r = bundle.resource_mut(name).expect("exists");
+        let on_demand = r
+            .query
+            .setup_time(sim.now(), 128, walltime, QueryMode::OnDemand);
+        let predictive = r
+            .query
+            .setup_time(sim.now(), 128, walltime, QueryMode::Predictive);
+        let fmt = |v: Option<SimDuration>| match v {
+            Some(d) => format!("{:>8.0} s", d.as_secs()),
+            None => "       n/a".to_string(),
+        };
+        println!(
+            "  {:<12} on-demand {}   predictive(95%) {}",
+            name,
+            fmt(on_demand),
+            fmt(predictive)
+        );
+    }
+
+    // Ranking: what the Execution Manager would pick.
+    let ranked = bundle.rank_by_setup_time(sim.now(), 128, walltime, QueryMode::OnDemand);
+    println!(
+        "\nbundle ranking (on-demand): {}",
+        ranked
+            .iter()
+            .map(|(n, w)| format!("{n} ({:.0}s)", w.as_secs()))
+            .collect::<Vec<_>>()
+            .join(" < ")
+    );
+
+    let fired = notifications.borrow();
+    println!(
+        "\nmonitor notifications (stampede queue pressure > 1.5 for 30 min): {}",
+        fired.len()
+    );
+    for (hour, value) in fired.iter().take(5) {
+        println!("  t = {hour:.1} h, pressure = {value:.2}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Workload-trace replay: export a background workload as a Standard
+//! Workload Format (SWF) trace — the Parallel Workloads Archive format —
+//! re-import it, replay it into a simulated cluster, and measure a pilot's
+//! queue wait against the replayed load. The same path runs real archive
+//! traces (`from_swf` on any `.swf` file) instead of the synthetic
+//! generator.
+//!
+//! ```text
+//! cargo run --release --example swf_replay
+//! ```
+
+use aimes_repro::cluster::{Cluster, ClusterConfig, JobRequest};
+use aimes_repro::sim::{SimDuration, SimRng, SimTime, Simulation, Tracer};
+use aimes_repro::workload::{from_swf, summarize, to_swf, BackgroundWorkload, WorkloadConfig};
+
+fn main() {
+    // 1. Generate 12 hours of production-like load for a 1024-core machine.
+    let mut generator =
+        BackgroundWorkload::new(WorkloadConfig::production_like(), 1024, SimRng::new(2016));
+    let jobs = generator.generate_until(SimTime::from_secs(12.0 * 3600.0));
+    let stats = summarize(&jobs).expect("non-empty stream");
+    println!(
+        "generated {} jobs: median runtime {:.0} s, mean cores {:.1}, \
+         short-job share {:.0} %",
+        stats.job_count,
+        stats.median_runtime_secs,
+        stats.mean_cores,
+        stats.short_job_fraction * 100.0
+    );
+
+    // 2. Export as SWF and re-import (a real archive trace would enter here).
+    let swf = to_swf(&jobs, "aimes-sim-1024");
+    println!("SWF export: {} bytes, header:", swf.len());
+    for line in swf.lines().take(3) {
+        println!("  {line}");
+    }
+    let replayed = from_swf(&swf).expect("own output parses");
+    assert_eq!(replayed.len(), jobs.len());
+
+    // 3. Replay into a fresh cluster and probe it with a pilot-like job
+    //    every 2 simulated hours.
+    let mut sim = Simulation::with_tracer(7, Tracer::disabled());
+    let cluster = Cluster::new(ClusterConfig::test("replayed", 1024));
+    cluster.install_trace(&mut sim, &replayed);
+    println!("\nprobe: 128-core x 30-min pilot-shaped job, submitted every 2 h:");
+    for k in 1..=5 {
+        let at = SimTime::from_secs(k as f64 * 2.0 * 3600.0);
+        let c2 = cluster.clone();
+        sim.schedule_at(at, move |sim| {
+            let est = c2.estimate_wait(sim.now(), 128, SimDuration::from_mins(30.0));
+            let m = c2.metrics(sim.now());
+            println!(
+                "  t={:>5.1} h: free {:>4} cores, {:>3} queued jobs, \
+                 estimated wait {}",
+                sim.now().as_hours(),
+                m.free_cores,
+                m.queued_jobs,
+                est.map(|d| format!("{:>6.0} s", d.as_secs()))
+                    .unwrap_or_else(|| "   n/a".into()),
+            );
+        });
+    }
+    sim.run_to_completion();
+
+    // 4. One actual submission at the end: measure a realized wait.
+    let mut sim = Simulation::with_tracer(8, Tracer::disabled());
+    let cluster = Cluster::new(ClusterConfig::test("replayed", 1024));
+    cluster.install_trace(&mut sim, &replayed);
+    let probe = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let p2 = probe.clone();
+    let c2 = cluster.clone();
+    sim.schedule_at(SimTime::from_secs(6.0 * 3600.0), move |sim| {
+        let id = c2.submit(
+            sim,
+            JobRequest::pilot(128, SimDuration::from_mins(30.0), "probe"),
+        );
+        *p2.borrow_mut() = Some(id);
+    });
+    sim.run_to_completion();
+    let id = probe.borrow().expect("probe submitted");
+    let job = cluster.job(id).expect("tracked");
+    println!(
+        "\nrealized: probe submitted at 6.0 h waited {:.0} s, state {:?}",
+        job.queue_wait(sim.now()).as_secs(),
+        job.state
+    );
+}

@@ -1,0 +1,49 @@
+//! # aimes-repro — facade over the AIMES reproduction workspace
+//!
+//! A Rust reproduction of *"Integrating Abstractions to Enhance the
+//! Execution of Distributed Applications"* (Turilli et al., IPDPS 2016).
+//! This crate re-exports the whole workspace under one name so the
+//! examples and integration tests can depend on a single crate; library
+//! users normally depend on the individual crates instead.
+//!
+//! Layer map (bottom-up):
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`sim`] | `aimes-sim` | deterministic discrete-event engine |
+//! | [`workload`] | `aimes-workload` | distributions + background load |
+//! | [`cluster`] | `aimes-cluster` | batch-system simulator (FCFS/EASY) |
+//! | [`saga`] | `aimes-saga` | interoperability job API + adaptors |
+//! | [`skeleton`] | `aimes-skeleton` | application skeletons |
+//! | [`bundle`] | `aimes-bundle` | resource bundles (query/monitor/predict) |
+//! | [`pilot`] | `aimes-pilot` | pilot system (managers, binding, agents) |
+//! | [`strategy`] | `aimes-strategy` | execution strategies + derivation |
+//! | [`middleware`] | `aimes` | integrated middleware + experiment lab |
+
+pub use aimes as middleware;
+pub use aimes_bundle as bundle;
+pub use aimes_cluster as cluster;
+pub use aimes_pilot as pilot;
+pub use aimes_saga as saga;
+pub use aimes_sim as sim;
+pub use aimes_skeleton as skeleton;
+pub use aimes_strategy as strategy;
+pub use aimes_workload as workload;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        // One symbol per layer: compile-time check that the facade covers
+        // the whole stack.
+        let _ = crate::sim::SimTime::ZERO;
+        let _ = crate::workload::Distribution::Constant { value: 1.0 };
+        let _ = crate::cluster::ClusterConfig::test("x", 1);
+        let _ = crate::saga::SagaJobState::New;
+        let _ = crate::skeleton::paper_task_counts();
+        let _ = crate::bundle::QueryMode::OnDemand;
+        let _ = crate::pilot::PilotState::New;
+        let _ = crate::strategy::ExecutionStrategy::paper_early();
+        let _ = crate::middleware::RunOptions::default();
+    }
+}

@@ -1,0 +1,121 @@
+//! Failure-path integration: pilot death, unit restarts, unplannable
+//! strategies, and deadline handling through the full middleware stack.
+
+use aimes_repro::cluster::ClusterConfig;
+use aimes_repro::middleware::paper;
+use aimes_repro::middleware::{run_application, RunOptions};
+use aimes_repro::sim::{SimDuration, SimTime};
+use aimes_repro::skeleton::{bag_of_tasks, paper_bag, TaskDurationSpec};
+use aimes_repro::strategy::{ExecutionStrategy, PilotSizing, ResourceSelection};
+use aimes_repro::workload::Distribution;
+
+fn opts(seed: u64) -> RunOptions {
+    RunOptions {
+        seed,
+        submit_at: SimTime::from_secs(4.0 * 3600.0),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn unplannable_strategy_is_reported_not_hung() {
+    // 6 pilots wanted, 5 resources exist.
+    let app = paper_bag(64, TaskDurationSpec::Uniform15Min);
+    let mut strategy = paper::late_strategy(5);
+    strategy.pilot_count = 6;
+    let err = run_application(&paper::testbed(), &app, &strategy, &opts(1)).unwrap_err();
+    assert!(err.contains("qualify"), "{err}");
+}
+
+#[test]
+fn round_robin_into_short_pilots_restarts_units() {
+    // Explicitly under-requested walltimes (FixedSecs) force pilot death
+    // mid-execution under round robin: 16 tasks of 1800 s on two 4-core
+    // pilots need four 1800 s waves, but each pilot lives only 2500 s —
+    // the second wave is interrupted. Units restart but no pilot remains,
+    // so the run ends in a reported error, never a hang.
+    let pool: Vec<ClusterConfig> = vec![
+        ClusterConfig::test("one", 256),
+        ClusterConfig::test("two", 256),
+    ];
+    let app = bag_of_tasks(
+        "long-tasks",
+        16,
+        Distribution::Constant { value: 1800.0 },
+        1.0,
+        0.002,
+    );
+    let mut strategy = ExecutionStrategy::paper_late(2);
+    strategy.scheduler = aimes_repro::pilot::UnitScheduler::RoundRobin;
+    strategy.sizing = PilotSizing::Fixed(4);
+    strategy.walltime = aimes_repro::strategy::WalltimePolicy::FixedSecs(2500);
+    let err = run_application(&pool, &app, &strategy, &opts(2)).unwrap_err();
+    assert!(
+        err.contains("drained") || err.contains("deadline"),
+        "expected a surfaced failure, got: {err}"
+    );
+}
+
+#[test]
+fn backfill_avoids_walltime_violations_entirely() {
+    // Same pool, same app, but the AIMES backfill scheduler refuses to
+    // place tasks that cannot finish in the remaining walltime.
+    let pool: Vec<ClusterConfig> = vec![
+        ClusterConfig::test("one", 256),
+        ClusterConfig::test("two", 256),
+    ];
+    let app = bag_of_tasks(
+        "long-tasks",
+        16,
+        Distribution::Constant { value: 1800.0 },
+        1.0,
+        0.002,
+    );
+    let mut strategy = ExecutionStrategy::paper_late(2);
+    strategy.sizing = PilotSizing::Fixed(8);
+    let r = run_application(&pool, &app, &strategy, &opts(3)).unwrap();
+    assert_eq!(r.units_done, 16);
+    assert_eq!(r.restarts, 0, "backfill never schedules into doomed pilots");
+}
+
+#[test]
+fn fixed_selection_on_nonexistent_resource_errors() {
+    let app = paper_bag(8, TaskDurationSpec::Uniform15Min);
+    let mut strategy = paper::late_strategy(2);
+    strategy.selection = ResourceSelection::Fixed(vec!["atlantis".into()]);
+    let err = run_application(&paper::testbed(), &app, &strategy, &opts(4)).unwrap_err();
+    assert!(err.contains("unknown resource"), "{err}");
+}
+
+#[test]
+fn deadline_guard_fires_instead_of_hanging() {
+    // A pool so small the application cannot finish in time: one 8-core
+    // machine, 64 tasks x 15 min → 2 h minimum, deadline 30 min.
+    let pool = vec![ClusterConfig::test("tiny", 8)];
+    let app = paper_bag(64, TaskDurationSpec::Uniform15Min);
+    let mut strategy = ExecutionStrategy::paper_late(2);
+    strategy.pilot_count = 1;
+    strategy.sizing = PilotSizing::Fixed(8);
+    let err = run_application(
+        &pool,
+        &app,
+        &strategy,
+        &RunOptions {
+            seed: 5,
+            submit_at: SimTime::from_secs(60.0),
+            deadline: SimDuration::from_mins(30.0),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(err.contains("deadline"), "{err}");
+}
+
+#[test]
+fn saturated_pool_still_completes_within_generous_deadline() {
+    // The real testbed at a busy instant — large app, must still finish.
+    let app = paper_bag(2048, TaskDurationSpec::Gaussian);
+    let r = run_application(&paper::testbed(), &app, &paper::late_strategy(3), &opts(6)).unwrap();
+    assert_eq!(r.units_done + r.units_failed, 2048);
+    assert_eq!(r.units_failed, 0);
+}

@@ -1,0 +1,185 @@
+//! Statistical shape checks: the paper's headline findings must hold in
+//! the reproduction (over a handful of seeds — these are smoke-level
+//! statistical tests; the full regeneration lives in the `experiments`
+//! binary).
+
+use aimes_repro::middleware::experiment::{run_experiment, ExperimentConfig};
+use aimes_repro::middleware::paper;
+use aimes_repro::skeleton::TaskDurationSpec;
+
+fn config(
+    id: &str,
+    strategy: aimes_repro::strategy::ExecutionStrategy,
+    spec: TaskDurationSpec,
+    sizes: Vec<u32>,
+    reps: usize,
+) -> ExperimentConfig {
+    ExperimentConfig {
+        id: id.into(),
+        description: String::new(),
+        strategy,
+        duration_spec: spec,
+        task_counts: sizes,
+        repetitions: reps,
+        base_seed: 2016,
+        resources: paper::testbed(),
+        submit_window_hours: (4.0, 16.0),
+    }
+}
+
+/// Paper finding 1 (Fig. 2): late binding over three pilots beats early
+/// binding on one pilot, on average, at scale.
+#[test]
+fn late_binding_beats_early_binding_on_average() {
+    let sizes = vec![512];
+    let early = run_experiment(&config(
+        "early",
+        paper::early_strategy(),
+        TaskDurationSpec::Uniform15Min,
+        sizes.clone(),
+        6,
+    ));
+    let late = run_experiment(&config(
+        "late",
+        paper::late_strategy(3),
+        TaskDurationSpec::Uniform15Min,
+        sizes,
+        6,
+    ));
+    let e = &early.points[0];
+    let l = &late.points[0];
+    assert!(e.errors.is_empty() && l.errors.is_empty());
+    assert!(
+        l.ttc.mean < e.ttc.mean,
+        "late {} should beat early {}",
+        l.ttc.mean,
+        e.ttc.mean
+    );
+}
+
+/// Paper finding 2 (Fig. 4): the run-to-run variance of early binding is
+/// much larger than late binding's (single-resource Tw variability vs
+/// min over three resources).
+#[test]
+fn early_binding_has_larger_variance() {
+    let sizes = vec![256];
+    let early = run_experiment(&config(
+        "early",
+        paper::early_strategy(),
+        TaskDurationSpec::Uniform15Min,
+        sizes.clone(),
+        8,
+    ));
+    let late = run_experiment(&config(
+        "late",
+        paper::late_strategy(3),
+        TaskDurationSpec::Uniform15Min,
+        sizes,
+        8,
+    ));
+    let e = &early.points[0];
+    let l = &late.points[0];
+    assert!(
+        e.tw.stdev > l.tw.stdev,
+        "early Tw stdev {} vs late {}",
+        e.tw.stdev,
+        l.tw.stdev
+    );
+}
+
+/// Paper finding 3 (Fig. 3): Tw dominates early-binding TTC; Ts stays a
+/// small fraction by experimental design and grows with task count.
+#[test]
+fn tw_dominates_and_ts_scales_with_tasks() {
+    let r = run_experiment(&config(
+        "early",
+        paper::early_strategy(),
+        TaskDurationSpec::Uniform15Min,
+        vec![64, 512],
+        6,
+    ));
+    let p64 = &r.points[0];
+    let p512 = &r.points[1];
+    // Ts proportional to task count (1 MB in, 2 KB out per task through a
+    // serialized origin channel): ~8x between 64 and 512.
+    let ratio = p512.ts.mean / p64.ts.mean;
+    assert!(
+        (6.0..10.0).contains(&ratio),
+        "Ts should scale ~8x, got {ratio}"
+    );
+    // Ts remains a small share of TTC.
+    assert!(p512.ts.mean < 0.25 * p512.ttc.mean);
+    // Averaged over runs, waiting exceeds computing for early binding on
+    // the saturated pool.
+    assert!(
+        p512.tw.mean > 0.3 * p512.ttc.mean,
+        "Tw {} should be a large share of TTC {}",
+        p512.tw.mean,
+        p512.ttc.mean
+    );
+}
+
+/// Paper discussion (§IV-A): late binding with a single pilot behaves
+/// like early binding on one pilot — the pruning rule's justification.
+#[test]
+fn late_single_pilot_close_to_early_single_pilot() {
+    let sizes = vec![64];
+    let reps = 6;
+    let early = run_experiment(&config(
+        "early",
+        paper::early_strategy(),
+        TaskDurationSpec::Uniform15Min,
+        sizes.clone(),
+        reps,
+    ));
+    // Late with one pilot, sized for all tasks (strategy-space corner).
+    let mut late1 = paper::late_strategy(1);
+    late1.sizing = aimes_repro::strategy::PilotSizing::TasksTotal;
+    late1.walltime = aimes_repro::strategy::WalltimePolicy::SingleShot;
+    let late = run_experiment(&config(
+        "late1",
+        late1,
+        TaskDurationSpec::Uniform15Min,
+        sizes,
+        reps,
+    ));
+    let e = &early.points[0];
+    let l = &late.points[0];
+    // Same sizing, same walltime, same pool: the Tx components must agree
+    // closely (both run everything in one wave on one pilot).
+    assert!(
+        (e.tx.mean - l.tx.mean).abs() / e.tx.mean < 0.1,
+        "early Tx {} vs late-1p Tx {}",
+        e.tx.mean,
+        l.tx.mean
+    );
+}
+
+/// The min-over-k mechanism: with k pilots the first activation is the
+/// minimum of k per-resource waits, so mean first-activation wait must
+/// not increase with k.
+#[test]
+fn first_activation_wait_shrinks_with_more_pilots() {
+    let mut means = Vec::new();
+    for k in [1u32, 3] {
+        let mut strategy = paper::late_strategy(k.max(2));
+        if k == 1 {
+            strategy = paper::late_strategy(2);
+            strategy.pilot_count = 1; // single pilot, late machinery
+        }
+        let r = run_experiment(&config(
+            &format!("k{k}"),
+            strategy,
+            TaskDurationSpec::Uniform15Min,
+            vec![128],
+            8,
+        ));
+        means.push(r.points[0].tw.mean);
+    }
+    assert!(
+        means[1] <= means[0] * 1.1,
+        "Tw with 3 pilots ({}) should not exceed 1 pilot ({})",
+        means[1],
+        means[0]
+    );
+}
