@@ -156,6 +156,7 @@ fn run_one(config: &ExperimentConfig, n_tasks: u32, rep: usize) -> Result<RunRes
             ..Default::default()
         },
     )
+    .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

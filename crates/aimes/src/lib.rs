@@ -31,7 +31,8 @@ pub mod stats;
 pub mod ttc;
 
 pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveRunResult};
+pub use aimes_fault as fault;
 pub use experiment::{ExperimentConfig, ExperimentPoint, ExperimentResult};
-pub use middleware::{run_application, RunOptions, RunResult};
+pub use middleware::{run_application, RunError, RunOptions, RunResult};
 pub use stats::Summary;
 pub use ttc::TtcBreakdown;

@@ -7,16 +7,17 @@
 //! pilots with input/output staging (6). All pilots are cancelled when the
 //! application completes "so as not to waste resources".
 
-use crate::ttc::{decompose, TtcBreakdown};
+use crate::ttc::{decompose, wasted_core_hours, TtcBreakdown};
 use aimes_bundle::Bundle;
 use aimes_cluster::{Cluster, ClusterConfig};
-use aimes_pilot::{Pilot, PilotManager, UnitManager, UnitManagerStats};
+use aimes_fault::{FaultSpec, OutageKind, RecoveryPolicy};
+use aimes_pilot::{Pilot, PilotManager, PilotRecovery, UnitManager, UnitManagerStats};
 use aimes_saga::Session;
 use aimes_sim::{SimDuration, SimTime, Simulation, Tracer};
 use aimes_skeleton::{SkeletonApp, SkeletonConfig};
-use aimes_strategy::{ExecutionManager, ExecutionStrategy};
+use aimes_strategy::{ExecutionManager, ExecutionStrategy, ResourceSelection};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Options for one run.
@@ -34,6 +35,14 @@ pub struct RunOptions {
     pub deadline: SimDuration,
     /// Record a full trace (costs memory; off for sweeps).
     pub trace: bool,
+    /// Deterministic fault model, compiled against the run seed. `None`
+    /// (the default) injects nothing and leaves every event stream
+    /// byte-identical to a build without fault support.
+    pub faults: Option<FaultSpec>,
+    /// Self-healing policy. `None` (the default) keeps the legacy
+    /// behaviour: failed pilots stay dead, unit retries are immediate,
+    /// and a lost resource is never re-planned around.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for RunOptions {
@@ -43,7 +52,72 @@ impl Default for RunOptions {
             submit_at: SimTime::from_secs(6.0 * 3600.0),
             deadline: SimDuration::from_hours(96.0),
             trace: false,
+            faults: None,
+            recovery: None,
         }
+    }
+}
+
+/// Why a run could not deliver a [`RunResult`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// No viable plan: resources do not qualify, unknown resource, empty
+    /// pool. The message is the Execution Manager's verbatim explanation.
+    Unplannable(String),
+    /// The skeleton could not generate the application.
+    Skeleton(String),
+    /// The simulated deadline passed with units still unfinished.
+    DeadlineExceeded {
+        n_tasks: u32,
+        strategy_label: String,
+        at: SimTime,
+        stats: UnitManagerStats,
+    },
+    /// Every pilot died and nothing could replace them: the event queue
+    /// drained with units still pending.
+    PilotsDrained { stats: UnitManagerStats },
+    /// A resource was lost permanently and the run could not complete
+    /// without it (recovery disabled, or re-planning found no way out).
+    ResourceLost {
+        resource: String,
+        stats: UnitManagerStats,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Unplannable(msg) => write!(f, "{msg}"),
+            RunError::Skeleton(msg) => write!(f, "skeleton generation failed: {msg}"),
+            RunError::DeadlineExceeded {
+                n_tasks,
+                strategy_label,
+                at,
+                stats,
+            } => write!(
+                f,
+                "run missed its deadline: {n_tasks} tasks under {strategy_label} \
+                 still unfinished at {at:?} (stats {stats:?})"
+            ),
+            RunError::PilotsDrained { stats } => {
+                write!(f, "pilot pool drained before completion ({stats:?})")
+            }
+            RunError::ResourceLost { resource, stats } => write!(
+                f,
+                "resource {resource} permanently lost before completion ({stats:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl RunError {
+    /// Substring check on the rendered message — keeps the pre-enum
+    /// `String`-error call sites (`err.contains("deadline")`) compiling
+    /// unchanged.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.to_string().contains(needle)
     }
 }
 
@@ -64,6 +138,16 @@ pub struct RunResult {
     pub charged_core_hours: f64,
     /// Core-hours actually spent executing tasks.
     pub used_core_hours: f64,
+    /// Replacement pilots submitted by the self-healing layer.
+    pub replacements: u64,
+    /// Strategy re-derivations after permanent resource loss.
+    pub replans: u64,
+    /// Core-hours burnt on execution attempts that never produced output
+    /// (killed or faulted mid-run and re-done elsewhere).
+    pub wasted_core_hours: f64,
+    /// Mean time from a pilot failure to its replacement becoming Active
+    /// (0 when nothing needed recovering).
+    pub mean_recovery_secs: f64,
 }
 
 impl RunResult {
@@ -109,7 +193,7 @@ pub fn run_application(
     app_config: &SkeletonConfig,
     strategy: &ExecutionStrategy,
     options: &RunOptions,
-) -> Result<RunResult, String> {
+) -> Result<RunResult, RunError> {
     let tracer = if options.trace {
         Tracer::new()
     } else {
@@ -120,19 +204,46 @@ pub fn run_application(
     // Resource layer: clusters with background load, SAGA session, bundle.
     let mut session = Session::new();
     let mut bundle = Bundle::new();
+    let mut clusters: Vec<Cluster> = Vec::new();
     for cfg in resources {
         let cluster = Cluster::new(cfg.clone());
         cluster.install(&mut sim);
         session.add_resource(&sim, cluster.clone());
-        bundle.add(cluster);
+        bundle.add(cluster.clone());
+        clusters.push(cluster);
     }
     let session = Rc::new(session);
+
+    // Compile the fault model against the run seed. Everything below is
+    // gated on `schedule` so a fault-free run replays the exact event and
+    // RNG streams of a build without fault support.
+    let schedule = options
+        .faults
+        .as_ref()
+        .filter(|spec| !spec.is_noop())
+        .map(|spec| {
+            let names: Vec<String> = clusters.iter().map(|c| c.name()).collect();
+            let mut fault_rng = sim.fork_rng("faults");
+            spec.compile(&names, &mut fault_rng)
+        });
+    if let Some(sched) = &schedule {
+        if sched.launch_transient_chance > 0.0 || sched.launch_permanent_chance > 0.0 {
+            for cluster in &clusters {
+                if let Some(svc) = session.service(&cluster.name()) {
+                    svc.inject_launch_faults(
+                        sched.launch_transient_chance,
+                        sched.launch_permanent_chance,
+                    );
+                }
+            }
+        }
+    }
 
     // Generate the application (same seed → same workload across
     // strategies with the same experiment seed).
     let mut app_rng = sim.fork_rng("skeleton");
     let app = SkeletonApp::generate(app_config, &mut app_rng)
-        .map_err(|e| format!("skeleton generation failed: {e}"))?;
+        .map_err(|e| RunError::Skeleton(e.to_string()))?;
     let n_tasks = app.tasks().len() as u32;
 
     // Let the resource pool evolve to the submission instant. The marker
@@ -145,12 +256,34 @@ pub fn run_application(
     // Steps 1–4: derive the plan at submission time.
     let em = ExecutionManager::default();
     let mut selection_rng = sim.fork_rng("resource-selection");
-    let plan =
-        em.derive_plan_with_rng(submitted, &app, &mut bundle, strategy, &mut selection_rng)?;
+    let plan = em
+        .derive_plan_with_rng(submitted, &app, &mut bundle, strategy, &mut selection_rng)
+        .map_err(RunError::Unplannable)?;
 
-    // Step 5–6: enact.
+    // Step 5–6: enact. Fault chances and recovery knobs are threaded into
+    // the unit manager's config; the pilot manager gets its healing policy.
+    let mut um_config = plan.um_config.clone();
+    if let Some(sched) = &schedule {
+        um_config.unit_fault_chance = sched.unit_failure_chance;
+        um_config.unit_fault_permanent_chance = sched.unit_permanent_chance;
+    }
+    if let Some(rec) = &options.recovery {
+        um_config.retry_backoff = rec.unit_retry_backoff;
+        um_config.retry_backoff_cap = rec.replacement_backoff_cap;
+    }
     let pm = PilotManager::new(session);
-    let um = UnitManager::new(pm.clone(), plan.um_config.clone());
+    if let Some(rec) = options.recovery.as_ref().filter(|r| r.pilot_replacement) {
+        pm.set_recovery(PilotRecovery {
+            max_replacements: rec.max_replacements_per_pilot,
+            backoff: rec.replacement_backoff,
+            backoff_cap: rec.replacement_backoff_cap,
+            blacklist_after: rec.blacklist_after,
+            // Exactly one layer owns cross-resource recovery: with
+            // re-planning on, pilot replacement stays on-resource.
+            reroute: !rec.replan_on_resource_loss,
+        });
+    }
+    let um = UnitManager::new(pm.clone(), um_config);
     let finished: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
     {
         let pm2 = pm.clone();
@@ -163,26 +296,153 @@ pub fn run_application(
     pm.submit(&mut sim, plan.pilots.clone());
     um.submit_units(&mut sim, app.tasks());
 
+    // Arm the fault schedule. All times are relative to submission.
+    let lost: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    let replans: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+    if let Some(sched) = &schedule {
+        if let Some(sf) = sched.staging.filter(|s| s.duration_secs > 0.0) {
+            let start = submitted + SimDuration::from_secs(sf.at_secs.max(0.0));
+            let factor = sf.bandwidth_factor.clamp(0.001, 1.0);
+            let um2 = um.clone();
+            sim.schedule_at(start, move |_| um2.set_origin_bandwidth_factor(factor));
+            let um3 = um.clone();
+            sim.schedule_at(
+                start + SimDuration::from_secs(sf.duration_secs),
+                move |_| um3.set_origin_bandwidth_factor(1.0),
+            );
+        }
+        let replanner = options
+            .recovery
+            .as_ref()
+            .filter(|r| r.replan_on_resource_loss)
+            .map(|_| {
+                (
+                    Rc::new(RefCell::new(bundle)),
+                    Rc::new(RefCell::new(sim.fork_rng("replan"))),
+                    app.clone(),
+                    strategy.clone(),
+                )
+            });
+        for o in &sched.outages {
+            let Some(cluster) = clusters.iter().find(|c| c.name() == o.resource).cloned() else {
+                continue; // the spec may name resources outside this pool
+            };
+            let at = submitted + SimDuration::from_secs(o.at.as_secs().max(0.0));
+            match o.kind {
+                OutageKind::Outage | OutageKind::Drain => {
+                    let kill = o.kind == OutageKind::Outage;
+                    let duration = o.duration;
+                    sim.schedule_at(at, move |sim| {
+                        cluster.inject_outage(sim, duration, kill);
+                    });
+                }
+                OutageKind::Permanent => {
+                    let pm2 = pm.clone();
+                    let lost2 = lost.clone();
+                    let replans2 = replans.clone();
+                    let replanner = replanner.clone();
+                    let resource = o.resource.clone();
+                    let all_names: Vec<String> = clusters.iter().map(|c| c.name()).collect();
+                    sim.schedule_at(at, move |sim| {
+                        // Count live pilots before the axe falls so the
+                        // re-plan knows how much capacity to rebuild.
+                        let doomed = pm2
+                            .pilots()
+                            .iter()
+                            .filter(|p| {
+                                p.description.resource == resource && !p.state.is_terminal()
+                            })
+                            .count();
+                        // Blacklist first: replacement logic triggered by
+                        // the kills below must not resubmit to a corpse.
+                        pm2.blacklist(&resource);
+                        cluster.decommission(sim);
+                        lost2.borrow_mut().push(resource.clone());
+                        let Some((bundle, rng, app, strategy)) = &replanner else {
+                            return;
+                        };
+                        if doomed == 0 {
+                            return;
+                        }
+                        let survivors: Vec<String> = all_names
+                            .iter()
+                            .filter(|n| !lost2.borrow().contains(n))
+                            .cloned()
+                            .collect();
+                        if survivors.is_empty() {
+                            sim.tracer().record(
+                                sim.now(),
+                                "middleware",
+                                "ReplanFailed",
+                                "no surviving resources",
+                            );
+                            return;
+                        }
+                        let mut replan_strategy = strategy.clone();
+                        replan_strategy.pilot_count =
+                            (doomed as u32).min(survivors.len() as u32).max(1);
+                        replan_strategy.selection = ResourceSelection::Fixed(survivors.clone());
+                        let em = ExecutionManager::default();
+                        match em.derive_plan_with_rng(
+                            sim.now(),
+                            app,
+                            &mut bundle.borrow_mut(),
+                            &replan_strategy,
+                            &mut rng.borrow_mut(),
+                        ) {
+                            Ok(plan2) => {
+                                sim.tracer().record(
+                                    sim.now(),
+                                    "middleware",
+                                    "Replan",
+                                    format!(
+                                        "lost {resource}: {} pilots over [{}]",
+                                        plan2.pilots.len(),
+                                        survivors.join(", ")
+                                    ),
+                                );
+                                pm2.submit(sim, plan2.pilots);
+                                replans2.set(replans2.get() + 1);
+                            }
+                            Err(e) => {
+                                sim.tracer()
+                                    .record(sim.now(), "middleware", "ReplanFailed", e);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+
     // Run until the application completes or the deadline passes.
     let deadline = submitted + options.deadline;
     while finished.borrow().is_none() {
         if sim.now() > deadline {
-            return Err(format!(
-                "run missed its deadline: {} tasks under {} still unfinished at {:?} \
-                 (stats {:?})",
+            return Err(RunError::DeadlineExceeded {
                 n_tasks,
-                strategy.label(),
-                sim.now(),
-                um.stats()
-            ));
+                strategy_label: strategy.label(),
+                at: sim.now(),
+                stats: um.stats(),
+            });
         }
         if !sim.step() {
             break;
         }
     }
-    let finished_at = finished
-        .borrow()
-        .ok_or_else(|| format!("event queue drained before completion ({:?})", um.stats()))?;
+    let finished_at = match *finished.borrow() {
+        Some(t) => t,
+        None => {
+            let stats = um.stats();
+            return Err(match lost.borrow().first() {
+                Some(resource) => RunError::ResourceLost {
+                    resource: resource.clone(),
+                    stats,
+                },
+                None => RunError::PilotsDrained { stats },
+            });
+        }
+    };
 
     let stats: UnitManagerStats = um.stats();
     let units = um.units();
@@ -211,9 +471,19 @@ pub fn run_application(
                 .map(|d| f64::from(u.task.cores) * d.as_hours())
         })
         .sum();
+    let recovery_times = pm.recovery_times();
+    let mean_recovery_secs = if recovery_times.is_empty() {
+        0.0
+    } else {
+        recovery_times.iter().map(|d| d.as_secs()).sum::<f64>() / recovery_times.len() as f64
+    };
     Ok(RunResult {
         charged_core_hours,
         used_core_hours,
+        replacements: pm.replacements(),
+        replans: replans.get(),
+        wasted_core_hours: wasted_core_hours(&units),
+        mean_recovery_secs,
         strategy_label: strategy.label(),
         n_tasks,
         breakdown,

@@ -105,6 +105,42 @@ pub fn fig4_table(result: &ExperimentResult) -> String {
     )
 }
 
+/// Recovery summary: one row per run with the self-healing counters and
+/// overhead metrics (restarts, replacements, re-plans, recovery TTC
+/// component Tr, wasted core-hours, mean time-to-recovery).
+pub fn recovery_table(runs: &[crate::middleware::RunResult]) -> String {
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.strategy_label.clone(),
+                r.n_tasks.to_string(),
+                format!("{}/{}", r.units_done, r.n_tasks),
+                r.restarts.to_string(),
+                r.replacements.to_string(),
+                r.replans.to_string(),
+                format!("{:.0}", r.breakdown.tr.as_secs()),
+                format!("{:.2}", r.wasted_core_hours),
+                format!("{:.0}", r.mean_recovery_secs),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &[
+            "Strategy",
+            "#Tasks",
+            "Done",
+            "Restarts",
+            "Replacements",
+            "Replans",
+            "Tr(s)",
+            "Wasted(ch)",
+            "MeanRec(s)",
+        ],
+        &rows,
+    )
+}
+
 /// Markers assigned to series in order (the paper's four experiments fit).
 const MARKERS: [char; 6] = ['1', '2', '3', '4', '5', '6'];
 
@@ -364,6 +400,32 @@ mod tests {
         let chart = fig2_chart(&[&r1, &r3]);
         assert!(chart.contains("TTC vs #tasks"));
         assert!(chart.contains("1 = exp1"));
+    }
+
+    #[test]
+    fn recovery_table_lists_healing_counters() {
+        let run = crate::middleware::RunResult {
+            strategy_label: "late-backfill-3p".into(),
+            n_tasks: 16,
+            breakdown: crate::ttc::TtcBreakdown {
+                tr: aimes_sim::SimDuration::from_secs(120.0),
+                ..Default::default()
+            },
+            resources_used: vec!["a".into()],
+            units_done: 16,
+            units_failed: 0,
+            restarts: 3,
+            pilot_setup_secs: vec![],
+            charged_core_hours: 10.0,
+            used_core_hours: 8.0,
+            replacements: 2,
+            replans: 1,
+            wasted_core_hours: 0.75,
+            mean_recovery_secs: 90.0,
+        };
+        let t = recovery_table(&[run]);
+        assert!(t.contains("Replacements"));
+        assert!(t.contains("| late-backfill-3p | 16 | 16/16 | 3 | 2 | 1 | 120 | 0.75 | 90 |"));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use aimes_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Measured decomposition of one run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TtcBreakdown {
     /// Total time to completion: submission → last unit done.
     pub ttc: SimDuration,
@@ -29,6 +29,10 @@ pub struct TtcBreakdown {
     pub tx: SimDuration,
     /// Union of staging intervals (input and output).
     pub ts: SimDuration,
+    /// Recovery overhead: union of the windows between a unit's restart
+    /// (re-entering PendingExecution after a failure) and the moment it is
+    /// executing again — time the run spent healing rather than working.
+    pub tr: SimDuration,
 }
 
 /// Total length of the union of `[start, end)` intervals.
@@ -68,6 +72,51 @@ fn unit_intervals(unit: &ComputeUnit, from: UnitState) -> Vec<(SimTime, SimTime)
     out
 }
 
+/// Recovery windows of one unit: every re-entry to PendingExecution (a
+/// restart) opens a window that closes when the unit next executes, or at
+/// its terminal transition, or — if neither happened — at `finished`.
+fn recovery_intervals(unit: &ComputeUnit, finished: SimTime) -> Vec<(SimTime, SimTime)> {
+    let ts = &unit.timestamps;
+    let mut out = Vec::new();
+    let mut pending_seen = 0u32;
+    for (i, (state, time)) in ts.iter().enumerate() {
+        if *state == UnitState::PendingExecution {
+            pending_seen += 1;
+            if pending_seen >= 2 {
+                let end = ts[i + 1..]
+                    .iter()
+                    .find(|(s, _)| *s == UnitState::Executing || s.is_terminal())
+                    .map(|(_, t)| *t)
+                    .unwrap_or(finished);
+                out.push((*time, end));
+            }
+        }
+    }
+    out
+}
+
+/// Core-hours burned on execution attempts that never delivered: every
+/// Executing interval whose successor is not StagingOutput was aborted (a
+/// pilot death or an injected unit fault), and its reserved cores were
+/// wasted for the interval's length.
+pub fn wasted_core_hours(units: &[ComputeUnit]) -> f64 {
+    let mut total = 0.0;
+    for u in units {
+        let ts = &u.timestamps;
+        for (i, (state, time)) in ts.iter().enumerate() {
+            if *state != UnitState::Executing {
+                continue;
+            }
+            if let Some((next, end)) = ts.get(i + 1) {
+                if *next != UnitState::StagingOutput {
+                    total += f64::from(u.task.cores) * end.since(*time).as_secs() / 3600.0;
+                }
+            }
+        }
+    }
+    total
+}
+
 /// Compute the decomposition for one run.
 ///
 /// * `submitted` — when the middleware began enacting the strategy;
@@ -88,16 +137,19 @@ pub fn decompose(
     };
     let mut exec: Vec<(SimTime, SimTime)> = Vec::new();
     let mut staging: Vec<(SimTime, SimTime)> = Vec::new();
+    let mut recovery: Vec<(SimTime, SimTime)> = Vec::new();
     for u in units {
         exec.extend(unit_intervals(u, UnitState::Executing));
         staging.extend(unit_intervals(u, UnitState::StagingInput));
         staging.extend(unit_intervals(u, UnitState::StagingOutput));
+        recovery.extend(recovery_intervals(u, finished));
     }
     TtcBreakdown {
         ttc: finished.saturating_since(submitted),
         tw,
         tx: interval_union(exec),
         ts: interval_union(staging),
+        tr: interval_union(recovery),
     }
 }
 
@@ -279,6 +331,85 @@ mod tests {
         let b = decompose(&[unit], &[mk_pilot(1.0)], t(0.0), t(962.0));
         // Executing: [2,50] (aborted attempt) + [61,961].
         assert_eq!(b.tx, d(948.0));
+    }
+
+    #[test]
+    fn restart_opens_a_recovery_window() {
+        let unit = mk_unit(
+            0,
+            &[
+                (UnitState::PendingExecution, 0.0),
+                (UnitState::StagingInput, 1.0),
+                (UnitState::Executing, 2.0),
+                // pilot died at 50, restart; re-executing at 61
+                (UnitState::PendingExecution, 50.0),
+                (UnitState::StagingInput, 60.0),
+                (UnitState::Executing, 61.0),
+                (UnitState::StagingOutput, 961.0),
+                (UnitState::Done, 962.0),
+            ],
+        );
+        let b = decompose(
+            std::slice::from_ref(&unit),
+            &[mk_pilot(1.0)],
+            t(0.0),
+            t(962.0),
+        );
+        // Recovery window [50, 61]; the first attempt has none.
+        assert_eq!(b.tr, d(11.0));
+        // The aborted [2,50] attempt wasted 48 core-seconds (1 core).
+        assert!((wasted_core_hours(&[unit]) - 48.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unhealed_restart_window_runs_to_finish_or_terminal() {
+        // Restarted but never re-executed: window closes at `finished`.
+        let hung = mk_unit(
+            0,
+            &[
+                (UnitState::PendingExecution, 0.0),
+                (UnitState::StagingInput, 1.0),
+                (UnitState::Executing, 2.0),
+                (UnitState::PendingExecution, 50.0),
+            ],
+        );
+        let b = decompose(&[hung], &[mk_pilot(1.0)], t(0.0), t(200.0));
+        assert_eq!(b.tr, d(150.0));
+        // Restarted then written off: window closes at the Failed stamp.
+        let failed = mk_unit(
+            1,
+            &[
+                (UnitState::PendingExecution, 0.0),
+                (UnitState::StagingInput, 1.0),
+                (UnitState::Executing, 2.0),
+                (UnitState::PendingExecution, 50.0),
+                (UnitState::Failed, 80.0),
+            ],
+        );
+        let b = decompose(&[failed], &[mk_pilot(1.0)], t(0.0), t(200.0));
+        assert_eq!(b.tr, d(30.0));
+    }
+
+    #[test]
+    fn clean_run_has_no_recovery_and_no_waste() {
+        let unit = mk_unit(
+            0,
+            &[
+                (UnitState::PendingExecution, 1.0),
+                (UnitState::StagingInput, 100.0),
+                (UnitState::Executing, 102.0),
+                (UnitState::StagingOutput, 1002.0),
+                (UnitState::Done, 1003.0),
+            ],
+        );
+        let b = decompose(
+            std::slice::from_ref(&unit),
+            &[mk_pilot(100.0)],
+            t(0.0),
+            t(1003.0),
+        );
+        assert_eq!(b.tr, SimDuration::ZERO);
+        assert_eq!(wasted_core_hours(&[unit]), 0.0);
     }
 
     proptest! {

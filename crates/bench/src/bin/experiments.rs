@@ -17,6 +17,7 @@
 //!   ablation-crossover  long tasks: where early binding becomes competitive
 //!   ablation-throughput tasks/hour under each strategy
 //!   ablation-hetero     heterogeneous task-duration mixes
+//!   ablation-faults     failure-rate sweep: self-healing cost & payoff
 //!   all                 everything above
 //! ```
 //!
@@ -734,6 +735,171 @@ fn ablation_queue(opts: &Options) {
     );
 }
 
+/// Fault sweep: failure rate on the x-axis, measuring what self-healing
+/// costs and what it saves. Each rate drives both the per-unit fault
+/// chance and the expected random-outage count per resource; every
+/// schedule is replayed with recovery on and off. Emits the markdown
+/// table plus a JSON block for downstream plotting.
+fn ablation_faults(opts: &Options) {
+    use aimes_fault::{FaultSpec, RecoveryPolicy};
+
+    #[derive(serde::Serialize)]
+    struct SweepPoint {
+        failure_rate: f64,
+        recovery: bool,
+        reps: usize,
+        completed: usize,
+        ttc_mean_secs: f64,
+        tr_mean_secs: f64,
+        wasted_core_hours_mean: f64,
+        restarts: u64,
+        replacements: u64,
+        replans: u64,
+        errors: std::collections::BTreeMap<String, usize>,
+    }
+
+    println!("## Ablation — fault injection & self-healing (late binding, 2 pilots)\n");
+    let n_tasks = if opts.quick { 32 } else { 64 };
+    let pool: Vec<aimes_cluster::ClusterConfig> = ["fa", "fb", "fc"]
+        .iter()
+        .map(|n| aimes_cluster::ClusterConfig::test(n, 4096))
+        .collect();
+    let app = bag_of_tasks(
+        "faults",
+        n_tasks,
+        Distribution::Constant { value: 900.0 },
+        1.0,
+        0.002,
+    );
+    let mut strategy = ExecutionStrategy::paper_late(2);
+    strategy.selection = aimes_strategy::ResourceSelection::Random;
+    // A generous fixed walltime keeps pilot lifetime out of the picture:
+    // fault-driven retries stretch runs well past the fault-free estimate,
+    // and walltime underestimation is the walltime ablation's topic.
+    strategy.walltime = aimes_strategy::WalltimePolicy::FixedSecs(6 * 3600);
+
+    let rates = [0.0, 0.05, 0.1, 0.2, 0.4];
+    let mut rows = Vec::new();
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for &rate in &rates {
+        for recovery in [true, false] {
+            // Outages are placed inside the first hour after submission —
+            // the window the run actually occupies — so the rate axis
+            // genuinely exercises pilot death, not just unit faults.
+            let faults = FaultSpec {
+                unit_failure_chance: rate,
+                random_outages_per_resource: 2.0 * rate,
+                random_outage_duration_secs: (300.0, 900.0),
+                horizon_secs: 3600.0,
+                ..FaultSpec::none()
+            };
+            let mut ttcs = Vec::new();
+            let mut trs = Vec::new();
+            let mut wasted = Vec::new();
+            let mut restarts = 0u64;
+            let mut replacements = 0u64;
+            let mut replans = 0u64;
+            let mut errors: std::collections::BTreeMap<String, usize> =
+                std::collections::BTreeMap::new();
+            for rep in 0..opts.reps {
+                // Same seed for both recovery arms: identical schedules,
+                // the only difference is whether the run heals.
+                let seed = SimRng::new(opts.seed)
+                    .fork_indexed(&format!("faults-{rate}"), rep as u64)
+                    .root_seed();
+                let mut rng = SimRng::new(seed).fork("submit");
+                let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+                match run_application(
+                    &pool,
+                    &app,
+                    &strategy,
+                    &RunOptions {
+                        seed,
+                        submit_at,
+                        faults: Some(faults.clone()),
+                        recovery: recovery.then(RecoveryPolicy::default),
+                        ..Default::default()
+                    },
+                ) {
+                    Ok(r) => {
+                        ttcs.push(r.breakdown.ttc.as_secs());
+                        trs.push(r.breakdown.tr.as_secs());
+                        wasted.push(r.wasted_core_hours);
+                        restarts += r.restarts;
+                        replacements += r.replacements;
+                        replans += r.replans;
+                    }
+                    Err(e) => {
+                        let class = match e {
+                            aimes::middleware::RunError::PilotsDrained { .. } => "drained",
+                            aimes::middleware::RunError::ResourceLost { .. } => "lost",
+                            aimes::middleware::RunError::DeadlineExceeded { .. } => "deadline",
+                            _ => "other",
+                        };
+                        *errors.entry(class.to_string()).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mean = |v: &[f64]| {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            };
+            rows.push(vec![
+                format!("{rate:.2}"),
+                if recovery { "on" } else { "off" }.to_string(),
+                format!("{}/{}", ttcs.len(), opts.reps),
+                if ttcs.is_empty() {
+                    "-".into()
+                } else {
+                    format!("{:.0}", mean(&ttcs))
+                },
+                format!("{:.0}", mean(&trs)),
+                format!("{:.2}", mean(&wasted)),
+                restarts.to_string(),
+                replacements.to_string(),
+                replans.to_string(),
+            ]);
+            points.push(SweepPoint {
+                failure_rate: rate,
+                recovery,
+                reps: opts.reps,
+                completed: ttcs.len(),
+                ttc_mean_secs: mean(&ttcs),
+                tr_mean_secs: mean(&trs),
+                wasted_core_hours_mean: mean(&wasted),
+                restarts,
+                replacements,
+                replans,
+                errors,
+            });
+        }
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Rate",
+                "Recovery",
+                "Completed",
+                "TTC mean(s)",
+                "Tr mean(s)",
+                "Wasted(ch)",
+                "Restarts",
+                "Replacements",
+                "Replans"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\n### JSON\n```json\n{}\n```",
+        serde_json::to_string_pretty(&points).expect("sweep points serialize")
+    );
+}
+
 /// Predictor evaluation: the Bundle's predictive machinery (QBETS-style
 /// quantile bound, exponential smoothing, conservative queue replay)
 /// scored against realized pilot waits on a saturated machine.
@@ -861,6 +1027,7 @@ fn main() {
         "ablation-walltime" => ablation_walltime(&opts),
         "ablation-queue" => ablation_queue(&opts),
         "ablation-predictor" => ablation_predictor(&opts),
+        "ablation-faults" => ablation_faults(&opts),
         "all" => {
             table1();
             // Run experiments 1-4 once and render both figures from them.
@@ -888,6 +1055,7 @@ fn main() {
             ablation_walltime(&opts);
             ablation_queue(&opts);
             ablation_predictor(&opts);
+            ablation_faults(&opts);
         }
         _ => {
             println!(
@@ -895,7 +1063,7 @@ fn main() {
                  ablation-sched | ablation-select | ablation-data | \
                  ablation-crossover | ablation-throughput | ablation-hetero | \n\
                  ablation-adaptive | ablation-walltime | ablation-queue | \n\
-                 ablation-predictor | all\n\
+                 ablation-predictor | ablation-faults | all\n\
                  flags: --reps N --seed S --quick"
             );
         }

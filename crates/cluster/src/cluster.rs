@@ -156,6 +156,10 @@ struct ClusterState {
     watchers: HashMap<JobId, Vec<Watcher>>,
     // Coalesces same-instant dispatch requests into one event.
     dispatch_scheduled: bool,
+    // Fault injection: no job starts before this instant (outage/drain
+    // window). Queued jobs wait; submissions are still accepted, as a real
+    // batch system keeps accepting into a paused queue.
+    down_until: Option<SimTime>,
 }
 
 type Watcher = Box<dyn FnMut(&mut Simulation, JobState)>;
@@ -285,6 +289,7 @@ impl Cluster {
             wait_history: VecDeque::new(),
             watchers: HashMap::new(),
             dispatch_scheduled: false,
+            down_until: None,
         };
         Cluster {
             inner: Rc::new(RefCell::new(state)),
@@ -543,6 +548,11 @@ impl Cluster {
         let now = sim.now();
         let starts: Vec<(JobId, SimTime, JobOwner, String, SimDuration)> = {
             let mut st = self.inner.borrow_mut();
+            if st.down_until.is_some_and(|until| now < until) {
+                // Outage/drain window: the scheduler is paused. A dispatch
+                // pass is already scheduled for the window's end.
+                return;
+            }
             let queued = st.queued_views();
             let running = st.running_views();
             let ids = select_starts(st.config.policy, now, st.free_cores, &running, &queued);
@@ -616,6 +626,105 @@ impl Cluster {
         }
         self.notify(sim, id, final_state);
         self.schedule_dispatch(sim);
+    }
+
+    /// Inject a resource fault starting now. For `kill_running = true`
+    /// (an outage: node failure, emergency maintenance) every running job
+    /// is killed immediately and the scheduler stays paused until the
+    /// window ends; for `kill_running = false` (a drain: scheduled
+    /// maintenance reservation) running jobs finish but nothing new starts.
+    /// Overlapping windows extend each other. Queued jobs and new
+    /// submissions are retained — they simply wait out the window.
+    pub fn inject_outage(&self, sim: &mut Simulation, duration: SimDuration, kill_running: bool) {
+        let now = sim.now();
+        let (name, end) = {
+            let mut st = self.inner.borrow_mut();
+            let end = (now + duration).max(st.down_until.unwrap_or(SimTime::ZERO));
+            st.down_until = Some(end);
+            (st.config.name.clone(), end)
+        };
+        sim.tracer().record(
+            now,
+            format!("cluster.{name}"),
+            if kill_running { "Outage" } else { "Drain" },
+            format!("{:.0}s window", duration.as_secs()),
+        );
+        if kill_running {
+            self.kill_running_jobs(sim, &name);
+        }
+        let this = self.clone();
+        sim.schedule_at(end, move |sim| {
+            // The window may have been extended by a later injection, in
+            // which case this pass is a no-op and that injection's own
+            // wake-up takes over.
+            this.schedule_dispatch(sim);
+        });
+    }
+
+    /// Remove the resource from service for good: running AND queued jobs
+    /// are killed and dispatch never resumes. Watchers see `Killed`, so
+    /// submitters learn their work died with the machine.
+    pub fn decommission(&self, sim: &mut Simulation) {
+        let now = sim.now();
+        let (name, queued) = {
+            let mut st = self.inner.borrow_mut();
+            st.down_until = Some(SimTime::from_secs(f64::INFINITY));
+            let queued: Vec<JobId> = std::mem::take(&mut st.queue);
+            for &id in &queued {
+                st.transition(id, JobState::Killed);
+                st.jobs.get_mut(&id).expect("queued job exists").end_time = Some(now);
+            }
+            (st.config.name.clone(), queued)
+        };
+        sim.tracer().record(
+            now,
+            format!("cluster.{name}"),
+            "Decommission",
+            "permanent loss",
+        );
+        self.kill_running_jobs(sim, &name);
+        for id in queued {
+            self.notify(sim, id, JobState::Killed);
+        }
+    }
+
+    /// Kill every running job: bookkeeping for all victims first, under
+    /// one borrow; then cancel events and notify watchers
+    /// re-entrancy-safely.
+    fn kill_running_jobs(&self, sim: &mut Simulation, name: &str) {
+        let now = sim.now();
+        let victims: Vec<(JobId, EventId, JobOwner, String)> = {
+            let mut st = self.inner.borrow_mut();
+            let ids: Vec<JobId> = st.running.keys().copied().collect();
+            let mut out = Vec::with_capacity(ids.len());
+            for id in ids {
+                st.accrue_busy(now);
+                st.transition(id, JobState::Killed);
+                let ev = st.running.remove(&id).expect("running job has event");
+                let cores = st.jobs[&id].request.cores;
+                st.free_cores += cores;
+                let job = st.jobs.get_mut(&id).expect("exists");
+                job.end_time = Some(now);
+                out.push((id, ev, job.request.owner, job.request.tag.clone()));
+            }
+            out
+        };
+        for (id, ev, owner, tag) in victims {
+            sim.cancel(ev);
+            if owner == JobOwner::Pilot {
+                sim.tracer()
+                    .record(now, format!("cluster.{name}.{id}"), "Killed", tag);
+            }
+            self.notify(sim, id, JobState::Killed);
+        }
+    }
+
+    /// Is the resource inside an outage/drain window at `now`?
+    pub fn is_down(&self, now: SimTime) -> bool {
+        self.inner
+            .borrow()
+            .down_until
+            .is_some_and(|until| now < until)
     }
 
     /// Subscribe to state changes of one job. The callback fires on every
@@ -1185,6 +1294,85 @@ mod tests {
         assert_eq!(m.queued_jobs, 0);
         assert_eq!(m.free_cores, 128);
         assert!(m.utilization > 0.0);
+    }
+
+    #[test]
+    fn outage_kills_running_and_pauses_dispatch() {
+        let (mut sim, c) = idle_cluster(64);
+        let victim = c.submit(&mut sim, JobRequest::background(8, d(500.0), d(600.0)));
+        let queued = c.submit(&mut sim, JobRequest::background(64, d(50.0), d(100.0)));
+        sim.schedule_at(SimTime::from_secs(100.0), |_| {});
+        sim.run_until(SimTime::from_secs(100.0));
+        assert_eq!(c.job_state(victim), Some(JobState::Running));
+        let seen = Rc::new(RefCell::new(None));
+        let slot = Rc::clone(&seen);
+        c.watch(victim, move |_sim, s| *slot.borrow_mut() = Some(s));
+        c.inject_outage(&mut sim, d(300.0), true);
+        // The kill is synchronous: state, watcher, and accounting all see it.
+        assert_eq!(c.job_state(victim), Some(JobState::Killed));
+        assert_eq!(*seen.borrow(), Some(JobState::Killed));
+        assert!(c.is_down(sim.now()));
+        sim.run_to_completion();
+        // The queued job waited out the window and the victim's accounting
+        // stops at the kill instant.
+        assert_eq!(c.job(victim).unwrap().end_time.unwrap().as_secs(), 100.0);
+        let jq = c.job(queued).unwrap();
+        assert_eq!(jq.start_time.unwrap().as_secs(), 400.0);
+        assert_eq!(jq.state, JobState::Completed);
+        assert!(!c.is_down(sim.now()));
+    }
+
+    #[test]
+    fn drain_lets_running_finish_but_delays_starts() {
+        let (mut sim, c) = idle_cluster(10);
+        let running = c.submit(&mut sim, JobRequest::background(8, d(200.0), d(300.0)));
+        sim.schedule_at(SimTime::from_secs(50.0), |_| {});
+        sim.run_until(SimTime::from_secs(50.0));
+        c.inject_outage(&mut sim, d(400.0), false);
+        let late = c.submit(&mut sim, JobRequest::background(4, d(20.0), d(30.0)));
+        sim.run_to_completion();
+        // Running job survives the drain; the new submission waits for the
+        // window's end even though cores were free the whole time.
+        let jr = c.job(running).unwrap();
+        assert_eq!(jr.state, JobState::Completed);
+        assert_eq!(jr.end_time.unwrap().as_secs(), 200.0);
+        assert_eq!(c.job(late).unwrap().start_time.unwrap().as_secs(), 450.0);
+    }
+
+    #[test]
+    fn decommission_kills_running_and_queued_for_good() {
+        let (mut sim, c) = idle_cluster(16);
+        let running = c.submit(&mut sim, JobRequest::background(8, d(500.0), d(600.0)));
+        let queued = c.submit(&mut sim, JobRequest::background(16, d(50.0), d(100.0)));
+        sim.schedule_at(SimTime::from_secs(100.0), |_| {});
+        sim.run_until(SimTime::from_secs(100.0));
+        let seen = Rc::new(RefCell::new(None));
+        let slot = Rc::clone(&seen);
+        c.watch(queued, move |_sim, s| *slot.borrow_mut() = Some(s));
+        c.decommission(&mut sim);
+        // Both jobs die at the decommission instant; the queued job's
+        // watcher hears about it.
+        assert_eq!(c.job_state(running), Some(JobState::Killed));
+        assert_eq!(c.job_state(queued), Some(JobState::Killed));
+        assert_eq!(*seen.borrow(), Some(JobState::Killed));
+        assert_eq!(c.job(queued).unwrap().end_time.unwrap().as_secs(), 100.0);
+        // The machine never comes back: a late submission never starts.
+        let late = c.submit(&mut sim, JobRequest::background(4, d(10.0), d(20.0)));
+        sim.run_to_completion();
+        assert_eq!(c.job_state(late), Some(JobState::Queued));
+        assert!(c.is_down(sim.now()));
+    }
+
+    #[test]
+    fn overlapping_outage_windows_extend() {
+        let (mut sim, c) = idle_cluster(16);
+        c.inject_outage(&mut sim, d(100.0), true);
+        sim.schedule_at(SimTime::from_secs(60.0), |_| {});
+        sim.run_until(SimTime::from_secs(60.0));
+        c.inject_outage(&mut sim, d(100.0), true);
+        let job = c.submit(&mut sim, JobRequest::background(4, d(10.0), d(20.0)));
+        sim.run_to_completion();
+        assert_eq!(c.job(job).unwrap().start_time.unwrap().as_secs(), 160.0);
     }
 
     #[test]

@@ -58,6 +58,7 @@ impl JobState {
             (self, next),
             (Queued, Running)
                 | (Queued, Cancelled)
+                | (Queued, Killed)
                 | (Running, Completed)
                 | (Running, Killed)
                 | (Running, Cancelled)

@@ -1,0 +1,451 @@
+//! # aimes-fault — deterministic fault injection and recovery policies
+//!
+//! The paper's execution strategies are evaluated on production machines
+//! whose failure behaviour cannot be replayed. This crate makes failure a
+//! first-class, *reproducible* experiment variable: a [`FaultSpec`]
+//! describes what may go wrong, and compiling it against the run seed
+//! yields a concrete [`FaultSchedule`] — the exact same outages, launch
+//! failures, and unit faults on every replay with the same seed.
+//!
+//! Four fault classes are modelled, one per middleware layer:
+//!
+//! * **resource outages** (cluster layer) — a machine goes down for a
+//!   window, killing the jobs it was running; *drains* suppress dispatch
+//!   without killing; *permanent* outages remove the resource for good;
+//! * **launch failures** (SAGA adaptor layer) — extra transient
+//!   submission failures on top of the adaptor's own rate, plus a
+//!   probability that a submission fails permanently;
+//! * **unit faults** (pilot agent layer) — a task dies mid-execution,
+//!   transiently (retryable) or permanently (poisoned input);
+//! * **staging degradation** (data layer) — the origin uplink loses
+//!   bandwidth for a window.
+//!
+//! The companion [`RecoveryPolicy`] configures the self-healing layer:
+//! pilot replacement with capped exponential backoff, per-resource
+//! blacklisting, bounded unit retries, and strategy re-planning on
+//! permanent resource loss.
+
+use aimes_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// What an outage does to the resource.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum OutageKind {
+    /// Hard outage: running jobs are killed, no dispatch in the window.
+    Outage,
+    /// Scheduled drain: running jobs finish, but nothing new starts.
+    Drain,
+    /// The resource never comes back (decommissioned / network-severed).
+    Permanent,
+}
+
+/// One declared outage window.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OutageSpec {
+    pub resource: String,
+    /// Window start, in seconds after application submission.
+    pub at_secs: f64,
+    /// Window length in seconds (ignored for [`OutageKind::Permanent`]).
+    pub duration_secs: f64,
+    pub kind: OutageKind,
+}
+
+/// A staging-degradation window on the origin uplink.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StagingFault {
+    /// Window start, in seconds after application submission.
+    pub at_secs: f64,
+    pub duration_secs: f64,
+    /// Bandwidth multiplier during the window, in (0, 1].
+    pub bandwidth_factor: f64,
+}
+
+/// Declarative fault model for one run. Compile against the run seed with
+/// [`FaultSpec::compile`] to obtain the concrete, replayable schedule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Explicit outage windows.
+    #[serde(default)]
+    pub outages: Vec<OutageSpec>,
+    /// Expected number of *random* transient outages per resource drawn
+    /// uniformly over `[0, horizon_secs)`.
+    #[serde(default)]
+    pub random_outages_per_resource: f64,
+    /// Random-outage duration range `[lo, hi)` in seconds.
+    #[serde(default = "default_outage_duration")]
+    pub random_outage_duration_secs: (f64, f64),
+    /// Horizon for random-outage placement, in seconds after submission.
+    #[serde(default = "default_horizon")]
+    pub horizon_secs: f64,
+    /// Extra transient submission-failure probability, added to the
+    /// adaptor's own rate.
+    #[serde(default)]
+    pub launch_transient_chance: f64,
+    /// Probability a pilot submission fails permanently (no retries).
+    #[serde(default)]
+    pub launch_permanent_chance: f64,
+    /// Per-attempt probability a unit dies mid-execution.
+    #[serde(default)]
+    pub unit_failure_chance: f64,
+    /// Given a unit fault, probability it is permanent (the unit is
+    /// poisoned and fails without further retries).
+    #[serde(default)]
+    pub unit_permanent_chance: f64,
+    /// Optional origin-uplink degradation window.
+    #[serde(default)]
+    pub staging: Option<StagingFault>,
+}
+
+fn default_outage_duration() -> (f64, f64) {
+    (600.0, 3600.0)
+}
+
+fn default_horizon() -> f64 {
+    24.0 * 3600.0
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            outages: Vec::new(),
+            random_outages_per_resource: 0.0,
+            random_outage_duration_secs: default_outage_duration(),
+            horizon_secs: default_horizon(),
+            launch_transient_chance: 0.0,
+            launch_permanent_chance: 0.0,
+            unit_failure_chance: 0.0,
+            unit_permanent_chance: 0.0,
+            staging: None,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing (the identity fault model).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if the spec cannot perturb a run at all.
+    pub fn is_noop(&self) -> bool {
+        self.outages.is_empty()
+            && self.random_outages_per_resource <= 0.0
+            && self.launch_transient_chance <= 0.0
+            && self.launch_permanent_chance <= 0.0
+            && self.unit_failure_chance <= 0.0
+            && self.staging.is_none()
+    }
+
+    /// Expand the spec into a concrete schedule. `resources` is the pool
+    /// the run executes on; `rng` should be forked from the run seed so
+    /// the same seed always yields the same schedule.
+    pub fn compile(&self, resources: &[String], rng: &mut SimRng) -> FaultSchedule {
+        let mut outages: Vec<ScheduledOutage> = self
+            .outages
+            .iter()
+            .map(|o| ScheduledOutage {
+                resource: o.resource.clone(),
+                at: SimTime::from_secs(o.at_secs),
+                duration: SimDuration::from_secs(o.duration_secs.max(0.0)),
+                kind: o.kind,
+            })
+            .collect();
+        if self.random_outages_per_resource > 0.0 {
+            let (lo, hi) = self.random_outage_duration_secs;
+            for resource in resources {
+                // Deterministic per-resource stream: the outage pattern on
+                // one machine does not depend on the pool ordering.
+                let mut r = rng.fork(&format!("outages.{resource}"));
+                let n = self.random_outages_per_resource.floor() as u32
+                    + u32::from(r.chance(self.random_outages_per_resource.fract()));
+                for _ in 0..n {
+                    outages.push(ScheduledOutage {
+                        resource: resource.clone(),
+                        at: SimTime::from_secs(r.uniform(0.0, self.horizon_secs.max(1.0))),
+                        duration: SimDuration::from_secs(r.uniform(lo, hi.max(lo + 1.0))),
+                        kind: OutageKind::Outage,
+                    });
+                }
+            }
+        }
+        outages.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.resource.cmp(&b.resource)));
+        FaultSchedule {
+            outages,
+            launch_transient_chance: self.launch_transient_chance.clamp(0.0, 0.95),
+            launch_permanent_chance: self.launch_permanent_chance.clamp(0.0, 1.0),
+            unit_failure_chance: self.unit_failure_chance.clamp(0.0, 1.0),
+            unit_permanent_chance: self.unit_permanent_chance.clamp(0.0, 1.0),
+            staging: self.staging,
+        }
+    }
+}
+
+/// A concrete, fully resolved outage.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledOutage {
+    pub resource: String,
+    pub at: SimTime,
+    pub duration: SimDuration,
+    pub kind: OutageKind,
+}
+
+/// The compiled, replayable fault schedule for one run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Outages sorted by start time.
+    pub outages: Vec<ScheduledOutage>,
+    pub launch_transient_chance: f64,
+    pub launch_permanent_chance: f64,
+    pub unit_failure_chance: f64,
+    pub unit_permanent_chance: f64,
+    pub staging: Option<StagingFault>,
+}
+
+/// Self-healing configuration. `None` at the run level means the legacy
+/// behaviour: failed pilots stay dead and unit retries are immediate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Replace failed pilots (same description, possibly another
+    /// resource) after a backoff.
+    #[serde(default = "default_true")]
+    pub pilot_replacement: bool,
+    /// Replacement generations allowed per original pilot.
+    #[serde(default = "default_max_replacements")]
+    pub max_replacements_per_pilot: u32,
+    /// First replacement backoff; doubles per generation.
+    #[serde(default = "default_backoff")]
+    pub replacement_backoff: SimDuration,
+    /// Cap on the exponential replacement backoff.
+    #[serde(default = "default_backoff_cap")]
+    pub replacement_backoff_cap: SimDuration,
+    /// Blacklist a resource after this many consecutive launch failures.
+    #[serde(default = "default_blacklist_after")]
+    pub blacklist_after: u32,
+    /// Base backoff before a failed unit re-enters the ready queue;
+    /// doubles per attempt. Zero restores immediate restart.
+    #[serde(default)]
+    pub unit_retry_backoff: SimDuration,
+    /// Re-derive the execution strategy over surviving resources when a
+    /// resource is lost permanently.
+    #[serde(default = "default_true")]
+    pub replan_on_resource_loss: bool,
+}
+
+fn default_true() -> bool {
+    true
+}
+fn default_max_replacements() -> u32 {
+    3
+}
+fn default_backoff() -> SimDuration {
+    SimDuration::from_secs(60.0)
+}
+fn default_backoff_cap() -> SimDuration {
+    SimDuration::from_secs(900.0)
+}
+fn default_blacklist_after() -> u32 {
+    3
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            pilot_replacement: true,
+            max_replacements_per_pilot: default_max_replacements(),
+            replacement_backoff: default_backoff(),
+            replacement_backoff_cap: default_backoff_cap(),
+            blacklist_after: default_blacklist_after(),
+            unit_retry_backoff: SimDuration::from_secs(5.0),
+            replan_on_resource_loss: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Recovery switched off entirely: faults surface as errors.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            pilot_replacement: false,
+            max_replacements_per_pilot: 0,
+            replacement_backoff: SimDuration::ZERO,
+            replacement_backoff_cap: SimDuration::ZERO,
+            blacklist_after: u32::MAX,
+            unit_retry_backoff: SimDuration::ZERO,
+            replan_on_resource_loss: false,
+        }
+    }
+
+    /// Backoff before replacement generation `generation` (0-based):
+    /// `base * 2^generation`, capped.
+    pub fn replacement_delay(&self, generation: u32) -> SimDuration {
+        let factor = 2.0f64.powi(generation.min(20) as i32);
+        (self.replacement_backoff * factor).min(self.replacement_backoff_cap)
+    }
+
+    /// Backoff before retry number `attempt` (1-based count of attempts
+    /// already made): `base * 2^(attempt-1)`, capped at the replacement
+    /// cap as a shared ceiling.
+    pub fn unit_retry_delay(&self, attempt: u32) -> SimDuration {
+        if self.unit_retry_backoff.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let factor = 2.0f64.powi(attempt.saturating_sub(1).min(20) as i32);
+        (self.unit_retry_backoff * factor).min(self.replacement_backoff_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<String> {
+        vec!["alpha".into(), "beta".into(), "gamma".into()]
+    }
+
+    #[test]
+    fn noop_spec_compiles_empty() {
+        let spec = FaultSpec::none();
+        assert!(spec.is_noop());
+        let mut rng = SimRng::new(7);
+        let sched = spec.compile(&pool(), &mut rng);
+        assert!(sched.outages.is_empty());
+        assert_eq!(sched.unit_failure_chance, 0.0);
+    }
+
+    #[test]
+    fn explicit_outages_preserved_and_sorted() {
+        let spec = FaultSpec {
+            outages: vec![
+                OutageSpec {
+                    resource: "beta".into(),
+                    at_secs: 5000.0,
+                    duration_secs: 600.0,
+                    kind: OutageKind::Drain,
+                },
+                OutageSpec {
+                    resource: "alpha".into(),
+                    at_secs: 1000.0,
+                    duration_secs: 300.0,
+                    kind: OutageKind::Outage,
+                },
+            ],
+            ..FaultSpec::default()
+        };
+        let sched = spec.compile(&pool(), &mut SimRng::new(1));
+        assert_eq!(sched.outages.len(), 2);
+        assert_eq!(sched.outages[0].resource, "alpha");
+        assert_eq!(sched.outages[0].at, SimTime::from_secs(1000.0));
+        assert_eq!(sched.outages[1].kind, OutageKind::Drain);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let spec = FaultSpec {
+            random_outages_per_resource: 1.7,
+            ..FaultSpec::default()
+        };
+        let a = spec.compile(&pool(), &mut SimRng::new(42));
+        let b = spec.compile(&pool(), &mut SimRng::new(42));
+        assert_eq!(a, b);
+        let c = spec.compile(&pool(), &mut SimRng::new(43));
+        assert_ne!(a, c, "different seeds should move the outages");
+    }
+
+    #[test]
+    fn random_outages_fall_in_horizon() {
+        let spec = FaultSpec {
+            random_outages_per_resource: 3.0,
+            horizon_secs: 10_000.0,
+            random_outage_duration_secs: (100.0, 200.0),
+            ..FaultSpec::default()
+        };
+        let sched = spec.compile(&pool(), &mut SimRng::new(9));
+        assert_eq!(sched.outages.len(), 9); // 3 per resource, 3 resources
+        for o in &sched.outages {
+            assert!(o.at.as_secs() < 10_000.0);
+            assert!(o.duration.as_secs() >= 100.0 && o.duration.as_secs() < 200.0);
+            assert_eq!(o.kind, OutageKind::Outage);
+        }
+        // Sorted by start time.
+        for w in sched.outages.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn outage_pattern_is_per_resource_stable() {
+        // Removing one resource must not perturb the others' outages.
+        let spec = FaultSpec {
+            random_outages_per_resource: 2.0,
+            ..FaultSpec::default()
+        };
+        let full = spec.compile(&pool(), &mut SimRng::new(5));
+        let partial = spec.compile(&["alpha".to_string()], &mut SimRng::new(5));
+        let full_alpha: Vec<_> = full
+            .outages
+            .iter()
+            .filter(|o| o.resource == "alpha")
+            .collect();
+        let partial_alpha: Vec<_> = partial.outages.iter().collect();
+        assert_eq!(full_alpha, partial_alpha);
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let spec = FaultSpec {
+            launch_transient_chance: 2.0,
+            launch_permanent_chance: -1.0,
+            unit_failure_chance: 7.0,
+            ..FaultSpec::default()
+        };
+        let sched = spec.compile(&pool(), &mut SimRng::new(1));
+        assert_eq!(sched.launch_transient_chance, 0.95);
+        assert_eq!(sched.launch_permanent_chance, 0.0);
+        assert_eq!(sched.unit_failure_chance, 1.0);
+    }
+
+    #[test]
+    fn recovery_backoffs_double_and_cap() {
+        let p = RecoveryPolicy {
+            replacement_backoff: SimDuration::from_secs(10.0),
+            replacement_backoff_cap: SimDuration::from_secs(35.0),
+            unit_retry_backoff: SimDuration::from_secs(2.0),
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.replacement_delay(0), SimDuration::from_secs(10.0));
+        assert_eq!(p.replacement_delay(1), SimDuration::from_secs(20.0));
+        assert_eq!(p.replacement_delay(2), SimDuration::from_secs(35.0)); // capped
+        assert_eq!(p.unit_retry_delay(1), SimDuration::from_secs(2.0));
+        assert_eq!(p.unit_retry_delay(3), SimDuration::from_secs(8.0));
+        assert_eq!(
+            RecoveryPolicy::disabled().unit_retry_delay(5),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = FaultSpec {
+            outages: vec![OutageSpec {
+                resource: "alpha".into(),
+                at_secs: 100.0,
+                duration_secs: 50.0,
+                kind: OutageKind::Permanent,
+            }],
+            unit_failure_chance: 0.1,
+            staging: Some(StagingFault {
+                at_secs: 10.0,
+                duration_secs: 500.0,
+                bandwidth_factor: 0.25,
+            }),
+            ..FaultSpec::default()
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        let policy = RecoveryPolicy::default();
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: RecoveryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(policy, back);
+    }
+}

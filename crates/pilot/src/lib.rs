@@ -35,7 +35,7 @@ pub mod unit_manager;
 
 pub use description::PilotDescription;
 pub use pilot::{Pilot, PilotId, PilotState};
-pub use pilot_manager::PilotManager;
+pub use pilot_manager::{PilotManager, PilotRecovery};
 pub use scheduler::{Binding, UnitScheduler};
 pub use unit::{ComputeUnit, UnitId, UnitState};
 pub use unit_manager::{UmConfig, UnitManager, UnitManagerStats};

@@ -4,12 +4,55 @@
 use crate::description::PilotDescription;
 use crate::pilot::{Pilot, PilotId, PilotState};
 use aimes_saga::{JobDescription, SagaJobState, Session};
-use aimes_sim::{SimDuration, Simulation};
+use aimes_sim::{SimDuration, SimTime, Simulation};
 use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// Subscriber to pilot state changes.
 pub type PilotCallback = Box<dyn FnMut(&mut Simulation, PilotId, PilotState)>;
+
+/// Self-healing policy: when a pilot fails, submit a replacement after a
+/// capped exponential backoff, up to a per-lineage cap. Resources that eat
+/// pilots without ever activating one are blacklisted. With `reroute` set,
+/// replacements for pilots of a blacklisted resource move to the first
+/// surviving resource; without it such failures are left to a higher layer
+/// (the middleware's re-planning owns cross-resource recovery).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PilotRecovery {
+    /// How many times one original pilot may be replaced before giving up.
+    pub max_replacements: u32,
+    /// Delay before the first replacement of a lineage.
+    pub backoff: SimDuration,
+    /// Ceiling for the exponentially growing backoff.
+    pub backoff_cap: SimDuration,
+    /// Consecutive launch failures (never reaching Active) before a
+    /// resource is blacklisted.
+    pub blacklist_after: u32,
+    /// Whether replacements may move off a blacklisted resource.
+    pub reroute: bool,
+}
+
+impl Default for PilotRecovery {
+    fn default() -> Self {
+        PilotRecovery {
+            max_replacements: 3,
+            backoff: SimDuration::from_secs(60.0),
+            backoff_cap: SimDuration::from_secs(900.0),
+            blacklist_after: 3,
+            reroute: true,
+        }
+    }
+}
+
+impl PilotRecovery {
+    /// Backoff before replacing generation `generation` (0-based):
+    /// `backoff * 2^generation`, capped.
+    pub fn delay(&self, generation: u32) -> SimDuration {
+        let factor = 2.0_f64.powi(generation.min(30) as i32);
+        (self.backoff * factor).min(self.backoff_cap)
+    }
+}
 
 struct PmState {
     session: Rc<Session>,
@@ -18,6 +61,24 @@ struct PmState {
     /// Agent bootstrap time once the backend job runs (the pilot's own
     /// startup: environment setup, agent launch).
     bootstrap_delay: SimDuration,
+    /// Self-healing policy; `None` (default) preserves the legacy
+    /// fail-and-forget behavior exactly.
+    recovery: Option<PilotRecovery>,
+    /// Replacement generation per pilot (absent = 0: an original).
+    lineage: HashMap<PilotId, u32>,
+    /// Consecutive launch failures per resource (reset on any activation).
+    launch_failures: HashMap<String, u32>,
+    /// Resources no replacement is routed to.
+    blacklist: HashSet<String>,
+    /// Set by `cancel_all`: the run is winding down, stop healing.
+    draining: bool,
+    /// Replacement pilots awaiting activation → when their predecessor
+    /// failed (for time-to-recovery measurement).
+    pending_recovery: HashMap<PilotId, SimTime>,
+    /// Completed failure→replacement-active intervals.
+    recovery_times: Vec<SimDuration>,
+    /// Total replacement pilots submitted.
+    replacements: u64,
 }
 
 /// Handle to the pilot manager.
@@ -35,6 +96,14 @@ impl PilotManager {
                 pilots: Vec::new(),
                 subscribers: Vec::new(),
                 bootstrap_delay: SimDuration::from_secs(30.0),
+                recovery: None,
+                lineage: HashMap::new(),
+                launch_failures: HashMap::new(),
+                blacklist: HashSet::new(),
+                draining: false,
+                pending_recovery: HashMap::new(),
+                recovery_times: Vec::new(),
+                replacements: 0,
             })),
         }
     }
@@ -42,6 +111,38 @@ impl PilotManager {
     /// Override the agent bootstrap delay (default 30 s).
     pub fn set_bootstrap_delay(&self, delay: SimDuration) {
         self.inner.borrow_mut().bootstrap_delay = delay;
+    }
+
+    /// Enable self-healing: failed pilots are replaced per `policy`.
+    pub fn set_recovery(&self, policy: PilotRecovery) {
+        self.inner.borrow_mut().recovery = Some(policy);
+    }
+
+    /// Exclude a resource from replacement routing (e.g. the middleware
+    /// learned it is permanently lost).
+    pub fn blacklist(&self, resource: &str) {
+        self.inner
+            .borrow_mut()
+            .blacklist
+            .insert(resource.to_string());
+    }
+
+    /// Resources currently excluded from replacement routing.
+    pub fn blacklisted(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.borrow().blacklist.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total replacement pilots submitted so far.
+    pub fn replacements(&self) -> u64 {
+        self.inner.borrow().replacements
+    }
+
+    /// Measured failure → replacement-active intervals, in completion
+    /// order.
+    pub fn recovery_times(&self) -> Vec<SimDuration> {
+        self.inner.borrow().recovery_times.clone()
     }
 
     /// Subscribe to all pilot state transitions.
@@ -138,10 +239,163 @@ impl PilotManager {
         for cb in subs.iter_mut() {
             cb(sim, id, next);
         }
+        {
+            let mut st = self.inner.borrow_mut();
+            let mut newly = std::mem::take(&mut st.subscribers);
+            st.subscribers = subs;
+            st.subscribers.append(&mut newly);
+        }
+        match next {
+            PilotState::Active => self.on_pilot_active(sim, id),
+            PilotState::Failed => self.heal_pilot_failure(sim, id),
+            _ => {}
+        }
+    }
+
+    /// Activation bookkeeping for self-healing: the resource proved it can
+    /// launch pilots, and a pending replacement completes its recovery.
+    fn on_pilot_active(&self, sim: &mut Simulation, id: PilotId) {
         let mut st = self.inner.borrow_mut();
-        let mut newly = std::mem::take(&mut st.subscribers);
-        st.subscribers = subs;
-        st.subscribers.append(&mut newly);
+        if st.recovery.is_none() {
+            return;
+        }
+        let resource = st.pilots[id.0 as usize].description.resource.clone();
+        st.launch_failures.remove(&resource);
+        if let Some(failed_at) = st.pending_recovery.remove(&id) {
+            let ttr = sim.now().saturating_since(failed_at);
+            st.recovery_times.push(ttr);
+        }
+    }
+
+    /// The self-healing path: replace a failed pilot after a capped
+    /// exponential backoff, blacklisting resources that repeatedly fail
+    /// pilots before activation.
+    fn heal_pilot_failure(&self, sim: &mut Simulation, id: PilotId) {
+        let now = sim.now();
+        enum Verdict {
+            Skip,
+            Exhausted,
+            Replace { delay: SimDuration, generation: u32 },
+        }
+        let (verdict, newly_blacklisted) = {
+            let mut st = self.inner.borrow_mut();
+            let Some(policy) = st.recovery else {
+                return;
+            };
+            if st.draining {
+                return;
+            }
+            let pilot = &st.pilots[id.0 as usize];
+            let resource = pilot.description.resource.clone();
+            let reached_active = pilot.time_of(PilotState::Active).is_some();
+            // A replacement that never activates must not count twice.
+            st.pending_recovery.remove(&id);
+            let mut newly_blacklisted = false;
+            if !reached_active {
+                let n = st.launch_failures.entry(resource.clone()).or_insert(0);
+                *n += 1;
+                if *n >= policy.blacklist_after && st.blacklist.insert(resource.clone()) {
+                    newly_blacklisted = true;
+                }
+            }
+            let generation = st.lineage.get(&id).copied().unwrap_or(0);
+            let verdict = if st.blacklist.contains(&resource) && !policy.reroute {
+                // A higher layer (re-planning) owns recovery from lost
+                // resources.
+                Verdict::Skip
+            } else if generation >= policy.max_replacements {
+                Verdict::Exhausted
+            } else {
+                Verdict::Replace {
+                    delay: policy.delay(generation),
+                    generation,
+                }
+            };
+            (verdict, newly_blacklisted)
+        };
+        let resource = self.pilot(id).description.resource.clone();
+        if newly_blacklisted {
+            sim.tracer().record(
+                now,
+                "pilot-manager",
+                "Blacklist",
+                format!("{resource}: repeated launch failures"),
+            );
+        }
+        match verdict {
+            Verdict::Skip => {}
+            Verdict::Exhausted => {
+                sim.tracer().record(
+                    now,
+                    "pilot-manager",
+                    "RecoveryExhausted",
+                    format!("{id} on {resource}: replacement cap reached"),
+                );
+            }
+            Verdict::Replace { delay, generation } => {
+                sim.tracer().record(
+                    now,
+                    "pilot-manager",
+                    "ScheduleReplacement",
+                    format!("{id} gen {generation} in {:.0}s", delay.as_secs()),
+                );
+                let this = self.clone();
+                sim.schedule_in(delay, move |sim| {
+                    this.submit_replacement(sim, id, generation, now);
+                });
+            }
+        }
+    }
+
+    /// Submit the replacement for `failed` (its failure observed at
+    /// `failed_at`), rerouting off blacklisted resources when allowed.
+    fn submit_replacement(
+        &self,
+        sim: &mut Simulation,
+        failed: PilotId,
+        generation: u32,
+        failed_at: SimTime,
+    ) {
+        let desc = {
+            let st = self.inner.borrow();
+            if st.draining {
+                return;
+            }
+            let mut desc = st.pilots[failed.0 as usize].description.clone();
+            if st.blacklist.contains(&desc.resource) {
+                let survivor = st
+                    .session
+                    .resources()
+                    .into_iter()
+                    .find(|r| !st.blacklist.contains(r));
+                match survivor {
+                    Some(r) => {
+                        // Queue names are per-resource; fall back to the
+                        // survivor's default queue.
+                        desc.resource = r;
+                        desc.queue = None;
+                    }
+                    None => {
+                        drop(st);
+                        sim.tracer().record(
+                            sim.now(),
+                            "pilot-manager",
+                            "RecoveryExhausted",
+                            format!("{failed}: every resource blacklisted"),
+                        );
+                        return;
+                    }
+                }
+            }
+            desc
+        };
+        let new_ids = self.submit(sim, vec![desc]);
+        let mut st = self.inner.borrow_mut();
+        for nid in new_ids {
+            st.lineage.insert(nid, generation + 1);
+            st.pending_recovery.insert(nid, failed_at);
+            st.replacements += 1;
+        }
     }
 
     /// Cancel a pilot (drains through SAGA; the state model follows).
@@ -165,7 +419,9 @@ impl PilotManager {
     /// tasks are done, "so as not to waste resources", §III-E).
     pub fn cancel_all(&self, sim: &mut Simulation) {
         let live: Vec<PilotId> = {
-            let st = self.inner.borrow();
+            let mut st = self.inner.borrow_mut();
+            // Wind-down: no replacements for anything failing from here on.
+            st.draining = true;
             st.pilots
                 .iter()
                 .filter(|p| !p.state.is_terminal())
@@ -360,6 +616,96 @@ mod tests {
         );
         sim.run_to_completion();
         assert_eq!(pm.state(ids[0]), PilotState::Failed);
+    }
+
+    #[test]
+    fn failed_pilot_is_replaced_after_outage() {
+        let (mut sim, pm) = setup(128);
+        pm.set_recovery(PilotRecovery::default());
+        let ids = pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 64, d(600.0))],
+        );
+        let cluster = pm.session().service("stampede").unwrap().cluster();
+        sim.schedule_at(SimTime::from_secs(50.0), move |sim| {
+            cluster.inject_outage(sim, d(100.0), true);
+        });
+        sim.run_to_completion();
+        // The original died in the outage; one replacement was submitted
+        // after the 60 s backoff, waited out the window, and went Active.
+        assert_eq!(pm.state(ids[0]), PilotState::Failed);
+        assert_eq!(pm.replacements(), 1);
+        let pilots = pm.pilots();
+        assert_eq!(pilots.len(), 2);
+        assert_eq!(pilots[1].state, PilotState::Done);
+        let ttr = pm.recovery_times();
+        assert_eq!(ttr.len(), 1);
+        // Failure at t=50, window until t=150, bootstrap + latency on top.
+        assert!(
+            ttr[0] >= d(100.0) && ttr[0] <= d(130.0),
+            "time-to-recovery {:?}",
+            ttr[0]
+        );
+    }
+
+    #[test]
+    fn launch_failures_blacklist_and_reroute() {
+        let mut sim = Simulation::new(23);
+        let mut session = Session::new();
+        session.add_resource(&sim, Cluster::new(ClusterConfig::test("flaky", 64)));
+        session.add_resource(&sim, Cluster::new(ClusterConfig::test("solid", 64)));
+        session
+            .service("flaky")
+            .unwrap()
+            .inject_launch_faults(0.0, 1.0);
+        let pm = PilotManager::new(Rc::new(session));
+        pm.set_bootstrap_delay(d(5.0));
+        pm.set_recovery(PilotRecovery {
+            max_replacements: 3,
+            backoff: d(1.0),
+            backoff_cap: d(4.0),
+            blacklist_after: 3,
+            reroute: true,
+        });
+        pm.submit(&mut sim, vec![PilotDescription::new("flaky", 8, d(60.0))]);
+        sim.run_to_completion();
+        // Three consecutive launch failures blacklist `flaky`; the next
+        // replacement reroutes to `solid` and completes.
+        assert_eq!(pm.blacklisted(), vec!["flaky".to_string()]);
+        assert_eq!(pm.replacements(), 3);
+        let pilots = pm.pilots();
+        assert_eq!(pilots.len(), 4);
+        let last = &pilots[3];
+        assert_eq!(last.description.resource, "solid");
+        assert_eq!(last.state, PilotState::Done);
+    }
+
+    #[test]
+    fn replacement_cap_exhausts_without_reroute() {
+        let mut sim = Simulation::new(29);
+        let mut session = Session::new();
+        session.add_resource(&sim, Cluster::new(ClusterConfig::test("flaky", 64)));
+        session
+            .service("flaky")
+            .unwrap()
+            .inject_launch_faults(0.0, 1.0);
+        let pm = PilotManager::new(Rc::new(session));
+        pm.set_recovery(PilotRecovery {
+            max_replacements: 2,
+            backoff: d(1.0),
+            backoff_cap: d(4.0),
+            blacklist_after: 10,
+            reroute: false,
+        });
+        pm.submit(&mut sim, vec![PilotDescription::new("flaky", 8, d(60.0))]);
+        sim.run_to_completion();
+        // Original + 2 replacements, all Failed; then the cap stops it —
+        // the run drains instead of looping forever.
+        assert_eq!(pm.replacements(), 2);
+        let pilots = pm.pilots();
+        assert_eq!(pilots.len(), 3);
+        assert!(pilots.iter().all(|p| p.state == PilotState::Failed));
+        assert_eq!(pm.recovery_times().len(), 0);
     }
 
     #[test]

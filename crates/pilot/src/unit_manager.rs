@@ -32,6 +32,19 @@ pub struct UmConfig {
     /// Serialized middleware overhead per unit dispatch (the Trp
     /// contribution that steepens Tx beyond ~256 tasks in Fig. 3).
     pub dispatch_overhead: SimDuration,
+    /// Fault injection: chance that an execution attempt dies partway
+    /// (node crash, segfault). Zero (the default) draws nothing — the
+    /// event stream is identical to a manager without fault support.
+    pub unit_fault_chance: f64,
+    /// Given a fault, chance it is permanent (bad input, poisoned task):
+    /// the unit fails outright instead of being retried.
+    pub unit_fault_permanent_chance: f64,
+    /// Base delay before a failed unit re-enters the ready queue,
+    /// growing exponentially with the attempt count. Zero (the default)
+    /// restores the legacy immediate-restart behavior.
+    pub retry_backoff: SimDuration,
+    /// Ceiling for the exponential retry backoff.
+    pub retry_backoff_cap: SimDuration,
 }
 
 impl UmConfig {
@@ -44,7 +57,24 @@ impl UmConfig {
             origin_bandwidth_mbps: 5.0,
             origin_latency: SimDuration::from_secs(0.1),
             dispatch_overhead: SimDuration::from_secs(0.05),
+            unit_fault_chance: 0.0,
+            unit_fault_permanent_chance: 0.0,
+            retry_backoff: SimDuration::ZERO,
+            retry_backoff_cap: SimDuration::ZERO,
         }
+    }
+
+    /// Delay before re-queueing attempt number `attempts` (1-based count
+    /// of attempts already made): `retry_backoff * 2^(attempts-1)`,
+    /// capped. Zero base means no delay.
+    pub fn retry_delay(&self, attempts: u32) -> SimDuration {
+        if self.retry_backoff.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let exp = attempts.saturating_sub(1).min(30);
+        let delay = self.retry_backoff * 2.0_f64.powi(exp as i32);
+        let cap = self.retry_backoff_cap.max(self.retry_backoff);
+        delay.min(cap)
     }
 }
 
@@ -83,6 +113,9 @@ struct UmState {
     inflight: HashMap<UnitId, EventId>,
     origin_channel: StagingChannel,
     overhead_busy_until: SimTime,
+    /// Lazily forked stream for unit-fault draws; stays unforked (and the
+    /// simulation's RNG tree untouched) while fault injection is off.
+    fault_rng: Option<aimes_sim::SimRng>,
     rr_cursor: usize,
     stats: UnitManagerStats,
     on_all_done: Vec<CompletionCallback>,
@@ -116,6 +149,7 @@ impl UnitManager {
                 agents: HashMap::new(),
                 inflight: HashMap::new(),
                 overhead_busy_until: SimTime::ZERO,
+                fault_rng: None,
                 rr_cursor: 0,
                 stats: UnitManagerStats::default(),
                 on_all_done: Vec::new(),
@@ -282,12 +316,17 @@ impl UnitManager {
             self.check_completion(sim);
             return;
         }
-        {
+        let backoff = {
             let mut st = self.inner.borrow_mut();
             st.stats.restarts += 1;
+            let attempts = st.units[uid.0 as usize].attempts;
             st.units[uid.0 as usize].transition(UnitState::PendingExecution, sim.now());
-            st.ready.push_back(uid);
-        }
+            let backoff = st.config.retry_delay(attempts);
+            if backoff.is_zero() {
+                st.ready.push_back(uid);
+            }
+            backoff
+        };
         if rebind {
             // Early-binding failover: rebind to any live pilot.
             let live = self
@@ -314,8 +353,32 @@ impl UnitManager {
                 return;
             }
         }
-        sim.tracer()
-            .record(sim.now(), uid.to_string(), "Restart", "");
+        if backoff.is_zero() {
+            sim.tracer()
+                .record(sim.now(), uid.to_string(), "Restart", "");
+        } else {
+            sim.tracer().record(
+                sim.now(),
+                uid.to_string(),
+                "Restart",
+                format!("backoff {:.0}s", backoff.as_secs()),
+            );
+            let this = self.clone();
+            sim.schedule_in(backoff, move |sim| {
+                {
+                    let mut st = this.inner.borrow_mut();
+                    // The unit may have been retracted (early binding with
+                    // no live pilot) while it waited out the backoff.
+                    if st.units[uid.0 as usize].state != UnitState::PendingExecution
+                        || st.ready.contains(&uid)
+                    {
+                        return;
+                    }
+                    st.ready.push_back(uid);
+                }
+                this.request_schedule(sim);
+            });
+        }
     }
 
     /// Request a (coalesced) scheduling pass.
@@ -413,16 +476,78 @@ impl UnitManager {
 
     fn on_input_staged(&self, sim: &mut Simulation, uid: UnitId) {
         let now = sim.now();
-        let duration = {
+        let (duration, fault) = {
             let mut st = self.inner.borrow_mut();
+            let st = &mut *st;
             let unit = &mut st.units[uid.0 as usize];
             unit.transition(UnitState::Executing, now);
-            unit.task.duration
+            let duration = unit.task.duration;
+            // Fault draw happens up front so the failure instant is part
+            // of the deterministic schedule, not a race with completion.
+            let fault = if st.config.unit_fault_chance > 0.0 {
+                let rng = st
+                    .fault_rng
+                    .get_or_insert_with(|| sim.fork_rng("um.faults"));
+                if rng.chance(st.config.unit_fault_chance) {
+                    let at = duration * rng.uniform(0.05, 0.95);
+                    let permanent = st.config.unit_fault_permanent_chance > 0.0
+                        && rng.chance(st.config.unit_fault_permanent_chance);
+                    Some((at, permanent))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            (duration, fault)
         };
         sim.tracer().record(now, uid.to_string(), "Executing", "");
         let this = self.clone();
-        let ev = sim.schedule_in(duration, move |sim| this.on_executed(sim, uid));
+        let ev = match fault {
+            Some((at, permanent)) => {
+                sim.schedule_in(at, move |sim| this.on_unit_fault(sim, uid, permanent))
+            }
+            None => sim.schedule_in(duration, move |sim| this.on_executed(sim, uid)),
+        };
         self.inner.borrow_mut().inflight.insert(uid, ev);
+    }
+
+    /// An execution attempt died partway. Unlike pilot death, the agent
+    /// survives: its cores must be handed back before the unit is retried
+    /// or written off.
+    fn on_unit_fault(&self, sim: &mut Simulation, uid: UnitId, permanent: bool) {
+        let now = sim.now();
+        {
+            let mut st = self.inner.borrow_mut();
+            let st = &mut *st;
+            st.inflight.remove(&uid);
+            let unit = &st.units[uid.0 as usize];
+            let cores = unit.task.cores;
+            if let Some(pid) = unit.pilot {
+                if let Some(agent) = st.agents.get_mut(&pid) {
+                    agent.release(cores);
+                }
+            }
+        }
+        sim.tracer().record(
+            now,
+            uid.to_string(),
+            "Fault",
+            if permanent { "permanent" } else { "transient" },
+        );
+        if permanent {
+            {
+                let mut st = self.inner.borrow_mut();
+                st.units[uid.0 as usize].transition(UnitState::Failed, now);
+                st.stats.failed += 1;
+            }
+            sim.tracer()
+                .record(now, uid.to_string(), "Failed", "permanent fault");
+            self.check_completion(sim);
+        } else {
+            self.restart_or_fail(sim, uid);
+        }
+        self.request_schedule(sim);
     }
 
     fn on_executed(&self, sim: &mut Simulation, uid: UnitId) {
@@ -500,6 +625,16 @@ impl UnitManager {
     /// Progress counters.
     pub fn stats(&self) -> UnitManagerStats {
         self.inner.borrow().stats
+    }
+
+    /// Scale the origin staging channel's bandwidth to `factor` × the
+    /// configured base (fault injection: a degraded wide-area link).
+    /// Transfers already enqueued keep their end times; only transfers
+    /// enqueued from now on see the changed bandwidth.
+    pub fn set_origin_bandwidth_factor(&self, factor: f64) {
+        let mut st = self.inner.borrow_mut();
+        let base = st.config.origin_bandwidth_mbps;
+        st.origin_channel.bandwidth_mbps = (base * factor).max(1e-6);
     }
 
     /// Snapshot of one unit.
@@ -708,6 +843,118 @@ mod tests {
         let stats = um.stats();
         assert!(stats.finished());
         assert_eq!(stats.failed, 8, "{stats:?}");
+    }
+
+    #[test]
+    fn transient_unit_faults_retry_to_completion() {
+        let (mut sim, pm) = setup(&[("stampede", 64)]);
+        let mut cfg = UmConfig::new(Binding::Late, UnitScheduler::Backfill);
+        cfg.unit_fault_chance = 0.5;
+        cfg.max_attempts = 50; // transient faults only: retries always win
+        let um = UnitManager::new(pm.clone(), cfg);
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 16, d(40_000.0))],
+        );
+        um.submit_units(&mut sim, &bag_tasks(16));
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        let stats = um.stats();
+        assert_eq!(stats.done, 16, "{stats:?}");
+        assert_eq!(stats.failed, 0);
+        assert!(stats.restarts > 0, "50 % fault rate must restart some");
+        // Cores were handed back after every fault: nothing leaked, every
+        // retried unit found a free slot again.
+        for u in um.units() {
+            assert_eq!(u.state, UnitState::Done);
+        }
+    }
+
+    #[test]
+    fn permanent_unit_faults_fail_without_retry() {
+        let (mut sim, pm) = setup(&[("stampede", 64)]);
+        let mut cfg = UmConfig::new(Binding::Late, UnitScheduler::Backfill);
+        cfg.unit_fault_chance = 1.0;
+        cfg.unit_fault_permanent_chance = 1.0;
+        let um = UnitManager::new(pm.clone(), cfg);
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 16, d(40_000.0))],
+        );
+        um.submit_units(&mut sim, &bag_tasks(8));
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        let stats = um.stats();
+        assert_eq!(stats.failed, 8, "{stats:?}");
+        assert_eq!(stats.done, 0);
+        assert_eq!(stats.restarts, 0, "permanent faults must not retry");
+        assert!(stats.finished());
+    }
+
+    #[test]
+    fn retry_backoff_delays_restart() {
+        let run = |backoff: f64| {
+            let (mut sim, pm) = setup(&[("stampede", 64)]);
+            let mut cfg = UmConfig::new(Binding::Late, UnitScheduler::Backfill);
+            cfg.unit_fault_chance = 1.0; // every attempt faults...
+            cfg.max_attempts = 4;
+            cfg.retry_backoff = d(backoff);
+            cfg.retry_backoff_cap = d(backoff * 8.0);
+            let um = UnitManager::new(pm.clone(), cfg);
+            pm.submit(
+                &mut sim,
+                vec![PilotDescription::new("stampede", 16, d(40_000.0))],
+            );
+            um.submit_units(&mut sim, &bag_tasks(4));
+            sim.run_to_completion();
+            let stats = um.stats();
+            assert!(stats.finished());
+            assert_eq!(stats.failed, 4, "{stats:?}");
+            um.units()
+                .iter()
+                .filter_map(|u| u.last_time_of(UnitState::Failed))
+                .max()
+                .unwrap()
+        };
+        // Same fault pattern (same seed), but each of the 3 retries per
+        // unit waits 100/200/400 s: the backoff run must finish at least
+        // 700 s later than the immediate-restart run.
+        let immediate = run(0.0);
+        let delayed = run(100.0);
+        assert!(
+            delayed.since(immediate) >= d(700.0),
+            "immediate {immediate:?} vs delayed {delayed:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_origin_channel_slows_staging() {
+        let run = |factor: f64| {
+            let (mut sim, pm) = setup(&[("stampede", 64)]);
+            let um = UnitManager::new(
+                pm.clone(),
+                UmConfig::new(Binding::Late, UnitScheduler::Backfill),
+            );
+            pm.submit(
+                &mut sim,
+                vec![PilotDescription::new("stampede", 16, d(40_000.0))],
+            );
+            um.set_origin_bandwidth_factor(factor);
+            um.submit_units(&mut sim, &bag_tasks(16));
+            let pm2 = pm.clone();
+            um.on_all_done(move |sim| pm2.cancel_all(sim));
+            sim.run_to_completion();
+            assert_eq!(um.stats().done, 16);
+            sim.now()
+        };
+        let healthy = run(1.0);
+        let degraded = run(0.1);
+        assert!(
+            degraded > healthy,
+            "10× slower staging must lengthen the run ({healthy:?} vs {degraded:?})"
+        );
     }
 
     #[test]

@@ -35,6 +35,12 @@ struct ServiceState {
     jobs: HashMap<SagaJobId, JobRecord>,
     counter: Rc<Cell<u64>>,
     max_attempts: u32,
+    // Fault injection on top of the adaptor's intrinsic flakiness. The
+    // transient boost adds to the adaptor's retry-able failure chance; the
+    // permanent chance fails a submission attempt outright (middleware
+    // misconfiguration, credential expiry — things a retry cannot fix).
+    fault_transient: f64,
+    fault_permanent: f64,
 }
 
 /// Handle to the job service of one resource.
@@ -59,6 +65,8 @@ impl JobService {
                 jobs: HashMap::new(),
                 counter,
                 max_attempts: 4,
+                fault_transient: 0.0,
+                fault_permanent: 0.0,
             })),
         }
     }
@@ -76,6 +84,18 @@ impl JobService {
     /// The cluster behind this service (introspection used by bundles).
     pub fn cluster(&self) -> Cluster {
         self.inner.borrow().cluster.clone()
+    }
+
+    /// Inject launch failures on top of the adaptor's intrinsic flakiness:
+    /// `transient` adds to the retry-able failure chance per attempt,
+    /// `permanent` fails an attempt outright (no retry). Both draws come
+    /// from the service's own RNG stream, so a given seed replays the same
+    /// failure pattern. Zero probabilities consume no extra draws — the
+    /// no-fault stream is byte-identical to a service never configured.
+    pub fn inject_launch_faults(&self, transient: f64, permanent: f64) {
+        let mut st = self.inner.borrow_mut();
+        st.fault_transient = transient.clamp(0.0, 1.0);
+        st.fault_permanent = permanent.clamp(0.0, 1.0);
     }
 
     /// Submit a job. The callback fires on every state transition
@@ -126,8 +146,13 @@ impl JobService {
             let rec = st.jobs.get_mut(&id).expect("job exists");
             if rec.cancel_requested {
                 Outcome::Cancelled
+            } else if st.fault_permanent > 0.0 && st.rng.chance(st.fault_permanent) {
+                rec.attempts += 1;
+                Outcome::Fail
             } else {
-                let failed = st.rng.chance(st.adaptor.transient_failure_chance());
+                let transient_p =
+                    (st.adaptor.transient_failure_chance() + st.fault_transient).min(0.95);
+                let failed = st.rng.chance(transient_p);
                 rec.attempts += 1;
                 if failed {
                     if rec.attempts >= st.max_attempts {
@@ -434,6 +459,80 @@ mod tests {
             .filter(|e| e.event == "RetrySubmission")
             .count();
         assert!(retries > 0, "expected some retries at 5 % failure rate");
+    }
+
+    #[test]
+    fn injected_permanent_fault_fails_without_retry() {
+        let (mut sim, _sess, svc) = setup(64);
+        svc.inject_launch_faults(0.0, 1.0);
+        let (seen, cb) = collect_states();
+        let id = svc.submit(&mut sim, JobDescription::new(32, d(100.0), "p0"), cb);
+        sim.run_to_completion();
+        assert_eq!(svc.state(id), Some(SagaJobState::Failed));
+        assert_eq!(*seen.borrow(), vec![SagaJobState::Failed]);
+        assert!(svc.backend_job(id).is_none());
+        let retries = sim
+            .tracer()
+            .snapshot()
+            .iter()
+            .filter(|e| e.event == "RetrySubmission")
+            .count();
+        assert_eq!(retries, 0, "permanent faults must not retry");
+    }
+
+    #[test]
+    fn injected_transient_fault_exhausts_attempts() {
+        // Boosted to the 95 % ceiling the overwhelming majority of jobs
+        // burn all four attempts; check that at least one does and that
+        // every failure went through visible retries first.
+        let (mut sim, _sess, svc) = setup(4096);
+        svc.inject_launch_faults(1.0, 0.0);
+        let ids: Vec<_> = (0..20)
+            .map(|i| {
+                svc.submit(
+                    &mut sim,
+                    JobDescription::new(1, d(10.0), format!("p{i}")),
+                    |_, _| {},
+                )
+            })
+            .collect();
+        sim.run_to_completion();
+        let failed = ids
+            .iter()
+            .filter(|id| svc.state(**id) == Some(SagaJobState::Failed))
+            .count();
+        assert!(failed > 0, "0.95^4 per job over 20 jobs must fail some");
+        let retries = sim
+            .tracer()
+            .snapshot()
+            .iter()
+            .filter(|e| e.event == "RetrySubmission")
+            .count();
+        assert!(retries > 0, "transient faults retry before giving up");
+    }
+
+    #[test]
+    fn zero_fault_injection_preserves_the_rng_stream() {
+        // Configuring (0.0, 0.0) must be byte-identical to never touching
+        // the service: the fault draws are gated, not merely weighted.
+        let run = |configure: bool| {
+            let (mut sim, _sess, svc) = setup(64);
+            if configure {
+                svc.inject_launch_faults(0.0, 0.0);
+            }
+            let ids: Vec<_> = (0..50)
+                .map(|i| {
+                    svc.submit(
+                        &mut sim,
+                        JobDescription::new(1, d(10.0), format!("p{i}")),
+                        |_, _| {},
+                    )
+                })
+                .collect();
+            sim.run_to_completion();
+            (sim.now(), sim.events_processed(), ids.len())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`saga`] | `aimes-saga` | interoperability job API + adaptors |
 //! | [`skeleton`] | `aimes-skeleton` | application skeletons |
 //! | [`bundle`] | `aimes-bundle` | resource bundles (query/monitor/predict) |
+//! | [`fault`] | `aimes-fault` | deterministic fault injection + recovery policies |
 //! | [`pilot`] | `aimes-pilot` | pilot system (managers, binding, agents) |
 //! | [`strategy`] | `aimes-strategy` | execution strategies + derivation |
 //! | [`middleware`] | `aimes` | integrated middleware + experiment lab |
@@ -23,6 +24,7 @@
 pub use aimes as middleware;
 pub use aimes_bundle as bundle;
 pub use aimes_cluster as cluster;
+pub use aimes_fault as fault;
 pub use aimes_pilot as pilot;
 pub use aimes_saga as saga;
 pub use aimes_sim as sim;
@@ -45,5 +47,6 @@ mod tests {
         let _ = crate::pilot::PilotState::New;
         let _ = crate::strategy::ExecutionStrategy::paper_early();
         let _ = crate::middleware::RunOptions::default();
+        let _ = crate::fault::FaultSpec::none();
     }
 }
