@@ -66,6 +66,10 @@ pub enum RunError {
     Unplannable(String),
     /// The skeleton could not generate the application.
     Skeleton(String),
+    /// The fault spec declares something it cannot mean (empty or
+    /// inverted duration range, out-of-range bandwidth factor); running
+    /// it would silently deviate from the declaration.
+    InvalidFaultSpec(String),
     /// The simulated deadline passed with units still unfinished.
     DeadlineExceeded {
         n_tasks: u32,
@@ -89,6 +93,7 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Unplannable(msg) => write!(f, "{msg}"),
             RunError::Skeleton(msg) => write!(f, "skeleton generation failed: {msg}"),
+            RunError::InvalidFaultSpec(msg) => write!(f, "invalid fault spec: {msg}"),
             RunError::DeadlineExceeded {
                 n_tasks,
                 strategy_label,
@@ -217,6 +222,9 @@ pub fn run_application(
     // Compile the fault model against the run seed. Everything below is
     // gated on `schedule` so a fault-free run replays the exact event and
     // RNG streams of a build without fault support.
+    if let Some(spec) = &options.faults {
+        spec.validate().map_err(RunError::InvalidFaultSpec)?;
+    }
     let schedule = options
         .faults
         .as_ref()
@@ -323,6 +331,90 @@ pub fn run_application(
                     strategy.clone(),
                 )
             });
+        // Re-derive the strategy over the resources the pilot manager can
+        // still route to, rebuilding capacity for `doomed` pilots. Shared
+        // by the two ways a resource drops out: a scheduled Permanent
+        // outage, and manager-initiated blacklisting after repeated
+        // launch failures.
+        let all_names: Vec<String> = clusters.iter().map(|c| c.name()).collect();
+        type Replan = Rc<dyn Fn(&mut Simulation, &str, usize)>;
+        let do_replan: Replan = {
+            let pm2 = pm.clone();
+            let replans2 = replans.clone();
+            Rc::new(move |sim: &mut Simulation, resource: &str, doomed: usize| {
+                let Some((bundle, rng, app, strategy)) = &replanner else {
+                    return;
+                };
+                if doomed == 0 {
+                    return;
+                }
+                let blacklisted = pm2.blacklisted();
+                let survivors: Vec<String> = all_names
+                    .iter()
+                    .filter(|n| !blacklisted.contains(n))
+                    .cloned()
+                    .collect();
+                if survivors.is_empty() {
+                    sim.tracer().record(
+                        sim.now(),
+                        "middleware",
+                        "ReplanFailed",
+                        "no surviving resources",
+                    );
+                    return;
+                }
+                let mut replan_strategy = strategy.clone();
+                replan_strategy.pilot_count = (doomed as u32).min(survivors.len() as u32).max(1);
+                replan_strategy.selection = ResourceSelection::Fixed(survivors.clone());
+                let em = ExecutionManager::default();
+                match em.derive_plan_with_rng(
+                    sim.now(),
+                    app,
+                    &mut bundle.borrow_mut(),
+                    &replan_strategy,
+                    &mut rng.borrow_mut(),
+                ) {
+                    Ok(plan2) => {
+                        sim.tracer().record(
+                            sim.now(),
+                            "middleware",
+                            "Replan",
+                            format!(
+                                "lost {resource}: {} pilots over [{}]",
+                                plan2.pilots.len(),
+                                survivors.join(", ")
+                            ),
+                        );
+                        pm2.submit(sim, plan2.pilots);
+                        replans2.set(replans2.get() + 1);
+                    }
+                    Err(e) => {
+                        sim.tracer()
+                            .record(sim.now(), "middleware", "ReplanFailed", e);
+                    }
+                }
+            })
+        };
+        // A resource blacklisted for eating launches is as gone as a
+        // decommissioned one, but arrives through the pilot manager, not
+        // the outage schedule — and with re-planning enabled the pilot
+        // layer deliberately skips rerouting. Re-plan here too, or nobody
+        // recovers and the pool drains.
+        {
+            let pm2 = pm.clone();
+            let do_replan = do_replan.clone();
+            pm.on_blacklist(move |sim, resource| {
+                // Any pilot still alive there is doomed; rebuild at least
+                // one elsewhere (the trigger pilot is already terminal).
+                let doomed = pm2
+                    .pilots()
+                    .iter()
+                    .filter(|p| p.description.resource == resource && !p.state.is_terminal())
+                    .count()
+                    .max(1);
+                do_replan(sim, resource, doomed);
+            });
+        }
         for o in &sched.outages {
             let Some(cluster) = clusters.iter().find(|c| c.name() == o.resource).cloned() else {
                 continue; // the spec may name resources outside this pool
@@ -339,10 +431,8 @@ pub fn run_application(
                 OutageKind::Permanent => {
                     let pm2 = pm.clone();
                     let lost2 = lost.clone();
-                    let replans2 = replans.clone();
-                    let replanner = replanner.clone();
+                    let do_replan = do_replan.clone();
                     let resource = o.resource.clone();
-                    let all_names: Vec<String> = clusters.iter().map(|c| c.name()).collect();
                     sim.schedule_at(at, move |sim| {
                         // Count live pilots before the axe falls so the
                         // re-plan knows how much capacity to rebuild.
@@ -358,57 +448,7 @@ pub fn run_application(
                         pm2.blacklist(&resource);
                         cluster.decommission(sim);
                         lost2.borrow_mut().push(resource.clone());
-                        let Some((bundle, rng, app, strategy)) = &replanner else {
-                            return;
-                        };
-                        if doomed == 0 {
-                            return;
-                        }
-                        let survivors: Vec<String> = all_names
-                            .iter()
-                            .filter(|n| !lost2.borrow().contains(n))
-                            .cloned()
-                            .collect();
-                        if survivors.is_empty() {
-                            sim.tracer().record(
-                                sim.now(),
-                                "middleware",
-                                "ReplanFailed",
-                                "no surviving resources",
-                            );
-                            return;
-                        }
-                        let mut replan_strategy = strategy.clone();
-                        replan_strategy.pilot_count =
-                            (doomed as u32).min(survivors.len() as u32).max(1);
-                        replan_strategy.selection = ResourceSelection::Fixed(survivors.clone());
-                        let em = ExecutionManager::default();
-                        match em.derive_plan_with_rng(
-                            sim.now(),
-                            app,
-                            &mut bundle.borrow_mut(),
-                            &replan_strategy,
-                            &mut rng.borrow_mut(),
-                        ) {
-                            Ok(plan2) => {
-                                sim.tracer().record(
-                                    sim.now(),
-                                    "middleware",
-                                    "Replan",
-                                    format!(
-                                        "lost {resource}: {} pilots over [{}]",
-                                        plan2.pilots.len(),
-                                        survivors.join(", ")
-                                    ),
-                                );
-                                pm2.submit(sim, plan2.pilots);
-                                replans2.set(replans2.get() + 1);
-                            }
-                            Err(e) => {
-                                sim.tracer()
-                                    .record(sim.now(), "middleware", "ReplanFailed", e);
-                            }
-                        }
+                        do_replan(sim, &resource, doomed);
                     });
                 }
             }

@@ -639,6 +639,13 @@ impl Cluster {
         let now = sim.now();
         let (name, end) = {
             let mut st = self.inner.borrow_mut();
+            // A decommissioned resource is down forever: there is nothing
+            // left to kill or pause, and scheduling the end-of-window
+            // wake-up at t = ∞ would drag the clock to infinity if the
+            // event queue ever drains that far.
+            if st.down_until.is_some_and(|t| t.as_secs().is_infinite()) {
+                return;
+            }
             let end = (now + duration).max(st.down_until.unwrap_or(SimTime::ZERO));
             st.down_until = Some(end);
             (st.config.name.clone(), end)
@@ -652,13 +659,15 @@ impl Cluster {
         if kill_running {
             self.kill_running_jobs(sim, &name);
         }
-        let this = self.clone();
-        sim.schedule_at(end, move |sim| {
-            // The window may have been extended by a later injection, in
-            // which case this pass is a no-op and that injection's own
-            // wake-up takes over.
-            this.schedule_dispatch(sim);
-        });
+        if end.as_secs().is_finite() {
+            let this = self.clone();
+            sim.schedule_at(end, move |sim| {
+                // The window may have been extended by a later injection,
+                // in which case this pass is a no-op and that injection's
+                // own wake-up takes over.
+                this.schedule_dispatch(sim);
+            });
+        }
     }
 
     /// Remove the resource from service for good: running AND queued jobs
@@ -1360,6 +1369,23 @@ mod tests {
         let late = c.submit(&mut sim, JobRequest::background(4, d(10.0), d(20.0)));
         sim.run_to_completion();
         assert_eq!(c.job_state(late), Some(JobState::Queued));
+        assert!(c.is_down(sim.now()));
+    }
+
+    #[test]
+    fn outage_after_decommission_is_a_noop() {
+        // A transient outage on a decommissioned machine must not schedule
+        // the end-of-window wake-up at t = ∞ — stepping to it would pin
+        // the clock at infinity.
+        let (mut sim, c) = idle_cluster(16);
+        c.decommission(&mut sim);
+        c.inject_outage(&mut sim, d(300.0), true);
+        sim.run_to_completion();
+        assert!(
+            sim.now().as_secs().is_finite(),
+            "clock ran to {:?}",
+            sim.now()
+        );
         assert!(c.is_down(sim.now()));
     }
 

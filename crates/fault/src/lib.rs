@@ -136,9 +136,45 @@ impl FaultSpec {
             && self.staging.is_none()
     }
 
+    /// Check the spec for declarations that cannot mean what they say.
+    /// [`FaultSpec::compile`] assumes a validated spec; callers that
+    /// accept specs from outside (the middleware, experiment configs)
+    /// should reject invalid ones instead of running a schedule that
+    /// silently deviates from the declaration.
+    pub fn validate(&self) -> Result<(), String> {
+        let (lo, hi) = self.random_outage_duration_secs;
+        if !lo.is_finite() || !hi.is_finite() || lo < 0.0 {
+            return Err(format!(
+                "random_outage_duration_secs ({lo}, {hi}): bounds must be finite and non-negative"
+            ));
+        }
+        if hi < lo {
+            return Err(format!(
+                "random_outage_duration_secs ({lo}, {hi}): inverted range"
+            ));
+        }
+        if self.random_outages_per_resource > 0.0 && hi <= lo {
+            return Err(format!(
+                "random_outage_duration_secs ({lo}, {hi}): empty range [lo, hi) \
+                 with random outages enabled"
+            ));
+        }
+        if let Some(s) = &self.staging {
+            if !(s.bandwidth_factor > 0.0 && s.bandwidth_factor <= 1.0) {
+                return Err(format!(
+                    "staging.bandwidth_factor {}: must be in (0, 1]",
+                    s.bandwidth_factor
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Expand the spec into a concrete schedule. `resources` is the pool
     /// the run executes on; `rng` should be forked from the run seed so
-    /// the same seed always yields the same schedule.
+    /// the same seed always yields the same schedule. The spec must pass
+    /// [`FaultSpec::validate`]; a degenerate duration range here collapses
+    /// to its lower bound rather than being silently widened.
     pub fn compile(&self, resources: &[String], rng: &mut SimRng) -> FaultSchedule {
         let mut outages: Vec<ScheduledOutage> = self
             .outages
@@ -159,10 +195,12 @@ impl FaultSpec {
                 let n = self.random_outages_per_resource.floor() as u32
                     + u32::from(r.chance(self.random_outages_per_resource.fract()));
                 for _ in 0..n {
+                    let at = r.uniform(0.0, self.horizon_secs.max(1.0));
+                    let duration = if hi > lo { r.uniform(lo, hi) } else { lo };
                     outages.push(ScheduledOutage {
                         resource: resource.clone(),
-                        at: SimTime::from_secs(r.uniform(0.0, self.horizon_secs.max(1.0))),
-                        duration: SimDuration::from_secs(r.uniform(lo, hi.max(lo + 1.0))),
+                        at: SimTime::from_secs(at),
+                        duration: SimDuration::from_secs(duration),
                         kind: OutageKind::Outage,
                     });
                 }
@@ -388,6 +426,56 @@ mod tests {
             .collect();
         let partial_alpha: Vec<_> = partial.outages.iter().collect();
         assert_eq!(full_alpha, partial_alpha);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_duration_ranges() {
+        assert!(FaultSpec::none().validate().is_ok());
+        let empty = FaultSpec {
+            random_outages_per_resource: 1.0,
+            random_outage_duration_secs: (100.0, 100.0),
+            ..FaultSpec::default()
+        };
+        assert!(empty.validate().unwrap_err().contains("empty range"));
+        let inverted = FaultSpec {
+            random_outage_duration_secs: (200.0, 100.0),
+            ..FaultSpec::default()
+        };
+        assert!(inverted.validate().unwrap_err().contains("inverted"));
+        let bad_staging = FaultSpec {
+            staging: Some(StagingFault {
+                at_secs: 0.0,
+                duration_secs: 10.0,
+                bandwidth_factor: 0.0,
+            }),
+            ..FaultSpec::default()
+        };
+        assert!(bad_staging.validate().is_err());
+        // A point range without random outages is inert, hence legal.
+        let inert = FaultSpec {
+            random_outage_duration_secs: (100.0, 100.0),
+            ..FaultSpec::default()
+        };
+        assert!(inert.validate().is_ok());
+    }
+
+    #[test]
+    fn narrow_duration_ranges_are_not_widened() {
+        // Sub-second ranges used to be silently widened to at least 1 s.
+        let spec = FaultSpec {
+            random_outages_per_resource: 4.0,
+            random_outage_duration_secs: (100.0, 100.25),
+            ..FaultSpec::default()
+        };
+        assert!(spec.validate().is_ok());
+        let sched = spec.compile(&pool(), &mut SimRng::new(3));
+        for o in &sched.outages {
+            assert!(
+                o.duration.as_secs() >= 100.0 && o.duration.as_secs() < 100.25,
+                "duration {} escaped the declared range",
+                o.duration.as_secs()
+            );
+        }
     }
 
     #[test]

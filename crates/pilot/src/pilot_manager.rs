@@ -12,6 +12,9 @@ use std::rc::Rc;
 /// Subscriber to pilot state changes.
 pub type PilotCallback = Box<dyn FnMut(&mut Simulation, PilotId, PilotState)>;
 
+/// Subscriber to manager-initiated blacklisting (repeated launch failures).
+pub type BlacklistCallback = Box<dyn FnMut(&mut Simulation, &str)>;
+
 /// Self-healing policy: when a pilot fails, submit a replacement after a
 /// capped exponential backoff, up to a per-lineage cap. Resources that eat
 /// pilots without ever activating one are blacklisted. With `reroute` set,
@@ -58,6 +61,10 @@ struct PmState {
     session: Rc<Session>,
     pilots: Vec<Pilot>,
     subscribers: Vec<PilotCallback>,
+    /// Notified when the manager itself blacklists a resource after
+    /// repeated launch failures (not when [`PilotManager::blacklist`] is
+    /// called from outside — the caller already knows).
+    blacklist_subscribers: Vec<BlacklistCallback>,
     /// Agent bootstrap time once the backend job runs (the pilot's own
     /// startup: environment setup, agent launch).
     bootstrap_delay: SimDuration,
@@ -95,6 +102,7 @@ impl PilotManager {
                 session,
                 pilots: Vec::new(),
                 subscribers: Vec::new(),
+                blacklist_subscribers: Vec::new(),
                 bootstrap_delay: SimDuration::from_secs(30.0),
                 recovery: None,
                 lineage: HashMap::new(),
@@ -148,6 +156,17 @@ impl PilotManager {
     /// Subscribe to all pilot state transitions.
     pub fn subscribe(&self, cb: impl FnMut(&mut Simulation, PilotId, PilotState) + 'static) {
         self.inner.borrow_mut().subscribers.push(Box::new(cb));
+    }
+
+    /// Subscribe to blacklist decisions the manager makes on its own
+    /// (a resource ate [`PilotRecovery::blacklist_after`] consecutive
+    /// launches). Without `reroute`, recovery from such a resource is the
+    /// subscriber's job — the middleware uses this to trigger re-planning.
+    pub fn on_blacklist(&self, cb: impl FnMut(&mut Simulation, &str) + 'static) {
+        self.inner
+            .borrow_mut()
+            .blacklist_subscribers
+            .push(Box::new(cb));
     }
 
     /// Submit pilots. Each is described to the resource named in its
@@ -321,6 +340,19 @@ impl PilotManager {
                 "Blacklist",
                 format!("{resource}: repeated launch failures"),
             );
+            // Without reroute the verdict below is Skip: a higher layer
+            // must take over, so tell it the resource is gone. Delivered
+            // without holding the borrow; callbacks may submit pilots.
+            let mut subs = std::mem::take(&mut self.inner.borrow_mut().blacklist_subscribers);
+            for cb in subs.iter_mut() {
+                cb(sim, &resource);
+            }
+            {
+                let mut st = self.inner.borrow_mut();
+                let mut newly = std::mem::take(&mut st.blacklist_subscribers);
+                st.blacklist_subscribers = subs;
+                st.blacklist_subscribers.append(&mut newly);
+            }
         }
         match verdict {
             Verdict::Skip => {}

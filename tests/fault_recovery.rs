@@ -166,6 +166,55 @@ fn permanent_loss_without_recovery_is_resource_lost() {
 }
 
 #[test]
+fn launch_failure_blacklist_triggers_replan() {
+    // No scheduled outage at all: resource "one" simply eats pilot
+    // launches (injected permanent submission failures) until the pilot
+    // manager blacklists it. With re-planning enabled the pilot layer
+    // deliberately does not reroute — the middleware must hear about the
+    // blacklist and re-derive the strategy over "two", or the pool drains
+    // with recovery nominally on.
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let faults = FaultSpec {
+        launch_permanent_chance: 0.7,
+        ..FaultSpec::none()
+    };
+    let r = run_application(
+        &pool(),
+        &app,
+        &pinned_strategy(),
+        &opts(0, faults.clone(), Some(RecoveryPolicy::default())),
+    )
+    .unwrap();
+    assert_eq!(r.units_done, 16);
+    assert!(r.replans >= 1, "blacklisting must trigger a re-plan");
+    assert!(
+        r.replacements > 0,
+        "on-resource replacements were attempted"
+    );
+    // Same schedule, recovery off: the lone pilot's launch fails, nothing
+    // replaces it, and the run ends in a typed error instead of hanging.
+    let err =
+        run_application(&pool(), &app, &pinned_strategy(), &opts(0, faults, None)).unwrap_err();
+    assert!(matches!(err, RunError::PilotsDrained { .. }), "{err}");
+}
+
+#[test]
+fn invalid_fault_spec_is_rejected_up_front() {
+    // An empty random-outage duration range used to be silently widened;
+    // now the run refuses to start on a spec it cannot honour.
+    let app = paper_bag(8, TaskDurationSpec::Uniform15Min);
+    let faults = FaultSpec {
+        random_outages_per_resource: 1.0,
+        random_outage_duration_secs: (100.0, 100.0),
+        ..FaultSpec::none()
+    };
+    let err =
+        run_application(&pool(), &app, &pinned_strategy(), &opts(1, faults, None)).unwrap_err();
+    assert!(matches!(err, RunError::InvalidFaultSpec(_)), "{err}");
+    assert!(err.contains("invalid fault spec"), "{err}");
+}
+
+#[test]
 fn staging_degradation_stretches_the_run() {
     // A 90 % bandwidth cut over the input-staging phase slows TTC.
     let app = paper_bag(64, TaskDurationSpec::Uniform15Min);

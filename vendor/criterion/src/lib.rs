@@ -1,0 +1,249 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness with the same API shape the
+//! workspace's `harness = false` benches use: `Criterion`, benchmark
+//! groups, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark is timed
+//! over a fixed number of batches and reported as median ns/iter on
+//! stdout — no statistics engine, plots, or saved baselines.
+
+use std::hint;
+use std::time::Instant;
+
+pub use std::hint::black_box as _std_black_box;
+
+/// Re-exported under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+// ---------------------------------------------------------------------------
+// Bencher
+// ---------------------------------------------------------------------------
+
+pub struct Bencher {
+    /// Iterations per timed batch, tuned by a calibration pass.
+    iters: u64,
+    /// Median ns per iteration over the timed batches.
+    result_ns: f64,
+    batches: usize,
+}
+
+impl Bencher {
+    fn new(batches: usize) -> Self {
+        Bencher {
+            iters: 1,
+            result_ns: f64::NAN,
+            batches,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until one batch takes ~2ms, so cheap
+        // routines are not dominated by timer resolution.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_micros() >= 2_000 || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.iters = iters;
+
+        let mut samples: Vec<f64> = (0..self.batches)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    hint::black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Criterion / groups
+// ---------------------------------------------------------------------------
+
+pub struct Criterion {
+    batches: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { batches: 11 }
+    }
+}
+
+fn run_one(name: &str, batches: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(batches);
+    f(&mut b);
+    if b.result_ns.is_nan() {
+        println!("{name:<50} (no measurement: bencher.iter never called)");
+    } else {
+        println!(
+            "{name:<50} {:>14.1} ns/iter  ({} iters x {} batches)",
+            b.result_ns, b.iters, batches
+        );
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.batches, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            batches: self.batches,
+            _parent: self,
+        }
+    }
+
+    /// Accepted for API compatibility; the shim keeps its fixed batch count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.batches = n.max(3);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    batches: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.batches = n.max(3);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.batches, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.batches, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+// ---------------------------------------------------------------------------
+// BenchmarkId
+// ---------------------------------------------------------------------------
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Either a plain name or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial/add", |b| b.iter(|| black_box(1u64) + 1));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        trivial(&mut c);
+        let mut group = c.benchmark_group("group");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2u64) + 2));
+        group.bench_function(format!("{}_fmt", "name"), |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The workspace builds in an air-gapped environment, so the real crate
+//! cannot be fetched. The simulator implements its own xoshiro256++
+//! generator and only needs the `RngCore`/`SeedableRng` trait vocabulary
+//! (plus the error type) to stay source-compatible with `rand` adaptors.
+
+use std::fmt;
+
+/// Error type returned by fallible `RngCore` methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let bytes = state.to_le_bytes();
+        for (i, b) in seed.as_mut().iter_mut().enumerate() {
+            *b = bytes[i % 8];
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn default_try_fill_delegates() {
+        let mut c = Counter(0);
+        let mut buf = [0u8; 3];
+        c.try_fill_bytes(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+    }
+}

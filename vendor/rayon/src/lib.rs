@@ -1,0 +1,48 @@
+//! Offline shim for `rayon`.
+//!
+//! `par_iter()` degrades to a plain sequential iterator: every adaptor and
+//! `collect()` keep working unchanged, results keep their input order, and
+//! determinism is trivially preserved. The workspace only fans out
+//! embarrassingly parallel simulation repetitions, so the shim trades
+//! wall-clock speed for zero dependencies — callers need no code changes
+//! if the real crate is ever restored.
+
+pub mod prelude {
+    /// `&'data self → par_iter()`, rayon's borrowing entry point.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_maps_and_collects_in_order() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,642 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Built directly on `proc_macro` because the air-gapped build cannot fetch
+//! `syn`/`quote`. The parser covers exactly the shapes this workspace
+//! derives on — non-generic named-field structs, tuple structs, and enums
+//! with unit/newtype/tuple/struct variants — plus the attribute subset in
+//! use: `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(rename_all = "snake_case")]`, and `#[serde(tag = "...")]`
+//! (internally tagged enums). Anything else fails loudly at compile time
+//! rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Container {
+    name: String,
+    /// `#[serde(tag = "...")]`: internally tagged enum representation.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "snake_case")]` on the container.
+    snake_case: bool,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this arity (1 = newtype).
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `Some(None)` = `#[serde(default)]`; `Some(Some(path))` = callable.
+    default: Option<Option<String>>,
+    /// Field type is spelled `Option<...>`: missing keys read as `None`,
+    /// matching real serde's implicit behaviour for options.
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Keys (and optional string values) of one `#[serde(...)]` attribute list.
+fn parse_serde_attr(group: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        let TokenTree::Ident(key) = tok else { continue };
+        let mut value = None;
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            iter.next();
+            if let Some(TokenTree::Literal(lit)) = iter.next() {
+                value = Some(unquote(&lit.to_string()));
+            }
+        }
+        out.push((key.to_string(), value));
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+    }
+    out
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Consume one leading attribute (`#[...]`); returns its serde keys if it
+/// was a serde attribute.
+fn take_attr(iter: &mut Tokens) -> Vec<(String, Option<String>)> {
+    // Caller consumed '#'; bracket group follows.
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        panic!("serde shim derive: malformed attribute");
+    };
+    let mut inner = g.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => match inner.next() {
+            Some(TokenTree::Group(args)) => parse_serde_attr(args.stream()),
+            _ => Vec::new(),
+        },
+        _ => Vec::new(),
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn skip_visibility(iter: &mut Tokens) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Parse the fields of a `{ ... }` struct body (also used for struct
+/// variants).
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let mut default = None;
+        // Attributes.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            for (key, value) in take_attr(&mut iter) {
+                if key == "default" {
+                    default = Some(value);
+                }
+            }
+        }
+        skip_visibility(&mut iter);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde shim derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        // Swallow the type: everything up to a comma at angle-bracket
+        // depth zero. Only the head identifier matters (Option detection).
+        let mut angle_depth = 0i32;
+        let mut head: Option<String> = None;
+        while let Some(tok) = iter.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Ident(id) if head.is_none() => head = Some(id.to_string()),
+                _ => {}
+            }
+            iter.next();
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            default,
+            is_option: head.as_deref() == Some("Option"),
+        });
+    }
+    fields
+}
+
+/// Arity of a tuple body `( ... )`: the number of comma-separated types.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    let mut pending = false;
+    for tok in body {
+        saw_tokens = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                pending = false;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        arity += 1;
+    }
+    if !saw_tokens {
+        0
+    } else {
+        arity
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Variant attributes (doc comments etc.) — nothing to keep.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            take_attr(&mut iter);
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut iter: Tokens = input.into_iter().peekable();
+    let mut tag = None;
+    let mut snake_case = false;
+
+    // Container attributes, visibility, then `struct`/`enum`.
+    let is_enum = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                for (key, value) in take_attr(&mut iter) {
+                    match (key.as_str(), value) {
+                        ("tag", Some(v)) => tag = Some(v),
+                        ("rename_all", Some(v)) => {
+                            assert_eq!(
+                                v, "snake_case",
+                                "serde shim derive: only rename_all = \"snake_case\" is supported"
+                            );
+                            snake_case = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => {}
+            None => panic!("serde shim derive: no struct/enum found"),
+        }
+    };
+
+    let Some(TokenTree::Ident(name)) = iter.next() else {
+        panic!("serde shim derive: missing type name");
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (type `{name}`)");
+    }
+
+    let data = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Data::Enum(parse_variants(g.stream()))
+            } else {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert!(!is_enum, "serde shim derive: malformed enum body");
+            Data::TupleStruct(tuple_arity(g.stream()))
+        }
+        other => panic!("serde shim derive: unsupported item body {other:?}"),
+    };
+
+    Container {
+        name: name.to_string(),
+        tag,
+        snake_case,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// serde's `rename_all = "snake_case"` transformation.
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+impl Container {
+    fn variant_key(&self, variant: &str) -> String {
+        if self.snake_case {
+            snake(variant)
+        } else {
+            variant.to_string()
+        }
+    }
+}
+
+fn push_serialize_fields(out: &mut String, fields: &[Field], access: &str) {
+    for f in fields {
+        out.push_str(&format!(
+            "__entries.push((\"{n}\".to_string(), ::serde::Serialize::serialize({access}{n})));\n",
+            n = f.name
+        ));
+    }
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let mut body = String::new();
+    match &c.data {
+        Data::NamedStruct(fields) => {
+            body.push_str(
+                "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            push_serialize_fields(&mut body, fields, "&self.");
+            body.push_str("::serde::Value::Object(__entries)\n");
+        }
+        Data::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::serialize(&self.0)\n");
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            body.push_str(&format!(
+                "::serde::Value::Array(vec![{}])\n",
+                items.join(", ")
+            ));
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let key = c.variant_key(&v.name);
+                match (&v.kind, &c.tag) {
+                    (VariantKind::Unit, None) => {
+                        body.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::Str(\"{key}\".to_string()),\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantKind::Unit, Some(tag)) => {
+                        body.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), \
+                             ::serde::Value::Str(\"{key}\".to_string()))]),\n",
+                            v = v.name
+                        ));
+                    }
+                    (VariantKind::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        body.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\"{key}\"\
+                             .to_string(), {inner})]),\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    (VariantKind::Tuple(_), Some(_)) => panic!(
+                        "serde shim derive: internally tagged tuple variant \
+                         `{name}::{}` is not supported",
+                        v.name
+                    ),
+                    (VariantKind::Struct(fields), tag) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut arm = format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __entries: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        );
+                        if let Some(tag) = tag {
+                            arm.push_str(&format!(
+                                "__entries.push((\"{tag}\".to_string(), \
+                                 ::serde::Value::Str(\"{key}\".to_string())));\n"
+                            ));
+                        }
+                        push_serialize_fields(&mut arm, fields, "");
+                        if tag.is_some() {
+                            arm.push_str("::serde::Value::Object(__entries)\n}\n");
+                        } else {
+                            arm.push_str(&format!(
+                                "::serde::Value::Object(vec![(\"{key}\".to_string(), \
+                                 ::serde::Value::Object(__entries))])\n}}\n"
+                            ));
+                        }
+                        body.push_str(&arm);
+                        body.push(',');
+                        body.push('\n');
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+/// The expression that rebuilds one named field from object `__v`.
+fn field_expr(c: &Container, f: &Field) -> String {
+    let fallback = match &f.default {
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        None if f.is_option => "::std::option::Option::None".to_string(),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::custom(\
+             \"missing field `{n}` in {name}\"))",
+            n = f.name,
+            name = c.name
+        ),
+    };
+    format!(
+        "{n}: match __v.get(\"{n}\") {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)?,\n\
+         ::std::option::Option::None => {fallback},\n}}",
+        n = f.name
+    )
+}
+
+/// Like [`field_expr`] but reading from an arbitrary object expression.
+fn variant_field_expr(c: &Container, f: &Field, source: &str) -> String {
+    field_expr(c, f).replace("__v.get(", &format!("{source}.get("))
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let mut body = String::new();
+    match &c.data {
+        Data::NamedStruct(fields) => {
+            body.push_str(&format!(
+                "if __v.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                 \"expected object for {name}, found {{}}\", __v.kind())));\n}}\n"
+            ));
+            let inits: Vec<String> = fields.iter().map(|f| field_expr(c, f)).collect();
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name} {{\n{}\n}})\n",
+                inits.join(",\n")
+            ));
+        }
+        Data::TupleStruct(1) => {
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))\n"
+            ));
+        }
+        Data::TupleStruct(n) => {
+            body.push_str(&format!(
+                "let __items = __v.as_array().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"wrong tuple arity for {name}\"));\n}}\n"
+            ));
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))\n",
+                items.join(", ")
+            ));
+        }
+        Data::Enum(variants) => match &c.tag {
+            Some(tag) => {
+                body.push_str(&format!(
+                    "let __kind = __v.get(\"{tag}\").and_then(|__k| __k.as_str())\
+                     .ok_or_else(|| ::serde::DeError::custom(\
+                     \"missing `{tag}` tag for {name}\"))?;\n\
+                     match __kind {{\n"
+                ));
+                for v in variants {
+                    let key = c.variant_key(&v.name);
+                    match &v.kind {
+                        VariantKind::Unit => body.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_expr(c, f)).collect();
+                            body.push_str(&format!(
+                                "\"{key}\" => ::std::result::Result::Ok({name}::{v} {{\n{}\n}}),\n",
+                                inits.join(",\n"),
+                                v = v.name
+                            ));
+                        }
+                        VariantKind::Tuple(_) => panic!(
+                            "serde shim derive: internally tagged tuple variant \
+                             `{name}::{}` is not supported",
+                            v.name
+                        ),
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                     \"unknown {name} variant {{__other}}\"))),\n}}\n"
+                ));
+            }
+            None => {
+                // Unit variants arrive as strings.
+                body.push_str("if let ::std::option::Option::Some(__s) = __v.as_str() {\n");
+                body.push_str("return match __s {\n");
+                for v in variants {
+                    if matches!(v.kind, VariantKind::Unit) {
+                        body.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            key = c.variant_key(&v.name),
+                            v = v.name
+                        ));
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                     \"unknown {name} variant {{__other}}\"))),\n}};\n}}\n"
+                ));
+                // Data variants arrive as single-entry objects.
+                body.push_str(&format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(format!(\
+                     \"expected string or object for {name}, found {{}}\", __v.kind())))?;\n\
+                     if __obj.len() != 1 {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"expected single-key object for {name}\"));\n}}\n\
+                     let (__key, __inner) = &__obj[0];\n\
+                     match __key.as_str() {{\n"
+                ));
+                for v in variants {
+                    let key = c.variant_key(&v.name);
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            // Also accept {"Variant": null} for units.
+                            body.push_str(&format!(
+                                "\"{key}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                                v = v.name
+                            ));
+                        }
+                        VariantKind::Tuple(1) => body.push_str(&format!(
+                            "\"{key}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::deserialize(__inner)?)),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&__items[{i}])?")
+                                })
+                                .collect();
+                            body.push_str(&format!(
+                                "\"{key}\" => {{\n\
+                                 let __items = __inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array for {name}::{v}\"))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"wrong arity for {name}::{v}\"));\n}}\n\
+                                 ::std::result::Result::Ok({name}::{v}({items}))\n}}\n",
+                                v = v.name,
+                                items = items.join(", ")
+                            ));
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| variant_field_expr(c, f, "__inner"))
+                                .collect();
+                            body.push_str(&format!(
+                                "\"{key}\" => ::std::result::Result::Ok({name}::{v} {{\n{}\n}}),\n",
+                                inits.join(",\n"),
+                                v = v.name
+                            ));
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                     \"unknown {name} variant {{__other}}\"))),\n}}\n"
+                ));
+            }
+        },
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl parses")
+}
