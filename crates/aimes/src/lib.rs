@@ -24,6 +24,7 @@
 
 pub mod adaptive;
 pub mod experiment;
+pub mod journal;
 pub mod middleware;
 pub mod paper;
 pub mod report;
@@ -33,6 +34,7 @@ pub mod ttc;
 pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveRunResult};
 pub use aimes_fault as fault;
 pub use experiment::{ExperimentConfig, ExperimentPoint, ExperimentResult};
-pub use middleware::{run_application, RunError, RunOptions, RunResult};
+pub use journal::{JournalEntry, JournalEvent, RunJournal};
+pub use middleware::{resume_application, run_application, RunError, RunOptions, RunResult};
 pub use stats::Summary;
 pub use ttc::TtcBreakdown;

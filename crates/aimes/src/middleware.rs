@@ -7,17 +7,22 @@
 //! pilots with input/output staging (6). All pilots are cancelled when the
 //! application completes "so as not to waste resources".
 
-use crate::ttc::{decompose, wasted_core_hours, TtcBreakdown};
+use crate::journal::{JournalEvent, RunJournal};
+use crate::ttc::{decompose, interval_union, wasted_core_hours, TtcBreakdown};
 use aimes_bundle::Bundle;
 use aimes_cluster::{Cluster, ClusterConfig};
 use aimes_fault::{FaultSpec, OutageKind, RecoveryPolicy};
-use aimes_pilot::{Pilot, PilotManager, PilotRecovery, UnitManager, UnitManagerStats};
-use aimes_saga::Session;
+use aimes_pilot::{
+    DetectionMode, DetectionPolicy, DetectorEvent, Pilot, PilotManager, PilotRecovery, UnitManager,
+    UnitManagerStats,
+};
+use aimes_saga::{BreakerConfig, Session};
 use aimes_sim::{SimDuration, SimTime, Simulation, Tracer};
 use aimes_skeleton::{SkeletonApp, SkeletonConfig};
 use aimes_strategy::{ExecutionManager, ExecutionStrategy, ResourceSelection};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
 use std::rc::Rc;
 
 /// Options for one run.
@@ -43,6 +48,14 @@ pub struct RunOptions {
     /// behaviour: failed pilots stay dead, unit retries are immediate,
     /// and a lost resource is never re-planned around.
     pub recovery: Option<RecoveryPolicy>,
+    /// Crash-consistent run journal: when set, every binding decision,
+    /// state transition, detector verdict, breaker trip, and re-plan is
+    /// appended here as it happens. Feeds [`resume_application`].
+    pub journal: Option<Rc<RefCell<RunJournal>>>,
+    /// Kill the run this long after submission (simulating a middleware
+    /// crash): the run returns [`RunError::Interrupted`] with whatever
+    /// the journal has captured so far.
+    pub interrupt_at: Option<SimDuration>,
 }
 
 impl Default for RunOptions {
@@ -54,6 +67,8 @@ impl Default for RunOptions {
             trace: false,
             faults: None,
             recovery: None,
+            journal: None,
+            interrupt_at: None,
         }
     }
 }
@@ -86,6 +101,18 @@ pub enum RunError {
         resource: String,
         stats: UnitManagerStats,
     },
+    /// The run was killed at [`RunOptions::interrupt_at`] (a simulated
+    /// middleware crash). The journal passed in the options holds the
+    /// crash-consistent record to resume from.
+    Interrupted {
+        at: SimTime,
+        stats: UnitManagerStats,
+    },
+    /// A resumed run replayed differently from the interrupted journal it
+    /// was given: the journal does not describe this (seed, app,
+    /// strategy, fault) combination, and resuming would fabricate
+    /// history. `seq` is the first diverging entry.
+    JournalDiverged { seq: u64, detail: String },
 }
 
 impl std::fmt::Display for RunError {
@@ -111,6 +138,15 @@ impl std::fmt::Display for RunError {
                 f,
                 "resource {resource} permanently lost before completion ({stats:?})"
             ),
+            RunError::Interrupted { at, stats } => {
+                write!(f, "run interrupted at {at:?} ({stats:?})")
+            }
+            RunError::JournalDiverged { seq, detail } => {
+                write!(
+                    f,
+                    "resume diverged from the journal at entry {seq}: {detail}"
+                )
+            }
         }
     }
 }
@@ -153,6 +189,14 @@ pub struct RunResult {
     /// Mean time from a pilot failure to its replacement becoming Active
     /// (0 when nothing needed recovering).
     pub mean_recovery_secs: f64,
+    /// Mean time from a pilot going silent to the detector declaring it
+    /// dead — Td samples (0 when detection is off or nothing died).
+    #[serde(default)]
+    pub mean_detection_secs: f64,
+    /// Suspicions the detector raised and then cleared when heartbeats
+    /// resumed (false positives that cost nothing).
+    #[serde(default)]
+    pub false_suspicions: u64,
 }
 
 impl RunResult {
@@ -279,7 +323,7 @@ pub fn run_application(
         um_config.retry_backoff = rec.unit_retry_backoff;
         um_config.retry_backoff_cap = rec.replacement_backoff_cap;
     }
-    let pm = PilotManager::new(session);
+    let pm = PilotManager::new(session.clone());
     if let Some(rec) = options.recovery.as_ref().filter(|r| r.pilot_replacement) {
         pm.set_recovery(PilotRecovery {
             max_replacements: rec.max_replacements_per_pilot,
@@ -291,6 +335,37 @@ pub fn run_application(
             reroute: !rec.replan_on_resource_loss,
         });
     }
+    // The detection layer (when configured) is the only failure oracle
+    // the rest of this function may consult: agents heartbeat, the
+    // manager suspects and declares, and each resource's SAGA service
+    // trips a circuit breaker on repeated transient failures. Injection
+    // ground truth stops feeding the recovery path below.
+    let detection = options.recovery.as_ref().and_then(|r| r.detection.clone());
+    if let Some(det) = &detection {
+        let mode = match det.phi {
+            Some(phi) => DetectionMode::PhiAccrual {
+                suspect_phi: phi.suspect_phi,
+                declare_phi: phi.declare_phi,
+                window: phi.window,
+            },
+            None => DetectionMode::Timeout,
+        };
+        pm.set_detection(DetectionPolicy {
+            heartbeat_interval: SimDuration::from_secs(det.heartbeat_secs),
+            suspect_after: SimDuration::from_secs(det.suspect_after_secs),
+            declare_after: SimDuration::from_secs(det.declare_after_secs),
+            mode,
+            confirm_with_status_query: det.confirm_with_status_query,
+        });
+        for cluster in &clusters {
+            if let Some(svc) = session.service(&cluster.name()) {
+                svc.enable_breaker(BreakerConfig {
+                    failure_threshold: det.breaker_failure_threshold,
+                    cooldown: SimDuration::from_secs(det.breaker_cooldown_secs),
+                });
+            }
+        }
+    }
     let um = UnitManager::new(pm.clone(), um_config);
     let finished: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
     {
@@ -301,24 +376,121 @@ pub fn run_application(
             pm2.cancel_all(sim);
         });
     }
+    // Journal wiring: subscribe before anything is submitted so the very
+    // first transitions are captured. Entry order within one instant is
+    // fixed by subscription order, hence deterministic.
+    if let Some(journal) = &options.journal {
+        journal.borrow_mut().record(
+            sim.now(),
+            JournalEvent::RunStarted {
+                seed: options.seed,
+                strategy: strategy.label(),
+                n_tasks,
+            },
+        );
+        let jr = journal.clone();
+        pm.subscribe(move |sim, pilot, state| {
+            jr.borrow_mut().record(
+                sim.now(),
+                JournalEvent::PilotTransition {
+                    pilot: pilot.0,
+                    state: format!("{state:?}"),
+                },
+            );
+        });
+        let jr = journal.clone();
+        let um2 = um.clone();
+        um.subscribe(move |sim, unit, state| {
+            let pilot = um2.unit(unit).pilot.map(|p| p.0);
+            jr.borrow_mut().record(
+                sim.now(),
+                JournalEvent::UnitTransition {
+                    unit: unit.0,
+                    state: format!("{state:?}"),
+                    pilot,
+                },
+            );
+        });
+        let jr = journal.clone();
+        pm.on_detector_event(move |sim, ev| {
+            let event = match ev {
+                DetectorEvent::Suspected {
+                    pilot,
+                    resource,
+                    silent_for,
+                } => JournalEvent::Detector {
+                    pilot: pilot.0,
+                    resource: resource.clone(),
+                    verdict: "Suspected".into(),
+                    silent_secs: silent_for.as_secs(),
+                },
+                DetectorEvent::Recovered {
+                    pilot,
+                    resource,
+                    suspected_for,
+                } => JournalEvent::Detector {
+                    pilot: pilot.0,
+                    resource: resource.clone(),
+                    verdict: "Recovered".into(),
+                    silent_secs: suspected_for.as_secs(),
+                },
+                DetectorEvent::DeclaredDead {
+                    pilot,
+                    resource,
+                    silent_for,
+                } => JournalEvent::Detector {
+                    pilot: pilot.0,
+                    resource: resource.clone(),
+                    verdict: "DeclaredDead".into(),
+                    silent_secs: silent_for.as_secs(),
+                },
+                DetectorEvent::StaleSignal {
+                    pilot,
+                    resource,
+                    detail,
+                } => JournalEvent::StaleSignal {
+                    pilot: pilot.0,
+                    resource: resource.clone(),
+                    detail: detail.clone(),
+                },
+            };
+            jr.borrow_mut().record(sim.now(), event);
+        });
+        let jr = journal.clone();
+        pm.on_blacklist(move |sim, resource| {
+            jr.borrow_mut().record(
+                sim.now(),
+                JournalEvent::Blacklist {
+                    resource: resource.to_string(),
+                },
+            );
+        });
+        for cluster in &clusters {
+            let Some(svc) = session.service(&cluster.name()) else {
+                continue;
+            };
+            let jr = journal.clone();
+            svc.on_breaker_trip(move |sim, resource| {
+                jr.borrow_mut().record(
+                    sim.now(),
+                    JournalEvent::BreakerTrip {
+                        resource: resource.to_string(),
+                    },
+                );
+            });
+        }
+    }
     pm.submit(&mut sim, plan.pilots.clone());
     um.submit_units(&mut sim, app.tasks());
 
-    // Arm the fault schedule. All times are relative to submission.
+    // Arm the fault schedule and the recovery machinery. All times are
+    // relative to submission. The re-plan support is shared by the
+    // scheduled fault model and the signal-driven path (breaker trips),
+    // so it sits outside the schedule gate; a fault-free, detection-free
+    // run skips all of it and replays the legacy event stream exactly.
     let lost: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
     let replans: Rc<Cell<u64>> = Rc::new(Cell::new(0));
-    if let Some(sched) = &schedule {
-        if let Some(sf) = sched.staging.filter(|s| s.duration_secs > 0.0) {
-            let start = submitted + SimDuration::from_secs(sf.at_secs.max(0.0));
-            let factor = sf.bandwidth_factor.clamp(0.001, 1.0);
-            let um2 = um.clone();
-            sim.schedule_at(start, move |_| um2.set_origin_bandwidth_factor(factor));
-            let um3 = um.clone();
-            sim.schedule_at(
-                start + SimDuration::from_secs(sf.duration_secs),
-                move |_| um3.set_origin_bandwidth_factor(1.0),
-            );
-        }
+    if schedule.is_some() || detection.is_some() {
         let replanner = options
             .recovery
             .as_ref()
@@ -341,6 +513,7 @@ pub fn run_application(
         let do_replan: Replan = {
             let pm2 = pm.clone();
             let replans2 = replans.clone();
+            let journal2 = options.journal.clone();
             Rc::new(move |sim: &mut Simulation, resource: &str, doomed: usize| {
                 let Some((bundle, rng, app, strategy)) = &replanner else {
                     return;
@@ -385,6 +558,15 @@ pub fn run_application(
                                 survivors.join(", ")
                             ),
                         );
+                        if let Some(jr) = &journal2 {
+                            jr.borrow_mut().record(
+                                sim.now(),
+                                JournalEvent::Replan {
+                                    resource: resource.to_string(),
+                                    pilots: plan2.pilots.len() as u32,
+                                },
+                            );
+                        }
                         pm2.submit(sim, plan2.pilots);
                         replans2.set(replans2.get() + 1);
                     }
@@ -395,6 +577,10 @@ pub fn run_application(
                 }
             })
         };
+        // Two signal-driven triggers can condemn the same resource (a
+        // tripped breaker and manager-initiated blacklisting); one
+        // re-plan per resource is enough.
+        let replanned: Rc<RefCell<HashSet<String>>> = Rc::new(RefCell::new(HashSet::new()));
         // A resource blacklisted for eating launches is as gone as a
         // decommissioned one, but arrives through the pilot manager, not
         // the outage schedule — and with re-planning enabled the pilot
@@ -403,7 +589,11 @@ pub fn run_application(
         {
             let pm2 = pm.clone();
             let do_replan = do_replan.clone();
+            let replanned2 = replanned.clone();
             pm.on_blacklist(move |sim, resource| {
+                if !replanned2.borrow_mut().insert(resource.to_string()) {
+                    return;
+                }
                 // Any pilot still alive there is doomed; rebuild at least
                 // one elsewhere (the trigger pilot is already terminal).
                 let doomed = pm2
@@ -415,41 +605,106 @@ pub fn run_application(
                 do_replan(sim, resource, doomed);
             });
         }
-        for o in &sched.outages {
-            let Some(cluster) = clusters.iter().find(|c| c.name() == o.resource).cloned() else {
-                continue; // the spec may name resources outside this pool
-            };
-            let at = submitted + SimDuration::from_secs(o.at.as_secs().max(0.0));
-            match o.kind {
-                OutageKind::Outage | OutageKind::Drain => {
-                    let kill = o.kind == OutageKind::Outage;
-                    let duration = o.duration;
-                    sim.schedule_at(at, move |sim| {
-                        cluster.inject_outage(sim, duration, kill);
-                    });
-                }
-                OutageKind::Permanent => {
-                    let pm2 = pm.clone();
-                    let lost2 = lost.clone();
-                    let do_replan = do_replan.clone();
-                    let resource = o.resource.clone();
-                    sim.schedule_at(at, move |sim| {
-                        // Count live pilots before the axe falls so the
-                        // re-plan knows how much capacity to rebuild.
-                        let doomed = pm2
-                            .pilots()
-                            .iter()
-                            .filter(|p| {
-                                p.description.resource == resource && !p.state.is_terminal()
-                            })
-                            .count();
-                        // Blacklist first: replacement logic triggered by
-                        // the kills below must not resubmit to a corpse.
-                        pm2.blacklist(&resource);
-                        cluster.decommission(sim);
-                        lost2.borrow_mut().push(resource.clone());
-                        do_replan(sim, &resource, doomed);
-                    });
+        // Breaker-driven recovery: with detection on, an open breaker IS
+        // the verdict that a resource eats every request. Stop routing
+        // to it and rebuild the lost capacity over the survivors — no
+        // peeking at the outage schedule.
+        if detection.is_some() {
+            for cluster in &clusters {
+                let Some(svc) = session.service(&cluster.name()) else {
+                    continue;
+                };
+                let pm2 = pm.clone();
+                let do_replan = do_replan.clone();
+                let replanned2 = replanned.clone();
+                svc.on_breaker_trip(move |sim, resource| {
+                    if !replanned2.borrow_mut().insert(resource.to_string()) {
+                        return;
+                    }
+                    let doomed = pm2
+                        .pilots()
+                        .iter()
+                        .filter(|p| p.description.resource == resource && !p.state.is_terminal())
+                        .count()
+                        .max(1);
+                    pm2.blacklist(resource);
+                    do_replan(sim, resource, doomed);
+                });
+            }
+        }
+        if let Some(sched) = &schedule {
+            if let Some(sf) = sched.staging.filter(|s| s.duration_secs > 0.0) {
+                let start = submitted + SimDuration::from_secs(sf.at_secs.max(0.0));
+                let factor = sf.bandwidth_factor.clamp(0.001, 1.0);
+                let um2 = um.clone();
+                sim.schedule_at(start, move |_| um2.set_origin_bandwidth_factor(factor));
+                let um3 = um.clone();
+                sim.schedule_at(
+                    start + SimDuration::from_secs(sf.duration_secs),
+                    move |_| um3.set_origin_bandwidth_factor(1.0),
+                );
+            }
+            // Signal-level fault injection: heartbeats emitted inside each
+            // window are delivered late, exercising the detector's
+            // false-positive and stale-signal handling.
+            for hd in &sched.heartbeat_delays {
+                let from = submitted + SimDuration::from_secs(hd.at_secs.max(0.0));
+                pm.inject_heartbeat_delay(
+                    &hd.resource,
+                    from,
+                    from + SimDuration::from_secs(hd.duration_secs),
+                    SimDuration::from_secs(hd.delay_secs),
+                );
+            }
+            for o in &sched.outages {
+                let Some(cluster) = clusters.iter().find(|c| c.name() == o.resource).cloned()
+                else {
+                    continue; // the spec may name resources outside this pool
+                };
+                let at = submitted + SimDuration::from_secs(o.at.as_secs().max(0.0));
+                match o.kind {
+                    OutageKind::Outage | OutageKind::Drain => {
+                        let kill = o.kind == OutageKind::Outage;
+                        let duration = o.duration;
+                        sim.schedule_at(at, move |sim| {
+                            cluster.inject_outage(sim, duration, kill);
+                        });
+                    }
+                    OutageKind::Permanent if detection.is_some() => {
+                        // No oracle: decommission the cluster and walk away.
+                        // Recovery must come entirely from missed heartbeats
+                        // and tripped breakers. `lost` still feeds error
+                        // classification if the run cannot finish.
+                        let lost2 = lost.clone();
+                        let resource = o.resource.clone();
+                        sim.schedule_at(at, move |sim| {
+                            cluster.decommission(sim);
+                            lost2.borrow_mut().push(resource.clone());
+                        });
+                    }
+                    OutageKind::Permanent => {
+                        let pm2 = pm.clone();
+                        let lost2 = lost.clone();
+                        let do_replan = do_replan.clone();
+                        let resource = o.resource.clone();
+                        sim.schedule_at(at, move |sim| {
+                            // Count live pilots before the axe falls so the
+                            // re-plan knows how much capacity to rebuild.
+                            let doomed = pm2
+                                .pilots()
+                                .iter()
+                                .filter(|p| {
+                                    p.description.resource == resource && !p.state.is_terminal()
+                                })
+                                .count();
+                            // Blacklist first: replacement logic triggered by
+                            // the kills below must not resubmit to a corpse.
+                            pm2.blacklist(&resource);
+                            cluster.decommission(sim);
+                            lost2.borrow_mut().push(resource.clone());
+                            do_replan(sim, &resource, doomed);
+                        });
+                    }
                 }
             }
         }
@@ -457,7 +712,19 @@ pub fn run_application(
 
     // Run until the application completes or the deadline passes.
     let deadline = submitted + options.deadline;
+    let interrupt_at = options.interrupt_at.map(|d| submitted + d);
     while finished.borrow().is_none() {
+        if let Some(t) = interrupt_at {
+            // Simulated middleware crash: stop dead. Whatever the journal
+            // holds now is exactly what a crashed writer would have
+            // persisted.
+            if sim.now() >= t {
+                return Err(RunError::Interrupted {
+                    at: sim.now(),
+                    stats: um.stats(),
+                });
+            }
+        }
         if sim.now() > deadline {
             return Err(RunError::DeadlineExceeded {
                 n_tasks,
@@ -487,7 +754,19 @@ pub fn run_application(
     let stats: UnitManagerStats = um.stats();
     let units = um.units();
     let pilots: Vec<Pilot> = pm.pilots();
-    let breakdown = decompose(&units, &pilots, submitted, finished_at);
+    let mut breakdown = decompose(&units, &pilots, submitted, finished_at);
+    // Td: union of the silent → declared windows. Only the detector
+    // knows when silence began, so decompose cannot derive this from
+    // unit/pilot timestamps.
+    breakdown.td = interval_union(pm.detection_windows());
+    if let Some(journal) = &options.journal {
+        journal.borrow_mut().record(
+            finished_at,
+            JournalEvent::RunFinished {
+                ttc_secs: breakdown.ttc.as_secs(),
+            },
+        );
+    }
     // Allocation accounting (§V metrics): charged = active pilot spans,
     // used = task-execution core time.
     let charged_core_hours: f64 = pilots
@@ -517,6 +796,12 @@ pub fn run_application(
     } else {
         recovery_times.iter().map(|d| d.as_secs()).sum::<f64>() / recovery_times.len() as f64
     };
+    let detection_times = pm.detection_times();
+    let mean_detection_secs = if detection_times.is_empty() {
+        0.0
+    } else {
+        detection_times.iter().map(|d| d.as_secs()).sum::<f64>() / detection_times.len() as f64
+    };
     Ok(RunResult {
         charged_core_hours,
         used_core_hours,
@@ -524,6 +809,8 @@ pub fn run_application(
         replans: replans.get(),
         wasted_core_hours: wasted_core_hours(&units),
         mean_recovery_secs,
+        mean_detection_secs,
+        false_suspicions: pm.false_suspicions(),
         strategy_label: strategy.label(),
         n_tasks,
         breakdown,
@@ -536,6 +823,37 @@ pub fn run_application(
             .filter_map(|p| p.setup_time().map(|d| d.as_secs()))
             .collect(),
     })
+}
+
+/// Resume a run that was interrupted mid-flight from its journal.
+///
+/// Because the whole middleware is deterministic in the run seed, resume
+/// is *re-execution with verification*: the run is replayed from scratch
+/// (with the interrupt disarmed) while journaling, and the interrupted
+/// journal must be a bit-for-bit prefix of the replay. Any divergence —
+/// wrong seed, different app or strategy, edited journal — yields
+/// [`RunError::JournalDiverged`] instead of fabricated history. On
+/// success the returned [`RunResult`] (TTC included) is identical to the
+/// run that was never interrupted.
+pub fn resume_application(
+    resources: &[ClusterConfig],
+    app_config: &SkeletonConfig,
+    strategy: &ExecutionStrategy,
+    options: &RunOptions,
+    interrupted: &RunJournal,
+) -> Result<RunResult, RunError> {
+    interrupted
+        .verify()
+        .map_err(|(seq, detail)| RunError::JournalDiverged { seq, detail })?;
+    let mut opts = options.clone();
+    opts.interrupt_at = None;
+    let replay = Rc::new(RefCell::new(RunJournal::new()));
+    opts.journal = Some(replay.clone());
+    let result = run_application(resources, app_config, strategy, &opts)?;
+    interrupted
+        .is_prefix_of(&replay.borrow())
+        .map_err(|(seq, detail)| RunError::JournalDiverged { seq, detail })?;
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -643,6 +961,139 @@ mod tests {
         assert_eq!(a.breakdown, b.breakdown);
         assert_eq!(a.resources_used, b.resources_used);
         assert_eq!(a.pilot_setup_secs, b.pilot_setup_secs);
+    }
+
+    #[test]
+    fn detection_recovers_a_permanent_loss_without_an_oracle() {
+        use aimes_fault::OutageSpec;
+        // Resource "one" is decommissioned at t+300 s, and — unlike the
+        // PR 1 oracle path — nobody tells the middleware: no blacklist,
+        // no re-plan at the injection instant. Recovery must be driven
+        // entirely by missed heartbeats (silent death → declaration) and
+        // the circuit breaker tripping on the dead front end.
+        let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+        let pool = vec![
+            ClusterConfig::test("one", 256),
+            ClusterConfig::test("two", 256),
+        ];
+        let mut strategy = crate::paper::late_strategy(1);
+        strategy.selection = ResourceSelection::Fixed(vec!["one".into()]);
+        let journal = Rc::new(RefCell::new(RunJournal::new()));
+        let r = run_application(
+            &pool,
+            &app,
+            &strategy,
+            &RunOptions {
+                seed: 13,
+                submit_at: SimTime::from_secs(600.0),
+                faults: Some(FaultSpec {
+                    outages: vec![OutageSpec {
+                        resource: "one".into(),
+                        at_secs: 300.0,
+                        duration_secs: 600.0,
+                        kind: OutageKind::Permanent,
+                    }],
+                    ..FaultSpec::none()
+                }),
+                recovery: Some(RecoveryPolicy::with_detection()),
+                journal: Some(journal.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.units_done, 16);
+        assert!(r.replans >= 1, "the tripped breaker must trigger a re-plan");
+        assert!(r.mean_detection_secs > 0.0, "a silent death was detected");
+        assert!(r.breakdown.td > SimDuration::ZERO, "Td shows in the TTC");
+        assert_eq!(r.false_suspicions, 0);
+        // The journal shows the signal chain, in causal order: the pilot
+        // was declared dead from silence, the breaker opened on the dead
+        // front end, and only then was the strategy re-derived.
+        let j = journal.borrow();
+        assert!(j.verify().is_ok());
+        let pos =
+            |pred: &dyn Fn(&JournalEvent) -> bool| j.entries().iter().position(|e| pred(&e.event));
+        let declared = pos(
+            &|e| matches!(e, JournalEvent::Detector { verdict, .. } if verdict == "DeclaredDead"),
+        )
+        .expect("a DeclaredDead verdict is journaled");
+        let tripped = pos(&|e| matches!(e, JournalEvent::BreakerTrip { .. }))
+            .expect("a breaker trip is journaled");
+        let replanned =
+            pos(&|e| matches!(e, JournalEvent::Replan { .. })).expect("a re-plan is journaled");
+        assert!(declared < replanned && tripped < replanned);
+        assert!(matches!(
+            j.entries().last().unwrap().event,
+            JournalEvent::RunFinished { .. }
+        ));
+    }
+
+    #[test]
+    fn resume_from_an_interrupted_journal_reaches_identical_ttc() {
+        use aimes_fault::OutageSpec;
+        let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+        let pool = vec![
+            ClusterConfig::test("one", 256),
+            ClusterConfig::test("two", 256),
+        ];
+        let mut strategy = crate::paper::late_strategy(1);
+        strategy.selection = ResourceSelection::Fixed(vec!["one".into()]);
+        let faults = FaultSpec {
+            outages: vec![OutageSpec {
+                resource: "one".into(),
+                at_secs: 300.0,
+                duration_secs: 600.0,
+                kind: OutageKind::Permanent,
+            }],
+            ..FaultSpec::none()
+        };
+        let opts = |journal, interrupt_at| RunOptions {
+            seed: 29,
+            submit_at: SimTime::from_secs(600.0),
+            faults: Some(faults.clone()),
+            recovery: Some(RecoveryPolicy::with_detection()),
+            journal,
+            interrupt_at,
+            ..Default::default()
+        };
+        // The run that was never interrupted.
+        let baseline = run_application(&pool, &app, &strategy, &opts(None, None)).unwrap();
+        // The same run killed mid-recovery, journaling as it goes.
+        let cut = Rc::new(RefCell::new(RunJournal::new()));
+        let err = run_application(
+            &pool,
+            &app,
+            &strategy,
+            &opts(Some(cut.clone()), Some(SimDuration::from_secs(700.0))),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RunError::Interrupted { .. }), "{err}");
+        let cut = cut.borrow();
+        assert!(!cut.is_empty(), "the crash left a journal behind");
+        // Crash-consistency: the on-disk form loses its torn tail, and
+        // what survives is still a valid record to resume from.
+        let mut text = cut.to_jsonl();
+        let keep = text.len() - 10;
+        text.truncate(keep);
+        let recovered = RunJournal::from_jsonl(&text);
+        assert!(recovered.len() < cut.len());
+        let resumed =
+            resume_application(&pool, &app, &strategy, &opts(None, None), &recovered).unwrap();
+        assert_eq!(
+            resumed.breakdown, baseline.breakdown,
+            "resumed TTC must be bit-for-bit the uninterrupted TTC"
+        );
+        assert_eq!(resumed.units_done, baseline.units_done);
+        assert_eq!(resumed.replans, baseline.replans);
+        // A journal from a different run (wrong seed) is refused, not
+        // silently replayed into fabricated history.
+        let mut other = opts(None, None);
+        other.seed = 30;
+        let err = resume_application(&pool, &app, &strategy, &other, &recovered).unwrap_err();
+        assert!(
+            matches!(err, RunError::JournalDiverged { seq: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -107,7 +107,8 @@ pub fn fig4_table(result: &ExperimentResult) -> String {
 
 /// Recovery summary: one row per run with the self-healing counters and
 /// overhead metrics (restarts, replacements, re-plans, recovery TTC
-/// component Tr, wasted core-hours, mean time-to-recovery).
+/// component Tr, detection TTC component Td, wasted core-hours, mean
+/// time-to-recovery, mean time-to-detection).
 pub fn recovery_table(runs: &[crate::middleware::RunResult]) -> String {
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -120,8 +121,10 @@ pub fn recovery_table(runs: &[crate::middleware::RunResult]) -> String {
                 r.replacements.to_string(),
                 r.replans.to_string(),
                 format!("{:.0}", r.breakdown.tr.as_secs()),
+                format!("{:.0}", r.breakdown.td.as_secs()),
                 format!("{:.2}", r.wasted_core_hours),
                 format!("{:.0}", r.mean_recovery_secs),
+                format!("{:.0}", r.mean_detection_secs),
             ]
         })
         .collect();
@@ -134,8 +137,10 @@ pub fn recovery_table(runs: &[crate::middleware::RunResult]) -> String {
             "Replacements",
             "Replans",
             "Tr(s)",
+            "Td(s)",
             "Wasted(ch)",
             "MeanRec(s)",
+            "MeanTd(s)",
         ],
         &rows,
     )
@@ -409,6 +414,7 @@ mod tests {
             n_tasks: 16,
             breakdown: crate::ttc::TtcBreakdown {
                 tr: aimes_sim::SimDuration::from_secs(120.0),
+                td: aimes_sim::SimDuration::from_secs(60.0),
                 ..Default::default()
             },
             resources_used: vec!["a".into()],
@@ -422,10 +428,15 @@ mod tests {
             replans: 1,
             wasted_core_hours: 0.75,
             mean_recovery_secs: 90.0,
+            mean_detection_secs: 45.0,
+            false_suspicions: 1,
         };
         let t = recovery_table(&[run]);
         assert!(t.contains("Replacements"));
-        assert!(t.contains("| late-backfill-3p | 16 | 16/16 | 3 | 2 | 1 | 120 | 0.75 | 90 |"));
+        assert!(t.contains("Td(s)"));
+        assert!(
+            t.contains("| late-backfill-3p | 16 | 16/16 | 3 | 2 | 1 | 120 | 60 | 0.75 | 90 | 45 |")
+        );
     }
 
     #[test]

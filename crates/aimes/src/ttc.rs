@@ -33,6 +33,13 @@ pub struct TtcBreakdown {
     /// (re-entering PendingExecution after a failure) and the moment it is
     /// executing again — time the run spent healing rather than working.
     pub tr: SimDuration,
+    /// Detection latency: union of the windows between a pilot going
+    /// silent (its last sign of life) and the detector declaring it dead.
+    /// Zero for oracle-driven recovery (the declaration is instantaneous)
+    /// and for runs without failures. Filled in by the middleware from the
+    /// pilot manager's detection windows; [`decompose`] cannot see them.
+    #[serde(default)]
+    pub td: SimDuration,
 }
 
 /// Total length of the union of `[start, end)` intervals.
@@ -150,6 +157,7 @@ pub fn decompose(
         tx: interval_union(exec),
         ts: interval_union(staging),
         tr: interval_union(recovery),
+        td: SimDuration::ZERO,
     }
 }
 

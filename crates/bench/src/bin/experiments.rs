@@ -18,11 +18,14 @@
 //!   ablation-throughput tasks/hour under each strategy
 //!   ablation-hetero     heterogeneous task-duration mixes
 //!   ablation-faults     failure-rate sweep: self-healing cost & payoff
+//!   ablation-detection  failure-detector tuning: Td vs oracle recovery
 //!   all                 everything above
 //! ```
 //!
 //! `--quick` restricts sizes to {8, 64, 512} and 3 repetitions for a fast
-//! shape check.
+//! shape check. `--fail-on-error` makes `ablation-faults` exit non-zero
+//! if any healing arm (oracle or detection) fails a run — the chaos-smoke
+//! CI gate.
 
 use aimes::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 use aimes::middleware::{run_application, RunOptions};
@@ -38,6 +41,7 @@ struct Options {
     reps: usize,
     seed: u64,
     quick: bool,
+    fail_on_error: bool,
 }
 
 fn parse_args() -> (String, Options) {
@@ -47,6 +51,7 @@ fn parse_args() -> (String, Options) {
         reps: aimes_bench::DEFAULT_REPETITIONS,
         seed: 20160523, // IPDPS 2016 opening day
         quick: false,
+        fail_on_error: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -60,6 +65,7 @@ fn parse_args() -> (String, Options) {
                 opts.seed = args[i].parse().expect("--seed takes a number");
             }
             "--quick" => opts.quick = true,
+            "--fail-on-error" => opts.fail_on_error = true,
             c if !c.starts_with("--") => command = c.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -738,23 +744,29 @@ fn ablation_queue(opts: &Options) {
 /// Fault sweep: failure rate on the x-axis, measuring what self-healing
 /// costs and what it saves. Each rate drives both the per-unit fault
 /// chance and the expected random-outage count per resource; every
-/// schedule is replayed with recovery on and off. Emits the markdown
-/// table plus a JSON block for downstream plotting.
+/// schedule is replayed three ways — oracle recovery (reacts at the
+/// injection instant, PR 1 behavior), detection-driven recovery (reacts
+/// only to missed heartbeats and tripped breakers), and no recovery.
+/// Emits the markdown table plus a JSON block for downstream plotting.
+/// With `--fail-on-error`, any failed run in a healing arm (oracle or
+/// detect) exits non-zero — the chaos-smoke CI gate.
 fn ablation_faults(opts: &Options) {
     use aimes_fault::{FaultSpec, RecoveryPolicy};
 
     #[derive(serde::Serialize)]
     struct SweepPoint {
         failure_rate: f64,
-        recovery: bool,
+        recovery: String,
         reps: usize,
         completed: usize,
         ttc_mean_secs: f64,
         tr_mean_secs: f64,
+        td_mean_secs: f64,
         wasted_core_hours_mean: f64,
         restarts: u64,
         replacements: u64,
         replans: u64,
+        false_suspicions: u64,
         errors: std::collections::BTreeMap<String, usize>,
     }
 
@@ -781,8 +793,9 @@ fn ablation_faults(opts: &Options) {
     let rates = [0.0, 0.05, 0.1, 0.2, 0.4];
     let mut rows = Vec::new();
     let mut points: Vec<SweepPoint> = Vec::new();
+    let mut healing_errors = 0usize;
     for &rate in &rates {
-        for recovery in [true, false] {
+        for mode in ["oracle", "detect", "off"] {
             // Outages are placed inside the first hour after submission —
             // the window the run actually occupies — so the rate axis
             // genuinely exercises pilot death, not just unit faults.
@@ -795,20 +808,27 @@ fn ablation_faults(opts: &Options) {
             };
             let mut ttcs = Vec::new();
             let mut trs = Vec::new();
+            let mut tds = Vec::new();
             let mut wasted = Vec::new();
             let mut restarts = 0u64;
             let mut replacements = 0u64;
             let mut replans = 0u64;
+            let mut false_suspicions = 0u64;
             let mut errors: std::collections::BTreeMap<String, usize> =
                 std::collections::BTreeMap::new();
             for rep in 0..opts.reps {
-                // Same seed for both recovery arms: identical schedules,
-                // the only difference is whether the run heals.
+                // Same seed for all three recovery arms: identical fault
+                // schedules, the only difference is how the run heals.
                 let seed = SimRng::new(opts.seed)
                     .fork_indexed(&format!("faults-{rate}"), rep as u64)
                     .root_seed();
                 let mut rng = SimRng::new(seed).fork("submit");
                 let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+                let recovery = match mode {
+                    "oracle" => Some(RecoveryPolicy::default()),
+                    "detect" => Some(RecoveryPolicy::with_detection()),
+                    _ => None,
+                };
                 match run_application(
                     &pool,
                     &app,
@@ -817,17 +837,19 @@ fn ablation_faults(opts: &Options) {
                         seed,
                         submit_at,
                         faults: Some(faults.clone()),
-                        recovery: recovery.then(RecoveryPolicy::default),
+                        recovery,
                         ..Default::default()
                     },
                 ) {
                     Ok(r) => {
                         ttcs.push(r.breakdown.ttc.as_secs());
                         trs.push(r.breakdown.tr.as_secs());
+                        tds.push(r.breakdown.td.as_secs());
                         wasted.push(r.wasted_core_hours);
                         restarts += r.restarts;
                         replacements += r.replacements;
                         replans += r.replans;
+                        false_suspicions += r.false_suspicions;
                     }
                     Err(e) => {
                         let class = match e {
@@ -837,6 +859,13 @@ fn ablation_faults(opts: &Options) {
                             _ => "other",
                         };
                         *errors.entry(class.to_string()).or_insert(0) += 1;
+                        if mode != "off" {
+                            healing_errors += 1;
+                            eprintln!(
+                                "healing arm failed: rate={rate} mode={mode} rep={rep} \
+                                 seed={seed}: {e}"
+                            );
+                        }
                     }
                 }
             }
@@ -849,7 +878,7 @@ fn ablation_faults(opts: &Options) {
             };
             rows.push(vec![
                 format!("{rate:.2}"),
-                if recovery { "on" } else { "off" }.to_string(),
+                mode.to_string(),
                 format!("{}/{}", ttcs.len(), opts.reps),
                 if ttcs.is_empty() {
                     "-".into()
@@ -857,22 +886,26 @@ fn ablation_faults(opts: &Options) {
                     format!("{:.0}", mean(&ttcs))
                 },
                 format!("{:.0}", mean(&trs)),
+                format!("{:.0}", mean(&tds)),
                 format!("{:.2}", mean(&wasted)),
                 restarts.to_string(),
                 replacements.to_string(),
                 replans.to_string(),
+                false_suspicions.to_string(),
             ]);
             points.push(SweepPoint {
                 failure_rate: rate,
-                recovery,
+                recovery: mode.to_string(),
                 reps: opts.reps,
                 completed: ttcs.len(),
                 ttc_mean_secs: mean(&ttcs),
                 tr_mean_secs: mean(&trs),
+                td_mean_secs: mean(&tds),
                 wasted_core_hours_mean: mean(&wasted),
                 restarts,
                 replacements,
                 replans,
+                false_suspicions,
                 errors,
             });
         }
@@ -886,10 +919,12 @@ fn ablation_faults(opts: &Options) {
                 "Completed",
                 "TTC mean(s)",
                 "Tr mean(s)",
+                "Td mean(s)",
                 "Wasted(ch)",
                 "Restarts",
                 "Replacements",
-                "Replans"
+                "Replans",
+                "FalseSusp"
             ],
             &rows
         )
@@ -897,6 +932,154 @@ fn ablation_faults(opts: &Options) {
     println!(
         "\n### JSON\n```json\n{}\n```",
         serde_json::to_string_pretty(&points).expect("sweep points serialize")
+    );
+    if opts.fail_on_error && healing_errors > 0 {
+        eprintln!("{healing_errors} healing-arm run(s) failed under --fail-on-error");
+        std::process::exit(1);
+    }
+}
+
+/// Detection-latency ablation: how the failure detector's tuning trades
+/// detection delay Td against false positives and end-to-end TTC, scored
+/// against the PR 1 oracle that reacts at the injection instant. The
+/// scenario is pinned — a permanent outage takes down the only selected
+/// resource shortly after the pilots start — so every arm recovers from
+/// the same loss and differs only in how long it takes to notice.
+fn ablation_detection(opts: &Options) {
+    use aimes_fault::{DetectionSpec, FaultSpec, OutageKind, OutageSpec, PhiSpec, RecoveryPolicy};
+
+    println!("## Ablation — failure-detection latency vs oracle recovery\n");
+    let n_tasks = if opts.quick { 16 } else { 48 };
+    let pool: Vec<aimes_cluster::ClusterConfig> = ["da", "db"]
+        .iter()
+        .map(|n| aimes_cluster::ClusterConfig::test(n, 4096))
+        .collect();
+    let app = bag_of_tasks(
+        "detection",
+        n_tasks,
+        Distribution::Constant { value: 900.0 },
+        1.0,
+        0.002,
+    );
+    let mut strategy = ExecutionStrategy::paper_late(1);
+    // Pin the initial placement so the permanent loss always hits the
+    // resource actually in use; recovery must re-plan onto the survivor.
+    strategy.selection = aimes_strategy::ResourceSelection::Fixed(vec!["da".into()]);
+    strategy.walltime = aimes_strategy::WalltimePolicy::FixedSecs(6 * 3600);
+    let faults = FaultSpec {
+        outages: vec![OutageSpec {
+            resource: "da".into(),
+            at_secs: 300.0,
+            duration_secs: 600.0,
+            kind: OutageKind::Permanent,
+        }],
+        ..FaultSpec::none()
+    };
+
+    let timeout = |hb: f64, suspect: f64, declare: f64| DetectionSpec {
+        heartbeat_secs: hb,
+        suspect_after_secs: suspect,
+        declare_after_secs: declare,
+        ..DetectionSpec::default()
+    };
+    let configs: Vec<(&str, Option<DetectionSpec>)> = vec![
+        ("oracle", None),
+        ("hb30/declare120", Some(timeout(30.0, 75.0, 120.0))),
+        ("hb60/declare300", Some(DetectionSpec::default())),
+        ("hb120/declare600", Some(timeout(120.0, 300.0, 600.0))),
+        (
+            "phi(1,2)/w16",
+            Some(DetectionSpec {
+                phi: Some(PhiSpec {
+                    suspect_phi: 1.0,
+                    declare_phi: 2.0,
+                    window: 16,
+                }),
+                ..DetectionSpec::default()
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, det) in &configs {
+        let recovery = RecoveryPolicy {
+            detection: det.clone(),
+            ..RecoveryPolicy::default()
+        };
+        let mut ttcs = Vec::new();
+        let mut trs = Vec::new();
+        let mut tds = Vec::new();
+        let mut mean_tds = Vec::new();
+        let mut replans = 0u64;
+        let mut false_suspicions = 0u64;
+        let mut completed = 0usize;
+        for rep in 0..opts.reps {
+            // Same seed across configs: the paired comparison isolates
+            // detector tuning from schedule noise.
+            let seed = SimRng::new(opts.seed)
+                .fork_indexed("detection", rep as u64)
+                .root_seed();
+            let mut rng = SimRng::new(seed).fork("submit");
+            let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+            if let Ok(r) = run_application(
+                &pool,
+                &app,
+                &strategy,
+                &RunOptions {
+                    seed,
+                    submit_at,
+                    faults: Some(faults.clone()),
+                    recovery: Some(recovery.clone()),
+                    ..Default::default()
+                },
+            ) {
+                completed += 1;
+                ttcs.push(r.breakdown.ttc.as_secs());
+                trs.push(r.breakdown.tr.as_secs());
+                tds.push(r.breakdown.td.as_secs());
+                mean_tds.push(r.mean_detection_secs);
+                replans += r.replans;
+                false_suspicions += r.false_suspicions;
+            }
+        }
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        rows.push(vec![
+            label.to_string(),
+            format!("{completed}/{}", opts.reps),
+            format!("{:.0}", mean(&ttcs)),
+            format!("{:.0}", mean(&trs)),
+            format!("{:.0}", mean(&tds)),
+            format!("{:.0}", mean(&mean_tds)),
+            replans.to_string(),
+            false_suspicions.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Detector",
+                "Completed",
+                "TTC mean(s)",
+                "Tr mean(s)",
+                "Td mean(s)",
+                "MeanTd(s)",
+                "Replans",
+                "FalseSusp"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nThe oracle row reacts at the injection instant (Td = 0); every \
+         detector row pays a Td set by its heartbeat period and declare \
+         timeout before the same re-planning path runs."
     );
 }
 
@@ -1028,6 +1211,7 @@ fn main() {
         "ablation-queue" => ablation_queue(&opts),
         "ablation-predictor" => ablation_predictor(&opts),
         "ablation-faults" => ablation_faults(&opts),
+        "ablation-detection" => ablation_detection(&opts),
         "all" => {
             table1();
             // Run experiments 1-4 once and render both figures from them.
@@ -1056,6 +1240,7 @@ fn main() {
             ablation_queue(&opts);
             ablation_predictor(&opts);
             ablation_faults(&opts);
+            ablation_detection(&opts);
         }
         _ => {
             println!(
@@ -1063,8 +1248,8 @@ fn main() {
                  ablation-sched | ablation-select | ablation-data | \
                  ablation-crossover | ablation-throughput | ablation-hetero | \n\
                  ablation-adaptive | ablation-walltime | ablation-queue | \n\
-                 ablation-predictor | ablation-faults | all\n\
-                 flags: --reps N --seed S --quick"
+                 ablation-predictor | ablation-faults | ablation-detection | all\n\
+                 flags: --reps N --seed S --quick --fail-on-error"
             );
         }
     }

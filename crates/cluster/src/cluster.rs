@@ -736,6 +736,16 @@ impl Cluster {
             .is_some_and(|until| now < until)
     }
 
+    /// Has the resource been permanently removed from service? A
+    /// decommissioned machine's front end is gone too: remote operations
+    /// against it fail at the connection level rather than queueing.
+    pub fn is_decommissioned(&self) -> bool {
+        self.inner
+            .borrow()
+            .down_until
+            .is_some_and(|until| until.as_secs().is_infinite())
+    }
+
     /// Subscribe to state changes of one job. The callback fires on every
     /// transition (Running, then a terminal state); it is dropped after a
     /// terminal notification. Callbacks may submit/cancel jobs and register

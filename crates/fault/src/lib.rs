@@ -60,6 +60,22 @@ pub struct StagingFault {
     pub bandwidth_factor: f64,
 }
 
+/// A window in which a resource's heartbeats are delivered late (a slow
+/// or partitioned WAN path). Only observable when failure detection is
+/// enabled: the delay can push a live pilot past the suspicion — or even
+/// the declaration — threshold, which is exactly the false-positive
+/// behaviour the detector must be measured against.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HeartbeatDelaySpec {
+    pub resource: String,
+    /// Window start, in seconds after application submission.
+    pub at_secs: f64,
+    /// Window length in seconds.
+    pub duration_secs: f64,
+    /// Extra delivery delay for heartbeats emitted inside the window.
+    pub delay_secs: f64,
+}
+
 /// Declarative fault model for one run. Compile against the run seed with
 /// [`FaultSpec::compile`] to obtain the concrete, replayable schedule.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -94,6 +110,10 @@ pub struct FaultSpec {
     /// Optional origin-uplink degradation window.
     #[serde(default)]
     pub staging: Option<StagingFault>,
+    /// Heartbeat-delivery delay windows (observable only with failure
+    /// detection enabled).
+    #[serde(default)]
+    pub heartbeat_delays: Vec<HeartbeatDelaySpec>,
 }
 
 fn default_outage_duration() -> (f64, f64) {
@@ -116,6 +136,7 @@ impl Default for FaultSpec {
             unit_failure_chance: 0.0,
             unit_permanent_chance: 0.0,
             staging: None,
+            heartbeat_delays: Vec::new(),
         }
     }
 }
@@ -134,6 +155,7 @@ impl FaultSpec {
             && self.launch_permanent_chance <= 0.0
             && self.unit_failure_chance <= 0.0
             && self.staging.is_none()
+            && self.heartbeat_delays.is_empty()
     }
 
     /// Check the spec for declarations that cannot mean what they say.
@@ -164,6 +186,20 @@ impl FaultSpec {
                 return Err(format!(
                     "staging.bandwidth_factor {}: must be in (0, 1]",
                     s.bandwidth_factor
+                ));
+            }
+        }
+        for h in &self.heartbeat_delays {
+            if !(h.delay_secs.is_finite() && h.delay_secs > 0.0) {
+                return Err(format!(
+                    "heartbeat_delays[{}].delay_secs {}: must be finite and positive",
+                    h.resource, h.delay_secs
+                ));
+            }
+            if !(h.duration_secs.is_finite() && h.duration_secs > 0.0) {
+                return Err(format!(
+                    "heartbeat_delays[{}].duration_secs {}: empty window",
+                    h.resource, h.duration_secs
                 ));
             }
         }
@@ -214,6 +250,7 @@ impl FaultSpec {
             unit_failure_chance: self.unit_failure_chance.clamp(0.0, 1.0),
             unit_permanent_chance: self.unit_permanent_chance.clamp(0.0, 1.0),
             staging: self.staging,
+            heartbeat_delays: self.heartbeat_delays.clone(),
         }
     }
 }
@@ -237,6 +274,85 @@ pub struct FaultSchedule {
     pub unit_failure_chance: f64,
     pub unit_permanent_chance: f64,
     pub staging: Option<StagingFault>,
+    /// Heartbeat-delivery delay windows, verbatim from the spec.
+    #[serde(default)]
+    pub heartbeat_delays: Vec<HeartbeatDelaySpec>,
+}
+
+/// Phi-accrual thresholds for [`DetectionSpec`]: the silence threshold is
+/// `phi · mean_interval · ln 10`, with the mean adapting to the observed
+/// heartbeat inter-arrivals over a sliding window.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhiSpec {
+    /// Phi at which a pilot becomes Suspected.
+    pub suspect_phi: f64,
+    /// Phi at which a pilot is Declared-Dead.
+    pub declare_phi: f64,
+    /// Sliding-window length (inter-arrival samples).
+    pub window: usize,
+}
+
+/// Failure-detection configuration. When present, the middleware stops
+/// consuming fault-injection ground truth for recovery: pilots emit
+/// heartbeats, a per-pilot suspicion detector turns silence into
+/// declarations (paying a detection latency Td), and per-resource circuit
+/// breakers on the SAGA layer turn repeated operation failures into
+/// blacklisting and re-planning.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DetectionSpec {
+    /// Agent heartbeat period.
+    #[serde(default = "default_heartbeat")]
+    pub heartbeat_secs: f64,
+    /// Silence before Healthy → Suspected (timeout mode).
+    #[serde(default = "default_suspect_after")]
+    pub suspect_after_secs: f64,
+    /// Silence before Suspected → Declared-Dead (timeout mode).
+    #[serde(default = "default_declare_after")]
+    pub declare_after_secs: f64,
+    /// Switch to phi-accrual thresholds instead of fixed timeouts.
+    #[serde(default)]
+    pub phi: Option<PhiSpec>,
+    /// On suspicion, issue a SAGA status query; a terminal answer
+    /// declares immediately (short Td).
+    #[serde(default = "default_true")]
+    pub confirm_with_status_query: bool,
+    /// Consecutive SAGA operation failures before a resource's circuit
+    /// breaker opens (feeding blacklist / re-planning).
+    #[serde(default = "default_breaker_threshold")]
+    pub breaker_failure_threshold: u32,
+    /// How long an open breaker waits before admitting a half-open probe.
+    #[serde(default = "default_breaker_cooldown")]
+    pub breaker_cooldown_secs: f64,
+}
+
+fn default_heartbeat() -> f64 {
+    60.0
+}
+fn default_suspect_after() -> f64 {
+    150.0
+}
+fn default_declare_after() -> f64 {
+    300.0
+}
+fn default_breaker_threshold() -> u32 {
+    5
+}
+fn default_breaker_cooldown() -> f64 {
+    300.0
+}
+
+impl Default for DetectionSpec {
+    fn default() -> Self {
+        DetectionSpec {
+            heartbeat_secs: default_heartbeat(),
+            suspect_after_secs: default_suspect_after(),
+            declare_after_secs: default_declare_after(),
+            phi: None,
+            confirm_with_status_query: true,
+            breaker_failure_threshold: default_breaker_threshold(),
+            breaker_cooldown_secs: default_breaker_cooldown(),
+        }
+    }
 }
 
 /// Self-healing configuration. `None` at the run level means the legacy
@@ -267,6 +383,11 @@ pub struct RecoveryPolicy {
     /// resource is lost permanently.
     #[serde(default = "default_true")]
     pub replan_on_resource_loss: bool,
+    /// Signal-based failure detection. `None` keeps the oracle behaviour
+    /// of PR 1 (recovery reacts at the injection instant); `Some` makes
+    /// recovery purely signal-driven.
+    #[serde(default)]
+    pub detection: Option<DetectionSpec>,
 }
 
 fn default_true() -> bool {
@@ -295,6 +416,7 @@ impl Default for RecoveryPolicy {
             blacklist_after: default_blacklist_after(),
             unit_retry_backoff: SimDuration::from_secs(5.0),
             replan_on_resource_loss: true,
+            detection: None,
         }
     }
 }
@@ -310,6 +432,15 @@ impl RecoveryPolicy {
             blacklist_after: u32::MAX,
             unit_retry_backoff: SimDuration::ZERO,
             replan_on_resource_loss: false,
+            detection: None,
+        }
+    }
+
+    /// The default policy with signal-based detection switched on.
+    pub fn with_detection() -> Self {
+        RecoveryPolicy {
+            detection: Some(DetectionSpec::default()),
+            ..RecoveryPolicy::default()
         }
     }
 
@@ -526,14 +657,72 @@ mod tests {
                 duration_secs: 500.0,
                 bandwidth_factor: 0.25,
             }),
+            heartbeat_delays: vec![HeartbeatDelaySpec {
+                resource: "beta".into(),
+                at_secs: 200.0,
+                duration_secs: 300.0,
+                delay_secs: 120.0,
+            }],
             ..FaultSpec::default()
         };
         let json = serde_json::to_string(&spec).unwrap();
         let back: FaultSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
-        let policy = RecoveryPolicy::default();
+        let policy = RecoveryPolicy::with_detection();
         let json = serde_json::to_string(&policy).unwrap();
         let back: RecoveryPolicy = serde_json::from_str(&json).unwrap();
         assert_eq!(policy, back);
+        // Pre-detection policies (no `detection` key) must still load.
+        let legacy: RecoveryPolicy =
+            serde_json::from_str(r#"{"pilot_replacement": true}"#).unwrap();
+        assert_eq!(legacy.detection, None);
+    }
+
+    #[test]
+    fn heartbeat_delays_validate_and_compile_through() {
+        let window = HeartbeatDelaySpec {
+            resource: "alpha".into(),
+            at_secs: 100.0,
+            duration_secs: 200.0,
+            delay_secs: 90.0,
+        };
+        let spec = FaultSpec {
+            heartbeat_delays: vec![window.clone()],
+            ..FaultSpec::default()
+        };
+        assert!(spec.validate().is_ok());
+        assert!(!spec.is_noop(), "delay windows can perturb detection runs");
+        let sched = spec.compile(&pool(), &mut SimRng::new(1));
+        assert_eq!(sched.heartbeat_delays, vec![window]);
+
+        let zero_delay = FaultSpec {
+            heartbeat_delays: vec![HeartbeatDelaySpec {
+                delay_secs: 0.0,
+                ..spec.heartbeat_delays[0].clone()
+            }],
+            ..FaultSpec::default()
+        };
+        assert!(zero_delay.validate().unwrap_err().contains("delay_secs"));
+        let empty_window = FaultSpec {
+            heartbeat_delays: vec![HeartbeatDelaySpec {
+                duration_secs: 0.0,
+                ..spec.heartbeat_delays[0].clone()
+            }],
+            ..FaultSpec::default()
+        };
+        assert!(empty_window
+            .validate()
+            .unwrap_err()
+            .contains("empty window"));
+    }
+
+    #[test]
+    fn detection_spec_defaults_order_sanely() {
+        let d = DetectionSpec::default();
+        assert!(d.heartbeat_secs < d.suspect_after_secs);
+        assert!(d.suspect_after_secs < d.declare_after_secs);
+        assert!(d.confirm_with_status_query);
+        assert!(RecoveryPolicy::default().detection.is_none());
+        assert!(RecoveryPolicy::with_detection().detection.is_some());
     }
 }

@@ -25,8 +25,14 @@
 //! * [`agent`] — the per-pilot executor: core slots, input/output staging
 //!   through the resource's (serialized) wide-area channel, execution.
 
+//! * [`detector`] — signal-based failure detection: heartbeats through
+//!   the SAGA channel feed a per-pilot suspicion state machine
+//!   (`Healthy → Suspected → Declared-Dead`, timeout or phi-accrual), so
+//!   recovery reacts to *observed* silence instead of injection oracles.
+
 pub mod agent;
 pub mod description;
+pub mod detector;
 pub mod pilot;
 pub mod pilot_manager;
 pub mod scheduler;
@@ -34,6 +40,9 @@ pub mod unit;
 pub mod unit_manager;
 
 pub use description::PilotDescription;
+pub use detector::{
+    DetectionMode, DetectionPolicy, DetectorEvent, DetectorVerdict, HealthState, SuspicionDetector,
+};
 pub use pilot::{Pilot, PilotId, PilotState};
 pub use pilot_manager::{PilotManager, PilotRecovery};
 pub use scheduler::{Binding, UnitScheduler};

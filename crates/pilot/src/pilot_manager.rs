@@ -2,9 +2,10 @@
 //! maintains their instrumented state models (Figure 1, steps 4–5).
 
 use crate::description::PilotDescription;
+use crate::detector::{DetectionPolicy, DetectorEvent, HealthState, SuspicionDetector};
 use crate::pilot::{Pilot, PilotId, PilotState};
 use aimes_saga::{JobDescription, SagaJobState, Session};
-use aimes_sim::{SimDuration, SimTime, Simulation};
+use aimes_sim::{SimDuration, SimRng, SimTime, Simulation};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -14,6 +15,24 @@ pub type PilotCallback = Box<dyn FnMut(&mut Simulation, PilotId, PilotState)>;
 
 /// Subscriber to manager-initiated blacklisting (repeated launch failures).
 pub type BlacklistCallback = Box<dyn FnMut(&mut Simulation, &str)>;
+
+/// Subscriber to detector events (suspicions, declarations, recoveries,
+/// stale signals) — the middleware journals these.
+pub type DetectorCallback = Box<dyn FnMut(&mut Simulation, &DetectorEvent)>;
+
+/// Subscriber to *physical* agent death (environment side, not a client
+/// signal — see [`PilotManager::on_pilot_silent`]).
+pub type SilentCallback = Box<dyn FnMut(&mut Simulation, PilotId)>;
+
+/// An injected heartbeat-delivery delay window: signal-level fault
+/// injection for false-positive scenarios (congested WAN, overloaded
+/// login node) without touching pilot liveness.
+struct HeartbeatDelayWindow {
+    resource: String,
+    from: SimTime,
+    until: SimTime,
+    delay: SimDuration,
+}
 
 /// Self-healing policy: when a pilot fails, submit a replacement after a
 /// capped exponential backoff, up to a per-lineage cap. Resources that eat
@@ -86,6 +105,24 @@ struct PmState {
     recovery_times: Vec<SimDuration>,
     /// Total replacement pilots submitted.
     replacements: u64,
+    /// Failure detection from observable signals; `None` (default) keeps
+    /// the legacy oracle behavior and its exact event/RNG streams.
+    detector: Option<SuspicionDetector>,
+    /// Heartbeat delivery jitter, forked lazily so detection-off runs
+    /// leave the RNG tree untouched.
+    hb_rng: Option<SimRng>,
+    /// Ground truth: pilots whose backend job died while Active, awaiting
+    /// a detector verdict. Used for Td accounting only — never consulted
+    /// by a recovery decision.
+    went_silent: HashMap<PilotId, SimTime>,
+    /// Completed (silent_at, declared_at) windows.
+    detection_windows: Vec<(SimTime, SimTime)>,
+    /// Injected heartbeat-delivery delay windows.
+    hb_delays: Vec<HeartbeatDelayWindow>,
+    detector_subscribers: Vec<DetectorCallback>,
+    silent_subscribers: Vec<SilentCallback>,
+    /// Signals dropped because their target was terminal or blacklisted.
+    stale_signals: u64,
 }
 
 /// Handle to the pilot manager.
@@ -112,6 +149,14 @@ impl PilotManager {
                 pending_recovery: HashMap::new(),
                 recovery_times: Vec::new(),
                 replacements: 0,
+                detector: None,
+                hb_rng: None,
+                went_silent: HashMap::new(),
+                detection_windows: Vec::new(),
+                hb_delays: Vec::new(),
+                detector_subscribers: Vec::new(),
+                silent_subscribers: Vec::new(),
+                stale_signals: 0,
             })),
         }
     }
@@ -124,6 +169,93 @@ impl PilotManager {
     /// Enable self-healing: failed pilots are replaced per `policy`.
     pub fn set_recovery(&self, policy: PilotRecovery) {
         self.inner.borrow_mut().recovery = Some(policy);
+    }
+
+    /// Enable signal-based failure detection: active pilots heartbeat
+    /// through the SAGA channel and a silent backend death is only acted
+    /// on once the suspicion detector declares it (the client never sees
+    /// fault-injection ground truth). Call before submitting pilots.
+    pub fn set_detection(&self, policy: DetectionPolicy) {
+        self.inner.borrow_mut().detector = Some(SuspicionDetector::new(policy));
+    }
+
+    /// Is signal-based detection armed?
+    pub fn detection_enabled(&self) -> bool {
+        self.inner.borrow().detector.is_some()
+    }
+
+    /// Subscribe to detector events (suspicions, recoveries,
+    /// declarations, stale signals).
+    pub fn on_detector_event(&self, cb: impl FnMut(&mut Simulation, &DetectorEvent) + 'static) {
+        self.inner
+            .borrow_mut()
+            .detector_subscribers
+            .push(Box::new(cb));
+    }
+
+    /// Subscribe to *physical* agent death. This is the environment side
+    /// of the simulation, not an observable signal: when a machine dies,
+    /// the executions on it stop at that instant even though no client
+    /// component learns of it until the detector declares. The unit
+    /// manager uses this to stop in-flight completions from firing on a
+    /// dead machine; recovery decisions must key off the declared
+    /// `Failed` transition instead.
+    pub fn on_pilot_silent(&self, cb: impl FnMut(&mut Simulation, PilotId) + 'static) {
+        self.inner
+            .borrow_mut()
+            .silent_subscribers
+            .push(Box::new(cb));
+    }
+
+    /// Delay heartbeat *delivery* (not emission) for a resource inside
+    /// `[from, until)` by `delay`: signal-level fault injection for
+    /// false-positive scenarios.
+    pub fn inject_heartbeat_delay(
+        &self,
+        resource: &str,
+        from: SimTime,
+        until: SimTime,
+        delay: SimDuration,
+    ) {
+        self.inner
+            .borrow_mut()
+            .hb_delays
+            .push(HeartbeatDelayWindow {
+                resource: resource.to_string(),
+                from,
+                until,
+                delay,
+            });
+    }
+
+    /// Completed silent-death → declaration intervals (Td samples).
+    pub fn detection_times(&self) -> Vec<SimDuration> {
+        self.inner
+            .borrow()
+            .detection_windows
+            .iter()
+            .map(|(from, to)| to.saturating_since(*from))
+            .collect()
+    }
+
+    /// Completed (silent_at, declared_at) windows for TTC decomposition.
+    pub fn detection_windows(&self) -> Vec<(SimTime, SimTime)> {
+        self.inner.borrow().detection_windows.clone()
+    }
+
+    /// Suspicions cleared by a resumed heartbeat (false positives).
+    pub fn false_suspicions(&self) -> u64 {
+        self.inner
+            .borrow()
+            .detector
+            .as_ref()
+            .map_or(0, |d| d.false_positives())
+    }
+
+    /// Heartbeats/status answers dropped because their target was already
+    /// terminal or its resource blacklisted.
+    pub fn stale_signals(&self) -> u64 {
+        self.inner.borrow().stale_signals
     }
 
     /// Exclude a resource from replacement routing (e.g. the middleware
@@ -230,7 +362,29 @@ impl PilotManager {
                 }
             }
             SagaJobState::Failed => {
-                if !current.is_terminal() {
+                // With detection armed, an *Active* pilot's backend death
+                // is silent: no signal reaches the client (the agent just
+                // stops heartbeating), so no client-visible transition
+                // happens until the detector declares. Pre-Active
+                // failures stay immediate — a failed submission is an
+                // observable error return. The ground-truth instant is
+                // kept for Td accounting only.
+                let suppress =
+                    self.inner.borrow().detector.is_some() && current == PilotState::Active;
+                if suppress {
+                    self.inner
+                        .borrow_mut()
+                        .went_silent
+                        .entry(id)
+                        .or_insert(sim.now());
+                    sim.tracer().record(
+                        sim.now(),
+                        id.to_string(),
+                        "WentSilent",
+                        self.pilot(id).description.resource.clone(),
+                    );
+                    self.fire_pilot_silent(sim, id);
+                } else if !current.is_terminal() {
                     self.transition(sim, id, PilotState::Failed);
                 }
             }
@@ -246,6 +400,11 @@ impl PilotManager {
         {
             let mut st = self.inner.borrow_mut();
             st.pilots[id.0 as usize].transition(next, sim.now());
+            if next.is_terminal() {
+                if let Some(det) = st.detector.as_mut() {
+                    det.deregister(id);
+                }
+            }
         }
         sim.tracer().record(
             sim.now(),
@@ -265,9 +424,315 @@ impl PilotManager {
             st.subscribers.append(&mut newly);
         }
         match next {
-            PilotState::Active => self.on_pilot_active(sim, id),
+            PilotState::Active => {
+                self.on_pilot_active(sim, id);
+                self.start_heartbeats(sim, id);
+            }
             PilotState::Failed => self.heal_pilot_failure(sim, id),
             _ => {}
+        }
+    }
+
+    /// Deliver a detector event to subscribers (re-entrancy-safe).
+    fn fire_detector_event(&self, sim: &mut Simulation, event: &DetectorEvent) {
+        let mut subs = std::mem::take(&mut self.inner.borrow_mut().detector_subscribers);
+        for cb in subs.iter_mut() {
+            cb(sim, event);
+        }
+        let mut st = self.inner.borrow_mut();
+        let mut newly = std::mem::take(&mut st.detector_subscribers);
+        st.detector_subscribers = subs;
+        st.detector_subscribers.append(&mut newly);
+    }
+
+    /// Deliver a physical silent-death notification (re-entrancy-safe).
+    fn fire_pilot_silent(&self, sim: &mut Simulation, id: PilotId) {
+        let mut subs = std::mem::take(&mut self.inner.borrow_mut().silent_subscribers);
+        for cb in subs.iter_mut() {
+            cb(sim, id);
+        }
+        let mut st = self.inner.borrow_mut();
+        let mut newly = std::mem::take(&mut st.silent_subscribers);
+        st.silent_subscribers = subs;
+        st.silent_subscribers.append(&mut newly);
+    }
+
+    /// Start the heartbeat loop and suspicion clock for a freshly active
+    /// pilot (no-op without detection).
+    fn start_heartbeats(&self, sim: &mut Simulation, id: PilotId) {
+        let interval = {
+            let mut st = self.inner.borrow_mut();
+            let resource = st.pilots[id.0 as usize].description.resource.clone();
+            let Some(det) = st.detector.as_mut() else {
+                return;
+            };
+            det.register(id, resource, sim.now());
+            det.policy().heartbeat_interval
+        };
+        let this = self.clone();
+        sim.schedule_in(interval, move |sim| this.emit_heartbeat(sim, id));
+        self.schedule_detector_check(sim, id);
+    }
+
+    /// Agent side: emit one heartbeat if the agent is physically alive,
+    /// then schedule the next. A dead or terminal agent emits nothing —
+    /// that silence *is* the failure signal.
+    fn emit_heartbeat(&self, sim: &mut Simulation, id: PilotId) {
+        let now = sim.now();
+        let (latency, interval) = {
+            let mut st = self.inner.borrow_mut();
+            let st = &mut *st;
+            let pilot = &st.pilots[id.0 as usize];
+            let alive = pilot.state == PilotState::Active && !st.went_silent.contains_key(&id);
+            if !alive {
+                return;
+            }
+            let Some(det) = st.detector.as_ref() else {
+                return;
+            };
+            let interval = det.policy().heartbeat_interval;
+            let resource = &pilot.description.resource;
+            // Delivery latency: WAN jitter plus any injected delay window
+            // covering this emission.
+            let rng = st
+                .hb_rng
+                .get_or_insert_with(|| sim.fork_rng("pm.heartbeats"));
+            let mut latency = SimDuration::from_secs(rng.uniform(0.05, 0.45));
+            for w in &st.hb_delays {
+                if w.resource == *resource && now >= w.from && now < w.until {
+                    latency += w.delay;
+                }
+            }
+            (latency, interval)
+        };
+        let this = self.clone();
+        sim.schedule_in(latency, move |sim| this.deliver_heartbeat(sim, id));
+        let this = self.clone();
+        sim.schedule_in(interval, move |sim| this.emit_heartbeat(sim, id));
+    }
+
+    /// Client side: a heartbeat arrived. Stale signals — for a pilot
+    /// already terminal or a blacklisted resource — are dropped with a
+    /// note instead of resurrecting anything.
+    fn deliver_heartbeat(&self, sim: &mut Simulation, id: PilotId) {
+        let now = sim.now();
+        enum Disposition {
+            Stale(String),
+            Fresh,
+        }
+        let (resource, disposition) = {
+            let st = self.inner.borrow();
+            let pilot = &st.pilots[id.0 as usize];
+            let resource = pilot.description.resource.clone();
+            if pilot.state.is_terminal() {
+                let detail = format!("pilot already {:?}", pilot.state);
+                (resource, Disposition::Stale(detail))
+            } else if st.blacklist.contains(&resource) {
+                let detail = format!("resource {resource} blacklisted");
+                (resource, Disposition::Stale(detail))
+            } else {
+                (resource, Disposition::Fresh)
+            }
+        };
+        match disposition {
+            Disposition::Stale(detail) => {
+                self.inner.borrow_mut().stale_signals += 1;
+                sim.tracer()
+                    .record(now, id.to_string(), "StaleHeartbeat", detail.clone());
+                self.fire_detector_event(
+                    sim,
+                    &DetectorEvent::StaleSignal {
+                        pilot: id,
+                        resource,
+                        detail,
+                    },
+                );
+            }
+            Disposition::Fresh => {
+                let recovered = {
+                    let mut st = self.inner.borrow_mut();
+                    let Some(det) = st.detector.as_mut() else {
+                        return;
+                    };
+                    det.heartbeat(id, now).and_then(|o| o.recovered)
+                };
+                if let Some(suspected_for) = recovered {
+                    sim.tracer().record(
+                        now,
+                        id.to_string(),
+                        "SuspicionCleared",
+                        format!("heartbeat resumed after {:.0}s", suspected_for.as_secs()),
+                    );
+                    self.fire_detector_event(
+                        sim,
+                        &DetectorEvent::Recovered {
+                            pilot: id,
+                            resource,
+                            suspected_for,
+                        },
+                    );
+                }
+                self.schedule_detector_check(sim, id);
+            }
+        }
+    }
+
+    /// Arm the next suspicion check at the pilot's current deadline.
+    /// Checks carry the epoch they were armed under: a later heartbeat
+    /// bumps the epoch and the check no-ops when it fires.
+    fn schedule_detector_check(&self, sim: &mut Simulation, id: PilotId) {
+        let Some((deadline, epoch)) = ({
+            let st = self.inner.borrow();
+            st.detector
+                .as_ref()
+                .and_then(|d| d.next_deadline(id).map(|t| (t, d.epoch(id))))
+        }) else {
+            return;
+        };
+        let this = self.clone();
+        sim.schedule_at(deadline, move |sim| this.run_detector_check(sim, id, epoch));
+    }
+
+    /// A suspicion deadline fired: advance the detector if no newer
+    /// heartbeat superseded the check.
+    fn run_detector_check(&self, sim: &mut Simulation, id: PilotId, epoch: u64) {
+        let now = sim.now();
+        let advanced = {
+            let mut st = self.inner.borrow_mut();
+            let Some(det) = st.detector.as_mut() else {
+                return;
+            };
+            if det.health(id).is_none() || det.epoch(id) != epoch {
+                return;
+            }
+            det.advance(id, now)
+        };
+        match advanced {
+            None | Some(HealthState::Healthy) => {}
+            Some(HealthState::Suspected) => {
+                let (resource, silent_for, confirm) = {
+                    let st = self.inner.borrow();
+                    let det = st.detector.as_ref().expect("detector just advanced");
+                    let v = det.verdicts().last().expect("advance recorded a verdict");
+                    (
+                        v.resource.clone(),
+                        v.silent_for,
+                        det.policy().confirm_with_status_query,
+                    )
+                };
+                sim.tracer().record(
+                    now,
+                    id.to_string(),
+                    "Suspected",
+                    format!("{resource}: silent {:.0}s", silent_for.as_secs()),
+                );
+                self.fire_detector_event(
+                    sim,
+                    &DetectorEvent::Suspected {
+                        pilot: id,
+                        resource,
+                        silent_for,
+                    },
+                );
+                if confirm {
+                    self.confirm_via_status_query(sim, id, epoch);
+                }
+                // The declare deadline stands regardless of the query.
+                self.schedule_detector_check(sim, id);
+            }
+            Some(HealthState::DeclaredDead) => self.on_declared_dead(sim, id),
+        }
+    }
+
+    /// Ask the batch front end about the suspect's job. A terminal answer
+    /// declares immediately (short Td); a healthy answer leaves the pilot
+    /// Suspected awaiting resumed heartbeats; an unreachable front end
+    /// (typed error, breaker trip) lets the declare deadline decide.
+    fn confirm_via_status_query(&self, sim: &mut Simulation, id: PilotId, epoch: u64) {
+        let (service, saga) = {
+            let st = self.inner.borrow();
+            let p = &st.pilots[id.0 as usize];
+            (st.session.service(&p.description.resource), p.saga_job)
+        };
+        let (Some(service), Some(saga)) = (service, saga) else {
+            return;
+        };
+        let this = self.clone();
+        service.query_status(sim, saga, move |sim, answer| {
+            let still_suspect = {
+                let st = this.inner.borrow();
+                st.detector.as_ref().is_some_and(|d| {
+                    d.health(id) == Some(HealthState::Suspected) && d.epoch(id) == epoch
+                })
+            };
+            if !still_suspect {
+                return;
+            }
+            match answer {
+                Ok(state) if state.is_terminal() => {
+                    sim.tracer().record(
+                        sim.now(),
+                        id.to_string(),
+                        "StatusConfirmedDead",
+                        format!("front end reports {state:?}"),
+                    );
+                    let declared = {
+                        let mut st = this.inner.borrow_mut();
+                        let det = st.detector.as_mut().expect("still suspect");
+                        det.declare(id, sim.now()).is_some()
+                    };
+                    if declared {
+                        this.on_declared_dead(sim, id);
+                    }
+                }
+                // Front end says the job is alive: keep the suspicion and
+                // wait for heartbeats (or the declare deadline).
+                Ok(_) => {}
+                // Unreachable front end: the failed round-trips already
+                // fed the circuit breaker; the declare deadline decides.
+                Err(_) => {}
+            }
+        });
+    }
+
+    /// The detector gave up on a pilot: record Td, notify, and drive the
+    /// client-visible state machine — from here the normal heal path
+    /// (replacement, blacklist, re-plan) takes over, having consumed only
+    /// signals.
+    fn on_declared_dead(&self, sim: &mut Simulation, id: PilotId) {
+        let now = sim.now();
+        let (resource, silent_for) = {
+            let mut st = self.inner.borrow_mut();
+            let resource = st.pilots[id.0 as usize].description.resource.clone();
+            // Td window start: ground-truth death when one exists (real
+            // failure). A false declaration of a live pilot has no death
+            // instant, so its window is empty — it costs Tr, not Td.
+            let start = st.went_silent.remove(&id).unwrap_or(now);
+            st.detection_windows.push((start, now));
+            let silent_for = st
+                .detector
+                .as_ref()
+                .and_then(|d| d.verdicts().last())
+                .map(|v| v.silent_for)
+                .unwrap_or(SimDuration::ZERO);
+            (resource, silent_for)
+        };
+        sim.tracer().record(
+            now,
+            id.to_string(),
+            "DeclaredDead",
+            format!("{resource}: silent {:.0}s", silent_for.as_secs()),
+        );
+        self.fire_detector_event(
+            sim,
+            &DetectorEvent::DeclaredDead {
+                pilot: id,
+                resource,
+                silent_for,
+            },
+        );
+        if !self.state(id).is_terminal() {
+            self.transition(sim, id, PilotState::Failed);
         }
     }
 

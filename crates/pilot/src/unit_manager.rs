@@ -97,6 +97,10 @@ impl UnitManagerStats {
 /// Callback fired once when every unit reaches a terminal state.
 type CompletionCallback = Box<dyn FnOnce(&mut Simulation)>;
 
+/// Observer fired after every unit state transition — the hook the
+/// middleware's run journal uses to record unit history.
+type UnitTransitionCallback = Box<dyn FnMut(&mut Simulation, UnitId, UnitState)>;
+
 struct UmState {
     config: UmConfig,
     units: Vec<ComputeUnit>,
@@ -118,6 +122,7 @@ struct UmState {
     fault_rng: Option<aimes_sim::SimRng>,
     rr_cursor: usize,
     stats: UnitManagerStats,
+    transition_subscribers: Vec<UnitTransitionCallback>,
     on_all_done: Vec<CompletionCallback>,
     schedule_pending: bool,
     completion_fired: bool,
@@ -152,6 +157,7 @@ impl UnitManager {
                 fault_rng: None,
                 rr_cursor: 0,
                 stats: UnitManagerStats::default(),
+                transition_subscribers: Vec::new(),
                 on_all_done: Vec::new(),
                 schedule_pending: false,
                 completion_fired: false,
@@ -169,7 +175,47 @@ impl UnitManager {
                 um.on_pilot_state(sim, pilot, state);
             }
         });
+        // Environment-side channel: a pilot whose agent went silent can no
+        // longer deliver completions, even though the client still sees it
+        // as Active until the detector declares it dead.
+        let weak = Rc::downgrade(&um.inner);
+        let pm3 = pm.clone();
+        pm.on_pilot_silent(move |sim, pilot| {
+            if let Some(inner) = weak.upgrade() {
+                let um = UnitManager {
+                    inner,
+                    pm: pm3.clone(),
+                };
+                um.on_pilot_silent(sim, pilot);
+            }
+        });
         um
+    }
+
+    /// Register an observer fired after every unit state transition (the
+    /// middleware journal records unit history through this hook).
+    pub fn subscribe(&self, cb: impl FnMut(&mut Simulation, UnitId, UnitState) + 'static) {
+        self.inner
+            .borrow_mut()
+            .transition_subscribers
+            .push(Box::new(cb));
+    }
+
+    /// Fire transition observers with the state released (callbacks may
+    /// re-enter the manager). Subscribers added during the callbacks are
+    /// kept.
+    fn fire_transition(&self, sim: &mut Simulation, uid: UnitId, state: UnitState) {
+        let mut subs = std::mem::take(&mut self.inner.borrow_mut().transition_subscribers);
+        if subs.is_empty() {
+            return;
+        }
+        for cb in &mut subs {
+            cb(sim, uid, state);
+        }
+        let mut st = self.inner.borrow_mut();
+        let added = std::mem::take(&mut st.transition_subscribers);
+        st.transition_subscribers = subs;
+        st.transition_subscribers.extend(added);
     }
 
     /// Register a callback fired once when every unit has reached a
@@ -246,6 +292,7 @@ impl UnitManager {
         }
         sim.tracer()
             .record(sim.now(), uid.to_string(), "PendingExecution", "");
+        self.fire_transition(sim, uid, UnitState::PendingExecution);
     }
 
     fn on_pilot_state(&self, sim: &mut Simulation, pilot: PilotId, state: PilotState) {
@@ -296,6 +343,45 @@ impl UnitManager {
         self.request_schedule(sim);
     }
 
+    /// Physical effect of a pilot going silent: the agent process is gone,
+    /// so in-flight staging/execution completions can never arrive and no
+    /// new units can be dispatched to it. Client-visible unit states stay
+    /// untouched — the middleware still believes those units are running
+    /// until the detector declares the pilot dead, at which point the
+    /// normal death path ([`Self::on_pilot_death`]) restarts them.
+    fn on_pilot_silent(&self, sim: &mut Simulation, pilot: PilotId) {
+        let (events, stranded) = {
+            let mut st = self.inner.borrow_mut();
+            let st = &mut *st;
+            st.agents.remove(&pilot);
+            let stranded: Vec<UnitId> = st
+                .units
+                .iter()
+                .filter(|u| {
+                    u.pilot == Some(pilot)
+                        && matches!(u.state, UnitState::StagingInput | UnitState::Executing)
+                })
+                .map(|u| u.id)
+                .collect();
+            let events: Vec<EventId> = stranded
+                .iter()
+                .filter_map(|uid| st.inflight.remove(uid))
+                .collect();
+            (events, stranded.len())
+        };
+        for ev in events {
+            sim.cancel(ev);
+        }
+        if stranded > 0 {
+            sim.tracer().record(
+                sim.now(),
+                "unit_manager",
+                "UnitsStranded",
+                format!("{stranded} on silent {pilot}"),
+            );
+        }
+    }
+
     fn restart_or_fail(&self, sim: &mut Simulation, uid: UnitId) {
         let (give_up, rebind) = {
             let mut st = self.inner.borrow_mut();
@@ -313,6 +399,7 @@ impl UnitManager {
             }
             sim.tracer()
                 .record(sim.now(), uid.to_string(), "Failed", "restarts exhausted");
+            self.fire_transition(sim, uid, UnitState::Failed);
             self.check_completion(sim);
             return;
         }
@@ -327,6 +414,7 @@ impl UnitManager {
             }
             backoff
         };
+        self.fire_transition(sim, uid, UnitState::PendingExecution);
         if rebind {
             // Early-binding failover: rebind to any live pilot.
             let live = self
@@ -349,6 +437,7 @@ impl UnitManager {
                 if let Some(ev) = ev {
                     sim.cancel(ev);
                 }
+                self.fire_transition(sim, uid, UnitState::Failed);
                 self.check_completion(sim);
                 return;
             }
@@ -469,6 +558,7 @@ impl UnitManager {
             "StagingInput",
             format!("{pid} {resource}"),
         );
+        self.fire_transition(sim, uid, UnitState::StagingInput);
         let this = self.clone();
         let ev = sim.schedule_at(staging_end, move |sim| this.on_input_staged(sim, uid));
         self.inner.borrow_mut().inflight.insert(uid, ev);
@@ -502,6 +592,7 @@ impl UnitManager {
             (duration, fault)
         };
         sim.tracer().record(now, uid.to_string(), "Executing", "");
+        self.fire_transition(sim, uid, UnitState::Executing);
         let this = self.clone();
         let ev = match fault {
             Some((at, permanent)) => {
@@ -543,6 +634,7 @@ impl UnitManager {
             }
             sim.tracer()
                 .record(now, uid.to_string(), "Failed", "permanent fault");
+            self.fire_transition(sim, uid, UnitState::Failed);
             self.check_completion(sim);
         } else {
             self.restart_or_fail(sim, uid);
@@ -572,6 +664,7 @@ impl UnitManager {
         };
         sim.tracer()
             .record(now, uid.to_string(), "StagingOutput", "");
+        self.fire_transition(sim, uid, UnitState::StagingOutput);
         let this = self.clone();
         sim.schedule_at(out_end, move |sim| this.on_done(sim, uid));
         self.request_schedule(sim);
@@ -595,6 +688,7 @@ impl UnitManager {
             ready
         };
         sim.tracer().record(now, uid.to_string(), "Done", "");
+        self.fire_transition(sim, uid, UnitState::Done);
         for dep in newly_ready {
             self.make_ready(sim, dep);
         }
@@ -1010,6 +1104,45 @@ mod tests {
         starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let span = starts.last().unwrap() - starts.first().unwrap();
         assert!(span >= 15.0 * 1.0, "staging stagger {span}");
+    }
+
+    #[test]
+    fn transition_subscribers_observe_the_full_lifecycle() {
+        let (mut sim, pm) = setup(&[("stampede", 64)]);
+        let um = UnitManager::new(
+            pm.clone(),
+            UmConfig::new(Binding::Late, UnitScheduler::Backfill),
+        );
+        let seen: Rc<RefCell<Vec<(UnitId, UnitState)>>> = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        um.subscribe(move |_, uid, state| seen2.borrow_mut().push((uid, state)));
+        pm.submit(
+            &mut sim,
+            vec![PilotDescription::new("stampede", 8, d(4000.0))],
+        );
+        um.submit_units(&mut sim, &bag_tasks(4));
+        let pm2 = pm.clone();
+        um.on_all_done(move |sim| pm2.cancel_all(sim));
+        sim.run_to_completion();
+        let seen = seen.borrow();
+        for i in 0..4u32 {
+            let path: Vec<UnitState> = seen
+                .iter()
+                .filter(|(u, _)| *u == UnitId(i))
+                .map(|(_, s)| *s)
+                .collect();
+            assert_eq!(
+                path,
+                vec![
+                    UnitState::PendingExecution,
+                    UnitState::StagingInput,
+                    UnitState::Executing,
+                    UnitState::StagingOutput,
+                    UnitState::Done,
+                ],
+                "unit {i} history"
+            );
+        }
     }
 
     #[test]

@@ -29,6 +29,26 @@ pub trait BatchAdaptor {
     fn cancellation_latency(&self, rng: &mut SimRng) -> SimDuration {
         self.submission_latency(rng)
     }
+
+    /// Probability that one cancellation attempt transiently fails. The
+    /// dialects that lose submissions lose `qdel`s too.
+    fn cancel_failure_chance(&self) -> f64 {
+        0.0
+    }
+
+    /// Latency of one status-query round-trip (`squeue`/`qstat`/
+    /// `condor_q`). Queries are lighter than submissions: no scheduler
+    /// ingestion, just a front-end lookup.
+    fn status_latency(&self, rng: &mut SimRng) -> SimDuration {
+        self.submission_latency(rng)
+    }
+
+    /// Probability that one status query transiently fails. Front-end
+    /// lookups hit the same overloaded daemons as submissions and on PBS
+    /// and Condor are historically the flakiest operation of the three.
+    fn status_failure_chance(&self) -> f64 {
+        0.0
+    }
 }
 
 /// SLURM front end: fast command round-trips, rare hiccups.
@@ -43,6 +63,15 @@ impl BatchAdaptor for SlurmAdaptor {
         SimDuration::from_secs(rng.uniform(0.5, 3.0))
     }
     fn transient_failure_chance(&self) -> f64 {
+        0.01
+    }
+    fn cancel_failure_chance(&self) -> f64 {
+        0.01
+    }
+    fn status_latency(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs(rng.uniform(0.2, 1.0))
+    }
+    fn status_failure_chance(&self) -> f64 {
         0.01
     }
 }
@@ -61,6 +90,15 @@ impl BatchAdaptor for PbsAdaptor {
     fn transient_failure_chance(&self) -> f64 {
         0.03
     }
+    fn cancel_failure_chance(&self) -> f64 {
+        0.03
+    }
+    fn status_latency(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs(rng.uniform(1.0, 4.0))
+    }
+    fn status_failure_chance(&self) -> f64 {
+        0.04
+    }
 }
 
 /// HTCondor pool front end: matchmaking adds seconds-to-tens-of-seconds.
@@ -76,6 +114,15 @@ impl BatchAdaptor for CondorAdaptor {
     }
     fn transient_failure_chance(&self) -> f64 {
         0.05
+    }
+    fn cancel_failure_chance(&self) -> f64 {
+        0.05
+    }
+    fn status_latency(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs(rng.uniform(2.0, 10.0))
+    }
+    fn status_failure_chance(&self) -> f64 {
+        0.06
     }
 }
 
@@ -125,6 +172,26 @@ mod tests {
     fn failure_chances_ordered_by_flakiness() {
         assert!(SlurmAdaptor.transient_failure_chance() < PbsAdaptor.transient_failure_chance());
         assert!(PbsAdaptor.transient_failure_chance() < CondorAdaptor.transient_failure_chance());
+    }
+
+    #[test]
+    fn per_operation_failure_chances_ordered_by_flakiness() {
+        assert!(SlurmAdaptor.cancel_failure_chance() < PbsAdaptor.cancel_failure_chance());
+        assert!(PbsAdaptor.cancel_failure_chance() < CondorAdaptor.cancel_failure_chance());
+        assert!(SlurmAdaptor.status_failure_chance() < PbsAdaptor.status_failure_chance());
+        assert!(PbsAdaptor.status_failure_chance() < CondorAdaptor.status_failure_chance());
+    }
+
+    #[test]
+    fn status_latency_is_not_slower_than_submission() {
+        // Queries are lighter than submissions; each adaptor's status
+        // range must sit at or below its submission range.
+        let mut rng = SimRng::new(9);
+        for _ in 0..200 {
+            assert!(SlurmAdaptor.status_latency(&mut rng).as_secs() <= 3.0);
+            assert!(PbsAdaptor.status_latency(&mut rng).as_secs() <= 8.0);
+            assert!(CondorAdaptor.status_latency(&mut rng).as_secs() <= 20.0);
+        }
     }
 
     #[test]

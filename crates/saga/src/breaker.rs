@@ -1,0 +1,179 @@
+//! Per-resource circuit breaker.
+//!
+//! A dead or drowning front end fails every round-trip, and every failed
+//! round-trip costs a full adaptor latency plus retries. The breaker is
+//! the standard three-state machine — closed / open / half-open — shared
+//! by all operations (submit, cancel, status query) against one resource:
+//! enough consecutive failures trip it open, an open breaker rejects
+//! requests locally for a cooldown, and after the cooldown a single probe
+//! is let through to decide between closing again and re-opening.
+//!
+//! The breaker is a pure state machine driven by simulation time; the
+//! [`JobService`](crate::JobService) owns one and consults it around each
+//! wire operation.
+
+use aimes_sim::{SimDuration, SimTime};
+
+/// Tuning knobs for one breaker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (across all operations) that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects requests before letting a probe
+    /// through.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: SimDuration::from_secs(300.0),
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; failures are counted.
+    Closed,
+    /// Requests are rejected locally until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; one probe request is in flight.
+    HalfOpen,
+}
+
+/// The three-state machine. Time never flows backwards in the simulator,
+/// so transitions are checked lazily at each call.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: SimTime,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: SimTime::ZERO,
+            trips: 0,
+        }
+    }
+
+    /// Whether a request may go to the wire at `now`. An open breaker
+    /// whose cooldown has elapsed moves to half-open and admits the call
+    /// as its probe.
+    pub fn allows(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now >= self.opened_at + self.config.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful round-trip: closes the breaker and clears the
+    /// failure streak.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Record a failed round-trip at `now`. Returns `true` when this
+    /// failure tripped the breaker open (the caller reports the trip
+    /// upstream exactly once per opening).
+    pub fn record_failure(&mut self, now: SimTime) -> bool {
+        self.consecutive_failures += 1;
+        let trip = match self.state {
+            // A failed half-open probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.config.failure_threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.state = BreakerState::Open;
+            self.opened_at = now;
+            self.trips += 1;
+        }
+        trip
+    }
+
+    /// Current state without side effects (does not advance open →
+    /// half-open; use [`allows`](Self::allows) for that).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times this breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(60.0),
+        });
+        assert!(b.allows(t(0.0)));
+        assert!(!b.record_failure(t(1.0)));
+        assert!(!b.record_failure(t(2.0)));
+        assert!(b.record_failure(t(3.0)), "third failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(t(10.0)), "open breaker rejects during cooldown");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: SimDuration::from_secs(60.0),
+        });
+        b.record_failure(t(1.0));
+        b.record_success();
+        assert!(!b.record_failure(t(2.0)), "streak restarted after success");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_decides() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(60.0),
+        });
+        assert!(b.record_failure(t(0.0)));
+        assert!(!b.allows(t(59.0)));
+        assert!(b.allows(t(60.0)), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Failed probe re-opens and restarts the cooldown from now.
+        assert!(b.record_failure(t(65.0)));
+        assert!(!b.allows(t(120.0)));
+        assert!(b.allows(t(125.0)));
+        // Successful probe closes.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Typed operation errors.
+//!
+//! PR 1 reported failures only through the job state machine (a terminal
+//! `Failed`). The detection layer needs more texture: *which* operation
+//! failed, whether retrying can help, and whether the failure was served
+//! from a tripped circuit breaker without touching the wire. Callers match
+//! on these to decide between retrying, suspecting the resource, or
+//! escalating to the blacklist/re-plan machinery.
+
+use std::fmt;
+
+/// The operation a [`SagaError`] belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SagaOp {
+    /// Job submission round-trip.
+    Submit,
+    /// Cancellation round-trip.
+    Cancel,
+    /// Status query round-trip (`squeue`/`qstat`/`condor_q`).
+    StatusQuery,
+}
+
+impl fmt::Display for SagaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SagaOp::Submit => write!(f, "submit"),
+            SagaOp::Cancel => write!(f, "cancel"),
+            SagaOp::StatusQuery => write!(f, "status-query"),
+        }
+    }
+}
+
+/// Why an operation against a job service failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SagaError {
+    /// Every bounded retry failed transiently (network hiccups, scheduler
+    /// timeouts, or an unreachable front end). The condition may clear;
+    /// the *caller* decides whether to try again later.
+    TransientExhausted {
+        /// Which operation gave up.
+        op: SagaOp,
+        /// How many attempts were burned.
+        attempts: u32,
+    },
+    /// The operation failed in a way no retry can fix (injected permanent
+    /// fault: bad credentials, misconfiguration).
+    Permanent {
+        /// Which operation failed.
+        op: SagaOp,
+    },
+    /// The per-resource circuit breaker is open: the request was rejected
+    /// locally without a round-trip. Repeated failures already proved the
+    /// endpoint unhealthy; hammering it helps nobody.
+    CircuitOpen {
+        /// Which operation was rejected.
+        op: SagaOp,
+        /// The resource whose breaker is open.
+        resource: String,
+    },
+    /// The job id is not known to this service.
+    UnknownJob,
+}
+
+impl fmt::Display for SagaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SagaError::TransientExhausted { op, attempts } => {
+                write!(f, "{op} failed transiently after {attempts} attempts")
+            }
+            SagaError::Permanent { op } => write!(f, "{op} failed permanently"),
+            SagaError::CircuitOpen { op, resource } => {
+                write!(f, "{op} rejected: circuit open for {resource}")
+            }
+            SagaError::UnknownJob => write!(f, "unknown job"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_operation() {
+        let e = SagaError::TransientExhausted {
+            op: SagaOp::StatusQuery,
+            attempts: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "status-query failed transiently after 4 attempts"
+        );
+        let e = SagaError::CircuitOpen {
+            op: SagaOp::Submit,
+            resource: "gordon".into(),
+        };
+        assert_eq!(e.to_string(), "submit rejected: circuit open for gordon");
+    }
+}

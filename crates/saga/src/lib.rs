@@ -19,10 +19,20 @@
 //! * [`session`] — a session multiplexing job services over the resource
 //!   pool, with automatic retry of transient submission failures.
 
+//! * [`breaker`] — a per-resource circuit breaker (closed / open /
+//!   half-open) shared by submit, cancel and status-query operations.
+//! * [`error`] — typed operation errors ([`error::SagaError`]) so callers
+//!   can tell retryable hiccups from permanent failures and breaker
+//!   rejections.
+
 pub mod adaptor;
+pub mod breaker;
+pub mod error;
 pub mod job_api;
 pub mod session;
 
 pub use adaptor::{adaptor_for, BatchAdaptor, CondorAdaptor, PbsAdaptor, SlurmAdaptor};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use error::{SagaError, SagaOp};
 pub use job_api::{JobDescription, SagaJobId, SagaJobState};
 pub use session::{JobService, Session};

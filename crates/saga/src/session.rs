@@ -8,6 +8,8 @@
 //! mechanism the pilot layer builds its own state model on.
 
 use crate::adaptor::{adaptor_for, BatchAdaptor};
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::error::{SagaError, SagaOp};
 use crate::job_api::{JobDescription, SagaJobId, SagaJobState};
 use aimes_cluster::{Cluster, JobId as BackendJobId, JobRequest, JobState};
 use aimes_sim::{SimDuration, SimRng, Simulation};
@@ -17,6 +19,25 @@ use std::rc::Rc;
 
 /// Callback invoked on every SAGA state transition of a job.
 pub type StateCallback = Box<dyn FnMut(&mut Simulation, SagaJobState)>;
+
+/// Callback fired when a resource's circuit breaker trips open.
+pub type BreakerTripCallback = Box<dyn FnMut(&mut Simulation, &str)>;
+
+/// Callback receiving the answer of one status query.
+pub type StatusCallback = Box<dyn FnOnce(&mut Simulation, Result<SagaJobState, SagaError>)>;
+
+/// Ceiling on retry backoff (seconds): exponential growth must not
+/// outwait the failure it is meant to ride out.
+const BACKOFF_CAP_SECS: f64 = 120.0;
+
+/// Exponential backoff with jitter: the fresh round-trip latency draw *is*
+/// the jitter source, doubled per burned attempt and capped. Keeping the
+/// jitter inside the latency draw means retry paths consume exactly one
+/// RNG draw, the same shape as the original linear backoff.
+fn backoff(lat: SimDuration, attempts: u32) -> SimDuration {
+    let factor = f64::from(2u32.saturating_pow(attempts.saturating_sub(1)).min(1 << 16));
+    (lat * factor).min(SimDuration::from_secs(BACKOFF_CAP_SECS))
+}
 
 struct JobRecord {
     desc: JobDescription,
@@ -41,6 +62,11 @@ struct ServiceState {
     // misconfiguration, credential expiry — things a retry cannot fix).
     fault_transient: f64,
     fault_permanent: f64,
+    // Optional per-resource circuit breaker shared by submit, cancel and
+    // status queries. None (the default) keeps the legacy always-retry
+    // behaviour and its exact event/RNG streams.
+    breaker: Option<CircuitBreaker>,
+    trip_subscribers: Vec<BreakerTripCallback>,
 }
 
 /// Handle to the job service of one resource.
@@ -67,8 +93,62 @@ impl JobService {
                 max_attempts: 4,
                 fault_transient: 0.0,
                 fault_permanent: 0.0,
+                breaker: None,
+                trip_subscribers: Vec::new(),
             })),
         }
+    }
+
+    /// Arm the per-resource circuit breaker. Until this is called the
+    /// service behaves exactly as before (no breaker consults, no extra
+    /// draws), so legacy runs replay unchanged.
+    pub fn enable_breaker(&self, config: BreakerConfig) {
+        self.inner.borrow_mut().breaker = Some(CircuitBreaker::new(config));
+    }
+
+    /// Subscribe to breaker trips. The callback receives the resource name
+    /// each time the breaker transitions to open.
+    pub fn on_breaker_trip(&self, cb: impl FnMut(&mut Simulation, &str) + 'static) {
+        self.inner.borrow_mut().trip_subscribers.push(Box::new(cb));
+    }
+
+    /// Current breaker state, if one is armed.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.inner.borrow().breaker.as_ref().map(|b| b.state())
+    }
+
+    /// How often the breaker has tripped open.
+    pub fn breaker_trips(&self) -> u64 {
+        self.inner
+            .borrow()
+            .breaker
+            .as_ref()
+            .map_or(0, |b| b.trips())
+    }
+
+    /// Deliver a breaker trip to subscribers (re-entrancy-safe: callbacks
+    /// may submit or cancel through this very service).
+    fn fire_breaker_trip(&self, sim: &mut Simulation) {
+        let (mut subs, resource) = {
+            let mut st = self.inner.borrow_mut();
+            (
+                std::mem::take(&mut st.trip_subscribers),
+                st.resource.clone(),
+            )
+        };
+        sim.tracer().record(
+            sim.now(),
+            format!("saga.breaker.{resource}"),
+            "BreakerTrip",
+            "circuit open",
+        );
+        for cb in subs.iter_mut() {
+            cb(sim, &resource);
+        }
+        let mut st = self.inner.borrow_mut();
+        let added = std::mem::take(&mut st.trip_subscribers);
+        subs.extend(added);
+        st.trip_subscribers = subs;
     }
 
     /// The resource this service fronts.
@@ -140,12 +220,39 @@ impl JobService {
             Fail,
             Submitted(BackendJobId),
         }
+        let now = sim.now();
+        let mut tripped = false;
         let outcome = {
             let mut guard = self.inner.borrow_mut();
             let st = &mut *guard;
             let rec = st.jobs.get_mut(&id).expect("job exists");
             if rec.cancel_requested {
                 Outcome::Cancelled
+            } else if !st.breaker.as_mut().is_none_or(|b| b.allows(now)) {
+                // Open breaker: rejected locally, no round-trip. The
+                // attempt is still burned; retries back off in case the
+                // breaker re-admits traffic within the attempt budget.
+                rec.attempts += 1;
+                let attempts = rec.attempts;
+                if attempts >= st.max_attempts {
+                    Outcome::Fail
+                } else {
+                    let lat = st.adaptor.submission_latency(&mut st.rng);
+                    Outcome::Retry(backoff(lat, attempts))
+                }
+            } else if st.cluster.is_decommissioned() {
+                // The front end died with the machine: deterministic
+                // connection refusal — observable, no fault draw, and
+                // evidence against the endpoint for the breaker.
+                rec.attempts += 1;
+                let attempts = rec.attempts;
+                tripped = st.breaker.as_mut().is_some_and(|b| b.record_failure(now));
+                if attempts >= st.max_attempts {
+                    Outcome::Fail
+                } else {
+                    let lat = st.adaptor.submission_latency(&mut st.rng);
+                    Outcome::Retry(backoff(lat, attempts))
+                }
             } else if st.fault_permanent > 0.0 && st.rng.chance(st.fault_permanent) {
                 rec.attempts += 1;
                 Outcome::Fail
@@ -155,15 +262,20 @@ impl JobService {
                 let failed = st.rng.chance(transient_p);
                 rec.attempts += 1;
                 if failed {
-                    if rec.attempts >= st.max_attempts {
+                    let attempts = rec.attempts;
+                    tripped = st.breaker.as_mut().is_some_and(|b| b.record_failure(now));
+                    if attempts >= st.max_attempts {
                         Outcome::Fail
                     } else {
-                        // Linear backoff on top of a fresh round-trip.
-                        let attempts = rec.attempts;
+                        // Exponential backoff; the fresh round-trip draw
+                        // doubles as jitter.
                         let lat = st.adaptor.submission_latency(&mut st.rng);
-                        Outcome::Retry(lat * f64::from(attempts))
+                        Outcome::Retry(backoff(lat, attempts))
                     }
                 } else {
+                    if let Some(b) = st.breaker.as_mut() {
+                        b.record_success();
+                    }
                     let (cores, walltime, tag, queue) = (
                         rec.desc.cores,
                         rec.desc.walltime,
@@ -179,6 +291,9 @@ impl JobService {
                 }
             }
         };
+        if tripped {
+            self.fire_breaker_trip(sim);
+        }
         match outcome {
             Outcome::Cancelled => self.transition(sim, id, SagaJobState::Canceled),
             Outcome::Fail => self.transition(sim, id, SagaJobState::Failed),
@@ -250,8 +365,9 @@ impl JobService {
     }
 
     /// Request cancellation. Queued-or-running jobs are cancelled after a
-    /// cancellation round-trip; not-yet-submitted jobs are cancelled at
-    /// their submission attempt.
+    /// cancellation round-trip (transient failures are retried with
+    /// backoff); not-yet-submitted jobs are cancelled at their submission
+    /// attempt.
     pub fn cancel(&self, sim: &mut Simulation, id: SagaJobId) {
         let (backend, latency) = {
             let mut st = self.inner.borrow_mut();
@@ -267,13 +383,197 @@ impl JobService {
             let latency = st.adaptor.cancellation_latency(&mut st.rng);
             (backend, latency)
         };
-        if let Some(backend) = backend {
-            let cluster = self.inner.borrow().cluster.clone();
-            sim.schedule_in(latency, move |sim| {
-                cluster.cancel(sim, backend);
-            });
+        if backend.is_some() {
+            let this = self.clone();
+            sim.schedule_in(latency, move |sim| this.attempt_cancel(sim, id, 1));
         }
         // If not yet submitted, attempt_submission observes the flag.
+    }
+
+    /// One cancellation round-trip has completed; decide whether it
+    /// reached the backend. Failed attempts retry with exponential
+    /// backoff; an exhausted budget or an open breaker abandons the
+    /// cancellation (the job simply runs on — exactly what a lost `qdel`
+    /// does in the field).
+    fn attempt_cancel(&self, sim: &mut Simulation, id: SagaJobId, attempt: u32) {
+        enum Outcome {
+            Settled,
+            Retry(SimDuration),
+            GiveUp,
+            Cancel(BackendJobId, Cluster),
+        }
+        let now = sim.now();
+        let mut tripped = false;
+        let outcome = {
+            let mut guard = self.inner.borrow_mut();
+            let st = &mut *guard;
+            let Some(rec) = st.jobs.get(&id) else {
+                return;
+            };
+            let Some(backend) = rec.backend else {
+                return;
+            };
+            if rec.state.is_terminal() {
+                Outcome::Settled
+            } else if !st.breaker.as_mut().is_none_or(|b| b.allows(now)) {
+                Outcome::GiveUp
+            } else {
+                // A decommissioned front end refuses deterministically;
+                // otherwise the adaptor's cancel flakiness decides. The
+                // draw is gated so zero-chance adaptors stay draw-free.
+                let chance = st.adaptor.cancel_failure_chance();
+                let failed =
+                    st.cluster.is_decommissioned() || (chance > 0.0 && st.rng.chance(chance));
+                if failed {
+                    tripped = st.breaker.as_mut().is_some_and(|b| b.record_failure(now));
+                    if attempt >= st.max_attempts {
+                        Outcome::GiveUp
+                    } else {
+                        let lat = st.adaptor.cancellation_latency(&mut st.rng);
+                        Outcome::Retry(backoff(lat, attempt))
+                    }
+                } else {
+                    if let Some(b) = st.breaker.as_mut() {
+                        b.record_success();
+                    }
+                    Outcome::Cancel(backend, st.cluster.clone())
+                }
+            }
+        };
+        if tripped {
+            self.fire_breaker_trip(sim);
+        }
+        match outcome {
+            Outcome::Settled => {}
+            Outcome::Retry(delay) => {
+                let this = self.clone();
+                sim.tracer().record(
+                    sim.now(),
+                    format!("saga.{}", id.0),
+                    "RetryCancel",
+                    self.resource(),
+                );
+                sim.schedule_in(delay, move |sim| this.attempt_cancel(sim, id, attempt + 1));
+            }
+            Outcome::GiveUp => {
+                sim.tracer().record(
+                    sim.now(),
+                    format!("saga.{}", id.0),
+                    "CancelAbandoned",
+                    self.resource(),
+                );
+            }
+            Outcome::Cancel(backend, cluster) => {
+                cluster.cancel(sim, backend);
+            }
+        }
+    }
+
+    /// Query the current state of a job as the batch system reports it —
+    /// a remote round-trip, unlike the free local [`state`](Self::state)
+    /// bookkeeping. Transient failures retry with exponential backoff; an
+    /// open breaker rejects the query immediately with
+    /// [`SagaError::CircuitOpen`]; a decommissioned front end refuses
+    /// every attempt until the budget is exhausted.
+    pub fn query_status(
+        &self,
+        sim: &mut Simulation,
+        id: SagaJobId,
+        cb: impl FnOnce(&mut Simulation, Result<SagaJobState, SagaError>) + 'static,
+    ) {
+        if !self.inner.borrow().jobs.contains_key(&id) {
+            cb(sim, Err(SagaError::UnknownJob));
+            return;
+        }
+        let latency = {
+            let mut st = self.inner.borrow_mut();
+            let st = &mut *st;
+            st.adaptor.status_latency(&mut st.rng)
+        };
+        let this = self.clone();
+        sim.schedule_in(latency, move |sim| {
+            this.attempt_status(sim, id, 1, Box::new(cb));
+        });
+    }
+
+    /// One status round-trip has completed; decide whether it succeeded.
+    fn attempt_status(
+        &self,
+        sim: &mut Simulation,
+        id: SagaJobId,
+        attempt: u32,
+        cb: StatusCallback,
+    ) {
+        enum Outcome {
+            Reject(SagaError),
+            Retry(SimDuration),
+            Exhausted(u32),
+            Answer(SagaJobState),
+        }
+        let now = sim.now();
+        let mut tripped = false;
+        let outcome = {
+            let mut guard = self.inner.borrow_mut();
+            let st = &mut *guard;
+            let Some(rec) = st.jobs.get(&id) else {
+                drop(guard);
+                cb(sim, Err(SagaError::UnknownJob));
+                return;
+            };
+            let state = rec.state;
+            if !st.breaker.as_mut().is_none_or(|b| b.allows(now)) {
+                // An open breaker is itself a strong health signal: tell
+                // the caller immediately instead of burning retries.
+                Outcome::Reject(SagaError::CircuitOpen {
+                    op: SagaOp::StatusQuery,
+                    resource: st.resource.clone(),
+                })
+            } else {
+                let chance = st.adaptor.status_failure_chance();
+                let failed =
+                    st.cluster.is_decommissioned() || (chance > 0.0 && st.rng.chance(chance));
+                if failed {
+                    tripped = st.breaker.as_mut().is_some_and(|b| b.record_failure(now));
+                    if attempt >= st.max_attempts {
+                        Outcome::Exhausted(attempt)
+                    } else {
+                        let lat = st.adaptor.status_latency(&mut st.rng);
+                        Outcome::Retry(backoff(lat, attempt))
+                    }
+                } else {
+                    if let Some(b) = st.breaker.as_mut() {
+                        b.record_success();
+                    }
+                    Outcome::Answer(state)
+                }
+            }
+        };
+        if tripped {
+            self.fire_breaker_trip(sim);
+        }
+        match outcome {
+            Outcome::Reject(err) => cb(sim, Err(err)),
+            Outcome::Exhausted(attempts) => cb(
+                sim,
+                Err(SagaError::TransientExhausted {
+                    op: SagaOp::StatusQuery,
+                    attempts,
+                }),
+            ),
+            Outcome::Retry(delay) => {
+                let this = self.clone();
+                sim.tracer().record(
+                    sim.now(),
+                    format!("saga.{}", id.0),
+                    "RetryStatusQuery",
+                    self.resource(),
+                );
+                sim.schedule_in(delay, move |sim| {
+                    this.attempt_status(sim, id, attempt + 1, cb)
+                });
+            }
+            Outcome::Answer(state) => cb(sim, Ok(state)),
+        }
     }
 
     /// Current SAGA state of a job.
@@ -607,5 +907,162 @@ mod tests {
         let (_sim, _sess, svc) = setup(8);
         assert_eq!(svc.state(SagaJobId(99)), None);
         assert_eq!(svc.backend_job(SagaJobId(99)), None);
+    }
+
+    #[test]
+    fn status_query_reports_backend_state() {
+        let (mut sim, _sess, svc) = setup(64);
+        let (_seen, cb) = collect_states();
+        let id = svc.submit(&mut sim, JobDescription::new(32, d(500.0), "p0"), cb);
+        // Let the job reach Running, then ask the front end.
+        while svc.state(id) != Some(SagaJobState::Running) && sim.step() {}
+        let answer: Rc<RefCell<Option<Result<SagaJobState, crate::SagaError>>>> =
+            Rc::new(RefCell::new(None));
+        let a2 = answer.clone();
+        svc.query_status(&mut sim, id, move |_sim, res| {
+            *a2.borrow_mut() = Some(res);
+        });
+        // The answer arrives after the status round-trip, not instantly,
+        // and reports the state at answer time (the job is mid-run).
+        assert!(answer.borrow().is_none());
+        sim.run_to_completion();
+        assert_eq!(*answer.borrow(), Some(Ok(SagaJobState::Running)));
+    }
+
+    #[test]
+    fn status_query_of_unknown_job_errors() {
+        let (mut sim, _sess, svc) = setup(8);
+        let answer = Rc::new(RefCell::new(None));
+        let a2 = answer.clone();
+        svc.query_status(&mut sim, SagaJobId(99), move |_sim, res| {
+            *a2.borrow_mut() = Some(res);
+        });
+        assert_eq!(*answer.borrow(), Some(Err(crate::SagaError::UnknownJob)));
+    }
+
+    #[test]
+    fn status_query_exhausts_against_decommissioned_frontend() {
+        let (mut sim, _sess, svc) = setup(64);
+        let (_seen, cb) = collect_states();
+        let id = svc.submit(&mut sim, JobDescription::new(32, d(10_000.0), "p0"), cb);
+        while svc.state(id) != Some(SagaJobState::Running) && sim.step() {}
+        svc.cluster().decommission(&mut sim);
+        let answer = Rc::new(RefCell::new(None));
+        let a2 = answer.clone();
+        svc.query_status(&mut sim, id, move |_sim, res| {
+            *a2.borrow_mut() = Some(res);
+        });
+        sim.run_to_completion();
+        assert_eq!(
+            *answer.borrow(),
+            Some(Err(crate::SagaError::TransientExhausted {
+                op: crate::SagaOp::StatusQuery,
+                attempts: 4,
+            }))
+        );
+    }
+
+    #[test]
+    fn breaker_trips_on_dead_endpoint_then_rejects_locally() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        let (mut sim, _sess, svc) = setup(64);
+        svc.enable_breaker(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(600.0),
+        });
+        let trips: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(vec![]));
+        let t2 = trips.clone();
+        svc.on_breaker_trip(move |_sim, resource| t2.borrow_mut().push(resource.to_string()));
+        svc.cluster().decommission(&mut sim);
+        // Every submission attempt is refused at the connection level;
+        // three refusals trip the breaker, the fourth is rejected locally.
+        let (seen, cb) = collect_states();
+        let id = svc.submit(&mut sim, JobDescription::new(8, d(100.0), "p0"), cb);
+        sim.run_to_completion();
+        assert_eq!(svc.state(id), Some(SagaJobState::Failed));
+        assert_eq!(*seen.borrow(), vec![SagaJobState::Failed]);
+        assert_eq!(*trips.borrow(), vec!["stampede".to_string()]);
+        assert_eq!(svc.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(svc.breaker_trips(), 1);
+        // A status query against the open breaker is rejected immediately.
+        let answer = Rc::new(RefCell::new(None));
+        let a2 = answer.clone();
+        svc.query_status(&mut sim, id, move |_sim, res| {
+            *a2.borrow_mut() = Some(res);
+        });
+        sim.run_to_completion();
+        assert_eq!(
+            *answer.borrow(),
+            Some(Err(crate::SagaError::CircuitOpen {
+                op: crate::SagaOp::StatusQuery,
+                resource: "stampede".into(),
+            }))
+        );
+    }
+
+    #[test]
+    fn breaker_half_open_probe_closes_on_healthy_endpoint() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        let (mut sim, _sess, svc) = setup(4096);
+        svc.enable_breaker(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: SimDuration::from_secs(30.0),
+        });
+        // Force the streak with injected transient faults, then clear the
+        // fault and let the post-cooldown probe close the breaker.
+        svc.inject_launch_faults(1.0, 0.0);
+        let id = svc.submit(&mut sim, JobDescription::new(1, d(10.0), "p0"), |_, _| {});
+        sim.run_to_completion();
+        assert_eq!(svc.state(id), Some(SagaJobState::Failed));
+        assert_eq!(svc.breaker_state(), Some(BreakerState::Open));
+        svc.inject_launch_faults(0.0, 0.0);
+        // Resubmit well past the cooldown so the probe is admitted.
+        let id2 = Rc::new(RefCell::new(None));
+        let (svc2, id2w) = (svc.clone(), id2.clone());
+        sim.schedule_in(SimDuration::from_secs(120.0), move |sim| {
+            *id2w.borrow_mut() =
+                Some(svc2.submit(sim, JobDescription::new(1, d(10.0), "p1"), |_, _| {}));
+        });
+        sim.run_to_completion();
+        let id2 = id2.borrow().unwrap();
+        assert_eq!(svc.state(id2), Some(SagaJobState::Done));
+        assert_eq!(svc.breaker_state(), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn cancel_retries_are_visible_in_the_trace() {
+        // Condor's 5 % cancel flakiness over many cancellations must show
+        // at least one retry, and every job must still end Canceled.
+        let mut sim = Simulation::new(77);
+        let cluster = Cluster::new(ClusterConfig::test("osg-pool", 4096));
+        let mut session = Session::new();
+        let svc = session.add_resource(&sim, cluster);
+        let ids: Vec<_> = (0..150)
+            .map(|i| {
+                svc.submit(
+                    &mut sim,
+                    JobDescription::new(1, d(50_000.0), format!("p{i}")),
+                    |_, _| {},
+                )
+            })
+            .collect();
+        let svc2 = svc.clone();
+        let ids2 = ids.clone();
+        sim.schedule_at(SimTime::from_secs(2_000.0), move |sim| {
+            for id in &ids2 {
+                svc2.cancel(sim, *id);
+            }
+        });
+        sim.run_to_completion();
+        let retries = sim
+            .tracer()
+            .snapshot()
+            .iter()
+            .filter(|e| e.event == "RetryCancel")
+            .count();
+        assert!(retries > 0, "expected some cancel retries at 5 %");
+        for id in &ids {
+            assert_eq!(svc.state(*id), Some(SagaJobState::Canceled));
+        }
     }
 }

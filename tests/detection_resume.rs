@@ -1,0 +1,245 @@
+//! Failure detection and journal-based resume through the full
+//! middleware stack: signal-driven recovery (no oracle), detector false
+//! positives under heartbeat delay, and — the crash-consistency bar —
+//! a run killed mid-flight and resumed from its torn journal reaching a
+//! TTC bit-identical to the same-seed uninterrupted run, across random
+//! fault schedules.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aimes_repro::cluster::ClusterConfig;
+use aimes_repro::fault::{FaultSpec, HeartbeatDelaySpec, OutageKind, OutageSpec, RecoveryPolicy};
+use aimes_repro::middleware::paper;
+use aimes_repro::middleware::{
+    resume_application, run_application, RunError, RunJournal, RunOptions,
+};
+use aimes_repro::sim::{SimDuration, SimTime};
+use aimes_repro::skeleton::{paper_bag, TaskDurationSpec};
+use aimes_repro::strategy::ResourceSelection;
+use proptest::prelude::*;
+
+fn pool() -> Vec<ClusterConfig> {
+    vec![
+        ClusterConfig::test("one", 256),
+        ClusterConfig::test("two", 256),
+    ]
+}
+
+/// One 16-task bag pinned to resource "one" so faults there matter.
+fn pinned_strategy() -> aimes_repro::strategy::ExecutionStrategy {
+    let mut strategy = paper::late_strategy(1);
+    strategy.selection = ResourceSelection::Fixed(vec!["one".into()]);
+    strategy
+}
+
+fn opts(seed: u64, faults: FaultSpec, recovery: Option<RecoveryPolicy>) -> RunOptions {
+    RunOptions {
+        seed,
+        submit_at: SimTime::from_secs(600.0),
+        faults: Some(faults),
+        recovery,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn heartbeat_delay_causes_false_suspicion_but_no_replacement() {
+    // A slow WAN window delays heartbeats by 200 s — past the 150 s
+    // suspicion threshold but short of the 300 s declaration threshold.
+    // The detector must suspect, then stand down when the late heartbeat
+    // lands: a false positive with no client-visible consequences.
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let faults = FaultSpec {
+        heartbeat_delays: vec![HeartbeatDelaySpec {
+            resource: "one".into(),
+            at_secs: 120.0,
+            duration_secs: 600.0,
+            delay_secs: 200.0,
+        }],
+        ..FaultSpec::none()
+    };
+    let r = run_application(
+        &pool(),
+        &app,
+        &pinned_strategy(),
+        &opts(17, faults, Some(RecoveryPolicy::with_detection())),
+    )
+    .unwrap();
+    assert_eq!(r.units_done, 16, "a slow link must not lose work");
+    assert!(
+        r.false_suspicions >= 1,
+        "the delayed heartbeats must trip the suspicion threshold"
+    );
+    assert_eq!(
+        r.replacements, 0,
+        "a suspicion that recovers must not launch a replacement"
+    );
+    assert_eq!(r.replans, 0, "nor re-derive the strategy");
+}
+
+#[test]
+fn detection_driven_recovery_matches_oracle_outcome() {
+    // Same permanent loss, two recovery modes. The oracle reacts at the
+    // injection instant; the detector pays a Td measured from missed
+    // heartbeats. Both must finish the whole bag, and the detector's
+    // extra cost must be visible as Td in the TTC decomposition.
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let faults = FaultSpec {
+        outages: vec![OutageSpec {
+            resource: "one".into(),
+            at_secs: 300.0,
+            duration_secs: 600.0,
+            kind: OutageKind::Permanent,
+        }],
+        ..FaultSpec::none()
+    };
+    let oracle = run_application(
+        &pool(),
+        &app,
+        &pinned_strategy(),
+        &opts(19, faults.clone(), Some(RecoveryPolicy::default())),
+    )
+    .unwrap();
+    let detected = run_application(
+        &pool(),
+        &app,
+        &pinned_strategy(),
+        &opts(19, faults, Some(RecoveryPolicy::with_detection())),
+    )
+    .unwrap();
+    assert_eq!(oracle.units_done, 16);
+    assert_eq!(detected.units_done, 16);
+    assert_eq!(oracle.breakdown.td, SimDuration::ZERO);
+    assert!(
+        detected.breakdown.td > SimDuration::ZERO,
+        "detection latency must appear in the decomposition"
+    );
+    assert!(detected.mean_detection_secs > 0.0);
+    assert!(
+        detected.breakdown.ttc >= oracle.breakdown.ttc,
+        "noticing late can never beat the oracle"
+    );
+}
+
+/// Run a scenario three ways — uninterrupted baseline, interrupted at
+/// `interrupt_secs` with a journal, then resumed from the torn journal —
+/// and require the resumed outcome to be bit-identical to the baseline.
+fn check_resume_determinism(
+    seed: u64,
+    faults: &FaultSpec,
+    interrupt_secs: f64,
+    torn_tail_chars: usize,
+) {
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let recovery = Some(RecoveryPolicy::with_detection());
+    let baseline = run_application(
+        &pool(),
+        &app,
+        &pinned_strategy(),
+        &opts(seed, faults.clone(), recovery.clone()),
+    );
+
+    let journal = Rc::new(RefCell::new(RunJournal::new()));
+    let mut interrupted_opts = opts(seed, faults.clone(), recovery);
+    interrupted_opts.journal = Some(journal.clone());
+    interrupted_opts.interrupt_at = Some(SimDuration::from_secs(interrupt_secs));
+    let interrupted = run_application(&pool(), &app, &pinned_strategy(), &interrupted_opts);
+
+    match interrupted {
+        Err(RunError::Interrupted { .. }) => {
+            // Crash-consistency: tear the journal's tail as a mid-append
+            // crash would, keep the valid prefix, resume from it.
+            let mut text = journal.borrow().to_jsonl();
+            let cut = text.len().saturating_sub(torn_tail_chars);
+            text.truncate(cut);
+            let recovered = RunJournal::from_jsonl(&text);
+            let resumed = resume_application(
+                &pool(),
+                &app,
+                &pinned_strategy(),
+                &interrupted_opts,
+                &recovered,
+            );
+            match (&baseline, &resumed) {
+                (Ok(b), Ok(r)) => {
+                    assert_eq!(
+                        b.breakdown, r.breakdown,
+                        "resumed TTC decomposition must be bit-identical"
+                    );
+                    assert_eq!(b.units_done, r.units_done);
+                    assert_eq!(b.replans, r.replans);
+                    assert_eq!(b.false_suspicions, r.false_suspicions);
+                }
+                (Err(b), Err(r)) => {
+                    assert_eq!(b.to_string(), r.to_string(), "errors must replay too");
+                }
+                _ => panic!(
+                    "baseline and resume disagree on the outcome: \
+                     baseline {baseline:?} vs resumed {resumed:?}"
+                ),
+            }
+        }
+        // The run finished (or failed for real) before the interrupt
+        // fired; it must then agree with the baseline outright.
+        Ok(r) => {
+            let b = baseline.expect("interrupted arm succeeded, baseline must too");
+            assert_eq!(b.breakdown, r.breakdown);
+        }
+        Err(e) => {
+            let b = baseline.expect_err("interrupted arm failed, baseline must too");
+            assert_eq!(b.to_string(), e.to_string());
+        }
+    }
+}
+
+#[test]
+fn resume_after_midflight_kill_replays_to_identical_ttc() {
+    let faults = FaultSpec {
+        outages: vec![OutageSpec {
+            resource: "one".into(),
+            at_secs: 300.0,
+            duration_secs: 600.0,
+            kind: OutageKind::Permanent,
+        }],
+        ..FaultSpec::none()
+    };
+    check_resume_determinism(23, &faults, 700.0, 10);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The crash-consistency invariant under *random* fault schedules:
+    /// whatever the faults did, killing the run mid-flight and resuming
+    /// from the torn journal reproduces the uninterrupted outcome
+    /// exactly — same TTC decomposition bit-for-bit, or the same error.
+    #[test]
+    fn resume_is_deterministic_across_random_fault_schedules(
+        seed in 0u64..1000,
+        unit_failure in 0.0f64..0.3,
+        outages_per_resource in 0.0f64..1.5,
+        permanent_loss in any::<bool>(),
+        interrupt_secs in 150.0f64..2500.0,
+        torn_tail_chars in 0usize..60,
+    ) {
+        let faults = FaultSpec {
+            unit_failure_chance: unit_failure,
+            random_outages_per_resource: outages_per_resource,
+            random_outage_duration_secs: (120.0, 600.0),
+            horizon_secs: 2400.0,
+            outages: if permanent_loss {
+                vec![OutageSpec {
+                    resource: "one".into(),
+                    at_secs: 300.0,
+                    duration_secs: 600.0,
+                    kind: OutageKind::Permanent,
+                }]
+            } else {
+                Vec::new()
+            },
+            ..FaultSpec::none()
+        };
+        check_resume_determinism(seed, &faults, interrupt_secs, torn_tail_chars);
+    }
+}
