@@ -210,8 +210,9 @@ fn schedule_patience_check(
             .take(config.reinforce_by as usize)
             .collect();
         if !fresh.is_empty() {
-            sim.tracer()
-                .record(sim.now(), "adaptive", "Reinforce", fresh.join(","));
+            sim.tracer().record_with(sim.now(), || {
+                ("adaptive".into(), "Reinforce".into(), fresh.join(","))
+            });
             let descs: Vec<PilotDescription> = fresh
                 .iter()
                 .map(|r| PilotDescription::new(r.clone(), cores, walltime))

@@ -548,16 +548,17 @@ pub fn run_application(
                     &mut rng.borrow_mut(),
                 ) {
                     Ok(plan2) => {
-                        sim.tracer().record(
-                            sim.now(),
-                            "middleware",
-                            "Replan",
-                            format!(
-                                "lost {resource}: {} pilots over [{}]",
-                                plan2.pilots.len(),
-                                survivors.join(", ")
-                            ),
-                        );
+                        sim.tracer().record_with(sim.now(), || {
+                            (
+                                "middleware".into(),
+                                "Replan".into(),
+                                format!(
+                                    "lost {resource}: {} pilots over [{}]",
+                                    plan2.pilots.len(),
+                                    survivors.join(", ")
+                                ),
+                            )
+                        });
                         if let Some(jr) = &journal2 {
                             jr.borrow_mut().record(
                                 sim.now(),

@@ -1,0 +1,392 @@
+//! The benchmark trajectory: fixed-seed performance campaigns over the
+//! simulation substrate, emitted as a machine-readable report.
+//!
+//! The paper's evaluation rests on "more than 20,000 runs" of the virtual
+//! laboratory; what bounds our repetition counts is the substrate's raw
+//! speed. This binary pins that speed down so every PR has a baseline to
+//! beat:
+//!
+//! ```text
+//! bench-report [--quick] [--seed S] [--out BENCH_sim.json]
+//!              [--check BENCH_baseline.json] [--tolerance 0.25]
+//! ```
+//!
+//! Campaigns (all deterministic given `--seed`):
+//!
+//! * `engine_heartbeat` — event-engine throughput under the detector's
+//!   heartbeat pattern: every beat schedules the next and replaces a
+//!   far-future timeout (schedule + cancel), so the lazily-cancelled set
+//!   exercises the queue's compaction path.
+//! * `cluster_saturation` — an oversubscribed 2048-core machine with a
+//!   deep initial backlog, run for half a simulated day while a
+//!   bundle-style client issues periodic `estimate_wait` probes; this is
+//!   the hot path every experiment spends its time in.
+//! * `e2e_exp1` / `e2e_exp4` — whole middleware runs of the paper's
+//!   experiments 1 (early binding) and 4 (late binding, 3 pilots) at
+//!   paper sizes, sequentially, measured as runs/sec.
+//!
+//! `--check` compares throughput metrics against a committed baseline and
+//! exits non-zero on a regression beyond the tolerance (CI perf-smoke).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use aimes::middleware::{run_application, RunOptions};
+use aimes::paper;
+use aimes_cluster::{Cluster, ClusterConfig};
+use aimes_sim::{EventId, SimDuration, SimRng, SimTime, Simulation, Tracer};
+use aimes_workload::WorkloadConfig;
+use serde::{Deserialize, Serialize};
+
+/// One campaign's measurements. Throughput fields are zero when the
+/// campaign has no meaningful value for them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CampaignStat {
+    label: String,
+    events: u64,
+    runs: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    runs_per_sec: f64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchReport {
+    schema: String,
+    seed: u64,
+    quick: bool,
+    campaigns: Vec<CampaignStat>,
+    peak_rss_bytes: u64,
+}
+
+struct Options {
+    quick: bool,
+    seed: u64,
+    out: String,
+    check: Option<String>,
+    tolerance: f64,
+    only: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        quick: false,
+        seed: 20160523,
+        out: "BENCH_sim.json".to_string(),
+        check: None,
+        tolerance: 0.25,
+        only: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                i += 1;
+                opts.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                opts.out = args[i].clone();
+            }
+            "--check" => {
+                i += 1;
+                opts.check = Some(args[i].clone());
+            }
+            "--tolerance" => {
+                i += 1;
+                opts.tolerance = args[i].parse().expect("--tolerance takes a float");
+            }
+            "--only" => {
+                i += 1;
+                opts.only = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: bench-report [--quick] [--seed S] [--out FILE] \
+                     [--check BASELINE] [--tolerance F]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Peak resident set size of this process, in bytes (Linux `VmHWM`;
+/// 0 where unavailable).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// One heartbeat: fire, replace the chain's far-future timeout (the
+/// schedule + cancel churn PR 2's detector produces all campaign), and
+/// schedule the next beat.
+fn beat(
+    sim: &mut Simulation,
+    timeouts: &Rc<RefCell<Vec<Option<EventId>>>>,
+    chain: usize,
+    remaining: u32,
+    period: f64,
+) {
+    if let Some(ev) = timeouts.borrow_mut()[chain].take() {
+        sim.cancel(ev);
+    }
+    if remaining == 0 {
+        return;
+    }
+    let ev = sim.schedule_in(SimDuration::from_secs(period * 1000.0), |_| {});
+    timeouts.borrow_mut()[chain] = Some(ev);
+    let handles = Rc::clone(timeouts);
+    sim.schedule_in(SimDuration::from_secs(period), move |sim| {
+        beat(sim, &handles, chain, remaining - 1, period)
+    });
+}
+
+fn engine_heartbeat(seed: u64, quick: bool) -> CampaignStat {
+    let chains = 64usize;
+    let beats: u32 = if quick { 2_000 } else { 20_000 };
+    let mut sim = Simulation::with_tracer(seed, Tracer::disabled());
+    let timeouts: Rc<RefCell<Vec<Option<EventId>>>> = Rc::new(RefCell::new(vec![None; chains]));
+    for chain in 0..chains {
+        // Slightly detuned periods so beats interleave instead of piling
+        // on one instant.
+        let period = 1.0 + chain as f64 * 0.013;
+        beat(&mut sim, &timeouts, chain, beats, period);
+    }
+    let start = Instant::now();
+    sim.run_to_completion();
+    let wall = start.elapsed().as_secs_f64();
+    let events = sim.events_processed();
+    CampaignStat {
+        label: "engine_heartbeat".to_string(),
+        events,
+        runs: 0,
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall,
+        runs_per_sec: 0.0,
+    }
+}
+
+/// The shapes a bundle-guided planner probes: pilot candidates of varied
+/// width and walltime, several evaluated at each decision instant.
+const PROBE_SHAPES: [(u32, f64); 8] = [
+    (16, 0.5),
+    (32, 1.0),
+    (64, 1.0),
+    (96, 2.0),
+    (128, 2.0),
+    (256, 4.0),
+    (512, 8.0),
+    (1024, 12.0),
+];
+
+fn schedule_probe_tick(
+    sim: &mut Simulation,
+    cluster: &Cluster,
+    horizon: SimTime,
+    probes: &Rc<RefCell<u64>>,
+) {
+    let at = sim.now() + SimDuration::from_secs(600.0);
+    if at > horizon {
+        return;
+    }
+    let c = cluster.clone();
+    let p = Rc::clone(probes);
+    sim.schedule_at(at, move |sim| {
+        let now = sim.now();
+        for &(cores, wall_hours) in &PROBE_SHAPES {
+            // Planners evaluate each candidate more than once per decision
+            // (ranking, then sizing); repeat queries hit the memo.
+            for _ in 0..2 {
+                let _ = c.estimate_wait(now, cores, SimDuration::from_hours(wall_hours));
+                *p.borrow_mut() += 1;
+            }
+        }
+        schedule_probe_tick(sim, &c, horizon, &p);
+    });
+}
+
+fn cluster_saturation(seed: u64, quick: bool) -> CampaignStat {
+    let horizon_hours = if quick { 3.0 } else { 12.0 };
+    let horizon = SimTime::from_secs(horizon_hours * 3600.0);
+    let mut cfg = ClusterConfig::test("saturation", 2048);
+    // A throughput-oriented machine: many small, short jobs at full
+    // subscription, so the queue stays persistently deep and every
+    // dispatch pass and wait estimate replays a long queue — the hot
+    // path this campaign exists to measure.
+    let mut workload = WorkloadConfig::production_like();
+    workload.target_utilization = 1.05;
+    workload.size_dist = aimes_workload::Distribution::PowerOfTwo {
+        lo_exp: 0,
+        hi_exp: 5,
+    };
+    workload.runtime_dist = aimes_workload::Distribution::LogNormal {
+        // median e^6.4 ≈ 600 s ≈ 10 min; sigma 1.0 keeps a visible tail.
+        mu: 6.4,
+        sigma: 1.0,
+    };
+    cfg.workload = Some(workload);
+    cfg.initial_backlog_factor = 2.0;
+    cfg.background_horizon = SimDuration::from_secs(horizon_hours * 3600.0);
+    let mut sim = Simulation::with_tracer(seed, Tracer::disabled());
+    let cluster = Cluster::new(cfg);
+    cluster.install(&mut sim);
+    let probes = Rc::new(RefCell::new(0u64));
+    schedule_probe_tick(&mut sim, &cluster, horizon, &probes);
+    let start = Instant::now();
+    sim.run_until(horizon);
+    let wall = start.elapsed().as_secs_f64();
+    let events = sim.events_processed();
+    CampaignStat {
+        label: "cluster_saturation".to_string(),
+        events,
+        runs: 0,
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall,
+        runs_per_sec: 0.0,
+    }
+}
+
+/// Sequential end-to-end runs of one paper experiment (no rayon: wall
+/// time per run must not depend on host core count).
+fn e2e_experiment(id: u32, seed: u64, quick: bool) -> CampaignStat {
+    let sizes: Vec<u32> = if quick {
+        vec![64]
+    } else {
+        vec![256, 1024, 2048]
+    };
+    let reps = if quick { 2 } else { 4 };
+    let cfg = paper::experiment(id, reps, seed, Some(sizes));
+    let start = Instant::now();
+    let mut runs = 0u64;
+    for n in &cfg.task_counts {
+        for rep in 0..cfg.repetitions {
+            // Same per-run seed derivation as the experiment runner.
+            let seed = SimRng::new(cfg.base_seed)
+                .fork_indexed(&format!("{}-{}", cfg.id, n), rep as u64)
+                .root_seed();
+            let mut rng = SimRng::new(seed).fork("submit-offset");
+            let (lo, hi) = cfg.submit_window_hours;
+            let submit_at = SimTime::from_secs(rng.uniform(lo * 3600.0, hi * 3600.0));
+            let r = run_application(
+                &cfg.resources,
+                &cfg.skeleton(*n),
+                &cfg.strategy,
+                &RunOptions {
+                    seed,
+                    submit_at,
+                    ..Default::default()
+                },
+            );
+            r.unwrap_or_else(|e| panic!("{} run failed: {e}", cfg.id));
+            runs += 1;
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    CampaignStat {
+        label: format!("e2e_exp{id}"),
+        events: 0,
+        runs,
+        wall_secs: wall,
+        events_per_sec: 0.0,
+        runs_per_sec: runs as f64 / wall,
+    }
+}
+
+/// Compare `new` against `baseline`: a throughput metric more than
+/// `tolerance` below the baseline is a regression.
+fn check_regressions(new: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for n in &new.campaigns {
+        let Some(b) = baseline.campaigns.iter().find(|c| c.label == n.label) else {
+            continue;
+        };
+        let mut check = |metric: &str, new_v: f64, base_v: f64| {
+            if base_v > 0.0 && new_v < base_v * (1.0 - tolerance) {
+                failures.push(format!(
+                    "{}: {metric} regressed {:.3} -> {:.3} ({:+.1}%)",
+                    n.label,
+                    base_v,
+                    new_v,
+                    (new_v / base_v - 1.0) * 100.0
+                ));
+            }
+        };
+        check("events_per_sec", n.events_per_sec, b.events_per_sec);
+        check("runs_per_sec", n.runs_per_sec, b.runs_per_sec);
+    }
+    failures
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut campaigns = Vec::new();
+    for (label, run) in [
+        (
+            "engine_heartbeat",
+            Box::new(engine_heartbeat) as Box<dyn Fn(u64, bool) -> CampaignStat>,
+        ),
+        ("cluster_saturation", Box::new(cluster_saturation)),
+        ("e2e_exp1", Box::new(|s, q| e2e_experiment(1, s, q))),
+        ("e2e_exp4", Box::new(|s, q| e2e_experiment(4, s, q))),
+    ] {
+        if opts.only.as_deref().is_some_and(|o| o != label) {
+            continue;
+        }
+        eprintln!("running campaign {label} ...");
+        let stat = run(opts.seed, opts.quick);
+        eprintln!(
+            "  {label}: {:.2}s wall, {:.0} events/s, {:.3} runs/s",
+            stat.wall_secs, stat.events_per_sec, stat.runs_per_sec
+        );
+        campaigns.push(stat);
+    }
+    let report = BenchReport {
+        schema: "aimes-bench-v1".to_string(),
+        seed: opts.seed,
+        quick: opts.quick,
+        campaigns,
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&opts.out, format!("{json}\n")).expect("report written");
+    eprintln!("wrote {}", opts.out);
+
+    if let Some(path) = &opts.check {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: BenchReport =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad baseline {path}: {e}"));
+        let failures = check_regressions(&report, &baseline, opts.tolerance);
+        if failures.is_empty() {
+            eprintln!(
+                "no regression beyond {:.0}% against {path}",
+                opts.tolerance * 100.0
+            );
+        } else {
+            for f in &failures {
+                eprintln!("PERF REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -17,7 +17,8 @@ use aimes_sim::{EventId, SimDuration, SimTime, Simulation};
 use aimes_workload::{BackgroundWorkload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
 /// One named submission queue of a resource. Real batch systems expose
@@ -137,13 +138,31 @@ pub struct WaitRecord {
     pub cores: u32,
 }
 
+/// Ordering key of a queued job: descending queue priority, then FIFO
+/// (ascending [`JobId`]) within a priority class — exactly the scheduler's
+/// queue order, so BTreeMap iteration *is* the queue and removal by key is
+/// O(log Q) instead of the former O(Q) `Vec::retain`.
+type QueueKey = (Reverse<i32>, u64);
+
+/// Memoized `estimate_wait` state: the queue-replay availability profile
+/// (independent of the probe's shape) plus per-shape results. Valid for
+/// one (scheduler epoch, probe instant) pair.
+struct EstCache {
+    epoch: u64,
+    now: SimTime,
+    profile: AvailabilityProfile,
+    /// Probe results keyed by (cores, walltime bit pattern).
+    results: HashMap<(u32, u64), Option<SimDuration>>,
+}
+
 struct ClusterState {
     config: ClusterConfig,
     jobs: HashMap<JobId, Job>,
-    /// Queued job ids in priority (submission) order.
-    queue: Vec<JobId>,
-    /// Running job ids with their scheduled completion events.
-    running: HashMap<JobId, EventId>,
+    /// Queued jobs in scheduler order (see [`QueueKey`]).
+    queue: BTreeMap<QueueKey, JobId>,
+    /// Running job ids (iteration is JobId-sorted, hence deterministic)
+    /// with their scheduled completion events.
+    running: BTreeMap<JobId, EventId>,
     free_cores: u32,
     next_job_id: u64,
     background: Option<BackgroundWorkload>,
@@ -160,6 +179,22 @@ struct ClusterState {
     // window). Queued jobs wait; submissions are still accepted, as a real
     // batch system keeps accepting into a paused queue.
     down_until: Option<SimTime>,
+    // --- incremental scheduler state ---
+    /// Monotonic epoch, bumped by every change that can alter a scheduling
+    /// or estimation decision (submit/start/complete/cancel/kill/outage).
+    sched_epoch: u64,
+    /// Epoch whose state the last dispatch pass fully examined; a dispatch
+    /// arriving with `sched_epoch == last_dispatch_epoch` is a no-op and
+    /// returns in O(1).
+    last_dispatch_epoch: u64,
+    /// Cached policy inputs, rebuilt lazily when `views_dirty`.
+    queued_views_cache: Vec<QueuedJobView>,
+    running_views_cache: Vec<RunningJobView>,
+    views_dirty: bool,
+    /// Incrementally maintained sum of cores requested by queued jobs.
+    queued_cores: u64,
+    /// `estimate_wait` memo; invalidated by epoch/instant mismatch.
+    est_cache: Option<EstCache>,
 }
 
 type Watcher = Box<dyn FnMut(&mut Simulation, JobState)>;
@@ -181,31 +216,54 @@ impl ClusterState {
         (self.busy_core_secs + busy_now) / (f64::from(self.config.total_cores) * elapsed)
     }
 
-    fn queued_views(&self) -> Vec<QueuedJobView> {
-        self.queue
-            .iter()
-            .map(|id| {
-                let j = &self.jobs[id];
-                QueuedJobView {
-                    id: *id,
-                    cores: j.request.cores,
-                    walltime: j.request.walltime_request,
-                }
-            })
-            .collect()
+    /// Queue-order key for a job already stored in `jobs`.
+    fn queue_key(&self, id: JobId) -> QueueKey {
+        (Reverse(self.jobs[&id].queue_priority), id.0)
     }
 
-    fn running_views(&self) -> Vec<RunningJobView> {
-        self.running
-            .keys()
-            .map(|id| {
-                let j = &self.jobs[id];
-                RunningJobView {
-                    cores: j.request.cores,
-                    deadline: j.walltime_deadline().expect("running job has start"),
-                }
-            })
-            .collect()
+    /// Mark a scheduling-relevant state change: bumps the epoch (so
+    /// no-change dispatches and stale `estimate_wait` memos are detected)
+    /// and invalidates the cached policy views.
+    fn touch(&mut self) {
+        self.sched_epoch += 1;
+        self.views_dirty = true;
+    }
+
+    /// Rebuild the cached policy inputs if anything changed since the last
+    /// dispatch. Iteration order is the BTreeMaps' — deterministic: no
+    /// `HashMap` iteration order may reach scheduler inputs, traces, or
+    /// journals (it varies with the per-process hash seed, which would
+    /// make same-seed runs diverge).
+    fn ensure_views(&mut self) {
+        if !self.views_dirty {
+            return;
+        }
+        let ClusterState {
+            queue,
+            running,
+            jobs,
+            queued_views_cache,
+            running_views_cache,
+            ..
+        } = self;
+        queued_views_cache.clear();
+        queued_views_cache.extend(queue.values().map(|id| {
+            let j = &jobs[id];
+            QueuedJobView {
+                id: *id,
+                cores: j.request.cores,
+                walltime: j.request.walltime_request,
+            }
+        }));
+        running_views_cache.clear();
+        running_views_cache.extend(running.keys().map(|id| {
+            let j = &jobs[id];
+            RunningJobView {
+                cores: j.request.cores,
+                deadline: j.walltime_deadline().expect("running job has start"),
+            }
+        }));
+        self.views_dirty = false;
     }
 
     fn transition(&mut self, id: JobId, next: JobState) {
@@ -280,8 +338,8 @@ impl Cluster {
             free_cores: config.total_cores,
             config,
             jobs: HashMap::new(),
-            queue: Vec::new(),
-            running: HashMap::new(),
+            queue: BTreeMap::new(),
+            running: BTreeMap::new(),
             next_job_id: 0,
             background: None,
             busy_core_secs: 0.0,
@@ -290,6 +348,13 @@ impl Cluster {
             watchers: HashMap::new(),
             dispatch_scheduled: false,
             down_until: None,
+            sched_epoch: 1,
+            last_dispatch_epoch: 0,
+            queued_views_cache: Vec::new(),
+            running_views_cache: Vec::new(),
+            views_dirty: true,
+            queued_cores: 0,
+            est_cache: None,
         };
         Cluster {
             inner: Rc::new(RefCell::new(state)),
@@ -457,22 +522,22 @@ impl Cluster {
             st.next_job_id += 1;
             let job = Job::new(id, request, sim.now(), priority);
             if job.request.owner == JobOwner::Pilot {
-                sim.tracer().record(
-                    sim.now(),
-                    format!("cluster.{}.{}", st.config.name, id),
-                    "Queued",
-                    job.request.tag.clone(),
-                );
+                sim.tracer().record_with(sim.now(), || {
+                    (
+                        format!("cluster.{}.{}", st.config.name, id),
+                        "Queued".to_string(),
+                        job.request.tag.clone(),
+                    )
+                });
             }
-            st.jobs.insert(id, job);
             // Priority insertion: ahead of strictly lower-priority jobs,
-            // behind equal priority (stable FIFO within a queue class).
-            let pos = st
-                .queue
-                .iter()
-                .position(|q| st.jobs[q].queue_priority < priority)
-                .unwrap_or(st.queue.len());
-            st.queue.insert(pos, id);
+            // behind equal priority (stable FIFO within a queue class) —
+            // the QueueKey ordering, since ids grow monotonically.
+            st.queued_cores += u64::from(job.request.cores);
+            st.jobs.insert(id, job);
+            let key = (Reverse(priority), id.0);
+            st.queue.insert(key, id);
+            st.touch();
             id
         };
         self.schedule_dispatch(sim);
@@ -490,7 +555,10 @@ impl Cluster {
                 JobState::Queued => {
                     st.transition(id, JobState::Cancelled);
                     st.jobs.get_mut(&id).expect("exists").end_time = Some(sim.now());
-                    st.queue.retain(|q| *q != id);
+                    let key = st.queue_key(id);
+                    st.queue.remove(&key).expect("queued job is in the queue");
+                    st.queued_cores -= u64::from(st.jobs[&id].request.cores);
+                    st.touch();
                     true
                 }
                 JobState::Running => {
@@ -500,6 +568,7 @@ impl Cluster {
                     let ev = st.running.remove(&id).expect("running job has event");
                     let cores = st.jobs[&id].request.cores;
                     st.free_cores += cores;
+                    st.touch();
                     // Cancel the pending completion event.
                     drop(st);
                     sim.cancel(ev);
@@ -511,12 +580,13 @@ impl Cluster {
         if cancelled {
             let st = self.inner.borrow();
             if st.jobs[&id].request.owner == JobOwner::Pilot {
-                sim.tracer().record(
-                    sim.now(),
-                    format!("cluster.{}.{}", st.config.name, id),
-                    "Cancelled",
-                    st.jobs[&id].request.tag.clone(),
-                );
+                sim.tracer().record_with(sim.now(), || {
+                    (
+                        format!("cluster.{}.{}", st.config.name, id),
+                        "Cancelled".to_string(),
+                        st.jobs[&id].request.tag.clone(),
+                    )
+                });
             }
             drop(st);
             self.notify(sim, id, JobState::Cancelled);
@@ -544,25 +614,57 @@ impl Cluster {
     }
 
     /// Run the scheduling policy and start whatever it selects.
+    ///
+    /// Incremental: a pass that cannot change anything — nothing happened
+    /// since the last completed pass, the queue is empty, or no cores are
+    /// free (no policy can start a job on zero free cores) — returns
+    /// without rebuilding views or consulting the policy.
     fn dispatch(&self, sim: &mut Simulation) {
         let now = sim.now();
         let starts: Vec<(JobId, SimTime, JobOwner, String, SimDuration)> = {
             let mut st = self.inner.borrow_mut();
             if st.down_until.is_some_and(|until| now < until) {
                 // Outage/drain window: the scheduler is paused. A dispatch
-                // pass is already scheduled for the window's end.
+                // pass is already scheduled for the window's end. Do NOT
+                // record the epoch: the window's end is not epoch-tracked,
+                // and the end-of-window pass must re-examine this state.
                 return;
             }
-            let queued = st.queued_views();
-            let running = st.running_views();
-            let ids = select_starts(st.config.policy, now, st.free_cores, &running, &queued);
+            if st.sched_epoch == st.last_dispatch_epoch {
+                return;
+            }
+            if st.queue.is_empty() || st.free_cores == 0 {
+                st.last_dispatch_epoch = st.sched_epoch;
+                return;
+            }
+            st.ensure_views();
+            let st = &mut *st;
+            let ids = select_starts(
+                st.config.policy,
+                now,
+                st.free_cores,
+                &st.running_views_cache,
+                &st.queued_views_cache,
+            );
+            if ids.is_empty() {
+                // The pass examined exactly this epoch's state and found
+                // nothing to start; until something changes, every further
+                // dispatch is a no-op.
+                st.last_dispatch_epoch = st.sched_epoch;
+                return;
+            }
+            // Starts mutate the state (epoch moves on), so the next
+            // dispatch re-runs the policy — which is correct: it will be
+            // triggered only by a further state change.
             let mut started = Vec::with_capacity(ids.len());
             for id in ids {
                 st.accrue_busy(now);
                 let cores = st.jobs[&id].request.cores;
                 assert!(st.free_cores >= cores, "policy oversubscribed cores");
                 st.free_cores -= cores;
-                st.queue.retain(|q| *q != id);
+                let key = st.queue_key(id);
+                st.queue.remove(&key).expect("started job was queued");
+                st.queued_cores -= u64::from(cores);
                 st.transition(id, JobState::Running);
                 let job = st.jobs.get_mut(&id).expect("exists");
                 job.start_time = Some(now);
@@ -578,19 +680,25 @@ impl Cluster {
                 if st.wait_history.len() > 1024 {
                     st.wait_history.pop_front();
                 }
+                st.touch();
                 started.push((id, end, owner, tag, wait));
             }
             started
         };
         for (id, end, owner, tag, _wait) in starts {
             if owner == JobOwner::Pilot {
-                let name = self.inner.borrow().config.name.clone();
-                sim.tracer()
-                    .record(now, format!("cluster.{name}.{id}"), "Running", tag);
+                sim.tracer().record_with(now, || {
+                    let name = self.inner.borrow().config.name.clone();
+                    (format!("cluster.{name}.{id}"), "Running".to_string(), tag)
+                });
             }
             let this = self.clone();
             let ev = sim.schedule_at(end, move |sim| this.on_completion(sim, id));
-            self.inner.borrow_mut().running.insert(id, ev);
+            {
+                let mut st = self.inner.borrow_mut();
+                st.running.insert(id, ev);
+                st.touch();
+            }
             self.notify(sim, id, JobState::Running);
         }
     }
@@ -612,17 +720,19 @@ impl Cluster {
             let job = st.jobs.get_mut(&id).expect("exists");
             job.end_time = Some(now);
             st.free_cores += cores;
+            st.touch();
             let job = &st.jobs[&id];
             (job.request.owner, job.request.tag.clone(), final_state)
         };
         if owner == JobOwner::Pilot {
-            let name = self.inner.borrow().config.name.clone();
-            sim.tracer().record(
-                now,
-                format!("cluster.{name}.{id}"),
-                format!("{final_state:?}"),
-                tag,
-            );
+            sim.tracer().record_with(now, || {
+                let name = self.inner.borrow().config.name.clone();
+                (
+                    format!("cluster.{name}.{id}"),
+                    format!("{final_state:?}"),
+                    tag,
+                )
+            });
         }
         self.notify(sim, id, final_state);
         self.schedule_dispatch(sim);
@@ -648,6 +758,9 @@ impl Cluster {
             }
             let end = (now + duration).max(st.down_until.unwrap_or(SimTime::ZERO));
             st.down_until = Some(end);
+            // The window changes estimate_wait's origin and pauses
+            // dispatch: a scheduling-relevant change like any other.
+            st.touch();
             (st.config.name.clone(), end)
         };
         sim.tracer().record(
@@ -678,7 +791,11 @@ impl Cluster {
         let (name, queued) = {
             let mut st = self.inner.borrow_mut();
             st.down_until = Some(SimTime::from_secs(f64::INFINITY));
-            let queued: Vec<JobId> = std::mem::take(&mut st.queue);
+            // Queue order (priority, then FIFO): the order submitters are
+            // notified in, as before.
+            let queued: Vec<JobId> = std::mem::take(&mut st.queue).into_values().collect();
+            st.queued_cores = 0;
+            st.touch();
             for &id in &queued {
                 st.transition(id, JobState::Killed);
                 st.jobs.get_mut(&id).expect("queued job exists").end_time = Some(now);
@@ -704,6 +821,8 @@ impl Cluster {
         let now = sim.now();
         let victims: Vec<(JobId, EventId, JobOwner, String)> = {
             let mut st = self.inner.borrow_mut();
+            // BTreeMap keys are JobId-sorted: deterministic kill (and
+            // watcher-notification) order.
             let ids: Vec<JobId> = st.running.keys().copied().collect();
             let mut out = Vec::with_capacity(ids.len());
             for id in ids {
@@ -712,6 +831,7 @@ impl Cluster {
                 let ev = st.running.remove(&id).expect("running job has event");
                 let cores = st.jobs[&id].request.cores;
                 st.free_cores += cores;
+                st.touch();
                 let job = st.jobs.get_mut(&id).expect("exists");
                 job.end_time = Some(now);
                 out.push((id, ev, job.request.owner, job.request.tag.clone()));
@@ -721,8 +841,9 @@ impl Cluster {
         for (id, ev, owner, tag) in victims {
             sim.cancel(ev);
             if owner == JobOwner::Pilot {
-                sim.tracer()
-                    .record(now, format!("cluster.{name}.{id}"), "Killed", tag);
+                sim.tracer().record_with(now, || {
+                    (format!("cluster.{name}.{id}"), "Killed".to_string(), tag)
+                });
             }
             self.notify(sim, id, JobState::Killed);
         }
@@ -794,11 +915,7 @@ impl Cluster {
             free_cores: st.free_cores,
             running_jobs: st.running.len(),
             queued_jobs: st.queue.len(),
-            queued_cores: st
-                .queue
-                .iter()
-                .map(|id| u64::from(st.jobs[id].request.cores))
-                .sum(),
+            queued_cores: st.queued_cores,
             utilization: st.utilization(now),
         }
     }
@@ -809,7 +926,7 @@ impl Cluster {
         QueueSnapshot {
             queued: st
                 .queue
-                .iter()
+                .values()
                 .map(|id| {
                     let j = &st.jobs[id];
                     (j.request.cores, j.request.walltime_request.as_secs())
@@ -836,36 +953,71 @@ impl Cluster {
     /// would start, by replaying the queue against the conservative
     /// availability profile (all queued jobs get reservations ahead of it).
     /// Returns the estimated wait, or `None` if the job can never fit.
+    ///
+    /// Memoized: the O(Q·P²) queue replay is independent of the probe's
+    /// shape, so its resulting profile is cached per (scheduler epoch,
+    /// probe instant) and each distinct (cores, walltime) probe against it
+    /// is answered once. Repeated bundle queries between state changes —
+    /// the common pattern — cost one `earliest_fit` or a map lookup.
     pub fn estimate_wait(
         &self,
         now: SimTime,
         cores: u32,
         walltime: SimDuration,
     ) -> Option<SimDuration> {
-        let st = self.inner.borrow();
+        let mut st = self.inner.borrow_mut();
         if cores > st.config.total_cores {
             return None;
         }
-        let releases: Vec<(SimTime, u32)> = st
-            .running
-            .keys()
-            .map(|id| {
+        // A decommissioned resource never starts anything again; during an
+        // outage/drain window nothing starts before the window ends, so the
+        // availability profile begins at max(now, down_until).
+        let origin = match st.down_until {
+            Some(t) if t.as_secs().is_infinite() => return None,
+            Some(t) => now.max(t),
+            None => now,
+        };
+        let stale = !st
+            .est_cache
+            .as_ref()
+            .is_some_and(|c| c.epoch == st.sched_epoch && c.now == now);
+        if stale {
+            let st = &mut *st;
+            let releases: Vec<(SimTime, u32)> = st
+                .running
+                .keys()
+                .map(|id| {
+                    let j = &st.jobs[id];
+                    (j.walltime_deadline().expect("running"), j.request.cores)
+                })
+                .collect();
+            let mut profile = AvailabilityProfile::new(origin, st.free_cores, &releases);
+            for id in st.queue.values() {
                 let j = &st.jobs[id];
-                (j.walltime_deadline().expect("running"), j.request.cores)
-            })
-            .collect();
-        let mut profile = AvailabilityProfile::new(now, st.free_cores, &releases);
-        for id in &st.queue {
-            let j = &st.jobs[id];
-            if let Some(start) =
-                profile.earliest_fit(j.request.cores, j.request.walltime_request, now)
-            {
-                profile.reserve(start, j.request.walltime_request, j.request.cores);
+                if let Some(start) =
+                    profile.earliest_fit(j.request.cores, j.request.walltime_request, origin)
+                {
+                    profile.reserve(start, j.request.walltime_request, j.request.cores);
+                }
             }
+            st.est_cache = Some(EstCache {
+                epoch: st.sched_epoch,
+                now,
+                profile,
+                results: HashMap::new(),
+            });
         }
-        profile
-            .earliest_fit(cores, walltime, now)
-            .map(|start| start.saturating_since(now))
+        let cache = st.est_cache.as_mut().expect("cache just ensured");
+        let key = (cores, walltime.as_secs().to_bits());
+        if let Some(hit) = cache.results.get(&key) {
+            return *hit;
+        }
+        let result = cache
+            .profile
+            .earliest_fit(cores, walltime, origin)
+            .map(|start| start.saturating_since(now));
+        cache.results.insert(key, result);
+        result
     }
 
     /// Staging time for `megabytes` moved into (`ingress` = true) or out of
@@ -1054,6 +1206,51 @@ mod tests {
         // after that reservation it fits.
         assert!(c.estimate_wait(sim.now(), 1, d(10.0)).unwrap() <= d(150.0));
         assert!(c.estimate_wait(sim.now(), 11, d(10.0)).is_none());
+    }
+
+    #[test]
+    fn estimate_wait_respects_outage_window() {
+        let (mut sim, c) = idle_cluster(64);
+        c.inject_outage(&mut sim, d(600.0), false);
+        // Nothing starts inside the window: the earliest start is its end.
+        let w = c.estimate_wait(sim.now(), 8, d(100.0)).unwrap();
+        assert_eq!(w, d(600.0));
+    }
+
+    #[test]
+    fn estimate_wait_treats_in_window_releases_as_free() {
+        // A running job whose walltime expires inside the outage window
+        // frees its cores before the window ends, so at the window's end
+        // the whole machine is available — the estimate must not place
+        // the release after the window (nor before it).
+        let (mut sim, c) = idle_cluster(10);
+        c.submit(&mut sim, JobRequest::background(10, d(100.0), d(100.0)));
+        sim.run_until(SimTime::from_secs(1.0)); // let the job start at t=0
+        c.inject_outage(&mut sim, d(600.0), false); // drain until t=601
+        let w = c.estimate_wait(sim.now(), 10, d(50.0)).unwrap();
+        assert_eq!(w, d(600.0), "start at window end, release already free");
+    }
+
+    #[test]
+    fn estimate_wait_none_when_decommissioned() {
+        let (mut sim, c) = idle_cluster(8);
+        c.decommission(&mut sim);
+        assert_eq!(c.estimate_wait(sim.now(), 1, d(10.0)), None);
+    }
+
+    #[test]
+    fn estimate_wait_memo_is_transparent() {
+        // The same probe twice answers identically (the second from the
+        // per-epoch cache), and a scheduling-relevant change invalidates
+        // the cache rather than serving a stale profile.
+        let (mut sim, c) = idle_cluster(10);
+        let zero = c.estimate_wait(sim.now(), 10, d(50.0)).unwrap();
+        assert_eq!(zero, SimDuration::ZERO);
+        assert_eq!(c.estimate_wait(sim.now(), 10, d(50.0)).unwrap(), zero);
+        c.submit(&mut sim, JobRequest::background(10, d(100.0), d(100.0)));
+        // The queued job's reservation occupies now..100 s; the probe must
+        // see it immediately, not the cached idle profile.
+        assert_eq!(c.estimate_wait(sim.now(), 10, d(50.0)).unwrap(), d(100.0));
     }
 
     #[test]

@@ -98,9 +98,24 @@ fn easy_backfill(
         // If even the empty machine can't fit the head (earliest_fit None),
         // it sits in the queue forever; the cluster rejects such jobs at
         // submit time, so this branch is defensive.
+        //
+        // `free_now` bounds min_free_over(now, ·) from above: the head's
+        // shadow is strictly after `now` (otherwise phase 1 would have
+        // started it), so only the backfill reservations — all at `now` —
+        // lower free cores at `now`. Candidates wider than free_now can
+        // therefore skip the O(segments) window scan, and once free_now
+        // reaches zero no further candidate can start.
+        let mut free_now = profile.free_at(now);
         for job in tail {
+            if free_now == 0 {
+                break;
+            }
+            if job.cores > free_now {
+                continue;
+            }
             if profile.min_free_over(now, job.walltime) >= job.cores {
                 profile.reserve(now, job.walltime, job.cores);
+                free_now -= job.cores;
                 starts.push(job.id);
             }
         }

@@ -72,39 +72,60 @@ impl AvailabilityProfile {
     /// Minimum free cores over `[start, start + duration)`.
     pub fn min_free_over(&self, start: SimTime, duration: SimDuration) -> u32 {
         let end = start + duration;
-        let mut min = self.free_at(start);
-        for (i, &t) in self.times.iter().enumerate() {
-            if t > start && t < end {
-                min = min.min(self.free[i]);
-            }
-        }
-        min
+        // Segments overlapping the window: the one containing `start`
+        // through the last one beginning strictly before `end`.
+        let lo = match self.times.binary_search(&start) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let hi = match self.times.binary_search(&end) {
+            Ok(i) | Err(i) => i,
+        };
+        let hi = hi.max(lo + 1);
+        *self.free[lo..hi].iter().min().expect("non-empty window")
     }
 
     /// Earliest time ≥ `after` at which `cores` are continuously free for
     /// `duration`. Returns `None` only if `cores` exceeds the eventual
     /// all-free capacity (checked against the final segment).
+    ///
+    /// Single forward sweep, O(segments): the candidate start only ever
+    /// advances, because a segment with too few cores invalidates every
+    /// candidate whose window would touch it — the next viable start is
+    /// that segment's end. Availability only changes at breakpoints, so
+    /// the returned start is `after` itself or a breakpoint, exactly as
+    /// if every candidate had been probed.
     pub fn earliest_fit(
         &self,
         cores: u32,
         duration: SimDuration,
         after: SimTime,
     ) -> Option<SimTime> {
-        let last_free = *self.free.last().expect("non-empty");
+        let n = self.times.len();
         let after = after.max(self.origin());
-        // Candidate start points: `after` itself and every breakpoint ≥ it.
-        let mut candidates: Vec<SimTime> = vec![after];
-        candidates.extend(self.times.iter().copied().filter(|&t| t > after));
-        for t in candidates {
-            if self.min_free_over(t, duration) >= cores {
-                return Some(t);
+        let mut i = match self.times.binary_search(&after) {
+            Ok(i) => i,
+            Err(i) => i - 1, // `after` ≥ origin = times[0], so i ≥ 1
+        };
+        let mut candidate = after;
+        loop {
+            if self.free[i] < cores {
+                i += 1;
+                if i == n {
+                    // The forever-segment is short; no start can ever fit.
+                    return None;
+                }
+                candidate = self.times[i];
+                continue;
             }
-        }
-        if last_free >= cores {
-            // Fits after the last breakpoint.
-            Some((*self.times.last().expect("non-empty")).max(after))
-        } else {
-            None
+            // Segment `i` sustains the job. The window is complete once it
+            // reaches `candidate + duration`; the final segment extends
+            // forever.
+            if i + 1 == n || self.times[i + 1] >= candidate + duration {
+                return Some(candidate);
+            }
+            i += 1;
         }
     }
 

@@ -377,12 +377,13 @@ impl PilotManager {
                         .went_silent
                         .entry(id)
                         .or_insert(sim.now());
-                    sim.tracer().record(
-                        sim.now(),
-                        id.to_string(),
-                        "WentSilent",
-                        self.pilot(id).description.resource.clone(),
-                    );
+                    sim.tracer().record_with(sim.now(), || {
+                        (
+                            id.to_string(),
+                            "WentSilent".into(),
+                            self.pilot(id).description.resource.clone(),
+                        )
+                    });
                     self.fire_pilot_silent(sim, id);
                 } else if !current.is_terminal() {
                     self.transition(sim, id, PilotState::Failed);
@@ -406,12 +407,13 @@ impl PilotManager {
                 }
             }
         }
-        sim.tracer().record(
-            sim.now(),
-            id.to_string(),
-            format!("{next:?}"),
-            self.pilot(id).description.resource.clone(),
-        );
+        sim.tracer().record_with(sim.now(), || {
+            (
+                id.to_string(),
+                format!("{next:?}"),
+                self.pilot(id).description.resource.clone(),
+            )
+        });
         // Deliver to subscribers without holding the borrow.
         let mut subs = std::mem::take(&mut self.inner.borrow_mut().subscribers);
         for cb in subs.iter_mut() {
@@ -537,8 +539,9 @@ impl PilotManager {
         match disposition {
             Disposition::Stale(detail) => {
                 self.inner.borrow_mut().stale_signals += 1;
-                sim.tracer()
-                    .record(now, id.to_string(), "StaleHeartbeat", detail.clone());
+                sim.tracer().record_with(now, || {
+                    (id.to_string(), "StaleHeartbeat".into(), detail.clone())
+                });
                 self.fire_detector_event(
                     sim,
                     &DetectorEvent::StaleSignal {
@@ -557,12 +560,13 @@ impl PilotManager {
                     det.heartbeat(id, now).and_then(|o| o.recovered)
                 };
                 if let Some(suspected_for) = recovered {
-                    sim.tracer().record(
-                        now,
-                        id.to_string(),
-                        "SuspicionCleared",
-                        format!("heartbeat resumed after {:.0}s", suspected_for.as_secs()),
-                    );
+                    sim.tracer().record_with(now, || {
+                        (
+                            id.to_string(),
+                            "SuspicionCleared".into(),
+                            format!("heartbeat resumed after {:.0}s", suspected_for.as_secs()),
+                        )
+                    });
                     self.fire_detector_event(
                         sim,
                         &DetectorEvent::Recovered {
@@ -620,12 +624,13 @@ impl PilotManager {
                         det.policy().confirm_with_status_query,
                     )
                 };
-                sim.tracer().record(
-                    now,
-                    id.to_string(),
-                    "Suspected",
-                    format!("{resource}: silent {:.0}s", silent_for.as_secs()),
-                );
+                sim.tracer().record_with(now, || {
+                    (
+                        id.to_string(),
+                        "Suspected".into(),
+                        format!("{resource}: silent {:.0}s", silent_for.as_secs()),
+                    )
+                });
                 self.fire_detector_event(
                     sim,
                     &DetectorEvent::Suspected {
@@ -670,12 +675,13 @@ impl PilotManager {
             }
             match answer {
                 Ok(state) if state.is_terminal() => {
-                    sim.tracer().record(
-                        sim.now(),
-                        id.to_string(),
-                        "StatusConfirmedDead",
-                        format!("front end reports {state:?}"),
-                    );
+                    sim.tracer().record_with(sim.now(), || {
+                        (
+                            id.to_string(),
+                            "StatusConfirmedDead".into(),
+                            format!("front end reports {state:?}"),
+                        )
+                    });
                     let declared = {
                         let mut st = this.inner.borrow_mut();
                         let det = st.detector.as_mut().expect("still suspect");
@@ -717,12 +723,13 @@ impl PilotManager {
                 .unwrap_or(SimDuration::ZERO);
             (resource, silent_for)
         };
-        sim.tracer().record(
-            now,
-            id.to_string(),
-            "DeclaredDead",
-            format!("{resource}: silent {:.0}s", silent_for.as_secs()),
-        );
+        sim.tracer().record_with(now, || {
+            (
+                id.to_string(),
+                "DeclaredDead".into(),
+                format!("{resource}: silent {:.0}s", silent_for.as_secs()),
+            )
+        });
         self.fire_detector_event(
             sim,
             &DetectorEvent::DeclaredDead {
@@ -799,12 +806,13 @@ impl PilotManager {
         };
         let resource = self.pilot(id).description.resource.clone();
         if newly_blacklisted {
-            sim.tracer().record(
-                now,
-                "pilot-manager",
-                "Blacklist",
-                format!("{resource}: repeated launch failures"),
-            );
+            sim.tracer().record_with(now, || {
+                (
+                    "pilot-manager".into(),
+                    "Blacklist".into(),
+                    format!("{resource}: repeated launch failures"),
+                )
+            });
             // Without reroute the verdict below is Skip: a higher layer
             // must take over, so tell it the resource is gone. Delivered
             // without holding the borrow; callbacks may submit pilots.
@@ -822,20 +830,22 @@ impl PilotManager {
         match verdict {
             Verdict::Skip => {}
             Verdict::Exhausted => {
-                sim.tracer().record(
-                    now,
-                    "pilot-manager",
-                    "RecoveryExhausted",
-                    format!("{id} on {resource}: replacement cap reached"),
-                );
+                sim.tracer().record_with(now, || {
+                    (
+                        "pilot-manager".into(),
+                        "RecoveryExhausted".into(),
+                        format!("{id} on {resource}: replacement cap reached"),
+                    )
+                });
             }
             Verdict::Replace { delay, generation } => {
-                sim.tracer().record(
-                    now,
-                    "pilot-manager",
-                    "ScheduleReplacement",
-                    format!("{id} gen {generation} in {:.0}s", delay.as_secs()),
-                );
+                sim.tracer().record_with(now, || {
+                    (
+                        "pilot-manager".into(),
+                        "ScheduleReplacement".into(),
+                        format!("{id} gen {generation} in {:.0}s", delay.as_secs()),
+                    )
+                });
                 let this = self.clone();
                 sim.schedule_in(delay, move |sim| {
                     this.submit_replacement(sim, id, generation, now);
@@ -874,12 +884,13 @@ impl PilotManager {
                     }
                     None => {
                         drop(st);
-                        sim.tracer().record(
-                            sim.now(),
-                            "pilot-manager",
-                            "RecoveryExhausted",
-                            format!("{failed}: every resource blacklisted"),
-                        );
+                        sim.tracer().record_with(sim.now(), || {
+                            (
+                                "pilot-manager".into(),
+                                "RecoveryExhausted".into(),
+                                format!("{failed}: every resource blacklisted"),
+                            )
+                        });
                         return;
                     }
                 }

@@ -290,8 +290,9 @@ impl UnitManager {
             st.units[uid.0 as usize].transition(UnitState::PendingExecution, sim.now());
             st.ready.push_back(uid);
         }
-        sim.tracer()
-            .record(sim.now(), uid.to_string(), "PendingExecution", "");
+        sim.tracer().record_with(sim.now(), || {
+            (uid.to_string(), "PendingExecution".into(), String::new())
+        });
         self.fire_transition(sim, uid, UnitState::PendingExecution);
     }
 
@@ -373,12 +374,13 @@ impl UnitManager {
             sim.cancel(ev);
         }
         if stranded > 0 {
-            sim.tracer().record(
-                sim.now(),
-                "unit_manager",
-                "UnitsStranded",
-                format!("{stranded} on silent {pilot}"),
-            );
+            sim.tracer().record_with(sim.now(), || {
+                (
+                    "unit_manager".into(),
+                    "UnitsStranded".into(),
+                    format!("{stranded} on silent {pilot}"),
+                )
+            });
         }
     }
 
@@ -397,8 +399,13 @@ impl UnitManager {
                 st.units[uid.0 as usize].transition(UnitState::Failed, sim.now());
                 st.stats.failed += 1;
             }
-            sim.tracer()
-                .record(sim.now(), uid.to_string(), "Failed", "restarts exhausted");
+            sim.tracer().record_with(sim.now(), || {
+                (
+                    uid.to_string(),
+                    "Failed".into(),
+                    "restarts exhausted".into(),
+                )
+            });
             self.fire_transition(sim, uid, UnitState::Failed);
             self.check_completion(sim);
             return;
@@ -443,15 +450,17 @@ impl UnitManager {
             }
         }
         if backoff.is_zero() {
-            sim.tracer()
-                .record(sim.now(), uid.to_string(), "Restart", "");
+            sim.tracer().record_with(sim.now(), || {
+                (uid.to_string(), "Restart".into(), String::new())
+            });
         } else {
-            sim.tracer().record(
-                sim.now(),
-                uid.to_string(),
-                "Restart",
-                format!("backoff {:.0}s", backoff.as_secs()),
-            );
+            sim.tracer().record_with(sim.now(), || {
+                (
+                    uid.to_string(),
+                    "Restart".into(),
+                    format!("backoff {:.0}s", backoff.as_secs()),
+                )
+            });
             let this = self.clone();
             sim.schedule_in(backoff, move |sim| {
                 {
@@ -494,13 +503,19 @@ impl UnitManager {
             if st.ready.is_empty() || st.agents.is_empty() {
                 return;
             }
-            let pilots: Vec<PilotView> = st
-                .agents
-                .values()
-                .map(|a| PilotView {
-                    id: a.pilot,
-                    free_cores: a.free_cores,
-                    remaining_walltime: a.remaining_walltime(now),
+            // Sort by pilot id: the scheduler's tie-breaking must not
+            // depend on HashMap iteration order.
+            let mut agent_ids: Vec<PilotId> = st.agents.keys().copied().collect();
+            agent_ids.sort_unstable();
+            let pilots: Vec<PilotView> = agent_ids
+                .iter()
+                .map(|pid| {
+                    let a = &st.agents[pid];
+                    PilotView {
+                        id: a.pilot,
+                        free_cores: a.free_cores,
+                        remaining_walltime: a.remaining_walltime(now),
+                    }
                 })
                 .collect();
             let units: Vec<UnitView> = st
@@ -552,12 +567,13 @@ impl UnitManager {
             unit.transition(UnitState::StagingInput, now);
             (staging_end, agent.resource.clone())
         };
-        sim.tracer().record(
-            now,
-            uid.to_string(),
-            "StagingInput",
-            format!("{pid} {resource}"),
-        );
+        sim.tracer().record_with(now, || {
+            (
+                uid.to_string(),
+                "StagingInput".into(),
+                format!("{pid} {resource}"),
+            )
+        });
         self.fire_transition(sim, uid, UnitState::StagingInput);
         let this = self.clone();
         let ev = sim.schedule_at(staging_end, move |sim| this.on_input_staged(sim, uid));
@@ -591,7 +607,8 @@ impl UnitManager {
             };
             (duration, fault)
         };
-        sim.tracer().record(now, uid.to_string(), "Executing", "");
+        sim.tracer()
+            .record_with(now, || (uid.to_string(), "Executing".into(), String::new()));
         self.fire_transition(sim, uid, UnitState::Executing);
         let this = self.clone();
         let ev = match fault {
@@ -620,20 +637,22 @@ impl UnitManager {
                 }
             }
         }
-        sim.tracer().record(
-            now,
-            uid.to_string(),
-            "Fault",
-            if permanent { "permanent" } else { "transient" },
-        );
+        sim.tracer().record_with(now, || {
+            (
+                uid.to_string(),
+                "Fault".into(),
+                if permanent { "permanent" } else { "transient" }.into(),
+            )
+        });
         if permanent {
             {
                 let mut st = self.inner.borrow_mut();
                 st.units[uid.0 as usize].transition(UnitState::Failed, now);
                 st.stats.failed += 1;
             }
-            sim.tracer()
-                .record(now, uid.to_string(), "Failed", "permanent fault");
+            sim.tracer().record_with(now, || {
+                (uid.to_string(), "Failed".into(), "permanent fault".into())
+            });
             self.fire_transition(sim, uid, UnitState::Failed);
             self.check_completion(sim);
         } else {
@@ -662,8 +681,9 @@ impl UnitManager {
             let (_t0, out_end) = st.origin_channel.enqueue(now, out_mb);
             out_end
         };
-        sim.tracer()
-            .record(now, uid.to_string(), "StagingOutput", "");
+        sim.tracer().record_with(now, || {
+            (uid.to_string(), "StagingOutput".into(), String::new())
+        });
         self.fire_transition(sim, uid, UnitState::StagingOutput);
         let this = self.clone();
         sim.schedule_at(out_end, move |sim| this.on_done(sim, uid));
@@ -687,7 +707,8 @@ impl UnitManager {
             }
             ready
         };
-        sim.tracer().record(now, uid.to_string(), "Done", "");
+        sim.tracer()
+            .record_with(now, || (uid.to_string(), "Done".into(), String::new()));
         self.fire_transition(sim, uid, UnitState::Done);
         for dep in newly_ready {
             self.make_ready(sim, dep);
@@ -705,12 +726,13 @@ impl UnitManager {
             st.completion_fired = true;
             std::mem::take(&mut st.on_all_done)
         };
-        sim.tracer().record(
-            sim.now(),
-            "unit_manager",
-            "AllDone",
-            format!("{:?}", self.stats()),
-        );
+        sim.tracer().record_with(sim.now(), || {
+            (
+                "unit_manager".into(),
+                "AllDone".into(),
+                format!("{:?}", self.stats()),
+            )
+        });
         for cb in callbacks {
             cb(sim);
         }

@@ -136,12 +136,13 @@ impl JobService {
                 st.resource.clone(),
             )
         };
-        sim.tracer().record(
-            sim.now(),
-            format!("saga.breaker.{resource}"),
-            "BreakerTrip",
-            "circuit open",
-        );
+        sim.tracer().record_with(sim.now(), || {
+            (
+                format!("saga.breaker.{resource}"),
+                "BreakerTrip".into(),
+                "circuit open".into(),
+            )
+        });
         for cb in subs.iter_mut() {
             cb(sim, &resource);
         }
@@ -206,8 +207,9 @@ impl JobService {
             );
             (id, latency)
         };
-        sim.tracer()
-            .record(sim.now(), format!("saga.{}", id.0), "New", self.resource());
+        sim.tracer().record_with(sim.now(), || {
+            (format!("saga.{}", id.0), "New".into(), self.resource())
+        });
         let this = self.clone();
         sim.schedule_in(latency, move |sim| this.attempt_submission(sim, id));
         id
@@ -299,12 +301,13 @@ impl JobService {
             Outcome::Fail => self.transition(sim, id, SagaJobState::Failed),
             Outcome::Retry(delay) => {
                 let this = self.clone();
-                sim.tracer().record(
-                    sim.now(),
-                    format!("saga.{}", id.0),
-                    "RetrySubmission",
-                    self.resource(),
-                );
+                sim.tracer().record_with(sim.now(), || {
+                    (
+                        format!("saga.{}", id.0),
+                        "RetrySubmission".into(),
+                        self.resource(),
+                    )
+                });
                 sim.schedule_in(delay, move |sim| this.attempt_submission(sim, id));
             }
             Outcome::Submitted(backend) => {
@@ -345,12 +348,9 @@ impl JobService {
             rec.state = next;
             (rec.callback.take(), resource)
         };
-        sim.tracer().record(
-            sim.now(),
-            format!("saga.{}", id.0),
-            format!("{next:?}"),
-            resource,
-        );
+        sim.tracer().record_with(sim.now(), || {
+            (format!("saga.{}", id.0), format!("{next:?}"), resource)
+        });
         if let Some(mut cb) = cb {
             cb(sim, next);
             if !next.is_terminal() {
@@ -447,21 +447,23 @@ impl JobService {
             Outcome::Settled => {}
             Outcome::Retry(delay) => {
                 let this = self.clone();
-                sim.tracer().record(
-                    sim.now(),
-                    format!("saga.{}", id.0),
-                    "RetryCancel",
-                    self.resource(),
-                );
+                sim.tracer().record_with(sim.now(), || {
+                    (
+                        format!("saga.{}", id.0),
+                        "RetryCancel".into(),
+                        self.resource(),
+                    )
+                });
                 sim.schedule_in(delay, move |sim| this.attempt_cancel(sim, id, attempt + 1));
             }
             Outcome::GiveUp => {
-                sim.tracer().record(
-                    sim.now(),
-                    format!("saga.{}", id.0),
-                    "CancelAbandoned",
-                    self.resource(),
-                );
+                sim.tracer().record_with(sim.now(), || {
+                    (
+                        format!("saga.{}", id.0),
+                        "CancelAbandoned".into(),
+                        self.resource(),
+                    )
+                });
             }
             Outcome::Cancel(backend, cluster) => {
                 cluster.cancel(sim, backend);
@@ -562,12 +564,13 @@ impl JobService {
             ),
             Outcome::Retry(delay) => {
                 let this = self.clone();
-                sim.tracer().record(
-                    sim.now(),
-                    format!("saga.{}", id.0),
-                    "RetryStatusQuery",
-                    self.resource(),
-                );
+                sim.tracer().record_with(sim.now(), || {
+                    (
+                        format!("saga.{}", id.0),
+                        "RetryStatusQuery".into(),
+                        self.resource(),
+                    )
+                });
                 sim.schedule_in(delay, move |sim| {
                     this.attempt_status(sim, id, attempt + 1, cb)
                 });

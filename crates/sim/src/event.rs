@@ -54,6 +54,10 @@ impl<T> PartialOrd for ScheduledEvent<T> {
 #[derive(Debug)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<ScheduledEvent<T>>,
+    /// Ids of pending (scheduled, not yet fired or cancelled) events.
+    /// Bounded by the heap size; the O(1) source of truth for liveness,
+    /// which tombstone compaction would otherwise erase.
+    live: HashSet<EventId>,
     cancelled: HashSet<EventId>,
     next_seq: u64,
     next_id: u64,
@@ -70,6 +74,7 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            live: HashSet::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
             next_id: 0,
@@ -83,6 +88,7 @@ impl<T> EventQueue<T> {
         self.next_id += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.live.insert(id);
         self.heap.push(ScheduledEvent {
             time,
             id,
@@ -95,10 +101,26 @@ impl<T> EventQueue<T> {
     /// Cancel a previously scheduled event. Returns true if the event was
     /// still pending (i.e., not yet fired or cancelled).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
+        if !self.live.remove(&id) {
             return false;
         }
-        self.cancelled.insert(id)
+        self.cancelled.insert(id);
+        // Eager compaction: once cancelled entries outnumber live ones,
+        // rebuild the heap without them. O(n) here, amortized O(1) per
+        // cancellation, and it bounds the garbage pop/peek must skip —
+        // the invariant cancelled.len() * 2 <= heap.len() holds on exit.
+        if self.cancelled.len() * 2 > self.heap.len() {
+            self.compact();
+        }
+        true
+    }
+
+    /// Rebuild the heap without cancelled events, draining the cancelled
+    /// set of every id that was actually still in the heap.
+    fn compact(&mut self) {
+        let mut events = std::mem::take(&mut self.heap).into_vec();
+        events.retain(|ev| !self.cancelled.remove(&ev.id));
+        self.heap = BinaryHeap::from(events);
     }
 
     /// Remove and return the earliest live event, skipping cancelled ones.
@@ -107,6 +129,7 @@ impl<T> EventQueue<T> {
             if self.cancelled.remove(&ev.id) {
                 continue;
             }
+            self.live.remove(&ev.id);
             return Some(ev);
         }
         None
@@ -133,12 +156,18 @@ impl<T> EventQueue<T> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live.len()
     }
 
     /// True if no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live.is_empty()
+    }
+
+    /// Number of not-yet-pruned cancelled events still in the heap
+    /// (diagnostics; the compaction bound keeps this ≤ `raw_len` / 2).
+    pub fn cancelled_len(&self) -> usize {
+        self.cancelled.len()
     }
 }
 
@@ -207,6 +236,43 @@ mod tests {
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(t(2.0)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a), "a fired event is no longer pending");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compaction_bounds_cancelled_backlog() {
+        // Cancel-heavy workload: the lazily-cancelled backlog must never
+        // exceed half the heap, at every step — the eager-compaction bound.
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..1_000).map(|i| q.schedule(t(i as f64), i)).collect();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(q.cancel(*id));
+            }
+            assert!(
+                q.cancelled_len() * 2 <= q.raw_len(),
+                "tombstones {} exceed half of heap {} after {} cancels",
+                q.cancelled_len(),
+                q.raw_len(),
+                i / 2 + 1
+            );
+        }
+        assert_eq!(q.len(), 500);
+        // Survivors still pop complete and in order.
+        let mut got = Vec::new();
+        while let Some(ev) = q.pop() {
+            got.push(ev.payload);
+        }
+        let expect: Vec<usize> = (0..1_000).filter(|i| i % 2 == 1).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]

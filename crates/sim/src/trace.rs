@@ -89,11 +89,13 @@ impl Tracer {
     }
 
     /// Whether events are being recorded.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
     /// Record a state transition.
+    #[inline]
     pub fn record(
         &self,
         time: SimTime,
@@ -109,6 +111,27 @@ impl Tracer {
             component: component.into(),
             event: event.into(),
             detail: detail.into(),
+        });
+    }
+
+    /// Record a state transition, building the strings only when tracing
+    /// is enabled. Hot paths pay for `record`'s arguments (typically
+    /// `format!` calls) even when the tracer drops everything; this
+    /// variant makes a disabled tracer genuinely zero-cost — one branch.
+    #[inline]
+    pub fn record_with<F>(&self, time: SimTime, f: F)
+    where
+        F: FnOnce() -> (String, String, String),
+    {
+        if !self.enabled {
+            return;
+        }
+        let (component, event, detail) = f();
+        self.sink.lock().events.push(TraceEvent {
+            time,
+            component,
+            event,
+            detail,
         });
     }
 

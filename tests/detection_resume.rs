@@ -207,8 +207,18 @@ fn resume_after_midflight_kill_replays_to_identical_ttc() {
     check_resume_determinism(23, &faults, 700.0, 10);
 }
 
+/// Proptest depth: shallow by default so `cargo test` stays fast for the
+/// edit-compile loop; the chaos-smoke CI job sets `AIMES_FULL_PROPTEST=1`
+/// to run the full-depth sweep.
+fn proptest_cases() -> u32 {
+    match std::env::var("AIMES_FULL_PROPTEST") {
+        Ok(v) if !v.is_empty() && v != "0" => 256,
+        _ => 8,
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases()))]
 
     /// The crash-consistency invariant under *random* fault schedules:
     /// whatever the faults did, killing the run mid-flight and resuming
