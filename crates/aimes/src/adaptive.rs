@@ -17,7 +17,7 @@ use aimes_bundle::{Bundle, QueryMode};
 use aimes_cluster::{Cluster, ClusterConfig};
 use aimes_pilot::{PilotDescription, PilotManager, PilotState, UnitManager};
 use aimes_saga::Session;
-use aimes_sim::{SimDuration, SimTime, Simulation, Tracer};
+use aimes_sim::{ManagerPhase, SimDuration, SimTime, Simulation, TraceKind, Tracer};
 use aimes_skeleton::{SkeletonApp, SkeletonConfig};
 use aimes_strategy::{ExecutionManager, ExecutionStrategy};
 use serde::{Deserialize, Serialize};
@@ -211,8 +211,14 @@ fn schedule_patience_check(
             .collect();
         if !fresh.is_empty() {
             sim.tracer().record_with(sim.now(), || {
-                ("adaptive".into(), "Reinforce".into(), fresh.join(","))
+                (
+                    "adaptive".into(),
+                    TraceKind::Manager(ManagerPhase::Reinforce),
+                    fresh.join(","),
+                )
             });
+            sim.metrics()
+                .inc(|| "middleware.adaptive.reinforcements".into());
             let descs: Vec<PilotDescription> = fresh
                 .iter()
                 .map(|r| PilotDescription::new(r.clone(), cores, walltime))

@@ -14,10 +14,13 @@ use aimes_cluster::{Cluster, ClusterConfig};
 use aimes_fault::{FaultSpec, OutageKind, RecoveryPolicy};
 use aimes_pilot::{
     DetectionMode, DetectionPolicy, DetectorEvent, Pilot, PilotManager, PilotRecovery, UnitManager,
-    UnitManagerStats,
+    UnitManagerStats, UnitState,
 };
 use aimes_saga::{BreakerConfig, Session};
-use aimes_sim::{SimDuration, SimTime, Simulation, Tracer};
+use aimes_sim::{
+    ManagerPhase, MetricsSummary, SimDuration, SimTime, Simulation, Span, Telemetry, TraceKind,
+    Tracer,
+};
 use aimes_skeleton::{SkeletonApp, SkeletonConfig};
 use aimes_strategy::{ExecutionManager, ExecutionStrategy, ResourceSelection};
 use serde::{Deserialize, Serialize};
@@ -56,6 +59,16 @@ pub struct RunOptions {
     /// crash): the run returns [`RunError::Interrupted`] with whatever
     /// the journal has captured so far.
     pub interrupt_at: Option<SimDuration>,
+    /// Typed telemetry: when set, the run records counters, gauges, and
+    /// dwell histograms into this handle's registry, assembles pilot and
+    /// unit spans at the end, and embeds a [`MetricsSummary`] in the
+    /// result. `None` (the default) costs one branch per metric site and
+    /// changes nothing observable.
+    pub telemetry: Option<Telemetry>,
+    /// Use this tracer (a cheap shared handle) instead of building one
+    /// from [`RunOptions::trace`] — the way for a caller to keep hold of
+    /// the trace and stream it out after the run.
+    pub tracer: Option<Tracer>,
 }
 
 impl Default for RunOptions {
@@ -69,6 +82,8 @@ impl Default for RunOptions {
             recovery: None,
             journal: None,
             interrupt_at: None,
+            telemetry: None,
+            tracer: None,
         }
     }
 }
@@ -197,6 +212,11 @@ pub struct RunResult {
     /// resumed (false positives that cost nothing).
     #[serde(default)]
     pub false_suspicions: u64,
+    /// Condensed telemetry (counters, gauge summaries, histogram
+    /// quantiles). `Some` only when the run was given
+    /// [`RunOptions::telemetry`].
+    #[serde(default)]
+    pub metrics: Option<MetricsSummary>,
 }
 
 impl RunResult {
@@ -243,12 +263,15 @@ pub fn run_application(
     strategy: &ExecutionStrategy,
     options: &RunOptions,
 ) -> Result<RunResult, RunError> {
-    let tracer = if options.trace {
-        Tracer::new()
-    } else {
-        Tracer::disabled()
+    let tracer = match &options.tracer {
+        Some(t) => t.clone(),
+        None if options.trace => Tracer::new(),
+        None => Tracer::disabled(),
     };
     let mut sim = Simulation::with_tracer(options.seed, tracer);
+    if let Some(telemetry) = &options.telemetry {
+        sim.attach_metrics(telemetry.registry().clone());
+    }
 
     // Resource layer: clusters with background load, SAGA session, bundle.
     let mut session = Session::new();
@@ -531,9 +554,11 @@ pub fn run_application(
                     sim.tracer().record(
                         sim.now(),
                         "middleware",
-                        "ReplanFailed",
+                        TraceKind::Manager(ManagerPhase::ReplanFailed),
                         "no surviving resources",
                     );
+                    sim.metrics()
+                        .inc(|| "middleware.recovery.replan_failed".into());
                     return;
                 }
                 let mut replan_strategy = strategy.clone();
@@ -551,7 +576,7 @@ pub fn run_application(
                         sim.tracer().record_with(sim.now(), || {
                             (
                                 "middleware".into(),
-                                "Replan".into(),
+                                TraceKind::Manager(ManagerPhase::Replan),
                                 format!(
                                     "lost {resource}: {} pilots over [{}]",
                                     plan2.pilots.len(),
@@ -559,6 +584,7 @@ pub fn run_application(
                                 ),
                             )
                         });
+                        sim.metrics().inc(|| "middleware.recovery.replans".into());
                         if let Some(jr) = &journal2 {
                             jr.borrow_mut().record(
                                 sim.now(),
@@ -572,8 +598,14 @@ pub fn run_application(
                         replans2.set(replans2.get() + 1);
                     }
                     Err(e) => {
-                        sim.tracer()
-                            .record(sim.now(), "middleware", "ReplanFailed", e);
+                        sim.tracer().record(
+                            sim.now(),
+                            "middleware",
+                            TraceKind::Manager(ManagerPhase::ReplanFailed),
+                            e,
+                        );
+                        sim.metrics()
+                            .inc(|| "middleware.recovery.replan_failed".into());
                     }
                 }
             })
@@ -803,7 +835,66 @@ pub fn run_application(
     } else {
         detection_times.iter().map(|d| d.as_secs()).sum::<f64>() / detection_times.len() as f64
     };
+    // Span assembly: pilot lifetimes and unit Executing windows become
+    // complete events on per-resource tracks in the Chrome trace. Done
+    // here, after the run, because only now are all end times known.
+    let metrics = options.telemetry.as_ref().map(|telemetry| {
+        for p in &pilots {
+            let Some(&(_, start)) = p.timestamps.first() else {
+                continue;
+            };
+            let end = if p.state.is_terminal() {
+                p.timestamps.last().map(|&(_, t)| t).unwrap_or(finished_at)
+            } else {
+                finished_at
+            };
+            telemetry.add_span(Span {
+                track: p.description.resource.clone(),
+                lane: p.id.to_string(),
+                name: p.id.to_string(),
+                category: "pilot".into(),
+                start,
+                end,
+                args: vec![
+                    ("state".into(), format!("{:?}", p.state)),
+                    ("cores".into(), p.description.cores.to_string()),
+                ],
+            });
+        }
+        for u in &units {
+            let Some(pid) = u.pilot else { continue };
+            let Some(pilot) = pilots.iter().find(|p| p.id == pid) else {
+                continue;
+            };
+            // A restarted unit has several Executing entries; each window
+            // closes at the next transition (or run end if interrupted).
+            for (i, &(state, start)) in u.timestamps.iter().enumerate() {
+                if state != UnitState::Executing {
+                    continue;
+                }
+                let end = u
+                    .timestamps
+                    .get(i + 1)
+                    .map(|&(_, t)| t)
+                    .unwrap_or(finished_at);
+                telemetry.add_span(Span {
+                    track: pilot.description.resource.clone(),
+                    lane: u.id.to_string(),
+                    name: u.id.to_string(),
+                    category: "unit".into(),
+                    start,
+                    end,
+                    args: vec![
+                        ("pilot".into(), pid.to_string()),
+                        ("cores".into(), u.task.cores.to_string()),
+                    ],
+                });
+            }
+        }
+        telemetry.summary()
+    });
     Ok(RunResult {
+        metrics,
         charged_core_hours,
         used_core_hours,
         replacements: pm.replacements(),

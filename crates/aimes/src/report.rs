@@ -5,6 +5,7 @@
 //! against the paper point by point.
 
 use crate::experiment::ExperimentResult;
+use aimes_sim::MetricsSummary;
 use std::fmt::Write as _;
 
 /// Render a markdown table.
@@ -144,6 +145,78 @@ pub fn recovery_table(runs: &[crate::middleware::RunResult]) -> String {
         ],
         &rows,
     )
+}
+
+/// Telemetry summary block: three markdown tables (counters, gauge
+/// timelines, dwell histograms), metric names sorted — the rendering of
+/// [`RunResult::metrics`](crate::middleware::RunResult::metrics).
+pub fn metrics_table(summary: &MetricsSummary) -> String {
+    let mut out = String::new();
+    if summary.is_empty() {
+        return "(no metrics recorded)\n".into();
+    }
+    if !summary.counters.is_empty() {
+        let rows: Vec<Vec<String>> = summary
+            .counters
+            .iter()
+            .map(|(name, v)| vec![name.clone(), v.to_string()])
+            .collect();
+        let _ = writeln!(
+            out,
+            "#### Counters\n\n{}",
+            markdown_table(&["Metric", "Count"], &rows)
+        );
+    }
+    if !summary.gauges.is_empty() {
+        let rows: Vec<Vec<String>> = summary
+            .gauges
+            .iter()
+            .map(|(name, g)| {
+                vec![
+                    name.clone(),
+                    g.samples.to_string(),
+                    format!("{:.2}", g.min),
+                    format!("{:.2}", g.max),
+                    format!("{:.2}", g.time_weighted_mean),
+                    format!("{:.2}", g.last),
+                ]
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "#### Gauge timelines\n\n{}",
+            markdown_table(
+                &["Metric", "Samples", "Min", "Max", "TW-mean", "Last"],
+                &rows
+            )
+        );
+    }
+    if !summary.histograms.is_empty() {
+        let rows: Vec<Vec<String>> = summary
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                vec![
+                    name.clone(),
+                    h.count.to_string(),
+                    format!("{:.2}", h.mean),
+                    format!("{:.2}", h.p50),
+                    format!("{:.2}", h.p95),
+                    format!("{:.2}", h.p99),
+                    format!("{:.2}", h.max),
+                ]
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "#### Histograms (seconds)\n\n{}",
+            markdown_table(
+                &["Metric", "Count", "Mean", "p50", "p95", "p99", "Max"],
+                &rows
+            )
+        );
+    }
+    out
 }
 
 /// Markers assigned to series in order (the paper's four experiments fit).
@@ -430,12 +503,38 @@ mod tests {
             mean_recovery_secs: 90.0,
             mean_detection_secs: 45.0,
             false_suspicions: 1,
+            metrics: None,
         };
         let t = recovery_table(&[run]);
         assert!(t.contains("Replacements"));
         assert!(t.contains("Td(s)"));
         assert!(
             t.contains("| late-backfill-3p | 16 | 16/16 | 3 | 2 | 1 | 120 | 60 | 0.75 | 90 | 45 |")
+        );
+    }
+
+    #[test]
+    fn metrics_table_renders_all_sections() {
+        use aimes_sim::{MetricsRegistry, SimTime};
+        let reg = MetricsRegistry::new();
+        reg.inc(|| "saga.a.submissions".into());
+        reg.gauge(SimTime::from_secs(0.0), 2.0, || {
+            "cluster.a.busy_cores".into()
+        });
+        reg.gauge(SimTime::from_secs(5.0), 4.0, || {
+            "cluster.a.busy_cores".into()
+        });
+        reg.observe(1.5, || "unit.dwell.executing".into());
+        let t = metrics_table(&reg.summary());
+        assert!(t.contains("Counters"));
+        assert!(t.contains("saga.a.submissions"));
+        assert!(t.contains("Gauge timelines"));
+        assert!(t.contains("cluster.a.busy_cores"));
+        assert!(t.contains("Histograms"));
+        assert!(t.contains("unit.dwell.executing"));
+        assert_eq!(
+            metrics_table(&Default::default()),
+            "(no metrics recorded)\n"
         );
     }
 

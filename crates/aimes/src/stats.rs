@@ -58,6 +58,43 @@ impl Summary {
     }
 }
 
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation
+/// between closest ranks (type-7 estimator, the numpy/R default).
+/// Returns `None` for an empty sample.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median / tail quantiles in one pass: `(p50, p95, p99)`.
+pub fn p50_p95_p99(values: &[f64]) -> Option<(f64, f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+    let pick = |q: f64| {
+        let pos = q * (sorted.len() - 1) as f64;
+        let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    };
+    Some((pick(0.50), pick(0.95), pick(0.99)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,7 +131,63 @@ mod tests {
         assert_eq!(s.cv(), 0.0);
     }
 
+    #[test]
+    fn percentile_of_empty_is_none() {
+        assert!(percentile(&[], 0.5).is_none());
+        assert!(p50_p95_p99(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_known_uniform() {
+        // 0..=100: the q-quantile of this grid IS 100q exactly under the
+        // type-7 (linear interpolation) estimator.
+        let values: Vec<f64> = (0..=100).map(f64::from).collect();
+        assert_eq!(percentile(&values, 0.0), Some(0.0));
+        assert_eq!(percentile(&values, 0.50), Some(50.0));
+        assert_eq!(percentile(&values, 0.95), Some(95.0));
+        assert_eq!(percentile(&values, 0.99), Some(99.0));
+        assert_eq!(percentile(&values, 1.0), Some(100.0));
+        assert_eq!(p50_p95_p99(&values), Some((50.0, 95.0, 99.0)));
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        // Four points: p50 sits halfway between ranks 1 and 2.
+        let values = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&values, 0.5), Some(25.0));
+        // p95 of 4 points: pos = 2.85 → 30 + 0.85*10.
+        let p95 = percentile(&values, 0.95).unwrap();
+        assert!((p95 - 38.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_ignores_input_order() {
+        let values = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&values, 0.5), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let values = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&values, -0.5), Some(1.0));
+        assert_eq!(percentile(&values, 1.5), Some(3.0));
+    }
+
     proptest! {
+        #[test]
+        fn prop_percentile_within_bounds(
+            values in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q in 0.0f64..1.0,
+        ) {
+            let p = percentile(&values, q).unwrap();
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(min <= p && p <= max);
+            // Monotone in q.
+            let p2 = percentile(&values, (q + 0.1).min(1.0)).unwrap();
+            prop_assert!(p <= p2 + 1e-9);
+        }
+
         #[test]
         fn prop_bounds(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
             let s = Summary::of(&values).unwrap();

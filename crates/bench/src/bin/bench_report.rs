@@ -9,6 +9,7 @@
 //! ```text
 //! bench-report [--quick] [--seed S] [--out BENCH_sim.json]
 //!              [--check BENCH_baseline.json] [--tolerance 0.25]
+//!              [--emit-metrics DIR]
 //! ```
 //!
 //! Campaigns (all deterministic given `--seed`):
@@ -27,6 +28,9 @@
 //!
 //! `--check` compares throughput metrics against a committed baseline and
 //! exits non-zero on a regression beyond the tolerance (CI perf-smoke).
+//! `--emit-metrics DIR` additionally performs one telemetry-instrumented
+//! experiment-1 run and writes `trace.json` (Perfetto-loadable),
+//! `metrics.json`, and `metrics.csv` into DIR (CI telemetry-smoke).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -67,6 +71,7 @@ struct Options {
     check: Option<String>,
     tolerance: f64,
     only: Option<String>,
+    emit_metrics: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -78,6 +83,7 @@ fn parse_args() -> Options {
         check: None,
         tolerance: 0.25,
         only: None,
+        emit_metrics: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -103,11 +109,15 @@ fn parse_args() -> Options {
                 i += 1;
                 opts.only = Some(args[i].clone());
             }
+            "--emit-metrics" => {
+                i += 1;
+                opts.emit_metrics = Some(args[i].clone().into());
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench-report [--quick] [--seed S] [--out FILE] \
-                     [--check BASELINE] [--tolerance F]"
+                     [--check BASELINE] [--tolerance F] [--emit-metrics DIR]"
                 );
                 std::process::exit(2);
             }
@@ -312,6 +322,53 @@ fn e2e_experiment(id: u32, seed: u64, quick: bool) -> CampaignStat {
     }
 }
 
+/// One telemetry-instrumented experiment-1 run at the bench seed,
+/// dumping the Chrome trace, metrics summary JSON, and gauge-timeline
+/// CSV — the observability artifacts CI uploads next to the perf report.
+fn emit_metrics(dir: &std::path::Path, seed: u64, quick: bool) {
+    use aimes_sim::Telemetry;
+    use std::io::Write as _;
+    let cfg = paper::experiment(1, 1, seed, Some(vec![if quick { 64 } else { 256 }]));
+    let n = cfg.task_counts[0];
+    let run_seed = SimRng::new(cfg.base_seed)
+        .fork_indexed(&format!("{}-{}", cfg.id, n), 0)
+        .root_seed();
+    let mut rng = SimRng::new(run_seed).fork("submit-offset");
+    let (lo, hi) = cfg.submit_window_hours;
+    let submit_at = SimTime::from_secs(rng.uniform(lo * 3600.0, hi * 3600.0));
+    let telemetry = Telemetry::new();
+    let result = run_application(
+        &cfg.resources,
+        &cfg.skeleton(n),
+        &cfg.strategy,
+        &RunOptions {
+            seed: run_seed,
+            submit_at,
+            telemetry: Some(telemetry.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("instrumented run completes");
+    std::fs::create_dir_all(dir).expect("create --emit-metrics dir");
+    let file = |name: &str| {
+        std::io::BufWriter::new(std::fs::File::create(dir.join(name)).expect("create metrics file"))
+    };
+    let mut trace = file("trace.json");
+    telemetry
+        .write_chrome_trace(&mut trace)
+        .expect("write trace.json");
+    trace.flush().expect("flush trace.json");
+    let mut csv = file("metrics.csv");
+    telemetry
+        .write_metrics_csv(&mut csv)
+        .expect("write metrics.csv");
+    csv.flush().expect("flush metrics.csv");
+    let summary = result.metrics.expect("telemetry was attached");
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    std::fs::write(dir.join("metrics.json"), format!("{json}\n")).expect("write metrics.json");
+    eprintln!("wrote telemetry artifacts to {}", dir.display());
+}
+
 /// Compare `new` against `baseline`: a throughput metric more than
 /// `tolerance` below the baseline is a regression.
 fn check_regressions(new: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
@@ -370,6 +427,10 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&opts.out, format!("{json}\n")).expect("report written");
     eprintln!("wrote {}", opts.out);
+
+    if let Some(dir) = &opts.emit_metrics {
+        emit_metrics(dir, opts.seed, opts.quick);
+    }
 
     if let Some(path) = &opts.check {
         let text = std::fs::read_to_string(path)

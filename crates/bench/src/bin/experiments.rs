@@ -19,6 +19,7 @@
 //!   ablation-hetero     heterogeneous task-duration mixes
 //!   ablation-faults     failure-rate sweep: self-healing cost & payoff
 //!   ablation-detection  failure-detector tuning: Td vs oracle recovery
+//!   telemetry           one instrumented experiment-1 run; see --emit-metrics
 //!   all                 everything above
 //! ```
 //!
@@ -26,6 +27,13 @@
 //! shape check. `--fail-on-error` makes `ablation-faults` exit non-zero
 //! if any healing arm (oracle or detection) fails a run — the chaos-smoke
 //! CI gate.
+//!
+//! `telemetry` runs experiment 1 once at the given seed with the typed
+//! telemetry layer on and prints the metrics summary block.
+//! `--emit-metrics <dir>` additionally writes `trace.json` (Chrome
+//! trace-event format — load it at <https://ui.perfetto.dev>),
+//! `metrics.json` (the summary), and `metrics.csv` (gauge timelines);
+//! `--trace-out <path>` streams the full event trace as JSON.
 
 use aimes::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 use aimes::middleware::{run_application, RunOptions};
@@ -42,6 +50,8 @@ struct Options {
     seed: u64,
     quick: bool,
     fail_on_error: bool,
+    emit_metrics: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> (String, Options) {
@@ -52,6 +62,8 @@ fn parse_args() -> (String, Options) {
         seed: 20160523, // IPDPS 2016 opening day
         quick: false,
         fail_on_error: false,
+        emit_metrics: None,
+        trace_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -66,6 +78,14 @@ fn parse_args() -> (String, Options) {
             }
             "--quick" => opts.quick = true,
             "--fail-on-error" => opts.fail_on_error = true,
+            "--emit-metrics" => {
+                i += 1;
+                opts.emit_metrics = Some(args[i].clone().into());
+            }
+            "--trace-out" => {
+                i += 1;
+                opts.trace_out = Some(args[i].clone().into());
+            }
             c if !c.starts_with("--") => command = c.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -1192,6 +1212,84 @@ fn ablation_predictor(opts: &Options) {
     );
 }
 
+/// One instrumented experiment-1 run (early binding, 15-min tasks) at the
+/// given seed: prints the metrics summary block and, when requested,
+/// writes the Perfetto-loadable Chrome trace, the metrics JSON/CSV, and
+/// the full event trace.
+fn telemetry_run(opts: &Options) {
+    use aimes_sim::{Telemetry, Tracer};
+    use std::io::Write as _;
+
+    let n_tasks = if opts.quick { 16 } else { 64 };
+    let app = aimes_skeleton::paper_bag(n_tasks, TaskDurationSpec::Uniform15Min);
+    let telemetry = Telemetry::new();
+    let tracer = Tracer::new();
+    let mut rng = SimRng::new(opts.seed).fork("submit");
+    let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+    let result = run_application(
+        &paper::testbed(),
+        &app,
+        &paper::early_strategy(),
+        &RunOptions {
+            seed: opts.seed,
+            submit_at,
+            telemetry: Some(telemetry.clone()),
+            tracer: Some(tracer.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("telemetry run completes");
+
+    println!(
+        "## Telemetry — experiment 1 ({n_tasks} tasks, seed {})\n",
+        opts.seed
+    );
+    println!(
+        "TTC {:.0} s, units {}/{}, charged {:.1} core-h, used {:.1} core-h\n",
+        result.breakdown.ttc.as_secs(),
+        result.units_done,
+        result.n_tasks,
+        result.charged_core_hours,
+        result.used_core_hours
+    );
+    let summary = result.metrics.as_ref().expect("telemetry was attached");
+    println!("{}", report::metrics_table(summary));
+
+    if let Some(dir) = &opts.emit_metrics {
+        std::fs::create_dir_all(dir).expect("create --emit-metrics dir");
+        let file = |name: &str| {
+            std::io::BufWriter::new(
+                std::fs::File::create(dir.join(name)).expect("create metrics file"),
+            )
+        };
+        let mut trace = file("trace.json");
+        telemetry
+            .write_chrome_trace(&mut trace)
+            .expect("write trace.json");
+        let mut csv = file("metrics.csv");
+        telemetry
+            .write_metrics_csv(&mut csv)
+            .expect("write metrics.csv");
+        let mut json = file("metrics.json");
+        json.write_all(
+            serde_json::to_string_pretty(summary)
+                .expect("summary serializes")
+                .as_bytes(),
+        )
+        .expect("write metrics.json");
+        eprintln!(
+            "wrote trace.json, metrics.json, metrics.csv to {}",
+            dir.display()
+        );
+    }
+    if let Some(path) = &opts.trace_out {
+        let mut out =
+            std::io::BufWriter::new(std::fs::File::create(path).expect("create --trace-out file"));
+        tracer.write_json(&mut out).expect("stream event trace");
+        eprintln!("wrote event trace to {}", path.display());
+    }
+}
+
 fn main() {
     let (command, opts) = parse_args();
     match command.as_str() {
@@ -1212,6 +1310,7 @@ fn main() {
         "ablation-predictor" => ablation_predictor(&opts),
         "ablation-faults" => ablation_faults(&opts),
         "ablation-detection" => ablation_detection(&opts),
+        "telemetry" => telemetry_run(&opts),
         "all" => {
             table1();
             // Run experiments 1-4 once and render both figures from them.
@@ -1248,8 +1347,10 @@ fn main() {
                  ablation-sched | ablation-select | ablation-data | \
                  ablation-crossover | ablation-throughput | ablation-hetero | \n\
                  ablation-adaptive | ablation-walltime | ablation-queue | \n\
-                 ablation-predictor | ablation-faults | ablation-detection | all\n\
-                 flags: --reps N --seed S --quick --fail-on-error"
+                 ablation-predictor | ablation-faults | ablation-detection | \n\
+                 telemetry | all\n\
+                 flags: --reps N --seed S --quick --fail-on-error \
+                 --emit-metrics DIR --trace-out PATH"
             );
         }
     }

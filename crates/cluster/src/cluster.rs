@@ -13,13 +13,24 @@
 use crate::job::{Job, JobId, JobOwner, JobRequest, JobState};
 use crate::policy::{select_starts, QueuedJobView, RunningJobView, SchedulingPolicy};
 use crate::profile::AvailabilityProfile;
-use aimes_sim::{EventId, SimDuration, SimTime, Simulation};
+use aimes_sim::{EventId, JobPhase, ResourcePhase, SimDuration, SimTime, Simulation, TraceKind};
 use aimes_workload::{BackgroundWorkload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
+
+/// The typed trace phase for a batch-job state.
+fn job_phase(state: JobState) -> JobPhase {
+    match state {
+        JobState::Queued => JobPhase::Queued,
+        JobState::Running => JobPhase::Running,
+        JobState::Completed => JobPhase::Completed,
+        JobState::Killed => JobPhase::Killed,
+        JobState::Cancelled => JobPhase::Cancelled,
+    }
+}
 
 /// One named submission queue of a resource. Real batch systems expose
 /// several (e.g. `normal`, `debug`, `large`) with different priorities and
@@ -525,7 +536,7 @@ impl Cluster {
                 sim.tracer().record_with(sim.now(), || {
                     (
                         format!("cluster.{}.{}", st.config.name, id),
-                        "Queued".to_string(),
+                        TraceKind::Job(JobPhase::Queued),
                         job.request.tag.clone(),
                     )
                 });
@@ -540,6 +551,8 @@ impl Cluster {
             st.touch();
             id
         };
+        self.inc_job_counter(sim, "jobs_submitted");
+        self.record_usage_gauges(sim);
         self.schedule_dispatch(sim);
         id
     }
@@ -583,12 +596,14 @@ impl Cluster {
                 sim.tracer().record_with(sim.now(), || {
                     (
                         format!("cluster.{}.{}", st.config.name, id),
-                        "Cancelled".to_string(),
+                        TraceKind::Job(JobPhase::Cancelled),
                         st.jobs[&id].request.tag.clone(),
                     )
                 });
             }
             drop(st);
+            self.inc_job_counter(sim, "jobs_cancelled");
+            self.record_usage_gauges(sim);
             self.notify(sim, id, JobState::Cancelled);
             self.schedule_dispatch(sim);
         }
@@ -685,11 +700,16 @@ impl Cluster {
             }
             started
         };
+        let started = starts.len();
         for (id, end, owner, tag, _wait) in starts {
             if owner == JobOwner::Pilot {
                 sim.tracer().record_with(now, || {
                     let name = self.inner.borrow().config.name.clone();
-                    (format!("cluster.{name}.{id}"), "Running".to_string(), tag)
+                    (
+                        format!("cluster.{name}.{id}"),
+                        TraceKind::Job(JobPhase::Running),
+                        tag,
+                    )
                 });
             }
             let this = self.clone();
@@ -701,6 +721,13 @@ impl Cluster {
             }
             self.notify(sim, id, JobState::Running);
         }
+        sim.metrics().inc_by(started as u64, || {
+            format!(
+                "cluster.{}.jobs_dispatched",
+                self.inner.borrow().config.name
+            )
+        });
+        self.record_usage_gauges(sim);
     }
 
     fn on_completion(&self, sim: &mut Simulation, id: JobId) {
@@ -729,11 +756,20 @@ impl Cluster {
                 let name = self.inner.borrow().config.name.clone();
                 (
                     format!("cluster.{name}.{id}"),
-                    format!("{final_state:?}"),
+                    TraceKind::Job(job_phase(final_state)),
                     tag,
                 )
             });
         }
+        self.inc_job_counter(
+            sim,
+            if final_state == JobState::Killed {
+                "jobs_killed"
+            } else {
+                "jobs_completed"
+            },
+        );
+        self.record_usage_gauges(sim);
         self.notify(sim, id, final_state);
         self.schedule_dispatch(sim);
     }
@@ -766,7 +802,11 @@ impl Cluster {
         sim.tracer().record(
             now,
             format!("cluster.{name}"),
-            if kill_running { "Outage" } else { "Drain" },
+            TraceKind::Resource(if kill_running {
+                ResourcePhase::Outage
+            } else {
+                ResourcePhase::Drain
+            }),
             format!("{:.0}s window", duration.as_secs()),
         );
         if kill_running {
@@ -805,10 +845,11 @@ impl Cluster {
         sim.tracer().record(
             now,
             format!("cluster.{name}"),
-            "Decommission",
+            TraceKind::Resource(ResourcePhase::Decommission),
             "permanent loss",
         );
         self.kill_running_jobs(sim, &name);
+        self.record_usage_gauges(sim);
         for id in queued {
             self.notify(sim, id, JobState::Killed);
         }
@@ -838,15 +879,24 @@ impl Cluster {
             }
             out
         };
+        let killed = victims.len();
         for (id, ev, owner, tag) in victims {
             sim.cancel(ev);
             if owner == JobOwner::Pilot {
                 sim.tracer().record_with(now, || {
-                    (format!("cluster.{name}.{id}"), "Killed".to_string(), tag)
+                    (
+                        format!("cluster.{name}.{id}"),
+                        TraceKind::Job(JobPhase::Killed),
+                        tag,
+                    )
                 });
             }
             self.notify(sim, id, JobState::Killed);
         }
+        sim.metrics().inc_by(killed as u64, || {
+            format!("cluster.{}.jobs_killed", self.inner.borrow().config.name)
+        });
+        self.record_usage_gauges(sim);
     }
 
     /// Is the resource inside an outage/drain window at `now`?
@@ -865,6 +915,35 @@ impl Cluster {
             .borrow()
             .down_until
             .is_some_and(|until| until.as_secs().is_infinite())
+    }
+
+    /// Bump one per-resource job counter (`cluster.<name>.<which>`). One
+    /// branch when metrics are disabled.
+    fn inc_job_counter(&self, sim: &Simulation, which: &'static str) {
+        sim.metrics()
+            .inc(|| format!("cluster.{}.{which}", self.inner.borrow().config.name));
+    }
+
+    /// Append one sample to the utilization and queue-depth timelines
+    /// (`cluster.<name>.{busy_cores,utilization,queue_depth}`). Passive:
+    /// schedules no events and draws no randomness, so instrumented runs
+    /// stay bit-identical to uninstrumented ones.
+    fn record_usage_gauges(&self, sim: &Simulation) {
+        let metrics = sim.metrics();
+        if !metrics.is_enabled() {
+            return;
+        }
+        let now = sim.now();
+        let st = self.inner.borrow();
+        let name = &st.config.name;
+        let busy = f64::from(st.config.total_cores - st.free_cores);
+        metrics.gauge(now, busy, || format!("cluster.{name}.busy_cores"));
+        metrics.gauge(now, busy / f64::from(st.config.total_cores), || {
+            format!("cluster.{name}.utilization")
+        });
+        metrics.gauge(now, st.queue.len() as f64, || {
+            format!("cluster.{name}.queue_depth")
+        });
     }
 
     /// Subscribe to state changes of one job. The callback fires on every

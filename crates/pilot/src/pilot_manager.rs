@@ -5,10 +5,42 @@ use crate::description::PilotDescription;
 use crate::detector::{DetectionPolicy, DetectorEvent, HealthState, SuspicionDetector};
 use crate::pilot::{Pilot, PilotId, PilotState};
 use aimes_saga::{JobDescription, SagaJobState, Session};
-use aimes_sim::{SimDuration, SimRng, SimTime, Simulation};
+use aimes_sim::{
+    DetectorPhase, ManagerPhase, PilotPhase, SimDuration, SimRng, SimTime, Simulation, TraceKind,
+};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+
+/// The typed trace kind for a pilot state (names match the legacy
+/// free-string events byte for byte).
+fn pilot_phase(state: PilotState) -> PilotPhase {
+    match state {
+        PilotState::New => PilotPhase::New,
+        PilotState::PendingLaunch => PilotPhase::PendingLaunch,
+        PilotState::Launching => PilotPhase::Launching,
+        PilotState::PendingActive => PilotPhase::PendingActive,
+        PilotState::Active => PilotPhase::Active,
+        PilotState::Done => PilotPhase::Done,
+        PilotState::Failed => PilotPhase::Failed,
+        PilotState::Canceled => PilotPhase::Canceled,
+    }
+}
+
+/// Dwell-time histogram name for time spent *in* `state`.
+fn dwell_metric(state: PilotState) -> String {
+    match state {
+        PilotState::New => "pilot.dwell.new",
+        PilotState::PendingLaunch => "pilot.dwell.pending_launch",
+        PilotState::Launching => "pilot.dwell.launching",
+        PilotState::PendingActive => "pilot.dwell.pending_active",
+        PilotState::Active => "pilot.dwell.active",
+        PilotState::Done => "pilot.dwell.done",
+        PilotState::Failed => "pilot.dwell.failed",
+        PilotState::Canceled => "pilot.dwell.canceled",
+    }
+    .to_string()
+}
 
 /// Subscriber to pilot state changes.
 pub type PilotCallback = Box<dyn FnMut(&mut Simulation, PilotId, PilotState)>;
@@ -380,7 +412,7 @@ impl PilotManager {
                     sim.tracer().record_with(sim.now(), || {
                         (
                             id.to_string(),
-                            "WentSilent".into(),
+                            TraceKind::Detector(DetectorPhase::WentSilent),
                             self.pilot(id).description.resource.clone(),
                         )
                     });
@@ -400,7 +432,14 @@ impl PilotManager {
     fn transition(&self, sim: &mut Simulation, id: PilotId, next: PilotState) {
         {
             let mut st = self.inner.borrow_mut();
-            st.pilots[id.0 as usize].transition(next, sim.now());
+            let pilot = &mut st.pilots[id.0 as usize];
+            let prev = pilot.state;
+            if let Some(&(_, entered)) = pilot.timestamps.last() {
+                let dwell = sim.now().saturating_since(entered);
+                sim.metrics()
+                    .observe(dwell.as_secs(), || dwell_metric(prev));
+            }
+            pilot.transition(next, sim.now());
             if next.is_terminal() {
                 if let Some(det) = st.detector.as_mut() {
                     det.deregister(id);
@@ -410,7 +449,7 @@ impl PilotManager {
         sim.tracer().record_with(sim.now(), || {
             (
                 id.to_string(),
-                format!("{next:?}"),
+                TraceKind::Pilot(pilot_phase(next)),
                 self.pilot(id).description.resource.clone(),
             )
         });
@@ -507,6 +546,7 @@ impl PilotManager {
             }
             (latency, interval)
         };
+        sim.metrics().inc(|| "pilot.heartbeat.emitted".into());
         let this = self.clone();
         sim.schedule_in(latency, move |sim| this.deliver_heartbeat(sim, id));
         let this = self.clone();
@@ -539,8 +579,13 @@ impl PilotManager {
         match disposition {
             Disposition::Stale(detail) => {
                 self.inner.borrow_mut().stale_signals += 1;
+                sim.metrics().inc(|| "pilot.heartbeat.stale".into());
                 sim.tracer().record_with(now, || {
-                    (id.to_string(), "StaleHeartbeat".into(), detail.clone())
+                    (
+                        id.to_string(),
+                        TraceKind::Detector(DetectorPhase::StaleHeartbeat),
+                        detail.clone(),
+                    )
                 });
                 self.fire_detector_event(
                     sim,
@@ -552,6 +597,7 @@ impl PilotManager {
                 );
             }
             Disposition::Fresh => {
+                sim.metrics().inc(|| "pilot.heartbeat.delivered".into());
                 let recovered = {
                     let mut st = self.inner.borrow_mut();
                     let Some(det) = st.detector.as_mut() else {
@@ -560,10 +606,12 @@ impl PilotManager {
                     det.heartbeat(id, now).and_then(|o| o.recovered)
                 };
                 if let Some(suspected_for) = recovered {
+                    sim.metrics()
+                        .inc(|| "pilot.detector.suspicion_cleared".into());
                     sim.tracer().record_with(now, || {
                         (
                             id.to_string(),
-                            "SuspicionCleared".into(),
+                            TraceKind::Detector(DetectorPhase::SuspicionCleared),
                             format!("heartbeat resumed after {:.0}s", suspected_for.as_secs()),
                         )
                     });
@@ -624,10 +672,11 @@ impl PilotManager {
                         det.policy().confirm_with_status_query,
                     )
                 };
+                sim.metrics().inc(|| "pilot.detector.suspected".into());
                 sim.tracer().record_with(now, || {
                     (
                         id.to_string(),
-                        "Suspected".into(),
+                        TraceKind::Detector(DetectorPhase::Suspected),
                         format!("{resource}: silent {:.0}s", silent_for.as_secs()),
                     )
                 });
@@ -678,7 +727,7 @@ impl PilotManager {
                     sim.tracer().record_with(sim.now(), || {
                         (
                             id.to_string(),
-                            "StatusConfirmedDead".into(),
+                            TraceKind::Detector(DetectorPhase::StatusConfirmedDead),
                             format!("front end reports {state:?}"),
                         )
                     });
@@ -723,10 +772,11 @@ impl PilotManager {
                 .unwrap_or(SimDuration::ZERO);
             (resource, silent_for)
         };
+        sim.metrics().inc(|| "pilot.detector.declared_dead".into());
         sim.tracer().record_with(now, || {
             (
                 id.to_string(),
-                "DeclaredDead".into(),
+                TraceKind::Detector(DetectorPhase::DeclaredDead),
                 format!("{resource}: silent {:.0}s", silent_for.as_secs()),
             )
         });
@@ -806,10 +856,11 @@ impl PilotManager {
         };
         let resource = self.pilot(id).description.resource.clone();
         if newly_blacklisted {
+            sim.metrics().inc(|| "pilot.manager.blacklists".into());
             sim.tracer().record_with(now, || {
                 (
                     "pilot-manager".into(),
-                    "Blacklist".into(),
+                    TraceKind::Manager(ManagerPhase::Blacklist),
                     format!("{resource}: repeated launch failures"),
                 )
             });
@@ -830,10 +881,12 @@ impl PilotManager {
         match verdict {
             Verdict::Skip => {}
             Verdict::Exhausted => {
+                sim.metrics()
+                    .inc(|| "pilot.manager.recovery_exhausted".into());
                 sim.tracer().record_with(now, || {
                     (
                         "pilot-manager".into(),
-                        "RecoveryExhausted".into(),
+                        TraceKind::Manager(ManagerPhase::RecoveryExhausted),
                         format!("{id} on {resource}: replacement cap reached"),
                     )
                 });
@@ -842,7 +895,7 @@ impl PilotManager {
                 sim.tracer().record_with(now, || {
                     (
                         "pilot-manager".into(),
-                        "ScheduleReplacement".into(),
+                        TraceKind::Manager(ManagerPhase::ScheduleReplacement),
                         format!("{id} gen {generation} in {:.0}s", delay.as_secs()),
                     )
                 });
@@ -884,10 +937,12 @@ impl PilotManager {
                     }
                     None => {
                         drop(st);
+                        sim.metrics()
+                            .inc(|| "pilot.manager.recovery_exhausted".into());
                         sim.tracer().record_with(sim.now(), || {
                             (
                                 "pilot-manager".into(),
-                                "RecoveryExhausted".into(),
+                                TraceKind::Manager(ManagerPhase::RecoveryExhausted),
                                 format!("{failed}: every resource blacklisted"),
                             )
                         });
@@ -898,6 +953,8 @@ impl PilotManager {
             desc
         };
         let new_ids = self.submit(sim, vec![desc]);
+        sim.metrics()
+            .inc_by(new_ids.len() as u64, || "pilot.manager.replacements".into());
         let mut st = self.inner.borrow_mut();
         for nid in new_ids {
             st.lineage.insert(nid, generation + 1);

@@ -12,11 +12,37 @@ use crate::pilot::{PilotId, PilotState};
 use crate::pilot_manager::PilotManager;
 use crate::scheduler::{assign, Binding, PilotView, UnitScheduler, UnitView};
 use crate::unit::{ComputeUnit, UnitId, UnitState};
-use aimes_sim::{EventId, SimDuration, SimTime, Simulation};
+use aimes_sim::{EventId, ManagerPhase, SimDuration, SimTime, Simulation, TraceKind, UnitPhase};
 use aimes_skeleton::TaskSpec;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+
+/// Dwell-time histogram name for time spent *in* `state`.
+fn unit_dwell_metric(state: UnitState) -> String {
+    match state {
+        UnitState::New => "unit.dwell.new",
+        UnitState::PendingExecution => "unit.dwell.pending_execution",
+        UnitState::StagingInput => "unit.dwell.staging_input",
+        UnitState::Executing => "unit.dwell.executing",
+        UnitState::StagingOutput => "unit.dwell.staging_output",
+        UnitState::Done => "unit.dwell.done",
+        UnitState::Failed => "unit.dwell.failed",
+        UnitState::Canceled => "unit.dwell.canceled",
+    }
+    .to_string()
+}
+
+/// Transition `unit`, first observing how long it dwelled in its current
+/// state (no-op histogram update when metrics are disabled).
+fn transition_unit(sim: &Simulation, unit: &mut ComputeUnit, next: UnitState, now: SimTime) {
+    if let Some(&(prev, entered)) = unit.timestamps.last() {
+        let dwell = now.saturating_since(entered);
+        sim.metrics()
+            .observe(dwell.as_secs(), || unit_dwell_metric(prev));
+    }
+    unit.transition(next, now);
+}
 
 /// Unit-manager configuration.
 #[derive(Clone, Debug)]
@@ -287,11 +313,20 @@ impl UnitManager {
     fn make_ready(&self, sim: &mut Simulation, uid: UnitId) {
         {
             let mut st = self.inner.borrow_mut();
-            st.units[uid.0 as usize].transition(UnitState::PendingExecution, sim.now());
+            transition_unit(
+                sim,
+                &mut st.units[uid.0 as usize],
+                UnitState::PendingExecution,
+                sim.now(),
+            );
             st.ready.push_back(uid);
         }
         sim.tracer().record_with(sim.now(), || {
-            (uid.to_string(), "PendingExecution".into(), String::new())
+            (
+                uid.to_string(),
+                TraceKind::Unit(UnitPhase::PendingExecution),
+                String::new(),
+            )
         });
         self.fire_transition(sim, uid, UnitState::PendingExecution);
     }
@@ -374,10 +409,12 @@ impl UnitManager {
             sim.cancel(ev);
         }
         if stranded > 0 {
+            sim.metrics()
+                .inc_by(stranded as u64, || "unit.manager.stranded".into());
             sim.tracer().record_with(sim.now(), || {
                 (
                     "unit_manager".into(),
-                    "UnitsStranded".into(),
+                    TraceKind::Manager(ManagerPhase::UnitsStranded),
                     format!("{stranded} on silent {pilot}"),
                 )
             });
@@ -396,13 +433,18 @@ impl UnitManager {
         if give_up {
             {
                 let mut st = self.inner.borrow_mut();
-                st.units[uid.0 as usize].transition(UnitState::Failed, sim.now());
+                transition_unit(
+                    sim,
+                    &mut st.units[uid.0 as usize],
+                    UnitState::Failed,
+                    sim.now(),
+                );
                 st.stats.failed += 1;
             }
             sim.tracer().record_with(sim.now(), || {
                 (
                     uid.to_string(),
-                    "Failed".into(),
+                    TraceKind::Unit(UnitPhase::Failed),
                     "restarts exhausted".into(),
                 )
             });
@@ -414,7 +456,12 @@ impl UnitManager {
             let mut st = self.inner.borrow_mut();
             st.stats.restarts += 1;
             let attempts = st.units[uid.0 as usize].attempts;
-            st.units[uid.0 as usize].transition(UnitState::PendingExecution, sim.now());
+            transition_unit(
+                sim,
+                &mut st.units[uid.0 as usize],
+                UnitState::PendingExecution,
+                sim.now(),
+            );
             let backoff = st.config.retry_delay(attempts);
             if backoff.is_zero() {
                 st.ready.push_back(uid);
@@ -436,7 +483,12 @@ impl UnitManager {
                 let ev = {
                     let mut st = self.inner.borrow_mut();
                     st.ready.retain(|u| *u != uid);
-                    st.units[uid.0 as usize].transition(UnitState::Failed, sim.now());
+                    transition_unit(
+                        sim,
+                        &mut st.units[uid.0 as usize],
+                        UnitState::Failed,
+                        sim.now(),
+                    );
                     st.stats.failed += 1;
                     st.stats.restarts -= 1;
                     st.inflight.remove(&uid)
@@ -449,15 +501,20 @@ impl UnitManager {
                 return;
             }
         }
+        sim.metrics().inc(|| "unit.manager.restarts".into());
         if backoff.is_zero() {
             sim.tracer().record_with(sim.now(), || {
-                (uid.to_string(), "Restart".into(), String::new())
+                (
+                    uid.to_string(),
+                    TraceKind::Unit(UnitPhase::Restart),
+                    String::new(),
+                )
             });
         } else {
             sim.tracer().record_with(sim.now(), || {
                 (
                     uid.to_string(),
-                    "Restart".into(),
+                    TraceKind::Unit(UnitPhase::Restart),
                     format!("backoff {:.0}s", backoff.as_secs()),
                 )
             });
@@ -564,13 +621,13 @@ impl UnitManager {
             let (_t0, staging_end) = st
                 .origin_channel
                 .enqueue(st.overhead_busy_until, unit.task.input_mb());
-            unit.transition(UnitState::StagingInput, now);
+            transition_unit(sim, unit, UnitState::StagingInput, now);
             (staging_end, agent.resource.clone())
         };
         sim.tracer().record_with(now, || {
             (
                 uid.to_string(),
-                "StagingInput".into(),
+                TraceKind::Unit(UnitPhase::StagingInput),
                 format!("{pid} {resource}"),
             )
         });
@@ -586,7 +643,7 @@ impl UnitManager {
             let mut st = self.inner.borrow_mut();
             let st = &mut *st;
             let unit = &mut st.units[uid.0 as usize];
-            unit.transition(UnitState::Executing, now);
+            transition_unit(sim, unit, UnitState::Executing, now);
             let duration = unit.task.duration;
             // Fault draw happens up front so the failure instant is part
             // of the deterministic schedule, not a race with completion.
@@ -607,8 +664,13 @@ impl UnitManager {
             };
             (duration, fault)
         };
-        sim.tracer()
-            .record_with(now, || (uid.to_string(), "Executing".into(), String::new()));
+        sim.tracer().record_with(now, || {
+            (
+                uid.to_string(),
+                TraceKind::Unit(UnitPhase::Executing),
+                String::new(),
+            )
+        });
         self.fire_transition(sim, uid, UnitState::Executing);
         let this = self.clone();
         let ev = match fault {
@@ -637,21 +699,26 @@ impl UnitManager {
                 }
             }
         }
+        sim.metrics().inc(|| "unit.manager.faults".into());
         sim.tracer().record_with(now, || {
             (
                 uid.to_string(),
-                "Fault".into(),
+                TraceKind::Unit(UnitPhase::Fault),
                 if permanent { "permanent" } else { "transient" }.into(),
             )
         });
         if permanent {
             {
                 let mut st = self.inner.borrow_mut();
-                st.units[uid.0 as usize].transition(UnitState::Failed, now);
+                transition_unit(sim, &mut st.units[uid.0 as usize], UnitState::Failed, now);
                 st.stats.failed += 1;
             }
             sim.tracer().record_with(now, || {
-                (uid.to_string(), "Failed".into(), "permanent fault".into())
+                (
+                    uid.to_string(),
+                    TraceKind::Unit(UnitPhase::Failed),
+                    "permanent fault".into(),
+                )
             });
             self.fire_transition(sim, uid, UnitState::Failed);
             self.check_completion(sim);
@@ -668,7 +735,7 @@ impl UnitManager {
             let st = &mut *st;
             st.inflight.remove(&uid);
             let unit = &mut st.units[uid.0 as usize];
-            unit.transition(UnitState::StagingOutput, now);
+            transition_unit(sim, unit, UnitState::StagingOutput, now);
             // Execution done: the core goes back to the pilot; output
             // staging runs over the wide-area channel, off the core.
             let cores = unit.task.cores;
@@ -682,7 +749,11 @@ impl UnitManager {
             out_end
         };
         sim.tracer().record_with(now, || {
-            (uid.to_string(), "StagingOutput".into(), String::new())
+            (
+                uid.to_string(),
+                TraceKind::Unit(UnitPhase::StagingOutput),
+                String::new(),
+            )
         });
         self.fire_transition(sim, uid, UnitState::StagingOutput);
         let this = self.clone();
@@ -695,7 +766,7 @@ impl UnitManager {
         let newly_ready: Vec<UnitId> = {
             let mut st = self.inner.borrow_mut();
             let st = &mut *st;
-            st.units[uid.0 as usize].transition(UnitState::Done, now);
+            transition_unit(sim, &mut st.units[uid.0 as usize], UnitState::Done, now);
             st.stats.done += 1;
             let mut ready = Vec::new();
             for dep in std::mem::take(&mut st.dependents[uid.0 as usize]) {
@@ -707,8 +778,13 @@ impl UnitManager {
             }
             ready
         };
-        sim.tracer()
-            .record_with(now, || (uid.to_string(), "Done".into(), String::new()));
+        sim.tracer().record_with(now, || {
+            (
+                uid.to_string(),
+                TraceKind::Unit(UnitPhase::Done),
+                String::new(),
+            )
+        });
         self.fire_transition(sim, uid, UnitState::Done);
         for dep in newly_ready {
             self.make_ready(sim, dep);
@@ -729,7 +805,7 @@ impl UnitManager {
         sim.tracer().record_with(sim.now(), || {
             (
                 "unit_manager".into(),
-                "AllDone".into(),
+                TraceKind::Manager(ManagerPhase::AllDone),
                 format!("{:?}", self.stats()),
             )
         });

@@ -12,7 +12,7 @@ use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::error::{SagaError, SagaOp};
 use crate::job_api::{JobDescription, SagaJobId, SagaJobState};
 use aimes_cluster::{Cluster, JobId as BackendJobId, JobRequest, JobState};
-use aimes_sim::{SimDuration, SimRng, Simulation};
+use aimes_sim::{SagaPhase, SimDuration, SimRng, Simulation, TraceKind};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -37,6 +37,19 @@ const BACKOFF_CAP_SECS: f64 = 120.0;
 fn backoff(lat: SimDuration, attempts: u32) -> SimDuration {
     let factor = f64::from(2u32.saturating_pow(attempts.saturating_sub(1)).min(1 << 16));
     (lat * factor).min(SimDuration::from_secs(BACKOFF_CAP_SECS))
+}
+
+/// The typed trace kind for a SAGA job state (names match the legacy
+/// free-string events byte for byte).
+fn saga_phase(state: SagaJobState) -> SagaPhase {
+    match state {
+        SagaJobState::New => SagaPhase::New,
+        SagaJobState::Pending => SagaPhase::Pending,
+        SagaJobState::Running => SagaPhase::Running,
+        SagaJobState::Done => SagaPhase::Done,
+        SagaJobState::Failed => SagaPhase::Failed,
+        SagaJobState::Canceled => SagaPhase::Canceled,
+    }
 }
 
 struct JobRecord {
@@ -136,10 +149,12 @@ impl JobService {
                 st.resource.clone(),
             )
         };
+        sim.metrics()
+            .inc(|| format!("saga.{resource}.breaker_trips"));
         sim.tracer().record_with(sim.now(), || {
             (
                 format!("saga.breaker.{resource}"),
-                "BreakerTrip".into(),
+                TraceKind::Saga(SagaPhase::BreakerTrip),
                 "circuit open".into(),
             )
         });
@@ -207,8 +222,14 @@ impl JobService {
             );
             (id, latency)
         };
+        sim.metrics()
+            .inc(|| format!("saga.{}.submissions", self.resource()));
         sim.tracer().record_with(sim.now(), || {
-            (format!("saga.{}", id.0), "New".into(), self.resource())
+            (
+                format!("saga.{}", id.0),
+                TraceKind::Saga(SagaPhase::New),
+                self.resource(),
+            )
         });
         let this = self.clone();
         sim.schedule_in(latency, move |sim| this.attempt_submission(sim, id));
@@ -301,10 +322,12 @@ impl JobService {
             Outcome::Fail => self.transition(sim, id, SagaJobState::Failed),
             Outcome::Retry(delay) => {
                 let this = self.clone();
+                sim.metrics()
+                    .inc(|| format!("saga.{}.retry_submission", self.resource()));
                 sim.tracer().record_with(sim.now(), || {
                     (
                         format!("saga.{}", id.0),
-                        "RetrySubmission".into(),
+                        TraceKind::Saga(SagaPhase::RetrySubmission),
                         self.resource(),
                     )
                 });
@@ -349,7 +372,11 @@ impl JobService {
             (rec.callback.take(), resource)
         };
         sim.tracer().record_with(sim.now(), || {
-            (format!("saga.{}", id.0), format!("{next:?}"), resource)
+            (
+                format!("saga.{}", id.0),
+                TraceKind::Saga(saga_phase(next)),
+                resource,
+            )
         });
         if let Some(mut cb) = cb {
             cb(sim, next);
@@ -447,20 +474,24 @@ impl JobService {
             Outcome::Settled => {}
             Outcome::Retry(delay) => {
                 let this = self.clone();
+                sim.metrics()
+                    .inc(|| format!("saga.{}.retry_cancel", self.resource()));
                 sim.tracer().record_with(sim.now(), || {
                     (
                         format!("saga.{}", id.0),
-                        "RetryCancel".into(),
+                        TraceKind::Saga(SagaPhase::RetryCancel),
                         self.resource(),
                     )
                 });
                 sim.schedule_in(delay, move |sim| this.attempt_cancel(sim, id, attempt + 1));
             }
             Outcome::GiveUp => {
+                sim.metrics()
+                    .inc(|| format!("saga.{}.cancel_abandoned", self.resource()));
                 sim.tracer().record_with(sim.now(), || {
                     (
                         format!("saga.{}", id.0),
-                        "CancelAbandoned".into(),
+                        TraceKind::Saga(SagaPhase::CancelAbandoned),
                         self.resource(),
                     )
                 });
@@ -564,10 +595,12 @@ impl JobService {
             ),
             Outcome::Retry(delay) => {
                 let this = self.clone();
+                sim.metrics()
+                    .inc(|| format!("saga.{}.retry_status", self.resource()));
                 sim.tracer().record_with(sim.now(), || {
                     (
                         format!("saga.{}", id.0),
-                        "RetryStatusQuery".into(),
+                        TraceKind::Saga(SagaPhase::RetryStatusQuery),
                         self.resource(),
                     )
                 });

@@ -9,6 +9,7 @@
 
 use crate::event::{EventId, EventQueue};
 use crate::rng::SimRng;
+use crate::telemetry::MetricsRegistry;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
 
@@ -51,6 +52,7 @@ pub struct Simulation {
     queue: EventQueue<Callback>,
     rng: SimRng,
     tracer: Tracer,
+    metrics: MetricsRegistry,
     events_processed: u64,
     /// Safety valve against accidental infinite scheduling loops.
     event_budget: u64,
@@ -71,6 +73,7 @@ impl Simulation {
             queue: EventQueue::new(),
             rng: SimRng::new(seed),
             tracer,
+            metrics: MetricsRegistry::disabled(),
             events_processed: 0,
             event_budget: u64::MAX,
         }
@@ -85,6 +88,19 @@ impl Simulation {
     /// Shared tracer handle.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Shared metrics registry (disabled unless [`Simulation::attach_metrics`]
+    /// installed a recording one).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Install a recording metrics registry. Metrics collection is passive
+    /// — it schedules no events and draws no randomness — so attaching one
+    /// never perturbs the simulated execution.
+    pub fn attach_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Fork a named RNG stream from the experiment seed (stable; see

@@ -27,11 +27,16 @@
 pub mod engine;
 pub mod event;
 pub mod rng;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
 pub use engine::{EventContext, Simulation};
 pub use event::{EventId, EventQueue, ScheduledEvent};
 pub use rng::{SimRng, StreamId};
+pub use telemetry::{MetricsRegistry, MetricsSummary, Span, Telemetry};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceEvent, TraceSink, Tracer};
+pub use trace::{
+    ComponentId, DetectorPhase, JobPhase, ManagerPhase, PilotPhase, ResourcePhase, SagaPhase,
+    TraceEvent, TraceKind, TraceRecord, TraceSink, Tracer, UnitPhase,
+};

@@ -1,0 +1,260 @@
+//! Chrome trace-event exporter (Perfetto-loadable).
+//!
+//! Emits the JSON object format `{"traceEvents": [...]}` described by the
+//! Trace Event Format spec: `"M"` metadata events name the per-resource
+//! process tracks and per-pilot/unit thread lanes, `"X"` complete events
+//! render spans (pilot lifetimes, unit `Executing` windows), and `"C"`
+//! counter events render the gauge timelines (core utilization, queue
+//! depth). Open the file at <https://ui.perfetto.dev> or
+//! `chrome://tracing`.
+//!
+//! Timestamps are simulated microseconds. Output ordering is deterministic:
+//! metadata first, then spans sorted by start time, then counters sorted by
+//! metric name and time.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::io;
+
+/// One horizontal bar on the timeline: a state interval of a pilot or unit,
+/// placed on a `track` (Chrome "process", here a resource) and a `lane`
+/// (Chrome "thread", here one pilot or unit).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Process track, e.g. the resource name `stampede`.
+    pub track: String,
+    /// Thread lane within the track, e.g. `pilot.0` or `unit.00042`.
+    pub lane: String,
+    /// Span name shown on the bar, e.g. `pilot lifetime`, `Executing`.
+    pub name: String,
+    /// Category (Chrome `cat` field), e.g. `pilot`, `unit`.
+    pub category: String,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Extra key/value args shown in the span's detail pane.
+    pub args: Vec<(String, String)>,
+}
+
+fn escape(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape(s, &mut out);
+    out.push('"');
+    out
+}
+
+fn micros(t: SimTime) -> u64 {
+    (t.as_secs().max(0.0) * 1e6).round() as u64
+}
+
+/// Stream spans and gauge timelines as a Chrome trace-event JSON object.
+pub fn write_chrome_trace<W: io::Write>(
+    out: &mut W,
+    spans: &[Span],
+    gauges: &BTreeMap<String, Vec<(SimTime, f64)>>,
+) -> io::Result<()> {
+    // Deterministic track/lane numbering: sorted track names get pids
+    // 1..=N; lanes get tids 1..=M within their track in sorted order.
+    let mut tracks: BTreeMap<&str, BTreeMap<&str, u64>> = BTreeMap::new();
+    for span in spans {
+        tracks.entry(&span.track).or_default().insert(&span.lane, 0);
+    }
+    let mut pids: BTreeMap<&str, u64> = BTreeMap::new();
+    for (i, (track, lanes)) in tracks.iter_mut().enumerate() {
+        pids.insert(track, i as u64 + 1);
+        for (t, (_, tid)) in lanes.iter_mut().enumerate() {
+            *tid = t as u64 + 1;
+        }
+    }
+    // Counters live on their own process track after the resources.
+    let counter_pid = tracks.len() as u64 + 1;
+
+    out.write_all(b"{\"traceEvents\":[")?;
+    let mut first = true;
+    let mut emit = |out: &mut W, line: &str| -> io::Result<()> {
+        if !first {
+            out.write_all(b",")?;
+        }
+        first = false;
+        out.write_all(b"\n")?;
+        out.write_all(line.as_bytes())
+    };
+
+    for (track, lanes) in &tracks {
+        let pid = pids[track];
+        emit(
+            out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                quoted(track)
+            ),
+        )?;
+        for (lane, tid) in lanes {
+            emit(
+                out,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":{}}}}}",
+                    quoted(lane)
+                ),
+            )?;
+        }
+    }
+    if !gauges.is_empty() {
+        emit(
+            out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{counter_pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"metrics\"}}}}"
+            ),
+        )?;
+    }
+
+    let mut ordered: Vec<&Span> = spans.iter().collect();
+    ordered.sort_by(|a, b| {
+        (a.start, &a.track, &a.lane, a.end).cmp(&(b.start, &b.track, &b.lane, b.end))
+    });
+    for span in ordered {
+        let pid = pids[span.track.as_str()];
+        let tid = tracks[span.track.as_str()][span.lane.as_str()];
+        let ts = micros(span.start);
+        let dur = micros(span.end).saturating_sub(ts);
+        let mut args = String::new();
+        for (i, (k, v)) in span.args.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            args.push_str(&quoted(k));
+            args.push(':');
+            args.push_str(&quoted(v));
+        }
+        emit(
+            out,
+            &format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\
+                 \"name\":{},\"cat\":{},\"args\":{{{args}}}}}",
+                quoted(&span.name),
+                quoted(&span.category)
+            ),
+        )?;
+    }
+
+    for (metric, samples) in gauges {
+        for (time, value) in samples {
+            let v = if value.is_finite() { *value } else { 0.0 };
+            emit(
+                out,
+                &format!(
+                    "{{\"ph\":\"C\",\"pid\":{counter_pid},\"tid\":0,\"ts\":{},\
+                     \"name\":{},\"args\":{{\"value\":{v}}}}}",
+                    micros(*time),
+                    quoted(metric)
+                ),
+            )?;
+        }
+    }
+
+    out.write_all(b"\n],\"displayTimeUnit\":\"ms\"}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn span(track: &str, lane: &str, name: &str, start: f64, end: f64) -> Span {
+        Span {
+            track: track.into(),
+            lane: lane.into(),
+            name: name.into(),
+            category: "pilot".into(),
+            start: t(start),
+            end: t(end),
+            args: vec![("cores".into(), "16".into())],
+        }
+    }
+
+    fn render(spans: &[Span], gauges: &BTreeMap<String, Vec<(SimTime, f64)>>) -> String {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, spans, gauges).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn emits_metadata_spans_and_counters() {
+        let spans = vec![
+            span("stampede", "pilot.0", "pilot lifetime", 10.0, 50.0),
+            span("gordon", "pilot.1", "pilot lifetime", 5.0, 40.0),
+        ];
+        let mut gauges = BTreeMap::new();
+        gauges.insert(
+            "cluster.stampede.queue_depth".to_string(),
+            vec![(t(0.0), 1.0), (t(10.0), 0.0)],
+        );
+        let text = render(&spans, &gauges);
+        assert!(text.contains("\"process_name\""));
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains("\"displayTimeUnit\":\"ms\""));
+        // gordon sorts before stampede → pid 1; the counter track follows
+        // the two resource tracks.
+        assert!(text.contains(
+            "\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"gordon\"}"
+        ));
+        assert!(text.contains(
+            "\"pid\":3,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"metrics\"}"
+        ));
+        // 40 s span → 40e6 µs duration.
+        assert!(text.contains("\"ts\":5000000,\"dur\":35000000"));
+    }
+
+    #[test]
+    fn output_is_valid_json_and_deterministic() {
+        let spans = vec![
+            span("b", "pilot.1", "x", 2.0, 3.0),
+            span("a", "pilot.0", "x", 1.0, 4.0),
+        ];
+        let gauges = BTreeMap::new();
+        let one = render(&spans, &gauges);
+        let two = render(&spans, &gauges);
+        assert_eq!(one, two);
+        let value: serde::Value = serde_json::from_str(&one).unwrap();
+        let events = value.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 process_name + 2 thread_name + 2 spans.
+        assert_eq!(events.len(), 6);
+        // Spans are sorted by start time.
+        let ts: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| e.get("ts").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ts, vec![1_000_000, 2_000_000]);
+    }
+
+    #[test]
+    fn escapes_names() {
+        let spans = vec![span("a\"b", "pilot.0", "x", 0.0, 1.0)];
+        let text = render(&spans, &BTreeMap::new());
+        assert!(text.contains("a\\\"b"));
+        assert!(serde_json::from_str::<serde::Value>(&text).is_ok());
+    }
+}

@@ -3,31 +3,310 @@
 //! The paper's middleware is "instrumented to produce complete traces of an
 //! application execution"; the entire evaluation (the TTC decomposition into
 //! Tw/Tx/Ts) is computed from recorded state transitions. This module is the
-//! reproduction of that instrumentation: components append
+//! reproduction of that instrumentation: components append typed
 //! [`TraceEvent`]s to a shared [`Tracer`]; the analysis layer (crate
 //! `aimes`) replays the trace to compute time components.
+//!
+//! Events are typed, not stringly: the emitting component is interned to a
+//! [`ComponentId`] and the transition is a [`TraceKind`] covering the
+//! pilot/unit/job/saga/detector state machines. The legacy wire shape — a
+//! `{time, component, event, detail}` object with string fields — is
+//! preserved by [`TraceRecord`], which every read API resolves to, so JSON
+//! dumps and string comparisons made by downstream consumers are unchanged.
 
 use crate::time::SimTime;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::io;
 use std::sync::Arc;
 
-/// One recorded state transition or annotation.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// Interned identifier of a trace-emitting component (e.g. `pilot.0`,
+/// `cluster.stampede.17`). Names are interned per [`TraceSink`]; ids are
+/// only meaningful against the sink that produced them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    /// Position in the sink's intern table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Pilot state-machine phases (see `aimes-pilot`'s `PilotState`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PilotPhase {
+    New,
+    PendingLaunch,
+    Launching,
+    PendingActive,
+    Active,
+    Done,
+    Failed,
+    Canceled,
+}
+
+impl PilotPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            PilotPhase::New => "New",
+            PilotPhase::PendingLaunch => "PendingLaunch",
+            PilotPhase::Launching => "Launching",
+            PilotPhase::PendingActive => "PendingActive",
+            PilotPhase::Active => "Active",
+            PilotPhase::Done => "Done",
+            PilotPhase::Failed => "Failed",
+            PilotPhase::Canceled => "Canceled",
+        }
+    }
+}
+
+/// Compute-unit state-machine phases plus the restart/fault annotations the
+/// unit manager emits around them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnitPhase {
+    New,
+    PendingExecution,
+    StagingInput,
+    Executing,
+    StagingOutput,
+    Done,
+    Failed,
+    Canceled,
+    Restart,
+    Fault,
+}
+
+impl UnitPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            UnitPhase::New => "New",
+            UnitPhase::PendingExecution => "PendingExecution",
+            UnitPhase::StagingInput => "StagingInput",
+            UnitPhase::Executing => "Executing",
+            UnitPhase::StagingOutput => "StagingOutput",
+            UnitPhase::Done => "Done",
+            UnitPhase::Failed => "Failed",
+            UnitPhase::Canceled => "Canceled",
+            UnitPhase::Restart => "Restart",
+            UnitPhase::Fault => "Fault",
+        }
+    }
+}
+
+/// Cluster batch-job lifecycle (see `aimes-cluster`'s `JobState`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobPhase {
+    Queued,
+    Running,
+    Completed,
+    Killed,
+    Cancelled,
+}
+
+impl JobPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "Queued",
+            JobPhase::Running => "Running",
+            JobPhase::Completed => "Completed",
+            JobPhase::Killed => "Killed",
+            JobPhase::Cancelled => "Cancelled",
+        }
+    }
+}
+
+/// SAGA job-API phases plus the resilience annotations (retries, breaker).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SagaPhase {
+    New,
+    Pending,
+    Running,
+    Done,
+    Failed,
+    Canceled,
+    RetrySubmission,
+    RetryCancel,
+    RetryStatusQuery,
+    CancelAbandoned,
+    BreakerTrip,
+}
+
+impl SagaPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            SagaPhase::New => "New",
+            SagaPhase::Pending => "Pending",
+            SagaPhase::Running => "Running",
+            SagaPhase::Done => "Done",
+            SagaPhase::Failed => "Failed",
+            SagaPhase::Canceled => "Canceled",
+            SagaPhase::RetrySubmission => "RetrySubmission",
+            SagaPhase::RetryCancel => "RetryCancel",
+            SagaPhase::RetryStatusQuery => "RetryStatusQuery",
+            SagaPhase::CancelAbandoned => "CancelAbandoned",
+            SagaPhase::BreakerTrip => "BreakerTrip",
+        }
+    }
+}
+
+/// Failure-detector verdicts and heartbeat-path annotations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetectorPhase {
+    WentSilent,
+    StaleHeartbeat,
+    Suspected,
+    SuspicionCleared,
+    StatusConfirmedDead,
+    DeclaredDead,
+}
+
+impl DetectorPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorPhase::WentSilent => "WentSilent",
+            DetectorPhase::StaleHeartbeat => "StaleHeartbeat",
+            DetectorPhase::Suspected => "Suspected",
+            DetectorPhase::SuspicionCleared => "SuspicionCleared",
+            DetectorPhase::StatusConfirmedDead => "StatusConfirmedDead",
+            DetectorPhase::DeclaredDead => "DeclaredDead",
+        }
+    }
+}
+
+/// Resource-level availability events emitted by the cluster layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourcePhase {
+    Outage,
+    Drain,
+    Decommission,
+}
+
+impl ResourcePhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourcePhase::Outage => "Outage",
+            ResourcePhase::Drain => "Drain",
+            ResourcePhase::Decommission => "Decommission",
+        }
+    }
+}
+
+/// Orchestration decisions made by the managers and the middleware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ManagerPhase {
+    Blacklist,
+    RecoveryExhausted,
+    ScheduleReplacement,
+    UnitsStranded,
+    AllDone,
+    Replan,
+    ReplanFailed,
+    Reinforce,
+}
+
+impl ManagerPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            ManagerPhase::Blacklist => "Blacklist",
+            ManagerPhase::RecoveryExhausted => "RecoveryExhausted",
+            ManagerPhase::ScheduleReplacement => "ScheduleReplacement",
+            ManagerPhase::UnitsStranded => "UnitsStranded",
+            ManagerPhase::AllDone => "AllDone",
+            ManagerPhase::Replan => "Replan",
+            ManagerPhase::ReplanFailed => "ReplanFailed",
+            ManagerPhase::Reinforce => "Reinforce",
+        }
+    }
+}
+
+/// A typed transition or annotation. Every state machine in the stack has
+/// its own phase enum; [`TraceKind::Mark`] covers ad-hoc annotations (and
+/// keeps free-form literals usable in tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    Pilot(PilotPhase),
+    Unit(UnitPhase),
+    Job(JobPhase),
+    Saga(SagaPhase),
+    Detector(DetectorPhase),
+    Resource(ResourcePhase),
+    Manager(ManagerPhase),
+    Mark(&'static str),
+}
+
+impl TraceKind {
+    /// The event name as it appears on the wire — byte-identical to the
+    /// strings the pre-typed tracer recorded.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Pilot(p) => p.name(),
+            TraceKind::Unit(p) => p.name(),
+            TraceKind::Job(p) => p.name(),
+            TraceKind::Saga(p) => p.name(),
+            TraceKind::Detector(p) => p.name(),
+            TraceKind::Resource(p) => p.name(),
+            TraceKind::Manager(p) => p.name(),
+            TraceKind::Mark(s) => s,
+        }
+    }
+
+    /// Which state machine the event belongs to (exporters group by this).
+    pub fn category(self) -> &'static str {
+        match self {
+            TraceKind::Pilot(_) => "pilot",
+            TraceKind::Unit(_) => "unit",
+            TraceKind::Job(_) => "job",
+            TraceKind::Saga(_) => "saga",
+            TraceKind::Detector(_) => "detector",
+            TraceKind::Resource(_) => "resource",
+            TraceKind::Manager(_) => "manager",
+            TraceKind::Mark(_) => "mark",
+        }
+    }
+}
+
+impl From<&'static str> for TraceKind {
+    fn from(s: &'static str) -> Self {
+        TraceKind::Mark(s)
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded transition, as stored: component interned, kind typed.
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceEvent {
     /// Virtual time at which the transition happened.
     pub time: SimTime,
-    /// Component that emitted the event, e.g. `pilot.stampede.0` or
-    /// `unit.00042`.
-    pub component: String,
-    /// Transition or annotation name, e.g. `Active`, `Executing`.
-    pub event: String,
+    /// Interned component (resolve via the owning [`TraceSink`]).
+    pub component: ComponentId,
+    /// Typed transition or annotation.
+    pub kind: TraceKind,
     /// Free-form detail (resource name, core count, error text, ...).
     pub detail: String,
 }
 
-impl fmt::Display for TraceEvent {
+/// One resolved trace event in the legacy wire shape: string component and
+/// event names. This is what [`Tracer::snapshot`] returns and what the JSON
+/// exporters serialize, so downstream string comparisons keep working.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    pub time: SimTime,
+    /// Component that emitted the event, e.g. `pilot.0` or `unit.00042`.
+    pub component: String,
+    /// Transition or annotation name, e.g. `Active`, `Executing`.
+    pub event: String,
+    pub detail: String,
+}
+
+impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -40,14 +319,37 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// Destination for trace events. The default sink is an in-memory vector;
-/// experiments export it as JSON for post-processing.
+/// Destination for trace events: the event vector plus the component
+/// intern table. Experiments export it as JSON for post-processing.
 #[derive(Debug, Default)]
 pub struct TraceSink {
     events: Vec<TraceEvent>,
+    names: Vec<String>,
+    index: HashMap<String, ComponentId>,
 }
 
 impl TraceSink {
+    /// Intern a component name, returning its stable id.
+    pub fn intern(&mut self, name: String) -> ComponentId {
+        if let Some(&id) = self.index.get(&name) {
+            return id;
+        }
+        let id = ComponentId(self.names.len() as u32);
+        self.names.push(name.clone());
+        self.index.insert(name, id);
+        id
+    }
+
+    /// Id of an already-interned component name, if any.
+    pub fn lookup(&self, name: &str) -> Option<ComponentId> {
+        self.index.get(name).copied()
+    }
+
+    /// Name behind an interned id. Panics on a foreign id.
+    pub fn component_name(&self, id: ComponentId) -> &str {
+        &self.names[id.index()]
+    }
+
     /// All recorded events in emission order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -56,6 +358,26 @@ impl TraceSink {
     /// Consume the sink, returning the events.
     pub fn into_events(self) -> Vec<TraceEvent> {
         self.events
+    }
+
+    /// Resolve a stored event to the legacy wire shape.
+    pub fn resolve(&self, event: &TraceEvent) -> TraceRecord {
+        TraceRecord {
+            time: event.time,
+            component: self.component_name(event.component).to_string(),
+            event: event.kind.name().to_string(),
+            detail: event.detail.clone(),
+        }
+    }
+
+    fn push(&mut self, time: SimTime, component: String, kind: TraceKind, detail: String) {
+        let component = self.intern(component);
+        self.events.push(TraceEvent {
+            time,
+            component,
+            kind,
+            detail,
+        });
     }
 }
 
@@ -100,44 +422,39 @@ impl Tracer {
         &self,
         time: SimTime,
         component: impl Into<String>,
-        event: impl Into<String>,
+        kind: impl Into<TraceKind>,
         detail: impl Into<String>,
     ) {
         if !self.enabled {
             return;
         }
-        self.sink.lock().events.push(TraceEvent {
-            time,
-            component: component.into(),
-            event: event.into(),
-            detail: detail.into(),
-        });
+        self.sink
+            .lock()
+            .push(time, component.into(), kind.into(), detail.into());
     }
 
-    /// Record a state transition, building the strings only when tracing
-    /// is enabled. Hot paths pay for `record`'s arguments (typically
-    /// `format!` calls) even when the tracer drops everything; this
-    /// variant makes a disabled tracer genuinely zero-cost — one branch.
+    /// Record a state transition, building the component/detail strings
+    /// only when tracing is enabled. Hot paths pay for `record`'s arguments
+    /// (typically `format!` calls) even when the tracer drops everything;
+    /// this variant makes a disabled tracer genuinely zero-cost — one
+    /// branch.
     #[inline]
     pub fn record_with<F>(&self, time: SimTime, f: F)
     where
-        F: FnOnce() -> (String, String, String),
+        F: FnOnce() -> (String, TraceKind, String),
     {
         if !self.enabled {
             return;
         }
-        let (component, event, detail) = f();
-        self.sink.lock().events.push(TraceEvent {
-            time,
-            component,
-            event,
-            detail,
-        });
+        let (component, kind, detail) = f();
+        self.sink.lock().push(time, component, kind, detail);
     }
 
-    /// Snapshot of all events recorded so far.
-    pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.sink.lock().events.clone()
+    /// Snapshot of all events recorded so far, resolved to the legacy wire
+    /// shape.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let sink = self.sink.lock();
+        sink.events.iter().map(|e| sink.resolve(e)).collect()
     }
 
     /// Number of events recorded so far.
@@ -151,29 +468,54 @@ impl Tracer {
     }
 
     /// Events for one component, in order.
-    pub fn for_component(&self, component: &str) -> Vec<TraceEvent> {
-        self.sink
-            .lock()
-            .events
+    pub fn for_component(&self, component: &str) -> Vec<TraceRecord> {
+        let sink = self.sink.lock();
+        let Some(id) = sink.lookup(component) else {
+            return Vec::new();
+        };
+        sink.events
             .iter()
-            .filter(|e| e.component == component)
-            .cloned()
+            .filter(|e| e.component == id)
+            .map(|e| sink.resolve(e))
             .collect()
     }
 
     /// First occurrence time of `event` on `component`, if any.
     pub fn first_time_of(&self, component: &str, event: &str) -> Option<SimTime> {
-        self.sink
-            .lock()
-            .events
+        let sink = self.sink.lock();
+        let id = sink.lookup(component)?;
+        sink.events
             .iter()
-            .find(|e| e.component == component && e.event == event)
+            .find(|e| e.component == id && e.kind.name() == event)
             .map(|e| e.time)
     }
 
-    /// Serialize the whole trace as pretty JSON.
+    /// Stream the whole trace as a JSON array of [`TraceRecord`]s, one
+    /// event per line. Unlike the old `to_json`, this never materializes
+    /// the serialized trace as a single in-memory string and surfaces
+    /// write failures instead of panicking.
+    pub fn write_json<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        let sink = self.sink.lock();
+        out.write_all(b"[")?;
+        for (i, event) in sink.events.iter().enumerate() {
+            let line = serde_json::to_string(&sink.resolve(event))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if i > 0 {
+                out.write_all(b",")?;
+            }
+            out.write_all(b"\n  ")?;
+            out.write_all(line.as_bytes())?;
+        }
+        out.write_all(b"\n]\n")
+    }
+
+    /// Serialize the whole trace as JSON (convenience wrapper over
+    /// [`Tracer::write_json`]).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(&self.sink.lock().events).expect("trace serializes")
+        let mut buf = Vec::new();
+        self.write_json(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("serialized JSON is UTF-8")
     }
 }
 
@@ -188,8 +530,18 @@ mod tests {
     #[test]
     fn records_in_order() {
         let tr = Tracer::new();
-        tr.record(t(1.0), "pilot.0", "Launching", "");
-        tr.record(t(5.0), "pilot.0", "Active", "stampede");
+        tr.record(
+            t(1.0),
+            "pilot.0",
+            TraceKind::Pilot(PilotPhase::Launching),
+            "",
+        );
+        tr.record(
+            t(5.0),
+            "pilot.0",
+            TraceKind::Pilot(PilotPhase::Active),
+            "stampede",
+        );
         let evs = tr.snapshot();
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[0].event, "Launching");
@@ -206,6 +558,18 @@ mod tests {
     }
 
     #[test]
+    fn component_interning_is_stable() {
+        let tr = Tracer::new();
+        tr.record(t(1.0), "a", "e1", "");
+        tr.record(t(2.0), "b", "e2", "");
+        tr.record(t(3.0), "a", "e3", "");
+        let sink = tr.sink.lock();
+        assert_eq!(sink.events()[0].component, sink.events()[2].component);
+        assert_ne!(sink.events()[0].component, sink.events()[1].component);
+        assert_eq!(sink.component_name(sink.events()[1].component), "b");
+    }
+
+    #[test]
     fn component_filter() {
         let tr = Tracer::new();
         tr.record(t(1.0), "a", "e1", "");
@@ -214,13 +578,14 @@ mod tests {
         let a = tr.for_component("a");
         assert_eq!(a.len(), 2);
         assert_eq!(a[1].event, "e3");
+        assert!(tr.for_component("missing").is_empty());
     }
 
     #[test]
     fn first_time_of_finds_earliest() {
         let tr = Tracer::new();
-        tr.record(t(1.0), "u", "Executing", "");
-        tr.record(t(4.0), "u", "Executing", "");
+        tr.record(t(1.0), "u", TraceKind::Unit(UnitPhase::Executing), "");
+        tr.record(t(4.0), "u", TraceKind::Unit(UnitPhase::Executing), "");
         assert_eq!(tr.first_time_of("u", "Executing"), Some(t(1.0)));
         assert_eq!(tr.first_time_of("u", "Missing"), None);
     }
@@ -236,21 +601,66 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let tr = Tracer::new();
-        tr.record(t(1.5), "pilot.0", "Active", "gordon");
+        tr.record(
+            t(1.5),
+            "pilot.0",
+            TraceKind::Pilot(PilotPhase::Active),
+            "gordon",
+        );
         let json = tr.to_json();
-        let back: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        let back: Vec<TraceRecord> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, tr.snapshot());
     }
 
     #[test]
+    fn write_json_streams_valid_empty_array() {
+        let tr = Tracer::new();
+        let mut buf = Vec::new();
+        tr.write_json(&mut buf).unwrap();
+        let back: Vec<TraceRecord> =
+            serde_json::from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn kind_names_match_legacy_strings() {
+        assert_eq!(
+            TraceKind::Pilot(PilotPhase::PendingLaunch).name(),
+            "PendingLaunch"
+        );
+        assert_eq!(
+            TraceKind::Unit(UnitPhase::StagingOutput).name(),
+            "StagingOutput"
+        );
+        assert_eq!(TraceKind::Job(JobPhase::Cancelled).name(), "Cancelled");
+        assert_eq!(
+            TraceKind::Saga(SagaPhase::RetrySubmission).name(),
+            "RetrySubmission"
+        );
+        assert_eq!(
+            TraceKind::Detector(DetectorPhase::DeclaredDead).name(),
+            "DeclaredDead"
+        );
+        assert_eq!(
+            TraceKind::Manager(ManagerPhase::ReplanFailed).name(),
+            "ReplanFailed"
+        );
+        assert_eq!(TraceKind::from("ad-hoc").name(), "ad-hoc");
+        assert_eq!(
+            TraceKind::Detector(DetectorPhase::Suspected).category(),
+            "detector"
+        );
+    }
+
+    #[test]
     fn display_format_is_stable() {
-        let ev = TraceEvent {
+        let rec = TraceRecord {
             time: t(12.0),
             component: "unit.1".into(),
             event: "Done".into(),
             detail: "".into(),
         };
-        let s = format!("{ev}");
+        let s = format!("{rec}");
         assert!(s.contains("unit.1"));
         assert!(s.contains("Done"));
     }

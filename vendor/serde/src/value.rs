@@ -78,6 +78,29 @@ impl Value {
             .and_then(|entries| entries.iter().find(|(k, _)| k == key))
             .map(|(_, v)| v)
     }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+}
+
+// A `Value` is its own serialized form; identity impls let callers parse
+// arbitrary JSON (`from_str::<Value>`) and re-serialize value trees.
+impl crate::Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, crate::DeError> {
+        Ok(value.clone())
+    }
 }
 
 #[cfg(test)]
