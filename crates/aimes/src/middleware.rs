@@ -412,25 +412,30 @@ pub fn run_application(
             },
         );
         let jr = journal.clone();
+        let pm2 = pm.clone();
         pm.subscribe(move |sim, pilot, state| {
+            let desc = pm2.pilot(pilot).description;
             jr.borrow_mut().record(
                 sim.now(),
                 JournalEvent::PilotTransition {
                     pilot: pilot.0,
                     state: format!("{state:?}"),
+                    resource: desc.resource,
+                    cores: desc.cores,
                 },
             );
         });
         let jr = journal.clone();
         let um2 = um.clone();
         um.subscribe(move |sim, unit, state| {
-            let pilot = um2.unit(unit).pilot.map(|p| p.0);
+            let u = um2.unit(unit);
             jr.borrow_mut().record(
                 sim.now(),
                 JournalEvent::UnitTransition {
                     unit: unit.0,
                     state: format!("{state:?}"),
-                    pilot,
+                    pilot: u.pilot.map(|p| p.0),
+                    cores: u.task.cores,
                 },
             );
         });

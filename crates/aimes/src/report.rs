@@ -539,6 +539,34 @@ mod tests {
     }
 
     #[test]
+    fn metrics_table_renders_zero_sample_histograms() {
+        use aimes_sim::telemetry::HistogramSummary;
+        use aimes_sim::MetricsSummary;
+        // A histogram family can exist with no observations (e.g. a dwell
+        // state never entered in a quick run). All derived quantities are
+        // defined as 0 and the table must render them, not NaN or panic.
+        let mut summary = MetricsSummary::default();
+        summary.histograms.insert(
+            "unit.dwell.staging_output".into(),
+            HistogramSummary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            },
+        );
+        let t = metrics_table(&summary);
+        assert!(t.contains("Histograms"));
+        assert!(t.contains("unit.dwell.staging_output"));
+        assert!(t.contains("| 0 |"), "zero count renders: {t}");
+        assert!(!t.contains("NaN"));
+        assert!(!t.contains("inf"));
+    }
+
+    #[test]
     fn csv_rows_per_point() {
         let r1 = result("exp1");
         let csv = csv_export(&[&r1]);

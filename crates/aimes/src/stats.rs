@@ -138,6 +138,47 @@ mod tests {
     }
 
     #[test]
+    fn percentile_of_single_element_is_that_element() {
+        // Every quantile of a one-point sample is the point: pos is always
+        // 0 and the lo==hi branch must not index out of bounds.
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(percentile(&[42.5], q), Some(42.5));
+        }
+        assert_eq!(p50_p95_p99(&[42.5]), Some((42.5, 42.5, 42.5)));
+    }
+
+    #[test]
+    fn percentile_two_elements_interpolates() {
+        assert_eq!(percentile(&[10.0, 20.0], 0.5), Some(15.0));
+        let (p50, p95, p99) = p50_p95_p99(&[10.0, 20.0]).unwrap();
+        assert_eq!(p50, 15.0);
+        assert!((p95 - 19.5).abs() < 1e-12);
+        assert!((p99 - 19.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_inputs_give_finite_outputs() {
+        // The helpers are documented for NaN-free samples; check the
+        // contract's other side — finite in, finite out, even with
+        // extreme magnitudes, duplicates, and signed zeros.
+        let samples: [&[f64]; 4] = [
+            &[f64::MIN, f64::MAX],
+            &[-0.0, 0.0, 0.0],
+            &[1e-300, 1e300, -1e300],
+            &[7.0; 9],
+        ];
+        for s in samples {
+            for q in [0.0, 0.5, 1.0] {
+                assert!(percentile(s, q).unwrap().is_finite());
+            }
+            let sm = Summary::of(s).unwrap();
+            assert!(sm.mean.is_finite());
+            assert!(sm.median.is_finite());
+            assert!(sm.min <= sm.median && sm.median <= sm.max);
+        }
+    }
+
+    #[test]
     fn percentile_known_uniform() {
         // 0..=100: the q-quantile of this grid IS 100q exactly under the
         // type-7 (linear interpolation) estimator.

@@ -20,6 +20,11 @@
 //!   ablation-faults     failure-rate sweep: self-healing cost & payoff
 //!   ablation-detection  failure-detector tuning: Td vs oracle recovery
 //!   telemetry           one instrumented experiment-1 run; see --emit-metrics
+//!   journal             run a named scenario, write its journal JSONL (--scenario, --out)
+//!   analyze             post-mortem analysis of a journal: timelines, TTC closure,
+//!                       critical path, stragglers; exits nonzero on closure failure
+//!   analytics-diff      compare two analyses (or journals) component-by-component;
+//!                       exits nonzero past --threshold
 //!   all                 everything above
 //! ```
 //!
@@ -52,6 +57,17 @@ struct Options {
     fail_on_error: bool,
     emit_metrics: Option<std::path::PathBuf>,
     trace_out: Option<std::path::PathBuf>,
+    /// Scenario name for `journal` (see `aimes_bench::scenarios::NAMES`).
+    scenario: String,
+    /// Output path for `journal` / `analyze`.
+    out: Option<std::path::PathBuf>,
+    /// Closure epsilon for `analyze`.
+    epsilon: f64,
+    /// Relative regression threshold for `analytics-diff`.
+    threshold: f64,
+    /// Positional file arguments after the command (journal/analysis
+    /// paths for `analyze` and `analytics-diff`).
+    files: Vec<std::path::PathBuf>,
 }
 
 fn parse_args() -> (String, Options) {
@@ -64,6 +80,11 @@ fn parse_args() -> (String, Options) {
         fail_on_error: false,
         emit_metrics: None,
         trace_out: None,
+        scenario: "exp1".into(),
+        out: None,
+        epsilon: aimes_analytics::DEFAULT_EPSILON_SECS,
+        threshold: 0.10,
+        files: Vec::new(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -86,7 +107,29 @@ fn parse_args() -> (String, Options) {
                 i += 1;
                 opts.trace_out = Some(args[i].clone().into());
             }
-            c if !c.starts_with("--") => command = c.to_string(),
+            "--scenario" => {
+                i += 1;
+                opts.scenario = args[i].clone();
+            }
+            "--out" => {
+                i += 1;
+                opts.out = Some(args[i].clone().into());
+            }
+            "--epsilon" => {
+                i += 1;
+                opts.epsilon = args[i].parse().expect("--epsilon takes a number");
+            }
+            "--threshold" => {
+                i += 1;
+                opts.threshold = args[i].parse().expect("--threshold takes a number");
+            }
+            c if !c.starts_with("--") => {
+                if command == "help" {
+                    command = c.to_string();
+                } else {
+                    opts.files.push(c.into());
+                }
+            }
             other => panic!("unknown flag {other}"),
         }
         i += 1;
@@ -1290,6 +1333,100 @@ fn telemetry_run(opts: &Options) {
     }
 }
 
+/// Run one named scenario and write (or print) its journal JSONL.
+fn journal_cmd(opts: &Options) {
+    if !aimes_bench::scenarios::NAMES.contains(&opts.scenario.as_str()) {
+        eprintln!(
+            "unknown --scenario {:?}; known: {:?}",
+            opts.scenario,
+            aimes_bench::scenarios::NAMES
+        );
+        std::process::exit(2);
+    }
+    eprintln!(
+        "running scenario {} at seed {} ...",
+        opts.scenario, opts.seed
+    );
+    let journal = aimes_bench::scenarios::journal(&opts.scenario, opts.seed);
+    let jsonl = journal.to_jsonl();
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &jsonl).expect("write journal file");
+            eprintln!("wrote {} entries to {}", journal.len(), path.display());
+        }
+        None => print!("{jsonl}"),
+    }
+}
+
+/// Post-mortem analysis of one journal file. Exits nonzero when the TTC
+/// closure check fails (or cannot run because the journal never finished).
+fn analyze_cmd(opts: &Options) {
+    let [path] = opts.files.as_slice() else {
+        eprintln!("usage: experiments analyze <journal.jsonl> [--epsilon E] [--out report.json]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).expect("read journal file");
+    let report = match aimes_analytics::analyze_jsonl(&text, opts.epsilon) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot analyze {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    println!("{}", aimes_analytics::render::render(&report));
+    if let Some(out) = &opts.out {
+        std::fs::write(
+            out,
+            serde_json::to_string_pretty(&report).expect("report serializes"),
+        )
+        .expect("write analysis file");
+        eprintln!("wrote analysis to {}", out.display());
+    }
+    if !report.closure_holds() {
+        eprintln!("TTC closure FAILED — the state model and the reported TTC disagree");
+        std::process::exit(1);
+    }
+}
+
+/// Load an `analyze --out` JSON, or fall back to treating the file as a
+/// journal and analyzing it on the spot.
+fn load_analysis(path: &std::path::Path, epsilon: f64) -> aimes_analytics::AnalysisReport {
+    let text = std::fs::read_to_string(path).expect("read analysis/journal file");
+    if let Ok(report) = serde_json::from_str::<aimes_analytics::AnalysisReport>(&text) {
+        if report.schema == aimes_analytics::SCHEMA {
+            return report;
+        }
+    }
+    match aimes_analytics::analyze_jsonl(&text, epsilon) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "{} is neither an analysis JSON nor a readable journal: {e}",
+                path.display()
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Compare two runs component-by-component; exit nonzero on regression.
+fn analytics_diff_cmd(opts: &Options) {
+    let [a, b] = opts.files.as_slice() else {
+        eprintln!(
+            "usage: experiments analytics-diff <run-a> <run-b> [--threshold T]\n\
+             (inputs: analyze --out JSON files or raw journal JSONL)"
+        );
+        std::process::exit(2);
+    };
+    let ra = load_analysis(a, opts.epsilon);
+    let rb = load_analysis(b, opts.epsilon);
+    let d = aimes_analytics::diff::diff(&ra, &rb, opts.threshold);
+    println!("{}", aimes_analytics::render::render_diff(&d));
+    if d.is_regression() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let (command, opts) = parse_args();
     match command.as_str() {
@@ -1311,6 +1448,9 @@ fn main() {
         "ablation-faults" => ablation_faults(&opts),
         "ablation-detection" => ablation_detection(&opts),
         "telemetry" => telemetry_run(&opts),
+        "journal" => journal_cmd(&opts),
+        "analyze" => analyze_cmd(&opts),
+        "analytics-diff" => analytics_diff_cmd(&opts),
         "all" => {
             table1();
             // Run experiments 1-4 once and render both figures from them.
@@ -1348,9 +1488,12 @@ fn main() {
                  ablation-crossover | ablation-throughput | ablation-hetero | \n\
                  ablation-adaptive | ablation-walltime | ablation-queue | \n\
                  ablation-predictor | ablation-faults | ablation-detection | \n\
-                 telemetry | all\n\
+                 telemetry | journal | analyze | analytics-diff | all\n\
                  flags: --reps N --seed S --quick --fail-on-error \
-                 --emit-metrics DIR --trace-out PATH"
+                 --emit-metrics DIR --trace-out PATH\n\
+                 journal flags: --scenario exp1|exp4|faulty --out PATH\n\
+                 analyze: <journal.jsonl> --epsilon E --out report.json\n\
+                 analytics-diff: <run-a> <run-b> --threshold T"
             );
         }
     }

@@ -16,3 +16,105 @@ pub const DEFAULT_REPETITIONS: usize = 8;
 pub fn quick_sizes() -> Vec<u32> {
     vec![8, 64, 512]
 }
+
+pub mod scenarios {
+    //! Named journal-producing scenarios shared by the `experiments`
+    //! CLI (`journal`, `analyze`) and the analytics CI gates. The shapes
+    //! mirror the golden-journal suite: the paper's experiment 1 and 4
+    //! plus one detected-fault recovery run.
+
+    use aimes::journal::RunJournal;
+    use aimes::middleware::{run_application, RunOptions};
+    use aimes::paper;
+    use aimes_cluster::ClusterConfig;
+    use aimes_fault::{FaultSpec, OutageKind, OutageSpec, RecoveryPolicy};
+    use aimes_sim::SimTime;
+    use aimes_skeleton::{paper_bag, TaskDurationSpec};
+    use aimes_strategy::{ExecutionStrategy, ResourceSelection};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// The scenario names `journal --scenario` accepts.
+    pub const NAMES: [&str; 3] = ["exp1", "exp4", "faulty"];
+
+    fn pool() -> Vec<ClusterConfig> {
+        vec![
+            ClusterConfig::test("one", 256),
+            ClusterConfig::test("two", 256),
+            ClusterConfig::test("three", 512),
+        ]
+    }
+
+    fn run(
+        strategy: &ExecutionStrategy,
+        spec: TaskDurationSpec,
+        n_tasks: u32,
+        seed: u64,
+        faults: Option<FaultSpec>,
+        recovery: Option<RecoveryPolicy>,
+    ) -> RunJournal {
+        let app = paper_bag(n_tasks, spec);
+        let journal = Rc::new(RefCell::new(RunJournal::new()));
+        let options = RunOptions {
+            seed,
+            submit_at: SimTime::from_secs(600.0),
+            faults,
+            recovery,
+            journal: Some(Rc::clone(&journal)),
+            ..Default::default()
+        };
+        run_application(&pool(), &app, strategy, &options).expect("scenario run completes");
+        let out = journal.borrow().clone();
+        out
+    }
+
+    /// Run one named scenario at `seed` and return its journal.
+    /// Panics on an unknown name; the caller validates against [`NAMES`].
+    pub fn journal(name: &str, seed: u64) -> RunJournal {
+        match name {
+            // Experiment-1 shape: constant 15-minute tasks, early binding.
+            "exp1" => run(
+                &paper::early_strategy(),
+                TaskDurationSpec::Uniform15Min,
+                32,
+                seed,
+                None,
+                None,
+            ),
+            // Experiment-4 shape: Gaussian durations, late binding over 3
+            // pilots.
+            "exp4" => run(
+                &paper::late_strategy(3),
+                TaskDurationSpec::Gaussian,
+                32,
+                seed,
+                None,
+                None,
+            ),
+            // Permanent outage on the pinned resource, detected (not
+            // oracled) and recovered.
+            "faulty" => {
+                let mut strategy = paper::late_strategy(2);
+                strategy.selection = ResourceSelection::Fixed(vec!["one".into()]);
+                let faults = FaultSpec {
+                    outages: vec![OutageSpec {
+                        resource: "one".into(),
+                        at_secs: 300.0,
+                        duration_secs: 600.0,
+                        kind: OutageKind::Permanent,
+                    }],
+                    ..FaultSpec::none()
+                };
+                run(
+                    &strategy,
+                    TaskDurationSpec::Uniform15Min,
+                    16,
+                    seed,
+                    Some(faults),
+                    Some(RecoveryPolicy::with_detection()),
+                )
+            }
+            other => panic!("unknown scenario {other:?}; known: {NAMES:?}"),
+        }
+    }
+}

@@ -255,15 +255,62 @@ impl MetricsRegistry {
     }
 
     /// Dump every gauge timeline as CSV: `metric,time_secs,value`.
+    /// Metric names embed resource names, which are user-controlled via
+    /// config, so the name field is RFC-4180 quoted when it contains a
+    /// comma, quote, or newline.
     pub fn write_csv<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
         writeln!(out, "metric,time_secs,value")?;
         for (name, samples) in self.inner.lock().gauges.iter() {
+            let name = csv_field(name);
             for (time, value) in samples {
                 writeln!(out, "{name},{},{value}", time.as_secs())?;
             }
         }
         Ok(())
     }
+}
+
+/// RFC-4180-quote one CSV field: fields containing a comma, double quote,
+/// or line break are wrapped in double quotes, with embedded quotes
+/// doubled. Anything else passes through unchanged.
+pub fn csv_field(raw: &str) -> String {
+    if raw.contains(',') || raw.contains('"') || raw.contains('\n') || raw.contains('\r') {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_string()
+    }
+}
+
+/// Parse one RFC-4180 CSV record into its fields — the inverse of
+/// [`csv_field`] joined with commas. Used by the round-trip tests and by
+/// downstream consumers of [`MetricsRegistry::write_csv`] output.
+pub fn parse_csv_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' && field.is_empty() {
+            in_quotes = true;
+        } else if c == ',' {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    fields.push(field);
+    fields
 }
 
 /// Condensed view of one gauge timeline.
@@ -432,6 +479,49 @@ mod tests {
         assert_eq!(lines[0], "metric,time_secs,value");
         assert_eq!(lines[1], "cluster.a.queue_depth,0,1");
         assert_eq!(lines[2], "cluster.a.queue_depth,2.5,3");
+    }
+
+    #[test]
+    fn csv_quotes_hostile_metric_names_and_round_trips() {
+        // Resource names come from user config, so metric names can carry
+        // CSV metacharacters; the dump must stay machine-parsable.
+        let hostile = [
+            "cluster.node,rack=1.busy_cores",
+            "cluster.\"quoted\".busy_cores",
+            "plain.name.busy_cores",
+        ];
+        let m = MetricsRegistry::new();
+        for name in hostile {
+            m.gauge(t(1.0), 7.0, || name.into());
+        }
+        let mut buf = Vec::new();
+        m.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut seen = Vec::new();
+        for line in text.lines().skip(1) {
+            let fields = parse_csv_record(line);
+            assert_eq!(fields.len(), 3, "line did not parse as 3 fields: {line}");
+            assert_eq!(fields[1], "1");
+            assert_eq!(fields[2], "7");
+            seen.push(fields[0].clone());
+        }
+        let mut expect: Vec<String> = hostile.iter().map(|s| s.to_string()).collect();
+        expect.sort();
+        seen.sort();
+        assert_eq!(seen, expect, "names must round-trip exactly");
+        // The comma-bearing raw name must not appear unquoted.
+        assert!(!text.contains("\ncluster.node,rack=1.busy_cores,"));
+    }
+
+    #[test]
+    fn csv_field_quotes_only_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+        for raw in ["plain", "a,b", "say \"hi\""] {
+            assert_eq!(parse_csv_record(&csv_field(raw)), vec![raw.to_string()]);
+        }
     }
 
     #[test]

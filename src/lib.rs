@@ -20,8 +20,10 @@
 //! | [`pilot`] | `aimes-pilot` | pilot system (managers, binding, agents) |
 //! | [`strategy`] | `aimes-strategy` | execution strategies + derivation |
 //! | [`middleware`] | `aimes` | integrated middleware + experiment lab |
+//! | [`analytics`] | `aimes-analytics` | post-mortem session analytics |
 
 pub use aimes as middleware;
+pub use aimes_analytics as analytics;
 pub use aimes_bundle as bundle;
 pub use aimes_cluster as cluster;
 pub use aimes_fault as fault;
@@ -48,5 +50,6 @@ mod tests {
         let _ = crate::strategy::ExecutionStrategy::paper_early();
         let _ = crate::middleware::RunOptions::default();
         let _ = crate::fault::FaultSpec::none();
+        let _ = crate::analytics::DEFAULT_EPSILON_SECS;
     }
 }

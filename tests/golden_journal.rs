@@ -109,9 +109,12 @@ fn faulty_recovery_journal() -> RunJournal {
     )
 }
 
-const GOLDEN_EXP1: &str = "b9f89134807d2865";
-const GOLDEN_EXP4: &str = "31e4c0f8229614fb";
-const GOLDEN_FAULTY: &str = "2bd828215036d934";
+// Recaptured when the journal schema gained pilot placement (resource,
+// cores) and unit core counts for post-mortem analytics: the event
+// *sequence* is unchanged, but entries serialize with the extra fields.
+const GOLDEN_EXP1: &str = "3d15343bf1674af7";
+const GOLDEN_EXP4: &str = "858928bcee50a118";
+const GOLDEN_FAULTY: &str = "978899a2c7723d7d";
 
 fn check_golden(label: &str, journal: &RunJournal, expected: &str) {
     assert!(!journal.is_empty(), "{label}: journal must not be empty");
