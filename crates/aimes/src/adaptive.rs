@@ -74,6 +74,10 @@ pub fn run_adaptive(
         aimes_pilot::Binding::Late,
         "adaptive reinforcement requires late binding"
     );
+    options
+        .info
+        .validate()
+        .map_err(|e| format!("invalid info config: {e}"))?;
     let tracer = if options.trace {
         Tracer::new()
     } else {
@@ -82,7 +86,10 @@ pub fn run_adaptive(
     let mut sim = Simulation::with_tracer(options.seed, tracer);
 
     let mut session = Session::new();
-    let bundle = Rc::new(RefCell::new(Bundle::new()));
+    // The patience check re-ranks with *current* information, so its
+    // queries flow through the same information plane (hot pool,
+    // staleness ladder) as the initial derivation.
+    let bundle = Rc::new(RefCell::new(Bundle::with_info_config(options.info.clone())));
     for cfg in resources {
         let cluster = Cluster::new(cfg.clone());
         cluster.install(&mut sim);
@@ -338,6 +345,16 @@ mod tests {
         };
         let err = run_adaptive(&pool, &app, &config, &opts).unwrap_err();
         assert!(err.contains("deadline") || err.contains("drained"), "{err}");
+    }
+
+    #[test]
+    fn invalid_info_config_is_rejected_up_front() {
+        let app = paper_bag(8, TaskDurationSpec::Uniform15Min);
+        let config = AdaptiveConfig::patient(pinned_strategy("open"));
+        let mut o = opts(8);
+        o.info.hot_pool_k = 0;
+        let err = run_adaptive(&skewed_pool(), &app, &config, &o).unwrap_err();
+        assert!(err.contains("invalid info config"), "{err}");
     }
 
     #[test]

@@ -65,6 +65,18 @@ pub enum JournalEvent {
         resource: String,
         detail: String,
     },
+    /// The information plane served a decision below the fresh path:
+    /// which resource was asked, how the answer classified
+    /// (fresh/stale/corrupt/unavailable), which fallback rung produced
+    /// it, the information age behind it, and the wait it reported
+    /// (`None` = "does not fit"). Never emitted on a healthy channel.
+    InfoFallback {
+        resource: String,
+        class: String,
+        rung: String,
+        age_secs: f64,
+        wait_secs: Option<f64>,
+    },
     /// A resource's circuit breaker opened.
     BreakerTrip { resource: String },
     /// A resource was excluded from replacement routing.

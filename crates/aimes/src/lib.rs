@@ -27,6 +27,7 @@ pub mod experiment;
 pub mod journal;
 pub mod middleware;
 pub mod paper;
+pub mod recorder;
 pub mod report;
 pub mod stats;
 pub mod ttc;
@@ -36,5 +37,6 @@ pub use aimes_fault as fault;
 pub use experiment::{ExperimentConfig, ExperimentPoint, ExperimentResult};
 pub use journal::{JournalEntry, JournalEvent, RunJournal};
 pub use middleware::{resume_application, run_application, RunError, RunOptions, RunResult};
+pub use recorder::{FlightRecorder, RecorderSnapshot, DEFAULT_RECORDER_CAPACITY};
 pub use stats::Summary;
 pub use ttc::TtcBreakdown;

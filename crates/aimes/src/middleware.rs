@@ -8,10 +8,11 @@
 //! application completes "so as not to waste resources".
 
 use crate::journal::{JournalEvent, RunJournal};
+use crate::recorder::{FlightRecorder, DEFAULT_RECORDER_CAPACITY};
 use crate::ttc::{decompose, interval_union, wasted_core_hours, TtcBreakdown};
-use aimes_bundle::Bundle;
+use aimes_bundle::{Bundle, InfoConfig, InfoDisposition};
 use aimes_cluster::{Cluster, ClusterConfig};
-use aimes_fault::{FaultSpec, OutageKind, RecoveryPolicy};
+use aimes_fault::{FaultSpec, InfoOutcome, OutageKind, RecoveryPolicy};
 use aimes_pilot::{
     DetectionMode, DetectionPolicy, DetectorEvent, Pilot, PilotManager, PilotRecovery, UnitManager,
     UnitManagerStats, UnitState,
@@ -25,7 +26,8 @@ use aimes_skeleton::{SkeletonApp, SkeletonConfig};
 use aimes_strategy::{ExecutionManager, ExecutionStrategy, ResourceSelection};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+use std::path::PathBuf;
 use std::rc::Rc;
 
 /// Options for one run.
@@ -69,6 +71,19 @@ pub struct RunOptions {
     /// from [`RunOptions::trace`] — the way for a caller to keep hold of
     /// the trace and stream it out after the run.
     pub tracer: Option<Tracer>,
+    /// Information-plane tuning (hot-pool size, refresh, staleness
+    /// thresholds, fallback floor). The default is oracle-equivalent:
+    /// every healthy query measures live, so fault-free runs are
+    /// byte-identical to a build without the plane. Validated at run
+    /// start ([`RunError::InvalidInfoConfig`]).
+    pub info: InfoConfig,
+    /// Flight-recorder ring capacity (always on; near-zero cost).
+    /// Validated at run start ([`RunError::InvalidRecorderConfig`]).
+    pub recorder_capacity: usize,
+    /// Where to write checksummed flight-recorder snapshots when the run
+    /// dies (any [`RunError`] return) or a pilot is Declared-Dead. `None`
+    /// keeps the recorder purely in memory.
+    pub recorder_dump_dir: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -84,6 +99,9 @@ impl Default for RunOptions {
             interrupt_at: None,
             telemetry: None,
             tracer: None,
+            info: InfoConfig::default(),
+            recorder_capacity: DEFAULT_RECORDER_CAPACITY,
+            recorder_dump_dir: None,
         }
     }
 }
@@ -100,6 +118,14 @@ pub enum RunError {
     /// inverted duration range, out-of-range bandwidth factor); running
     /// it would silently deviate from the declaration.
     InvalidFaultSpec(String),
+    /// The information-plane config is unusable (empty hot pool,
+    /// inverted staleness thresholds, non-positive fallback floor);
+    /// running it would serve answers from a ladder whose rungs are out
+    /// of order.
+    InvalidInfoConfig(String),
+    /// The flight-recorder config is unusable (zero capacity): the
+    /// recorder would silently retain nothing.
+    InvalidRecorderConfig(String),
     /// The simulated deadline passed with units still unfinished.
     DeadlineExceeded {
         n_tasks: u32,
@@ -136,6 +162,10 @@ impl std::fmt::Display for RunError {
             RunError::Unplannable(msg) => write!(f, "{msg}"),
             RunError::Skeleton(msg) => write!(f, "skeleton generation failed: {msg}"),
             RunError::InvalidFaultSpec(msg) => write!(f, "invalid fault spec: {msg}"),
+            RunError::InvalidInfoConfig(msg) => write!(f, "invalid info config: {msg}"),
+            RunError::InvalidRecorderConfig(msg) => {
+                write!(f, "invalid flight-recorder config: {msg}")
+            }
             RunError::DeadlineExceeded {
                 n_tasks,
                 strategy_label,
@@ -212,6 +242,15 @@ pub struct RunResult {
     /// resumed (false positives that cost nothing).
     #[serde(default)]
     pub false_suspicions: u64,
+    /// Decisions the information plane served below the fresh path
+    /// (stale cache, offline predictor, static default) — 0 on a healthy
+    /// channel.
+    #[serde(default)]
+    pub info_fallbacks: u64,
+    /// Total information age (seconds) behind those degraded decisions —
+    /// the staleness analogue of Tr/Td.
+    #[serde(default)]
+    pub stale_decision_secs: f64,
     /// Condensed telemetry (counters, gauge summaries, histogram
     /// quantiles). `Some` only when the run was given
     /// [`RunOptions::telemetry`].
@@ -263,6 +302,26 @@ pub fn run_application(
     strategy: &ExecutionStrategy,
     options: &RunOptions,
 ) -> Result<RunResult, RunError> {
+    // Construction-time validation, mirroring FaultSpec::validate: a
+    // zero-capacity recorder or an inverted staleness ladder cannot mean
+    // what it says, so refuse to run it.
+    options
+        .info
+        .validate()
+        .map_err(RunError::InvalidInfoConfig)?;
+    let recorder = Rc::new(RefCell::new(
+        FlightRecorder::new(options.recorder_capacity).map_err(RunError::InvalidRecorderConfig)?,
+    ));
+    let seed = options.seed;
+    let dump_dir = options.recorder_dump_dir.clone();
+    // Post-mortem hook: freeze the recorder's tail into a checksummed
+    // snapshot file, named after the death reason.
+    let dump = {
+        let recorder = recorder.clone();
+        let dump_dir = dump_dir.clone();
+        move |reason: &str| dump_snapshot(dump_dir.as_deref(), seed, &recorder.borrow(), reason)
+    };
+
     let tracer = match &options.tracer {
         Some(t) => t.clone(),
         None if options.trace => Tracer::new(),
@@ -275,7 +334,7 @@ pub fn run_application(
 
     // Resource layer: clusters with background load, SAGA session, bundle.
     let mut session = Session::new();
-    let mut bundle = Bundle::new();
+    let mut bundle = Bundle::with_info_config(options.info.clone());
     let mut clusters: Vec<Cluster> = Vec::new();
     for cfg in resources {
         let cluster = Cluster::new(cfg.clone());
@@ -285,6 +344,11 @@ pub fn run_application(
         clusters.push(cluster);
     }
     let session = Rc::new(session);
+    // Keep a handle to the bundle's information channel: the bundle
+    // itself may move into the re-planner below, but the fallback
+    // counters must still be readable at run end.
+    let info_handle = bundle.info_handle();
+    info_handle.borrow_mut().set_metrics(sim.metrics().clone());
 
     // Compile the fault model against the run seed. Everything below is
     // gated on `schedule` so a fault-free run replays the exact event and
@@ -327,6 +391,56 @@ pub fn run_application(
     sim.run_until(options.submit_at);
     let submitted = options.submit_at.max(sim.now());
     debug_assert_eq!(submitted, sim.now());
+
+    // Information-plane wiring. The sink journals and flight-records
+    // every degraded decision (it never fires on a healthy channel); the
+    // disposition closure answers "what shape is the channel in" from the
+    // compiled info-fault model, on its own per-resource forked streams
+    // so queries neither consume nor disturb any other stream.
+    {
+        let jr = options.journal.clone();
+        let rec = recorder.clone();
+        info_handle.borrow_mut().set_sink(Box::new(move |at, d| {
+            let event = JournalEvent::InfoFallback {
+                resource: d.resource.clone(),
+                class: d.class.label().to_string(),
+                rung: d.rung.label().to_string(),
+                age_secs: d.age.as_secs(),
+                wait_secs: d.wait.map(|w| w.as_secs()),
+            };
+            record_event(at, event, &rec, &jr);
+        }));
+    }
+    if let Some(sched) = &schedule {
+        if !sched.info.is_noop() {
+            let info_faults = sched.info.clone();
+            let info_rng = sim.fork_rng("info");
+            let submitted_secs = submitted.as_secs();
+            let mut streams: BTreeMap<String, aimes_sim::SimRng> = BTreeMap::new();
+            info_handle
+                .borrow_mut()
+                .set_disposition(Box::new(move |resource, now| {
+                    let rng = streams
+                        .entry(resource.to_string())
+                        .or_insert_with(|| info_rng.fork(&format!("info.{resource}")));
+                    match info_faults.outcome(resource, now.as_secs() - submitted_secs, rng) {
+                        InfoOutcome::Ok => InfoDisposition::Ok,
+                        InfoOutcome::Corrupt => InfoDisposition::Corrupt,
+                        InfoOutcome::Unavailable => InfoDisposition::Unavailable,
+                    }
+                }));
+        }
+    }
+    record_event(
+        sim.now(),
+        JournalEvent::RunStarted {
+            seed: options.seed,
+            strategy: strategy.label(),
+            n_tasks,
+        },
+        &recorder,
+        &options.journal,
+    );
 
     // Steps 1–4: derive the plan at submission time.
     let em = ExecutionManager::default();
@@ -399,23 +513,18 @@ pub fn run_application(
             pm2.cancel_all(sim);
         });
     }
-    // Journal wiring: subscribe before anything is submitted so the very
-    // first transitions are captured. Entry order within one instant is
-    // fixed by subscription order, hence deterministic.
-    if let Some(journal) = &options.journal {
-        journal.borrow_mut().record(
-            sim.now(),
-            JournalEvent::RunStarted {
-                seed: options.seed,
-                strategy: strategy.label(),
-                n_tasks,
-            },
-        );
-        let jr = journal.clone();
+    // Journal + flight-recorder wiring: subscribe before anything is
+    // submitted so the very first transitions are captured. The recorder
+    // is always on; the journal only when the caller asked for one.
+    // Entry order within one instant is fixed by subscription order,
+    // hence deterministic.
+    {
+        let jr = options.journal.clone();
+        let rec = recorder.clone();
         let pm2 = pm.clone();
         pm.subscribe(move |sim, pilot, state| {
             let desc = pm2.pilot(pilot).description;
-            jr.borrow_mut().record(
+            record_event(
                 sim.now(),
                 JournalEvent::PilotTransition {
                     pilot: pilot.0,
@@ -423,13 +532,16 @@ pub fn run_application(
                     resource: desc.resource,
                     cores: desc.cores,
                 },
+                &rec,
+                &jr,
             );
         });
-        let jr = journal.clone();
+        let jr = options.journal.clone();
+        let rec = recorder.clone();
         let um2 = um.clone();
         um.subscribe(move |sim, unit, state| {
             let u = um2.unit(unit);
-            jr.borrow_mut().record(
+            record_event(
                 sim.now(),
                 JournalEvent::UnitTransition {
                     unit: unit.0,
@@ -437,9 +549,13 @@ pub fn run_application(
                     pilot: u.pilot.map(|p| p.0),
                     cores: u.task.cores,
                 },
+                &rec,
+                &jr,
             );
         });
-        let jr = journal.clone();
+        let jr = options.journal.clone();
+        let rec = recorder.clone();
+        let dump_dir2 = dump_dir.clone();
         pm.on_detector_event(move |sim, ev| {
             let event = match ev {
                 DetectorEvent::Suspected {
@@ -482,28 +598,44 @@ pub fn run_application(
                     detail: detail.clone(),
                 },
             };
-            jr.borrow_mut().record(sim.now(), event);
+            record_event(sim.now(), event, &rec, &jr);
+            // A Declared-Dead verdict is a death certificate: snapshot
+            // the tail now, while the evidence is still in the ring.
+            if let DetectorEvent::DeclaredDead { resource, .. } = ev {
+                dump_snapshot(
+                    dump_dir2.as_deref(),
+                    seed,
+                    &rec.borrow(),
+                    &format!("declared-dead-{resource}"),
+                );
+            }
         });
-        let jr = journal.clone();
+        let jr = options.journal.clone();
+        let rec = recorder.clone();
         pm.on_blacklist(move |sim, resource| {
-            jr.borrow_mut().record(
+            record_event(
                 sim.now(),
                 JournalEvent::Blacklist {
                     resource: resource.to_string(),
                 },
+                &rec,
+                &jr,
             );
         });
         for cluster in &clusters {
             let Some(svc) = session.service(&cluster.name()) else {
                 continue;
             };
-            let jr = journal.clone();
+            let jr = options.journal.clone();
+            let rec = recorder.clone();
             svc.on_breaker_trip(move |sim, resource| {
-                jr.borrow_mut().record(
+                record_event(
                     sim.now(),
                     JournalEvent::BreakerTrip {
                         resource: resource.to_string(),
                     },
+                    &rec,
+                    &jr,
                 );
             });
         }
@@ -757,6 +889,7 @@ pub fn run_application(
             // holds now is exactly what a crashed writer would have
             // persisted.
             if sim.now() >= t {
+                dump("interrupted");
                 return Err(RunError::Interrupted {
                     at: sim.now(),
                     stats: um.stats(),
@@ -764,6 +897,7 @@ pub fn run_application(
             }
         }
         if sim.now() > deadline {
+            dump("deadline-exceeded");
             return Err(RunError::DeadlineExceeded {
                 n_tasks,
                 strategy_label: strategy.label(),
@@ -780,11 +914,17 @@ pub fn run_application(
         None => {
             let stats = um.stats();
             return Err(match lost.borrow().first() {
-                Some(resource) => RunError::ResourceLost {
-                    resource: resource.clone(),
-                    stats,
-                },
-                None => RunError::PilotsDrained { stats },
+                Some(resource) => {
+                    dump(&format!("resource-lost-{resource}"));
+                    RunError::ResourceLost {
+                        resource: resource.clone(),
+                        stats,
+                    }
+                }
+                None => {
+                    dump("pilots-drained");
+                    RunError::PilotsDrained { stats }
+                }
             });
         }
     };
@@ -797,14 +937,14 @@ pub fn run_application(
     // knows when silence began, so decompose cannot derive this from
     // unit/pilot timestamps.
     breakdown.td = interval_union(pm.detection_windows());
-    if let Some(journal) = &options.journal {
-        journal.borrow_mut().record(
-            finished_at,
-            JournalEvent::RunFinished {
-                ttc_secs: breakdown.ttc.as_secs(),
-            },
-        );
-    }
+    record_event(
+        finished_at,
+        JournalEvent::RunFinished {
+            ttc_secs: breakdown.ttc.as_secs(),
+        },
+        &recorder,
+        &options.journal,
+    );
     // Allocation accounting (§V metrics): charged = active pilot spans,
     // used = task-execution core time.
     let charged_core_hours: f64 = pilots
@@ -898,8 +1038,11 @@ pub fn run_application(
         }
         telemetry.summary()
     });
+    let info_stats = info_handle.borrow().stats();
     Ok(RunResult {
         metrics,
+        info_fallbacks: info_stats.info_fallbacks(),
+        stale_decision_secs: info_stats.stale_decision_secs,
         charged_core_hours,
         used_core_hours,
         replacements: pm.replacements(),
@@ -920,6 +1063,52 @@ pub fn run_application(
             .filter_map(|p| p.setup_time().map(|d| d.as_secs()))
             .collect(),
     })
+}
+
+/// Feed one journal-shaped event to the always-on flight recorder and,
+/// when the caller asked for one, the run journal. The recorder line is
+/// the event's JSON, so a snapshot tail is directly comparable to the
+/// journal's tail.
+fn record_event(
+    at: SimTime,
+    event: JournalEvent,
+    recorder: &Rc<RefCell<FlightRecorder>>,
+    journal: &Option<Rc<RefCell<RunJournal>>>,
+) {
+    recorder
+        .borrow_mut()
+        .record_with(at, || serde_json::to_string(&event).unwrap_or_default());
+    if let Some(jr) = journal {
+        jr.borrow_mut().record(at, event);
+    }
+}
+
+/// Write a checksummed snapshot of the recorder into `dir` (no-op when
+/// unset). Dump failures are swallowed: post-mortem writing must never
+/// turn a diagnosable death into a different one.
+fn dump_snapshot(
+    dir: Option<&std::path::Path>,
+    seed: u64,
+    recorder: &FlightRecorder,
+    reason: &str,
+) {
+    let Some(dir) = dir else { return };
+    let snapshot = recorder.snapshot(reason);
+    let safe: String = reason
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(
+        dir.join(format!("flight-{seed}-{safe}.txt")),
+        snapshot.to_text(),
+    );
 }
 
 /// Resume a run that was interrupted mid-flight from its journal.

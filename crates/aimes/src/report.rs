@@ -109,7 +109,9 @@ pub fn fig4_table(result: &ExperimentResult) -> String {
 /// Recovery summary: one row per run with the self-healing counters and
 /// overhead metrics (restarts, replacements, re-plans, recovery TTC
 /// component Tr, detection TTC component Td, wasted core-hours, mean
-/// time-to-recovery, mean time-to-detection).
+/// time-to-recovery, mean time-to-detection, and the information-plane
+/// degradation counters: fallback decisions served below the fresh path
+/// and the total staleness behind them).
 pub fn recovery_table(runs: &[crate::middleware::RunResult]) -> String {
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -126,6 +128,8 @@ pub fn recovery_table(runs: &[crate::middleware::RunResult]) -> String {
                 format!("{:.2}", r.wasted_core_hours),
                 format!("{:.0}", r.mean_recovery_secs),
                 format!("{:.0}", r.mean_detection_secs),
+                r.info_fallbacks.to_string(),
+                format!("{:.0}", r.stale_decision_secs),
             ]
         })
         .collect();
@@ -142,6 +146,8 @@ pub fn recovery_table(runs: &[crate::middleware::RunResult]) -> String {
             "Wasted(ch)",
             "MeanRec(s)",
             "MeanTd(s)",
+            "InfoFB",
+            "Stale(s)",
         ],
         &rows,
     )
@@ -503,14 +509,17 @@ mod tests {
             mean_recovery_secs: 90.0,
             mean_detection_secs: 45.0,
             false_suspicions: 1,
+            info_fallbacks: 4,
+            stale_decision_secs: 1800.0,
             metrics: None,
         };
         let t = recovery_table(&[run]);
         assert!(t.contains("Replacements"));
         assert!(t.contains("Td(s)"));
-        assert!(
-            t.contains("| late-backfill-3p | 16 | 16/16 | 3 | 2 | 1 | 120 | 60 | 0.75 | 90 | 45 |")
-        );
+        assert!(t.contains("InfoFB"));
+        assert!(t.contains(
+            "| late-backfill-3p | 16 | 16/16 | 3 | 2 | 1 | 120 | 60 | 0.75 | 90 | 45 | 4 | 1800 |"
+        ));
     }
 
     #[test]

@@ -227,6 +227,8 @@ pub struct SessionTimelines {
     pub breaker_trips: u32,
     pub blacklists: u32,
     pub stale_signals: u32,
+    /// Decisions the information plane served below the fresh path.
+    pub info_fallbacks: u32,
 }
 
 /// Why a journal could not be turned into timelines.
@@ -284,6 +286,7 @@ pub fn reconstruct(journal: &RunJournal) -> Result<SessionTimelines, Reconstruct
     let mut breaker_trips = 0;
     let mut blacklists = 0;
     let mut stale_signals = 0;
+    let mut info_fallbacks = 0;
     let mut last_at = started_at;
 
     for entry in entries {
@@ -435,6 +438,7 @@ pub fn reconstruct(journal: &RunJournal) -> Result<SessionTimelines, Reconstruct
                 _ => {}
             },
             JournalEvent::StaleSignal { .. } => stale_signals += 1,
+            JournalEvent::InfoFallback { .. } => info_fallbacks += 1,
             JournalEvent::BreakerTrip { .. } => breaker_trips += 1,
             JournalEvent::Blacklist { .. } => blacklists += 1,
             JournalEvent::Replan { .. } => replans += 1,
@@ -495,6 +499,7 @@ pub fn reconstruct(journal: &RunJournal) -> Result<SessionTimelines, Reconstruct
         breaker_trips,
         blacklists,
         stale_signals,
+        info_fallbacks,
     })
 }
 

@@ -19,6 +19,8 @@
 //!   ablation-hetero     heterogeneous task-duration mixes
 //!   ablation-faults     failure-rate sweep: self-healing cost & payoff
 //!   ablation-detection  failure-detector tuning: Td vs oracle recovery
+//!   ablation-info       degraded-information arms: oracle / streaming /
+//!                       degraded / blackout, with fallback-ladder counters
 //!   telemetry           one instrumented experiment-1 run; see --emit-metrics
 //!   journal             run a named scenario, write its journal JSONL (--scenario, --out)
 //!   analyze             post-mortem analysis of a journal: timelines, TTC closure,
@@ -68,6 +70,10 @@ struct Options {
     /// Positional file arguments after the command (journal/analysis
     /// paths for `analyze` and `analytics-diff`).
     files: Vec<std::path::PathBuf>,
+    /// Flight-recorder dump directory for the chaos arms (`ablation-info`,
+    /// `ablation-faults`): failed runs leave checksummed post-mortem
+    /// snapshots here for CI to collect as artifacts.
+    dump_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> (String, Options) {
@@ -85,6 +91,7 @@ fn parse_args() -> (String, Options) {
         epsilon: aimes_analytics::DEFAULT_EPSILON_SECS,
         threshold: 0.10,
         files: Vec::new(),
+        dump_dir: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -122,6 +129,10 @@ fn parse_args() -> (String, Options) {
             "--threshold" => {
                 i += 1;
                 opts.threshold = args[i].parse().expect("--threshold takes a number");
+            }
+            "--dump-dir" => {
+                i += 1;
+                opts.dump_dir = Some(args[i].clone().into());
             }
             c if !c.starts_with("--") => {
                 if command == "help" {
@@ -901,6 +912,7 @@ fn ablation_faults(opts: &Options) {
                         submit_at,
                         faults: Some(faults.clone()),
                         recovery,
+                        recorder_dump_dir: opts.dump_dir.clone(),
                         ..Default::default()
                     },
                 ) {
@@ -998,6 +1010,193 @@ fn ablation_faults(opts: &Options) {
     );
     if opts.fail_on_error && healing_errors > 0 {
         eprintln!("{healing_errors} healing-arm run(s) failed under --fail-on-error");
+        std::process::exit(1);
+    }
+}
+
+/// Information-degradation ablation: the same workload executed under
+/// four information regimes — an oracle channel (every query measures
+/// live), a streaming cache (5-minute refresh), a degraded channel
+/// (corrupt/unavailable answers plus a one-resource blackout), and a
+/// total blackout (no resource ever answers). Paired seeds isolate the
+/// information regime from schedule noise; per-arm fallback-ladder
+/// counters come through the MetricsRegistry (`bundle.info.*`), so the
+/// same numbers land in the Perfetto trace when telemetry is exported.
+/// With `--fail-on-error`, any failed run exits non-zero — degradation
+/// must slow runs down, never kill them. `--dump-dir` routes flight-
+/// recorder snapshots of any failure there for CI artifact collection.
+fn ablation_info(opts: &Options) {
+    use aimes_bundle::InfoConfig;
+    use aimes_fault::{FaultSpec, InfoBlackoutSpec, InfoFaultSpec};
+    use aimes_sim::Telemetry;
+
+    #[derive(serde::Serialize)]
+    struct InfoPoint {
+        arm: String,
+        reps: usize,
+        completed: usize,
+        ttc_mean_secs: f64,
+        ttc_max_secs: f64,
+        info_fallbacks: u64,
+        stale_decision_secs: f64,
+        counters: std::collections::BTreeMap<String, u64>,
+    }
+
+    println!("## Ablation — degraded-information execution (late binding, 3 pilots)\n");
+    let n_tasks = if opts.quick { 32 } else { 128 };
+    let app = bag_of_tasks(
+        "info",
+        n_tasks,
+        Distribution::Constant { value: 900.0 },
+        1.0,
+        0.002,
+    );
+    let strategy = paper::late_strategy(3);
+    let streaming = InfoConfig {
+        base_refresh_secs: 300.0,
+        ..InfoConfig::default()
+    };
+    let degraded_faults = FaultSpec {
+        info: InfoFaultSpec {
+            corrupt_chance: 0.25,
+            unavailable_chance: 0.25,
+            blackouts: vec![InfoBlackoutSpec {
+                resource: "stampede".into(),
+                at_secs: 0.0,
+                duration_secs: 3600.0,
+            }],
+        },
+        ..FaultSpec::none()
+    };
+    let blackout_faults = FaultSpec {
+        info: InfoFaultSpec {
+            blackouts: vec![InfoBlackoutSpec {
+                resource: "*".into(),
+                at_secs: 0.0,
+                duration_secs: 1e9,
+            }],
+            ..InfoFaultSpec::default()
+        },
+        ..FaultSpec::none()
+    };
+    let arms: Vec<(&str, InfoConfig, Option<FaultSpec>)> = vec![
+        ("oracle", InfoConfig::default(), None),
+        ("streaming", streaming.clone(), None),
+        ("degraded", streaming.clone(), Some(degraded_faults)),
+        ("blackout", streaming, Some(blackout_faults)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut failures = 0usize;
+    for (arm, info, faults) in &arms {
+        let mut ttcs = Vec::new();
+        let mut info_fallbacks = 0u64;
+        let mut stale_secs = 0.0f64;
+        let mut counters: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        for rep in 0..opts.reps {
+            // Same seed across arms: identical workload, background load,
+            // and submission instant — only the information regime moves.
+            let seed = SimRng::new(opts.seed)
+                .fork_indexed("info", rep as u64)
+                .root_seed();
+            let mut rng = SimRng::new(seed).fork("submit");
+            let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+            let telemetry = Telemetry::new();
+            match run_application(
+                &paper::testbed(),
+                &app,
+                &strategy,
+                &RunOptions {
+                    seed,
+                    submit_at,
+                    faults: faults.clone(),
+                    info: info.clone(),
+                    telemetry: Some(telemetry.clone()),
+                    recorder_dump_dir: opts.dump_dir.clone(),
+                    ..Default::default()
+                },
+            ) {
+                Ok(r) => {
+                    ttcs.push(r.breakdown.ttc.as_secs());
+                    info_fallbacks += r.info_fallbacks;
+                    stale_secs += r.stale_decision_secs;
+                    if let Some(summary) = &r.metrics {
+                        for (name, v) in &summary.counters {
+                            if let Some(short) = name.strip_prefix("bundle.info.") {
+                                *counters.entry(short.to_string()).or_insert(0) += v;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("info arm failed: arm={arm} rep={rep} seed={seed}: {e}");
+                }
+            }
+        }
+        let (mean, max) = match Summary::of(&ttcs) {
+            Some(s) => (s.mean, s.max),
+            None => (0.0, 0.0),
+        };
+        let c = |k: &str| counters.get(k).copied().unwrap_or(0);
+        rows.push(vec![
+            arm.to_string(),
+            format!("{}/{}", ttcs.len(), opts.reps),
+            format!("{mean:.0}"),
+            format!("{max:.0}"),
+            c("fresh").to_string(),
+            c("cache_hit").to_string(),
+            (c("corrupt") + c("unavailable")).to_string(),
+            c("fallback_stale_cache").to_string(),
+            c("fallback_predictor").to_string(),
+            c("fallback_static").to_string(),
+            info_fallbacks.to_string(),
+            format!("{stale_secs:.0}"),
+        ]);
+        points.push(InfoPoint {
+            arm: arm.to_string(),
+            reps: opts.reps,
+            completed: ttcs.len(),
+            ttc_mean_secs: mean,
+            ttc_max_secs: max,
+            info_fallbacks,
+            stale_decision_secs: stale_secs,
+            counters,
+        });
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Arm",
+                "Completed",
+                "TTC mean(s)",
+                "TTC max(s)",
+                "Fresh",
+                "CacheHit",
+                "Degraded",
+                "StaleFB",
+                "PredFB",
+                "StaticFB",
+                "InfoFB",
+                "Stale(s)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\n### JSON\n```json\n{}\n```",
+        serde_json::to_string_pretty(&points).expect("info points serialize")
+    );
+    println!(
+        "\nEvery arm must complete every run: degraded information descends \
+         the fallback ladder (stale cache, predictor, static floor) and \
+         slows selection down, but never panics or loses work."
+    );
+    if opts.fail_on_error && failures > 0 {
+        eprintln!("{failures} info-arm run(s) failed under --fail-on-error");
         std::process::exit(1);
     }
 }
@@ -1447,6 +1646,7 @@ fn main() {
         "ablation-predictor" => ablation_predictor(&opts),
         "ablation-faults" => ablation_faults(&opts),
         "ablation-detection" => ablation_detection(&opts),
+        "ablation-info" => ablation_info(&opts),
         "telemetry" => telemetry_run(&opts),
         "journal" => journal_cmd(&opts),
         "analyze" => analyze_cmd(&opts),
@@ -1480,6 +1680,7 @@ fn main() {
             ablation_predictor(&opts);
             ablation_faults(&opts);
             ablation_detection(&opts);
+            ablation_info(&opts);
         }
         _ => {
             println!(
@@ -1488,9 +1689,9 @@ fn main() {
                  ablation-crossover | ablation-throughput | ablation-hetero | \n\
                  ablation-adaptive | ablation-walltime | ablation-queue | \n\
                  ablation-predictor | ablation-faults | ablation-detection | \n\
-                 telemetry | journal | analyze | analytics-diff | all\n\
+                 ablation-info | telemetry | journal | analyze | analytics-diff | all\n\
                  flags: --reps N --seed S --quick --fail-on-error \
-                 --emit-metrics DIR --trace-out PATH\n\
+                 --emit-metrics DIR --trace-out PATH --dump-dir DIR\n\
                  journal flags: --scenario exp1|exp4|faulty --out PATH\n\
                  analyze: <journal.jsonl> --epsilon E --out report.json\n\
                  analytics-diff: <run-a> <run-b> --threshold T"

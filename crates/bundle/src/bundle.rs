@@ -6,11 +6,14 @@
 //! with a convenient handle for performing aggregated operations such as
 //! querying and monitoring."
 
+use crate::info::{InfoChannel, InfoConfig};
 use crate::query::{QueryMode, ResourceQuery};
 use crate::repr::ResourceRepresentation;
 use aimes_cluster::Cluster;
 use aimes_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// One resource inside a bundle.
 pub struct BundleResource {
@@ -37,17 +40,42 @@ pub struct BundleResource {
 /// assert_eq!(ranked.len(), 1);
 /// assert_eq!(ranked[0].0, "alpha");
 /// ```
-#[derive(Default)]
 pub struct Bundle {
     resources: BTreeMap<String, BundleResource>,
+    /// The bundle-wide information plane: one hot pool, one staleness
+    /// ladder, one set of counters, shared by every resource's query
+    /// interface. See [`crate::info`].
+    info: Rc<RefCell<InfoChannel>>,
+}
+
+impl Default for Bundle {
+    fn default() -> Self {
+        Bundle::new()
+    }
 }
 
 impl Bundle {
-    /// An empty bundle.
+    /// An empty bundle with the default (oracle-equivalent) information
+    /// plane.
     pub fn new() -> Self {
+        Bundle::with_info_config(InfoConfig::default())
+    }
+
+    /// An empty bundle with an explicit information-plane configuration.
+    /// The config is taken as-is; callers accepting configs from outside
+    /// should run [`InfoConfig::validate`] first.
+    pub fn with_info_config(config: InfoConfig) -> Self {
         Bundle {
             resources: BTreeMap::new(),
+            info: Rc::new(RefCell::new(InfoChannel::new(config))),
         }
+    }
+
+    /// The shared information channel: the middleware uses this handle to
+    /// install degradation hooks, attach metrics, and read the fallback
+    /// counters after a run.
+    pub fn info_handle(&self) -> Rc<RefCell<InfoChannel>> {
+        Rc::clone(&self.info)
     }
 
     /// Add a resource (a cheap handle; the bundle never owns the cluster).
@@ -56,7 +84,7 @@ impl Bundle {
         self.resources.insert(
             name,
             BundleResource {
-                query: ResourceQuery::new(cluster.clone()),
+                query: ResourceQuery::with_info(cluster.clone(), Rc::clone(&self.info)),
                 cluster,
             },
         );
@@ -143,7 +171,13 @@ impl Bundle {
     /// Discovery interface: a tailored bundle of the matching resources
     /// (handles are shared; see the type docs).
     pub fn tailor(&self, now: SimTime, requirement: &crate::discovery::Requirement) -> Bundle {
-        let mut out = Bundle::new();
+        // The tailored bundle shares the parent's information channel,
+        // consistent with sharing the cluster handles: the hot pool and
+        // counters describe the resources, not the grouping.
+        let mut out = Bundle {
+            resources: BTreeMap::new(),
+            info: Rc::clone(&self.info),
+        };
         for name in self.discover(now, requirement) {
             out.add(self.resources[&name].cluster.clone());
         }

@@ -189,6 +189,11 @@ impl Requirement {
 
 /// Evaluate a requirement against a set of resources at `now`; returns the
 /// names that qualify (sorted — deterministic).
+///
+/// Determinism audit: this path never touches a `HashMap` — matching
+/// iterates the caller's slice and the result is name-sorted, so the
+/// output is independent of both the pool ordering and the per-process
+/// hash seed (the bug class fixed in PR 3 elsewhere).
 pub fn discover(clusters: &[Cluster], now: SimTime, requirement: &Requirement) -> Vec<String> {
     let mut names: Vec<String> = clusters
         .iter()
@@ -285,6 +290,24 @@ mod tests {
         assert_eq!(discover(&clusters, sim.now(), &r), vec!["idle"]);
         let r2 = Requirement::parse("queued_jobs == 0 && free_cores < 32").unwrap();
         assert_eq!(discover(&clusters, sim.now(), &r2), vec!["busy"]);
+    }
+
+    #[test]
+    fn discover_is_insertion_order_independent() {
+        let mk = || {
+            vec![
+                cluster("zeta", 2048, SchedulingPolicy::EasyBackfill),
+                cluster("alpha", 2048, SchedulingPolicy::EasyBackfill),
+                cluster("mid", 2048, SchedulingPolicy::Fcfs),
+            ]
+        };
+        let mut reversed = mk();
+        reversed.reverse();
+        let r = Requirement::parse("total_cores >= 1024").unwrap();
+        let a = discover(&mk(), SimTime::ZERO, &r);
+        let b = discover(&reversed, SimTime::ZERO, &r);
+        assert_eq!(a, b, "discovery must not depend on pool ordering");
+        assert_eq!(a, vec!["alpha", "mid", "zeta"], "output is name-sorted");
     }
 
     #[test]

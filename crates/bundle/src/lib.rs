@@ -12,6 +12,11 @@
 //!   historical measurements).
 //! * [`predictor`] — queue-wait estimators: a QBETS-style binomial
 //!   quantile bound, exponential smoothing, and a queue-replay estimator.
+//! * [`info`] — the information plane: a hot-pool top-K cache with
+//!   volatility-adaptive refresh, a JIT fetcher classifying every answer
+//!   as fresh / stale / corrupt / unavailable, and the typed fallback
+//!   ladder that keeps `estimate_wait`-driven decisions usable when the
+//!   information channel degrades.
 //! * [`monitor`] — the monitoring interface: threshold subscriptions with
 //!   notification events ("when the average performance has dropped below
 //!   a certain threshold for a certain period, subscribers ... will be
@@ -26,6 +31,7 @@
 
 pub mod bundle;
 pub mod discovery;
+pub mod info;
 pub mod monitor;
 pub mod predictor;
 pub mod query;
@@ -33,6 +39,10 @@ pub mod repr;
 
 pub use bundle::{Bundle, BundleResource};
 pub use discovery::{discover, Requirement};
+pub use info::{
+    FallbackRung, InfoAnswer, InfoChannel, InfoClass, InfoConfig, InfoDecision, InfoDisposition,
+    InfoStats,
+};
 pub use monitor::{Condition, Metric, MonitorHandle, MonitorService};
 pub use predictor::{ExpSmoothing, QuantileBound, WaitPredictor};
 pub use query::{QueryMode, ResourceQuery};

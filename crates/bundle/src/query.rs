@@ -7,11 +7,14 @@
 //! location to a resource" — estimates "within an order of magnitude" are
 //! still useful (refs \[37\], \[38\]).
 
+use crate::info::{FallbackRung, InfoAnswer, InfoChannel, InfoClass, InfoConfig};
 use crate::predictor::{QuantileBound, WaitPredictor};
 use crate::repr::ResourceRepresentation;
 use aimes_cluster::Cluster;
 use aimes_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Which information source a query uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -26,15 +29,30 @@ pub enum QueryMode {
 pub struct ResourceQuery {
     cluster: Cluster,
     predictor: QuantileBound,
+    /// The shared information plane (hot pool, staleness ladder). Every
+    /// on-demand answer flows through it; see [`crate::info`].
+    info: Rc<RefCell<InfoChannel>>,
 }
 
 impl ResourceQuery {
-    /// Wrap a resource. The predictive mode learns from the resource's
-    /// start history as queries are made.
+    /// Wrap a resource with a private, healthy, oracle-equivalent
+    /// information channel. The predictive mode learns from the
+    /// resource's start history as queries are made.
     pub fn new(cluster: Cluster) -> Self {
+        Self::with_info(
+            cluster,
+            Rc::new(RefCell::new(InfoChannel::new(InfoConfig::default()))),
+        )
+    }
+
+    /// Wrap a resource sharing an existing information channel (the
+    /// normal case inside a [`crate::Bundle`]: one hot pool and one set
+    /// of counters across the whole bundle).
+    pub fn with_info(cluster: Cluster, info: Rc<RefCell<InfoChannel>>) -> Self {
         ResourceQuery {
             cluster,
             predictor: QuantileBound::qbets_default(),
+            info,
         }
     }
 
@@ -67,14 +85,55 @@ impl ResourceQuery {
         walltime: SimDuration,
         mode: QueryMode,
     ) -> Option<SimDuration> {
+        self.setup_time_classified(now, cores, walltime, mode).wait
+    }
+
+    /// Like [`setup_time`](Self::setup_time), but with the answer's
+    /// provenance: which [`InfoClass`] the information was and which
+    /// [`FallbackRung`] of the ladder produced it.
+    ///
+    /// `OnDemand` routes through the shared [`InfoChannel`] — hot pool,
+    /// then live measurement on a healthy channel; the staleness ladder
+    /// on a degraded one — rather than calling `estimate_wait` directly,
+    /// so degradation never panics and never serves garbage.
+    pub fn setup_time_classified(
+        &mut self,
+        now: SimTime,
+        cores: u32,
+        walltime: SimDuration,
+        mode: QueryMode,
+    ) -> InfoAnswer {
         match mode {
-            QueryMode::OnDemand => self.cluster.estimate_wait(now, cores, walltime),
+            QueryMode::OnDemand => {
+                // Keep the offline rung current: feed accumulated start
+                // records before the ladder might need them.
+                self.refresh_history();
+                let fits = cores <= self.cluster.config().total_cores;
+                let name = self.cluster.name();
+                let info = Rc::clone(&self.info);
+                let cluster = &self.cluster;
+                let predictor = &mut self.predictor;
+                let answer = info.borrow_mut().fetch(
+                    &name,
+                    now,
+                    fits,
+                    || cluster.estimate_wait(now, cores, walltime),
+                    predictor,
+                );
+                answer
+            }
             QueryMode::Predictive => {
                 self.refresh_history();
-                if cores > self.cluster.config().total_cores {
-                    return None;
+                let wait = if cores > self.cluster.config().total_cores {
+                    None
+                } else {
+                    self.predictor.predict()
+                };
+                InfoAnswer {
+                    wait,
+                    class: InfoClass::Fresh,
+                    rung: FallbackRung::Predictor,
                 }
-                self.predictor.predict()
             }
         }
     }

@@ -7,7 +7,7 @@
 //! yields a concrete [`FaultSchedule`] — the exact same outages, launch
 //! failures, and unit faults on every replay with the same seed.
 //!
-//! Four fault classes are modelled, one per middleware layer:
+//! Five fault classes are modelled, one per middleware layer:
 //!
 //! * **resource outages** (cluster layer) — a machine goes down for a
 //!   window, killing the jobs it was running; *drains* suppress dispatch
@@ -18,7 +18,11 @@
 //! * **unit faults** (pilot agent layer) — a task dies mid-execution,
 //!   transiently (retryable) or permanently (poisoned input);
 //! * **staging degradation** (data layer) — the origin uplink loses
-//!   bandwidth for a window.
+//!   bandwidth for a window;
+//! * **information degradation** (bundle layer) — queue-state queries
+//!   return garbage, time out, or black out entirely for a window; the
+//!   resource keeps working, but decisions about it run on stale
+//!   knowledge.
 //!
 //! The companion [`RecoveryPolicy`] configures the self-healing layer:
 //! pilot replacement with capped exponential backoff, per-resource
@@ -76,6 +80,119 @@ pub struct HeartbeatDelaySpec {
     pub delay_secs: f64,
 }
 
+/// A window in which a resource's *information channel* answers nothing:
+/// queue-state queries time out instead of returning an estimate. The
+/// resource itself keeps running — only the knowledge about it is gone,
+/// which is exactly the gap between a machine being up and the middleware
+/// knowing it is up.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InfoBlackoutSpec {
+    /// Resource name, or `"*"` for every resource in the pool.
+    pub resource: String,
+    /// Window start, in seconds after application submission.
+    pub at_secs: f64,
+    /// Window length in seconds.
+    pub duration_secs: f64,
+}
+
+/// What one information-channel query observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum InfoOutcome {
+    /// The channel answered with a usable value.
+    Ok,
+    /// The channel answered, but the payload is garbage (stale daemon,
+    /// truncated response, wrong units) and must not be trusted.
+    Corrupt,
+    /// The channel did not answer at all.
+    Unavailable,
+}
+
+/// The information-channel fault family: degradation of *knowledge about*
+/// resources rather than of the resources themselves. Blackout windows
+/// make queries time out deterministically; the per-query chances model a
+/// flaky information service. Like every other family here, the outcomes
+/// are drawn from per-resource forked streams, so the answers one
+/// resource's channel gives do not depend on how often the others are
+/// queried.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct InfoFaultSpec {
+    /// Deterministic unavailability windows.
+    #[serde(default)]
+    pub blackouts: Vec<InfoBlackoutSpec>,
+    /// Per-query probability the answer is garbage.
+    #[serde(default)]
+    pub corrupt_chance: f64,
+    /// Per-query probability the channel does not answer (outside any
+    /// blackout window, which is always unavailable).
+    #[serde(default)]
+    pub unavailable_chance: f64,
+}
+
+impl InfoFaultSpec {
+    /// A spec that degrades nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if the spec cannot perturb any query.
+    pub fn is_noop(&self) -> bool {
+        self.blackouts.is_empty() && self.corrupt_chance <= 0.0 && self.unavailable_chance <= 0.0
+    }
+
+    /// Reject declarations that cannot mean what they say, in the same
+    /// spirit as [`FaultSpec::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        for (chance, name) in [
+            (self.corrupt_chance, "info.corrupt_chance"),
+            (self.unavailable_chance, "info.unavailable_chance"),
+        ] {
+            if !(chance.is_finite() && (0.0..=1.0).contains(&chance)) {
+                return Err(format!("{name} {chance}: must be in [0, 1]"));
+            }
+        }
+        for b in &self.blackouts {
+            if !(b.at_secs.is_finite() && b.at_secs >= 0.0) {
+                return Err(format!(
+                    "info.blackouts[{}].at_secs {}: must be finite and non-negative",
+                    b.resource, b.at_secs
+                ));
+            }
+            if !(b.duration_secs.is_finite() && b.duration_secs > 0.0) {
+                return Err(format!(
+                    "info.blackouts[{}].duration_secs {}: empty window",
+                    b.resource, b.duration_secs
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve the channel outcome for one query on `resource`, issued
+    /// `since_submit_secs` after application submission. `rng` must be the
+    /// resource's dedicated stream (fork `info.{resource}` from the run
+    /// seed): the outcome sequence one channel produces then depends only
+    /// on the seed and that channel's own query sequence.
+    pub fn outcome(&self, resource: &str, since_submit_secs: f64, rng: &mut SimRng) -> InfoOutcome {
+        // Draw order is fixed (unavailable, then corrupt) and both draws
+        // always happen, so the stream position is a pure function of the
+        // query count even when one chance is zero.
+        let unavailable = rng.chance(self.unavailable_chance.clamp(0.0, 1.0));
+        let corrupt = rng.chance(self.corrupt_chance.clamp(0.0, 1.0));
+        let blacked_out = self.blackouts.iter().any(|b| {
+            (b.resource == "*" || b.resource == resource)
+                && since_submit_secs >= b.at_secs
+                && since_submit_secs < b.at_secs + b.duration_secs
+        });
+        if blacked_out || unavailable {
+            InfoOutcome::Unavailable
+        } else if corrupt {
+            InfoOutcome::Corrupt
+        } else {
+            InfoOutcome::Ok
+        }
+    }
+}
+
 /// Declarative fault model for one run. Compile against the run seed with
 /// [`FaultSpec::compile`] to obtain the concrete, replayable schedule.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -114,6 +231,9 @@ pub struct FaultSpec {
     /// detection enabled).
     #[serde(default)]
     pub heartbeat_delays: Vec<HeartbeatDelaySpec>,
+    /// Information-channel degradation (bundle layer).
+    #[serde(default)]
+    pub info: InfoFaultSpec,
 }
 
 fn default_outage_duration() -> (f64, f64) {
@@ -137,6 +257,7 @@ impl Default for FaultSpec {
             unit_permanent_chance: 0.0,
             staging: None,
             heartbeat_delays: Vec::new(),
+            info: InfoFaultSpec::default(),
         }
     }
 }
@@ -156,6 +277,7 @@ impl FaultSpec {
             && self.unit_failure_chance <= 0.0
             && self.staging.is_none()
             && self.heartbeat_delays.is_empty()
+            && self.info.is_noop()
     }
 
     /// Check the spec for declarations that cannot mean what they say.
@@ -203,6 +325,7 @@ impl FaultSpec {
                 ));
             }
         }
+        self.info.validate()?;
         Ok(())
     }
 
@@ -251,6 +374,11 @@ impl FaultSpec {
             unit_permanent_chance: self.unit_permanent_chance.clamp(0.0, 1.0),
             staging: self.staging,
             heartbeat_delays: self.heartbeat_delays.clone(),
+            info: InfoFaultSpec {
+                blackouts: self.info.blackouts.clone(),
+                corrupt_chance: self.info.corrupt_chance.clamp(0.0, 1.0),
+                unavailable_chance: self.info.unavailable_chance.clamp(0.0, 1.0),
+            },
         }
     }
 }
@@ -277,6 +405,10 @@ pub struct FaultSchedule {
     /// Heartbeat-delivery delay windows, verbatim from the spec.
     #[serde(default)]
     pub heartbeat_delays: Vec<HeartbeatDelaySpec>,
+    /// Information-channel degradation, with clamped chances. Outcomes are
+    /// resolved per query via [`InfoFaultSpec::outcome`].
+    #[serde(default)]
+    pub info: InfoFaultSpec,
 }
 
 /// Phi-accrual thresholds for [`DetectionSpec`]: the silence threshold is
@@ -714,6 +846,103 @@ mod tests {
             .validate()
             .unwrap_err()
             .contains("empty window"));
+    }
+
+    #[test]
+    fn info_faults_validate_noop_and_roundtrip() {
+        assert!(InfoFaultSpec::none().is_noop());
+        let spec = FaultSpec {
+            info: InfoFaultSpec {
+                blackouts: vec![InfoBlackoutSpec {
+                    resource: "*".into(),
+                    at_secs: 100.0,
+                    duration_secs: 500.0,
+                }],
+                corrupt_chance: 0.2,
+                unavailable_chance: 0.1,
+            },
+            ..FaultSpec::default()
+        };
+        assert!(!spec.is_noop(), "info degradation can perturb a run");
+        assert!(spec.validate().is_ok());
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Pre-info specs (no `info` key) must still load as noop.
+        let legacy: FaultSpec = serde_json::from_str(r#"{"unit_failure_chance": 0.1}"#).unwrap();
+        assert!(legacy.info.is_noop());
+
+        let bad_chance = FaultSpec {
+            info: InfoFaultSpec {
+                corrupt_chance: 1.5,
+                ..InfoFaultSpec::none()
+            },
+            ..FaultSpec::default()
+        };
+        assert!(bad_chance.validate().unwrap_err().contains("[0, 1]"));
+        let empty_window = FaultSpec {
+            info: InfoFaultSpec {
+                blackouts: vec![InfoBlackoutSpec {
+                    resource: "alpha".into(),
+                    at_secs: 0.0,
+                    duration_secs: 0.0,
+                }],
+                ..InfoFaultSpec::none()
+            },
+            ..FaultSpec::default()
+        };
+        assert!(empty_window
+            .validate()
+            .unwrap_err()
+            .contains("empty window"));
+    }
+
+    #[test]
+    fn info_outcomes_are_stream_deterministic() {
+        let spec = InfoFaultSpec {
+            blackouts: vec![InfoBlackoutSpec {
+                resource: "alpha".into(),
+                at_secs: 1000.0,
+                duration_secs: 500.0,
+            }],
+            corrupt_chance: 0.3,
+            unavailable_chance: 0.2,
+        };
+        let draw = |seed: u64| {
+            let mut r = SimRng::new(seed).fork("info.alpha");
+            (0..32)
+                .map(|i| spec.outcome("alpha", f64::from(i) * 10.0, &mut r))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7), "same seed, same outcome sequence");
+        assert_ne!(draw(7), draw(8), "different seeds move the outcomes");
+
+        // Inside the blackout window every query is unavailable, whatever
+        // the chances say; other resources are untouched by it.
+        let mut r = SimRng::new(1).fork("info.alpha");
+        let blacked = InfoFaultSpec {
+            blackouts: spec.blackouts.clone(),
+            ..InfoFaultSpec::none()
+        };
+        assert_eq!(
+            blacked.outcome("alpha", 1200.0, &mut r),
+            InfoOutcome::Unavailable
+        );
+        assert_eq!(blacked.outcome("alpha", 1600.0, &mut r), InfoOutcome::Ok);
+        assert_eq!(blacked.outcome("beta", 1200.0, &mut r), InfoOutcome::Ok);
+
+        // Chances are clamped at compile time.
+        let sched = FaultSpec {
+            info: InfoFaultSpec {
+                corrupt_chance: 3.0,
+                unavailable_chance: -0.5,
+                ..InfoFaultSpec::none()
+            },
+            ..FaultSpec::default()
+        }
+        .compile(&pool(), &mut SimRng::new(1));
+        assert_eq!(sched.info.corrupt_chance, 1.0);
+        assert_eq!(sched.info.unavailable_chance, 0.0);
     }
 
     #[test]

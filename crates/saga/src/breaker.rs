@@ -176,4 +176,78 @@ mod tests {
         assert_eq!(b.state(), BreakerState::Closed);
         assert_eq!(b.trips(), 2);
     }
+
+    #[test]
+    fn half_open_admits_every_caller_until_the_probe_reports() {
+        // The probe window is not a token bucket: between the open →
+        // half-open transition and the probe's result, every caller is
+        // admitted. This pins the current (deliberate) semantics — the
+        // simulated adaptor serializes operations per resource, so in
+        // practice one probe is in flight at a time.
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(30.0),
+        });
+        assert!(b.record_failure(t(0.0)));
+        assert!(b.allows(t(30.0)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allows(t(31.0)), "half-open keeps admitting");
+        assert!(b.allows(t(32.0)));
+        assert_eq!(b.state(), BreakerState::HalfOpen, "no state change");
+    }
+
+    #[test]
+    fn failed_probe_restarts_cooldown_from_the_failure_instant() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(100.0),
+        });
+        assert!(b.record_failure(t(0.0)));
+        assert!(b.allows(t(100.0)), "first probe admitted");
+        // The probe fails late, at t=140: the new cooldown runs from 140,
+        // not from the original opening.
+        assert!(b.record_failure(t(140.0)), "failed probe counts as a trip");
+        assert_eq!(b.trips(), 2);
+        assert!(!b.allows(t(200.0)), "old deadline no longer applies");
+        assert!(!b.allows(t(239.0)));
+        assert!(b.allows(t(240.0)), "new cooldown measured from failure");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn successful_probe_fully_rearms_the_threshold() {
+        // After a successful probe closes the breaker, the failure streak
+        // is zero: it takes a full threshold of fresh failures to trip
+        // again, not threshold minus the pre-open residue.
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(10.0),
+        });
+        for i in 0..3 {
+            b.record_failure(t(i as f64));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allows(t(13.0)));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.record_failure(t(20.0)));
+        assert!(!b.record_failure(t(21.0)), "two failures do not re-trip");
+        assert!(b.record_failure(t(22.0)), "the third does");
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn failures_while_open_neither_retrip_nor_extend_cooldown() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(50.0),
+        });
+        assert!(b.record_failure(t(0.0)));
+        // Stragglers already on the wire report their failures while the
+        // breaker is open: no second trip, no cooldown extension.
+        assert!(!b.record_failure(t(5.0)));
+        assert!(!b.record_failure(t(10.0)));
+        assert_eq!(b.trips(), 1);
+        assert!(b.allows(t(50.0)), "cooldown still measured from the trip");
+    }
 }

@@ -99,6 +99,15 @@ impl Default for ExecutionManager {
 impl ExecutionManager {
     /// Derive the plan for one strategy (steps 1–4). `rng` is only drawn
     /// from under [`ResourceSelection::Random`].
+    ///
+    /// Degraded-information contract: every on-demand wait estimate used
+    /// here flows through the bundle's information plane
+    /// (`aimes_bundle::info`), which classifies answers and falls back
+    /// fresh cache → stale cache → offline predictor → conservative
+    /// static default. Derivation therefore never panics and never ranks
+    /// on garbage when the information channel is corrupt or
+    /// unavailable: a plannable pool stays plannable, at worst with
+    /// pessimistic (static-default) wait forecasts.
     pub fn derive_plan_with_rng(
         &self,
         now: SimTime,
@@ -517,6 +526,48 @@ mod tests {
             .unwrap();
         assert_eq!(plan.pilots[0].queue.as_deref(), Some("debug"));
         assert_eq!(plan.resources, vec!["qd"]);
+    }
+
+    #[test]
+    fn degraded_information_never_makes_a_plannable_pool_unplannable() {
+        use aimes_bundle::{InfoConfig, InfoDisposition};
+        // The information channel is dead from the first query: every
+        // answer is Unavailable, the hot pool is empty (nothing was ever
+        // fetched), and the predictor has no history. The ladder must
+        // bottom out at the static default — pessimistic but usable — so
+        // a pool that fits the pilots still yields a plan.
+        let mut b = Bundle::with_info_config(InfoConfig::default());
+        for (n, c) in [("alpha", 4096), ("beta", 4096), ("gamma", 4096)] {
+            b.add(Cluster::new(ClusterConfig::test(n, c)));
+        }
+        b.info_handle()
+            .borrow_mut()
+            .set_disposition(Box::new(|_, _| InfoDisposition::Unavailable));
+        let em = ExecutionManager::default();
+        let plan = em
+            .derive_plan(
+                SimTime::ZERO,
+                &bag(512),
+                &mut b,
+                &ExecutionStrategy::paper_late(3),
+            )
+            .expect("blackout must degrade forecasts, not kill planning");
+        assert_eq!(plan.resources.len(), 3);
+        // Every forecast came from the static-default rung.
+        let stats = b.info_handle().borrow().stats();
+        assert!(stats.static_fallbacks > 0, "{stats:?}");
+        assert_eq!(stats.fresh, 0);
+        // Oversized pilots are still rejected — the ladder answers "how
+        // long", never "does it fit".
+        let err = em
+            .derive_plan(
+                SimTime::ZERO,
+                &bag(8192),
+                &mut b,
+                &ExecutionStrategy::paper_early(),
+            )
+            .unwrap_err();
+        assert!(err.contains("qualify"), "{err}");
     }
 
     #[test]

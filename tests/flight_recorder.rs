@@ -1,0 +1,167 @@
+//! The always-on flight recorder, end to end: a chaos run that dies must
+//! leave a checksummed post-mortem dump on disk whose retained tail
+//! reconstructs the run's last N events exactly — byte-for-byte the same
+//! JSON lines the full journal holds for those events. A Declared-Dead
+//! verdict dumps too, even when the run ultimately succeeds.
+
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use aimes_repro::cluster::ClusterConfig;
+use aimes_repro::fault::{FaultSpec, OutageKind, OutageSpec, RecoveryPolicy};
+use aimes_repro::middleware::paper;
+use aimes_repro::middleware::{
+    run_application, RecorderSnapshot, RunError, RunJournal, RunOptions,
+};
+use aimes_repro::sim::{SimDuration, SimTime};
+use aimes_repro::skeleton::{paper_bag, TaskDurationSpec};
+use aimes_repro::strategy::ResourceSelection;
+
+/// A fresh per-test dump directory under the cargo-managed tmpdir.
+fn dump_dir(test: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(test);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn interrupted_run_dumps_a_verifiable_snapshot_matching_the_journal_tail() {
+    let dir = dump_dir("interrupted");
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let pool = vec![
+        ClusterConfig::test("one", 256),
+        ClusterConfig::test("two", 256),
+    ];
+    let journal = Rc::new(RefCell::new(RunJournal::new()));
+    let capacity = 16;
+    let err = run_application(
+        &pool,
+        &app,
+        &paper::late_strategy(2),
+        &RunOptions {
+            seed: 4242,
+            submit_at: SimTime::from_secs(600.0),
+            interrupt_at: Some(SimDuration::from_secs(900.0)),
+            journal: Some(journal.clone()),
+            recorder_capacity: capacity,
+            recorder_dump_dir: Some(dir.clone()),
+            ..Default::default()
+        },
+    )
+    .expect_err("the run is killed mid-flight");
+    assert!(matches!(err, RunError::Interrupted { .. }), "got {err}");
+
+    // The dump exists, parses, and passes its own checksum + contiguity
+    // verification (from_text runs both).
+    let path = dir.join("flight-4242-interrupted.txt");
+    let text = std::fs::read_to_string(&path).expect("dump written on interrupt");
+    let snap = RecorderSnapshot::from_text(&text).expect("dump verifies");
+    assert_eq!(snap.reason, "interrupted");
+    assert!(!snap.events.is_empty(), "the ring saw the run's events");
+    assert!(snap.events.len() <= capacity);
+
+    // The tail reconstructs the journal's last N events exactly: same
+    // count, same order, byte-identical JSON per event.
+    let journal = journal.borrow();
+    let entries = journal.entries();
+    assert_eq!(snap.total_events, entries.len() as u64);
+    let tail = &entries[entries.len() - snap.events.len()..];
+    for (rec, entry) in snap.events.iter().zip(tail) {
+        let expect = serde_json::to_string(&entry.event).unwrap();
+        assert_eq!(
+            rec.what, expect,
+            "recorder line diverged at seq {}",
+            rec.seq
+        );
+        // The dump format keeps millisecond precision.
+        assert!((rec.at_secs - entry.at_secs).abs() < 0.001);
+    }
+}
+
+#[test]
+fn declared_dead_verdict_dumps_even_when_the_run_recovers() {
+    // The detection scenario: "one" dies silently, heartbeats stop, the
+    // detector declares it dead, and the run re-plans onto "two" and
+    // finishes. Success — but the Declared-Dead verdict still left a
+    // post-mortem snapshot for diagnosis.
+    let dir = dump_dir("declared-dead");
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let pool = vec![
+        ClusterConfig::test("one", 256),
+        ClusterConfig::test("two", 256),
+    ];
+    let mut strategy = paper::late_strategy(1);
+    strategy.selection = ResourceSelection::Fixed(vec!["one".into()]);
+    let r = run_application(
+        &pool,
+        &app,
+        &strategy,
+        &RunOptions {
+            seed: 13,
+            submit_at: SimTime::from_secs(600.0),
+            faults: Some(FaultSpec {
+                outages: vec![OutageSpec {
+                    resource: "one".into(),
+                    at_secs: 300.0,
+                    duration_secs: 600.0,
+                    kind: OutageKind::Permanent,
+                }],
+                ..FaultSpec::none()
+            }),
+            recovery: Some(RecoveryPolicy::with_detection()),
+            recorder_dump_dir: Some(dir.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("detection recovers the run");
+    assert_eq!(r.units_done, 16);
+
+    let path = dir.join("flight-13-declared-dead-one.txt");
+    let text = std::fs::read_to_string(&path).expect("verdict dumped a snapshot");
+    let snap = RecorderSnapshot::from_text(&text).expect("dump verifies");
+    assert_eq!(snap.reason, "declared-dead-one");
+    assert!(!snap.events.is_empty());
+}
+
+#[test]
+fn no_dump_dir_means_no_files_and_no_failure() {
+    // The recorder stays purely in memory when no dump dir is set: the
+    // same interrupted run neither errors on the dump path nor writes
+    // anywhere.
+    let app = paper_bag(8, TaskDurationSpec::Uniform15Min);
+    let pool = vec![ClusterConfig::test("one", 256)];
+    let err = run_application(
+        &pool,
+        &app,
+        &paper::early_strategy(),
+        &RunOptions {
+            seed: 7,
+            submit_at: SimTime::from_secs(600.0),
+            interrupt_at: Some(SimDuration::from_secs(300.0)),
+            ..Default::default()
+        },
+    )
+    .expect_err("interrupted");
+    assert!(matches!(err, RunError::Interrupted { .. }));
+}
+
+#[test]
+fn zero_recorder_capacity_is_rejected_before_the_run_starts() {
+    let app = paper_bag(8, TaskDurationSpec::Uniform15Min);
+    let pool = vec![ClusterConfig::test("one", 256)];
+    let err = run_application(
+        &pool,
+        &app,
+        &paper::early_strategy(),
+        &RunOptions {
+            recorder_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .expect_err("zero ring must be rejected");
+    assert!(
+        matches!(err, RunError::InvalidRecorderConfig(_)),
+        "got {err}"
+    );
+}

@@ -143,6 +143,39 @@ fn faulty_recovery_journal_matches_golden_digest() {
 }
 
 #[test]
+fn recorder_on_journal_is_bit_identical_to_golden() {
+    // The flight recorder is always on, but this pins the stronger claim:
+    // even with a deliberately tiny ring (constant rotation, every event
+    // serialized into it) the journal digest is unchanged — recording is
+    // strictly passive, no events, no RNG draws.
+    let mut strategy = paper::late_strategy(2);
+    strategy.selection = ResourceSelection::Fixed(vec!["one".into()]);
+    let faults = FaultSpec {
+        outages: vec![OutageSpec {
+            resource: "one".into(),
+            at_secs: 300.0,
+            duration_secs: 600.0,
+            kind: OutageKind::Permanent,
+        }],
+        ..FaultSpec::none()
+    };
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let journal = Rc::new(RefCell::new(RunJournal::new()));
+    let options = RunOptions {
+        seed: 777,
+        submit_at: SimTime::from_secs(600.0),
+        faults: Some(faults),
+        recovery: Some(RecoveryPolicy::with_detection()),
+        journal: Some(Rc::clone(&journal)),
+        recorder_capacity: 8,
+        ..Default::default()
+    };
+    run_application(&pool(), &app, &strategy, &options).expect("golden run completes");
+    let out = journal.borrow().clone();
+    check_golden("faulty-recovery+recorder", &out, GOLDEN_FAULTY);
+}
+
+#[test]
 fn same_seed_runs_produce_identical_journals() {
     // Two fresh executions in the same process: any dependence on
     // allocation addresses, map iteration order, or leftover state shows

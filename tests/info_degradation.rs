@@ -1,0 +1,144 @@
+//! Degraded-information execution, end to end: when the info channel
+//! lies or goes dark, runs complete through the fallback ladder, every
+//! fallback is journaled and counted, and fixed-seed degraded runs stay
+//! byte-identical. A fault-free run must show zero fallbacks and no
+//! `info_fallback` journal entries — the degradation machinery is
+//! invisible until faults ask for it.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use aimes_repro::bundle::InfoConfig;
+use aimes_repro::cluster::ClusterConfig;
+use aimes_repro::fault::{FaultSpec, InfoBlackoutSpec, InfoFaultSpec};
+use aimes_repro::middleware::paper;
+use aimes_repro::middleware::{run_application, JournalEvent, RunJournal, RunOptions, RunResult};
+use aimes_repro::sim::SimTime;
+use aimes_repro::skeleton::{paper_bag, TaskDurationSpec};
+
+fn pool() -> Vec<ClusterConfig> {
+    vec![
+        ClusterConfig::test("one", 256),
+        ClusterConfig::test("two", 256),
+        ClusterConfig::test("three", 512),
+    ]
+}
+
+/// A streaming (non-oracle) information plane: cached answers live for
+/// five minutes, stale ones serve for an hour.
+fn streaming_info() -> InfoConfig {
+    InfoConfig {
+        base_refresh_secs: 300.0,
+        ..InfoConfig::default()
+    }
+}
+
+fn degraded_faults() -> FaultSpec {
+    FaultSpec {
+        info: InfoFaultSpec {
+            corrupt_chance: 0.25,
+            unavailable_chance: 0.25,
+            blackouts: vec![InfoBlackoutSpec {
+                resource: "one".into(),
+                at_secs: 0.0,
+                duration_secs: 3600.0,
+            }],
+        },
+        ..FaultSpec::none()
+    }
+}
+
+fn run(seed: u64, info: InfoConfig, faults: Option<FaultSpec>) -> (RunResult, RunJournal) {
+    let app = paper_bag(32, TaskDurationSpec::Uniform15Min);
+    let journal = Rc::new(RefCell::new(RunJournal::new()));
+    let r = run_application(
+        &pool(),
+        &app,
+        &paper::late_strategy(3),
+        &RunOptions {
+            seed,
+            submit_at: SimTime::from_secs(600.0),
+            faults,
+            journal: Some(Rc::clone(&journal)),
+            info,
+            ..Default::default()
+        },
+    )
+    .expect("degraded-information runs still complete");
+    let out = journal.borrow().clone();
+    (r, out)
+}
+
+fn fallback_entries(journal: &RunJournal) -> usize {
+    journal
+        .entries()
+        .iter()
+        .filter(|e| matches!(e.event, JournalEvent::InfoFallback { .. }))
+        .count()
+}
+
+#[test]
+fn fault_free_runs_never_fall_back() {
+    let (r, journal) = run(101, streaming_info(), None);
+    assert_eq!(r.units_done, 32);
+    assert_eq!(r.info_fallbacks, 0, "healthy channel: no ladder descents");
+    assert_eq!(r.stale_decision_secs, 0.0);
+    assert_eq!(fallback_entries(&journal), 0, "no info_fallback entries");
+}
+
+#[test]
+fn degraded_runs_complete_and_account_for_every_fallback() {
+    let (r, journal) = run(2024, streaming_info(), Some(degraded_faults()));
+    assert_eq!(r.units_done, 32, "degradation must not lose work");
+    assert!(
+        r.info_fallbacks > 0,
+        "a 25%/25% corrupt/unavailable channel plus a blackout must descend the ladder"
+    );
+    assert_eq!(
+        fallback_entries(&journal) as u64,
+        r.info_fallbacks,
+        "every counted fallback is journaled, and vice versa"
+    );
+    // TTC stays bounded: conservative defaults slow selection down, they
+    // do not hang it.
+    assert!(r.breakdown.ttc.as_hours() < 48.0);
+}
+
+#[test]
+fn fixed_seed_degraded_runs_are_byte_identical() {
+    let (r1, j1) = run(777, streaming_info(), Some(degraded_faults()));
+    let (r2, j2) = run(777, streaming_info(), Some(degraded_faults()));
+    assert_eq!(
+        j1.to_jsonl(),
+        j2.to_jsonl(),
+        "same seed, same degradation: the journal must not wobble"
+    );
+    assert_eq!(r1.info_fallbacks, r2.info_fallbacks);
+    assert_eq!(r1.stale_decision_secs, r2.stale_decision_secs);
+}
+
+#[test]
+fn total_blackout_degrades_gracefully_to_the_static_floor() {
+    // Every resource's channel is dark from before submission: no live
+    // measurement ever answers. The run still plans (static floor), still
+    // finishes, and every decision is visible in the journal.
+    let blackout = FaultSpec {
+        info: InfoFaultSpec {
+            blackouts: vec![InfoBlackoutSpec {
+                resource: "*".into(),
+                at_secs: 0.0,
+                duration_secs: 1e9,
+            }],
+            ..InfoFaultSpec::default()
+        },
+        ..FaultSpec::none()
+    };
+    let (r, journal) = run(31337, streaming_info(), Some(blackout));
+    assert_eq!(r.units_done, 32);
+    assert!(r.info_fallbacks > 0, "blackout forces the ladder down");
+    assert!(fallback_entries(&journal) > 0);
+    assert!(
+        r.breakdown.ttc.as_hours() < 48.0,
+        "blind selection is slower, not unbounded"
+    );
+}
