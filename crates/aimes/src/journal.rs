@@ -83,6 +83,24 @@ pub enum JournalEvent {
     Blacklist { resource: String },
     /// The strategy was re-derived over the surviving resources.
     Replan { resource: String, pilots: u32 },
+    /// Correlated-failure alarm: enough suspicions/deaths landed in one
+    /// failure domain within the alarm window to predict a cascade.
+    DomainAlarm {
+        domain: String,
+        members: Vec<String>,
+    },
+    /// A surviving pilot in an alarmed domain was preemptively drained.
+    Evacuation {
+        domain: String,
+        resource: String,
+        pilot: u32,
+    },
+    /// An aborted attempt banked its progress at a checkpoint boundary;
+    /// `progress_secs` is the cumulative checkpointed execution time.
+    Checkpoint { unit: u32, progress_secs: f64 },
+    /// A new attempt started from the last checkpoint instead of from
+    /// zero, salvaging `salvaged_secs` of already-done execution.
+    ResumeFromCheckpoint { unit: u32, salvaged_secs: f64 },
     /// The run completed.
     RunFinished { ttc_secs: f64 },
 }

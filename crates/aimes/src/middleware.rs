@@ -9,13 +9,13 @@
 
 use crate::journal::{JournalEvent, RunJournal};
 use crate::recorder::{FlightRecorder, DEFAULT_RECORDER_CAPACITY};
-use crate::ttc::{decompose, interval_union, wasted_core_hours, TtcBreakdown};
+use crate::ttc::{decompose, interval_union, salvage_split, TtcBreakdown};
 use aimes_bundle::{Bundle, InfoConfig, InfoDisposition};
 use aimes_cluster::{Cluster, ClusterConfig};
 use aimes_fault::{FaultSpec, InfoOutcome, OutageKind, RecoveryPolicy};
 use aimes_pilot::{
-    DetectionMode, DetectionPolicy, DetectorEvent, Pilot, PilotManager, PilotRecovery, UnitManager,
-    UnitManagerStats, UnitState,
+    DetectionMode, DetectionPolicy, DetectorEvent, Pilot, PilotId, PilotManager, PilotRecovery,
+    PilotState, SalvageEvent, UnitManager, UnitManagerStats, UnitState,
 };
 use aimes_saga::{BreakerConfig, Session};
 use aimes_sim::{
@@ -26,7 +26,7 @@ use aimes_skeleton::{SkeletonApp, SkeletonConfig};
 use aimes_strategy::{ExecutionManager, ExecutionStrategy, ResourceSelection};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::rc::Rc;
 
@@ -126,6 +126,13 @@ pub enum RunError {
     /// The flight-recorder config is unusable (zero capacity): the
     /// recorder would silently retain nothing.
     InvalidRecorderConfig(String),
+    /// The recovery policy is self-contradictory (inverted backoff cap,
+    /// zero blacklist threshold, empty alarm window); running it would
+    /// silently clamp or disable what the caller declared.
+    InvalidRecoveryPolicy(String),
+    /// The unit-manager config derived for this run is unusable (zero
+    /// attempts, inverted retry cap).
+    InvalidUnitConfig(String),
     /// The simulated deadline passed with units still unfinished.
     DeadlineExceeded {
         n_tasks: u32,
@@ -165,6 +172,12 @@ impl std::fmt::Display for RunError {
             RunError::InvalidInfoConfig(msg) => write!(f, "invalid info config: {msg}"),
             RunError::InvalidRecorderConfig(msg) => {
                 write!(f, "invalid flight-recorder config: {msg}")
+            }
+            RunError::InvalidRecoveryPolicy(msg) => {
+                write!(f, "invalid recovery policy: {msg}")
+            }
+            RunError::InvalidUnitConfig(msg) => {
+                write!(f, "invalid unit-manager config: {msg}")
             }
             RunError::DeadlineExceeded {
                 n_tasks,
@@ -229,8 +242,24 @@ pub struct RunResult {
     /// Strategy re-derivations after permanent resource loss.
     pub replans: u64,
     /// Core-hours burnt on execution attempts that never produced output
-    /// (killed or faulted mid-run and re-done elsewhere).
+    /// (killed or faulted mid-run and re-done elsewhere). Excludes the
+    /// checkpoint-salvaged share.
     pub wasted_core_hours: f64,
+    /// Core-hours of aborted attempts whose progress was checkpointed and
+    /// carried forward instead of redone — work that was *not* wasted.
+    /// Zero unless checkpointing is enabled.
+    #[serde(default)]
+    pub salvaged_core_hours: f64,
+    /// Correlated-failure alarms raised (one per alarmed domain).
+    #[serde(default)]
+    pub domain_alarms: u64,
+    /// Pilots preemptively drained out of alarmed domains.
+    #[serde(default)]
+    pub evacuations: u64,
+    /// Time from the first domain alarm to the first evacuated pilot
+    /// actually draining (Canceled). `None` when nothing was evacuated.
+    #[serde(default)]
+    pub evacuation_lead_secs: Option<f64>,
     /// Mean time from a pilot failure to its replacement becoming Active
     /// (0 when nothing needed recovering).
     pub mean_recovery_secs: f64,
@@ -309,6 +338,9 @@ pub fn run_application(
         .info
         .validate()
         .map_err(RunError::InvalidInfoConfig)?;
+    if let Some(rec) = &options.recovery {
+        rec.validate().map_err(RunError::InvalidRecoveryPolicy)?;
+    }
     let recorder = Rc::new(RefCell::new(
         FlightRecorder::new(options.recorder_capacity).map_err(RunError::InvalidRecorderConfig)?,
     ));
@@ -459,7 +491,9 @@ pub fn run_application(
     if let Some(rec) = &options.recovery {
         um_config.retry_backoff = rec.unit_retry_backoff;
         um_config.retry_backoff_cap = rec.replacement_backoff_cap;
+        um_config.checkpoint_interval = rec.checkpoint_interval;
     }
+    um_config.validate().map_err(RunError::InvalidUnitConfig)?;
     let pm = PilotManager::new(session.clone());
     if let Some(rec) = options.recovery.as_ref().filter(|r| r.pilot_replacement) {
         pm.set_recovery(PilotRecovery {
@@ -552,6 +586,21 @@ pub fn run_application(
                 &rec,
                 &jr,
             );
+        });
+        let jr = options.journal.clone();
+        let rec = recorder.clone();
+        um.on_salvage(move |sim, unit, ev| {
+            let event = match ev {
+                SalvageEvent::Checkpoint { progress_secs } => JournalEvent::Checkpoint {
+                    unit: unit.0,
+                    progress_secs,
+                },
+                SalvageEvent::Resume { salvaged_secs } => JournalEvent::ResumeFromCheckpoint {
+                    unit: unit.0,
+                    salvaged_secs,
+                },
+            };
+            record_event(sim.now(), event, &rec, &jr);
         });
         let jr = options.journal.clone();
         let rec = recorder.clone();
@@ -650,6 +699,9 @@ pub fn run_application(
     // run skips all of it and replays the legacy event stream exactly.
     let lost: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
     let replans: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+    let domain_alarms: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+    let evacuations: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+    let evacuation_lead: Rc<RefCell<Option<f64>>> = Rc::new(RefCell::new(None));
     if schedule.is_some() || detection.is_some() {
         let replanner = options
             .recovery
@@ -799,6 +851,191 @@ pub fn run_application(
                         .max(1);
                     pm2.blacklist(resource);
                     do_replan(sim, resource, doomed);
+                });
+            }
+        }
+        // Proactive evacuation: enough failure signals inside one declared
+        // failure domain within the alarm window predict a cascade. The
+        // alarmed domain's surviving pilots are drained and their capacity
+        // rebuilt on unaffected domains, instead of waiting for each pilot
+        // to be individually declared dead. Armed only when the fault
+        // model declares domains AND the recovery policy opts in.
+        let evac_spec = options.recovery.as_ref().and_then(|r| r.evacuation);
+        let evac_domains = options
+            .faults
+            .as_ref()
+            .and_then(|f| f.cascade.as_ref())
+            .map(|c| c.domains.clone());
+        if let (Some(espec), Some(domains)) = (evac_spec, evac_domains) {
+            let domain_of: Rc<HashMap<String, String>> = Rc::new(
+                domains
+                    .iter()
+                    .flat_map(|d| d.members.iter().map(move |m| (m.clone(), d.name.clone())))
+                    .collect(),
+            );
+            let members_of: HashMap<String, Vec<String>> = domains
+                .iter()
+                .map(|d| (d.name.clone(), d.members.clone()))
+                .collect();
+            let window = SimDuration::from_secs(espec.alarm_window_secs);
+            let threshold = espec.alarm_threshold as usize;
+            // Pilots drained by an alarm, awaiting their Canceled
+            // transition (the drain goes through SAGA, so it lands later).
+            let evacuating: Rc<RefCell<HashMap<PilotId, (String, String)>>> =
+                Rc::new(RefCell::new(HashMap::new()));
+            // Per-domain sliding window of failure-signal times + the
+            // domains already alarmed (one alarm per domain is enough).
+            type AlarmState = (HashMap<String, VecDeque<SimTime>>, HashSet<String>);
+            let alarm_state: Rc<RefCell<AlarmState>> = Default::default();
+            let first_alarm: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
+            type SignalHook = Rc<dyn Fn(&mut Simulation, &str)>;
+            let on_signal: SignalHook = {
+                let domain_of = domain_of.clone();
+                let alarm_state = alarm_state.clone();
+                let pm2 = pm.clone();
+                let do_replan = do_replan.clone();
+                let replanned2 = replanned.clone();
+                let evacuating2 = evacuating.clone();
+                let jr = options.journal.clone();
+                let rec = recorder.clone();
+                let dump_dir2 = dump_dir.clone();
+                let alarms2 = domain_alarms.clone();
+                let first_alarm2 = first_alarm.clone();
+                Rc::new(move |sim: &mut Simulation, resource: &str| {
+                    let Some(domain) = domain_of.get(resource) else {
+                        return;
+                    };
+                    let fire = {
+                        let mut st = alarm_state.borrow_mut();
+                        let (windows, alarmed) = &mut *st;
+                        if alarmed.contains(domain) {
+                            return;
+                        }
+                        let q = windows.entry(domain.clone()).or_default();
+                        q.push_back(sim.now());
+                        while let Some(&t) = q.front() {
+                            if sim.now().since(t) > window {
+                                q.pop_front();
+                            } else {
+                                break;
+                            }
+                        }
+                        q.len() >= threshold && alarmed.insert(domain.clone())
+                    };
+                    if !fire {
+                        return;
+                    }
+                    let members = members_of.get(domain).cloned().unwrap_or_default();
+                    alarms2.set(alarms2.get() + 1);
+                    first_alarm2.borrow_mut().get_or_insert(sim.now());
+                    sim.metrics().inc(|| "middleware.domain_alarms".into());
+                    sim.tracer().record_with(sim.now(), || {
+                        (
+                            "middleware".into(),
+                            TraceKind::Manager(ManagerPhase::Replan),
+                            format!("domain alarm {domain}: evacuating [{}]", members.join(", ")),
+                        )
+                    });
+                    record_event(
+                        sim.now(),
+                        JournalEvent::DomainAlarm {
+                            domain: domain.clone(),
+                            members: members.clone(),
+                        },
+                        &rec,
+                        &jr,
+                    );
+                    // A cascade verdict is a death certificate for the
+                    // whole domain: snapshot now, with the alarmed domain
+                    // and its members in the header.
+                    dump_snapshot(
+                        dump_dir2.as_deref(),
+                        seed,
+                        &rec.borrow(),
+                        &format!("domain-alarm-{domain} members={}", members.join(",")),
+                    );
+                    for member in &members {
+                        // Mark as handled first so the generic breaker/
+                        // blacklist hooks don't replan the same loss again.
+                        replanned2.borrow_mut().insert(member.clone());
+                        let doomed: Vec<PilotId> = pm2
+                            .pilots()
+                            .iter()
+                            .filter(|p| &p.description.resource == member && !p.state.is_terminal())
+                            .map(|p| p.id)
+                            .collect();
+                        pm2.blacklist(member);
+                        for pid in &doomed {
+                            evacuating2
+                                .borrow_mut()
+                                .insert(*pid, (domain.clone(), member.clone()));
+                        }
+                        for pid in &doomed {
+                            pm2.cancel(sim, *pid);
+                        }
+                        do_replan(sim, member, doomed.len());
+                    }
+                })
+            };
+            // Feed the alarm from the failure signals this run actually
+            // has: detector verdicts when detection is on, pilot deaths
+            // (the oracle path) otherwise. Never both — a DeclaredDead
+            // pilot also transitions to Failed, and one death is one
+            // signal.
+            if detection.is_some() {
+                let on_signal2 = on_signal.clone();
+                pm.on_detector_event(move |sim, ev| {
+                    let resource = match ev {
+                        DetectorEvent::Suspected { resource, .. }
+                        | DetectorEvent::DeclaredDead { resource, .. } => resource.clone(),
+                        _ => return,
+                    };
+                    on_signal2(sim, &resource);
+                });
+            } else {
+                let pm2 = pm.clone();
+                let on_signal2 = on_signal.clone();
+                pm.subscribe(move |sim, pilot, state| {
+                    if state == PilotState::Failed {
+                        let resource = pm2.pilot(pilot).description.resource;
+                        on_signal2(sim, &resource);
+                    }
+                });
+            }
+            // The drain watcher: an evacuated pilot reaching Canceled is
+            // the evacuation taking effect — journal it and measure the
+            // alarm → first-drain lead.
+            {
+                let evacuating2 = evacuating.clone();
+                let jr = options.journal.clone();
+                let rec = recorder.clone();
+                let evacs2 = evacuations.clone();
+                let first_alarm2 = first_alarm.clone();
+                let lead2 = evacuation_lead.clone();
+                pm.subscribe(move |sim, pilot, state| {
+                    if state != PilotState::Canceled {
+                        return;
+                    }
+                    let Some((domain, resource)) = evacuating2.borrow_mut().remove(&pilot) else {
+                        return;
+                    };
+                    evacs2.set(evacs2.get() + 1);
+                    sim.metrics().inc(|| "middleware.evacuations".into());
+                    record_event(
+                        sim.now(),
+                        JournalEvent::Evacuation {
+                            domain,
+                            resource,
+                            pilot: pilot.0,
+                        },
+                        &rec,
+                        &jr,
+                    );
+                    if lead2.borrow().is_none() {
+                        if let Some(alarm_at) = *first_alarm2.borrow() {
+                            *lead2.borrow_mut() = Some(sim.now().since(alarm_at).as_secs());
+                        }
+                    }
                 });
             }
         }
@@ -1039,6 +1276,8 @@ pub fn run_application(
         telemetry.summary()
     });
     let info_stats = info_handle.borrow().stats();
+    let (wasted, salvaged) = salvage_split(&units);
+    let evacuation_lead_secs = *evacuation_lead.borrow();
     Ok(RunResult {
         metrics,
         info_fallbacks: info_stats.info_fallbacks(),
@@ -1047,7 +1286,11 @@ pub fn run_application(
         used_core_hours,
         replacements: pm.replacements(),
         replans: replans.get(),
-        wasted_core_hours: wasted_core_hours(&units),
+        wasted_core_hours: wasted,
+        salvaged_core_hours: salvaged,
+        domain_alarms: domain_alarms.get(),
+        evacuations: evacuations.get(),
+        evacuation_lead_secs,
         mean_recovery_secs,
         mean_detection_secs,
         false_suspicions: pm.false_suspicions(),

@@ -108,7 +108,8 @@ pub fn fig4_table(result: &ExperimentResult) -> String {
 
 /// Recovery summary: one row per run with the self-healing counters and
 /// overhead metrics (restarts, replacements, re-plans, recovery TTC
-/// component Tr, detection TTC component Td, wasted core-hours, mean
+/// component Tr, detection TTC component Td, wasted vs checkpoint-salvaged
+/// core-hours, mean
 /// time-to-recovery, mean time-to-detection, and the information-plane
 /// degradation counters: fallback decisions served below the fresh path
 /// and the total staleness behind them).
@@ -126,6 +127,7 @@ pub fn recovery_table(runs: &[crate::middleware::RunResult]) -> String {
                 format!("{:.0}", r.breakdown.tr.as_secs()),
                 format!("{:.0}", r.breakdown.td.as_secs()),
                 format!("{:.2}", r.wasted_core_hours),
+                format!("{:.2}", r.salvaged_core_hours),
                 format!("{:.0}", r.mean_recovery_secs),
                 format!("{:.0}", r.mean_detection_secs),
                 r.info_fallbacks.to_string(),
@@ -144,6 +146,7 @@ pub fn recovery_table(runs: &[crate::middleware::RunResult]) -> String {
             "Tr(s)",
             "Td(s)",
             "Wasted(ch)",
+            "Salvaged(ch)",
             "MeanRec(s)",
             "MeanTd(s)",
             "InfoFB",
@@ -506,19 +509,24 @@ mod tests {
             replacements: 2,
             replans: 1,
             wasted_core_hours: 0.75,
+            salvaged_core_hours: 0.25,
             mean_recovery_secs: 90.0,
             mean_detection_secs: 45.0,
             false_suspicions: 1,
             info_fallbacks: 4,
             stale_decision_secs: 1800.0,
+            domain_alarms: 1,
+            evacuations: 2,
+            evacuation_lead_secs: Some(42.0),
             metrics: None,
         };
         let t = recovery_table(&[run]);
         assert!(t.contains("Replacements"));
         assert!(t.contains("Td(s)"));
         assert!(t.contains("InfoFB"));
+        assert!(t.contains("Salvaged(ch)"));
         assert!(t.contains(
-            "| late-backfill-3p | 16 | 16/16 | 3 | 2 | 1 | 120 | 60 | 0.75 | 90 | 45 | 4 | 1800 |"
+            "| late-backfill-3p | 16 | 16/16 | 3 | 2 | 1 | 120 | 60 | 0.75 | 0.25 | 90 | 45 | 4 | 1800 |"
         ));
     }
 

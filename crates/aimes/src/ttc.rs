@@ -124,6 +124,41 @@ pub fn wasted_core_hours(units: &[ComputeUnit]) -> f64 {
     total
 }
 
+/// Split the aborted core-hours ([`wasted_core_hours`]) into truly
+/// wasted vs salvaged-by-checkpoint: a completed unit's checkpointed
+/// progress was carried forward instead of redone, so that share of its
+/// aborted execution time did real work. Units that never completed
+/// forfeit their checkpoints — everything aborted counts as wasted.
+/// Returns `(wasted, salvaged)`; the pair always sums to
+/// `wasted_core_hours` and salvaged is zero when checkpointing is off.
+pub fn salvage_split(units: &[ComputeUnit]) -> (f64, f64) {
+    let mut wasted = 0.0;
+    let mut salvaged = 0.0;
+    for u in units {
+        let ts = &u.timestamps;
+        let mut aborted_secs = 0.0;
+        for (i, (state, time)) in ts.iter().enumerate() {
+            if *state != UnitState::Executing {
+                continue;
+            }
+            if let Some((next, end)) = ts.get(i + 1) {
+                if *next != UnitState::StagingOutput {
+                    aborted_secs += end.since(*time).as_secs();
+                }
+            }
+        }
+        let salvaged_secs = if u.state == UnitState::Done {
+            u.salvaged.as_secs().min(aborted_secs)
+        } else {
+            0.0
+        };
+        let cores = f64::from(u.task.cores);
+        salvaged += cores * salvaged_secs / 3600.0;
+        wasted += cores * (aborted_secs - salvaged_secs) / 3600.0;
+    }
+    (wasted, salvaged)
+}
+
 /// Compute the decomposition for one run.
 ///
 /// * `submitted` — when the middleware began enacting the strategy;
@@ -222,6 +257,8 @@ mod tests {
             state: events.last().map(|(s, _)| *s).unwrap_or(UnitState::New),
             pilot: Some(PilotId(0)),
             attempts: 1,
+            checkpointed: SimDuration::ZERO,
+            salvaged: SimDuration::ZERO,
             timestamps: {
                 let mut v = vec![(UnitState::New, t(0.0))];
                 v.extend(events.iter().map(|(s, tt)| (*s, t(*tt))));
@@ -418,6 +455,41 @@ mod tests {
         );
         assert_eq!(b.tr, SimDuration::ZERO);
         assert_eq!(wasted_core_hours(&[unit]), 0.0);
+    }
+
+    #[test]
+    fn salvage_split_partitions_the_aborted_time() {
+        // One restart: [2,50] aborted (48 s), second attempt delivers.
+        let mut unit = mk_unit(
+            0,
+            &[
+                (UnitState::PendingExecution, 0.0),
+                (UnitState::StagingInput, 1.0),
+                (UnitState::Executing, 2.0),
+                (UnitState::PendingExecution, 50.0),
+                (UnitState::StagingInput, 60.0),
+                (UnitState::Executing, 61.0),
+                (UnitState::StagingOutput, 961.0),
+                (UnitState::Done, 962.0),
+            ],
+        );
+        // No checkpointing: the whole aborted interval is wasted.
+        let (w, s) = salvage_split(std::slice::from_ref(&unit));
+        assert!((w - 48.0 / 3600.0).abs() < 1e-12);
+        assert_eq!(s, 0.0);
+        // 30 s banked at a checkpoint boundary: that share did real work.
+        unit.checkpointed = d(30.0);
+        unit.salvaged = d(30.0);
+        let (w, s) = salvage_split(std::slice::from_ref(&unit));
+        assert!((w - 18.0 / 3600.0).abs() < 1e-12);
+        assert!((s - 30.0 / 3600.0).abs() < 1e-12);
+        assert!((w + s - wasted_core_hours(&[unit.clone()])).abs() < 1e-12);
+        // A unit that never completed forfeits its checkpoints.
+        unit.timestamps.truncate(5); // ends at the restart
+        unit.state = UnitState::PendingExecution;
+        let (w, s) = salvage_split(&[unit]);
+        assert!((w - 48.0 / 3600.0).abs() < 1e-12);
+        assert_eq!(s, 0.0);
     }
 
     proptest! {

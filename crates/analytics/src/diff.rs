@@ -129,6 +129,11 @@ mod tests {
             pilot_count: 1,
             restarts: 0,
             replans: 0,
+            domain_alarms: 0,
+            evacuations: 0,
+            checkpoints: 0,
+            resumes: 0,
+            evacuation_lead_secs: None,
         }
     }
 

@@ -72,6 +72,21 @@ pub struct AnalysisReport {
     pub pilot_count: u32,
     pub restarts: u32,
     pub replans: u32,
+    /// Correlated-failure alarms raised on failure domains.
+    #[serde(default)]
+    pub domain_alarms: u32,
+    /// Pilots proactively drained out of alarmed domains.
+    #[serde(default)]
+    pub evacuations: u32,
+    /// Checkpoint boundaries recorded on aborted attempts.
+    #[serde(default)]
+    pub checkpoints: u32,
+    /// Attempts resumed from a checkpoint instead of from scratch.
+    #[serde(default)]
+    pub resumes: u32,
+    /// Seconds from the first domain alarm to the first completed drain.
+    #[serde(default)]
+    pub evacuation_lead_secs: Option<f64>,
 }
 
 impl AnalysisReport {
@@ -114,6 +129,11 @@ pub fn analyze_timelines(
         pilot_count: tl.pilots.len() as u32,
         restarts,
         replans: tl.replans,
+        domain_alarms: tl.domain_alarms,
+        evacuations: tl.evacuations,
+        checkpoints: tl.checkpoints,
+        resumes: tl.resumes,
+        evacuation_lead_secs: tl.evacuation_lead_secs,
     }
 }
 

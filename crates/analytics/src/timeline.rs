@@ -229,6 +229,17 @@ pub struct SessionTimelines {
     pub stale_signals: u32,
     /// Decisions the information plane served below the fresh path.
     pub info_fallbacks: u32,
+    /// Correlated-failure alarms raised on a failure domain.
+    pub domain_alarms: u32,
+    /// Pilots proactively drained out of an alarmed domain.
+    pub evacuations: u32,
+    /// Checkpoint boundaries recorded on aborted attempts.
+    pub checkpoints: u32,
+    /// Attempts resumed from a checkpoint instead of from scratch.
+    pub resumes: u32,
+    /// Seconds between the first domain alarm and the first completed
+    /// evacuation drain — the lead time proactive evacuation bought.
+    pub evacuation_lead_secs: Option<f64>,
 }
 
 /// Why a journal could not be turned into timelines.
@@ -287,6 +298,12 @@ pub fn reconstruct(journal: &RunJournal) -> Result<SessionTimelines, Reconstruct
     let mut blacklists = 0;
     let mut stale_signals = 0;
     let mut info_fallbacks = 0;
+    let mut domain_alarms = 0;
+    let mut evacuations = 0;
+    let mut checkpoints = 0;
+    let mut resumes = 0;
+    let mut first_alarm_at: Option<f64> = None;
+    let mut evacuation_lead_secs: Option<f64> = None;
     let mut last_at = started_at;
 
     for entry in entries {
@@ -442,6 +459,20 @@ pub fn reconstruct(journal: &RunJournal) -> Result<SessionTimelines, Reconstruct
             JournalEvent::BreakerTrip { .. } => breaker_trips += 1,
             JournalEvent::Blacklist { .. } => blacklists += 1,
             JournalEvent::Replan { .. } => replans += 1,
+            JournalEvent::DomainAlarm { .. } => {
+                domain_alarms += 1;
+                first_alarm_at.get_or_insert(at);
+            }
+            JournalEvent::Evacuation { .. } => {
+                evacuations += 1;
+                if evacuation_lead_secs.is_none() {
+                    if let Some(alarm_at) = first_alarm_at {
+                        evacuation_lead_secs = Some(at - alarm_at);
+                    }
+                }
+            }
+            JournalEvent::Checkpoint { .. } => checkpoints += 1,
+            JournalEvent::ResumeFromCheckpoint { .. } => resumes += 1,
             JournalEvent::RunFinished { ttc_secs } => {
                 finished_at = Some(at);
                 ttc_reported = Some(*ttc_secs);
@@ -500,6 +531,11 @@ pub fn reconstruct(journal: &RunJournal) -> Result<SessionTimelines, Reconstruct
         blacklists,
         stale_signals,
         info_fallbacks,
+        domain_alarms,
+        evacuations,
+        checkpoints,
+        resumes,
+        evacuation_lead_secs,
     })
 }
 
@@ -681,6 +717,57 @@ mod tests {
         assert_eq!(tl.detections[0].end_secs, 160.0);
         assert_eq!(tl.detections[1].verdict, "Unresolved");
         assert_eq!(tl.detections[1].end_secs, 300.0);
+    }
+
+    #[test]
+    fn cascade_counters_and_evacuation_lead() {
+        let mut j = RunJournal::new();
+        started(&mut j);
+        j.record(
+            t(100.0),
+            JournalEvent::DomainAlarm {
+                domain: "sdsc".into(),
+                members: vec!["gordon".into(), "trestles".into()],
+            },
+        );
+        j.record(
+            t(130.0),
+            JournalEvent::Evacuation {
+                domain: "sdsc".into(),
+                resource: "gordon".into(),
+                pilot: 1,
+            },
+        );
+        j.record(
+            t(150.0),
+            JournalEvent::Evacuation {
+                domain: "sdsc".into(),
+                resource: "trestles".into(),
+                pilot: 2,
+            },
+        );
+        j.record(
+            t(200.0),
+            JournalEvent::Checkpoint {
+                unit: 3,
+                progress_secs: 120.0,
+            },
+        );
+        j.record(
+            t(260.0),
+            JournalEvent::ResumeFromCheckpoint {
+                unit: 3,
+                salvaged_secs: 120.0,
+            },
+        );
+        j.record(t(300.0), JournalEvent::RunFinished { ttc_secs: 300.0 });
+        let tl = reconstruct(&j).unwrap();
+        assert_eq!(tl.domain_alarms, 1);
+        assert_eq!(tl.evacuations, 2);
+        assert_eq!(tl.checkpoints, 1);
+        assert_eq!(tl.resumes, 1);
+        // Lead time is first alarm -> first completed drain.
+        assert_eq!(tl.evacuation_lead_secs, Some(30.0));
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //!   ablation-detection  failure-detector tuning: Td vs oracle recovery
 //!   ablation-info       degraded-information arms: oracle / streaming /
 //!                       degraded / blackout, with fallback-ladder counters
+//!   ablation-cascade    correlated-failure domains: reactive vs proactive
+//!                       evacuation vs evacuation + checkpointed salvage
 //!   telemetry           one instrumented experiment-1 run; see --emit-metrics
 //!   journal             run a named scenario, write its journal JSONL (--scenario, --out)
 //!   analyze             post-mortem analysis of a journal: timelines, TTC closure,
@@ -1014,6 +1016,225 @@ fn ablation_faults(opts: &Options) {
     }
 }
 
+/// Correlated-failure ablation: a two-domain pool where a permanent
+/// trigger outage cascades across every resource the workload runs on,
+/// replayed three ways on paired seeds — reactive detection-driven
+/// recovery, proactive domain evacuation, and evacuation plus
+/// checkpointed unit salvage. The evacuation lead time (first alarm to
+/// first completed drain) is read back from the run journal through
+/// the analytics reconstruction, not from the simulator's own counters.
+/// With `--fail-on-error`, any failed run exits non-zero — the cascade
+/// arm of the chaos-smoke CI gate.
+fn ablation_cascade(opts: &Options) {
+    use aimes_fault::{
+        CascadeSpec, DomainSpec, EvacuationSpec, FaultSpec, OutageKind, OutageSpec, RecoveryPolicy,
+    };
+
+    #[derive(serde::Serialize)]
+    struct SweepPoint {
+        arm: String,
+        reps: usize,
+        completed: usize,
+        ttc_mean_secs: f64,
+        wasted_core_hours_mean: f64,
+        salvaged_core_hours_mean: f64,
+        evacuation_lead_mean_secs: Option<f64>,
+        domain_alarms: u64,
+        evacuations: u64,
+        checkpoints: u64,
+        resumes: u64,
+        errors: std::collections::BTreeMap<String, usize>,
+    }
+
+    println!("## Ablation — correlated-failure domains: evacuation & checkpointed salvage\n");
+    let n_tasks = if opts.quick { 16 } else { 32 };
+    let pool: Vec<aimes_cluster::ClusterConfig> = ["ca", "cb", "cc", "cd", "ce", "cf"]
+        .iter()
+        .map(|n| aimes_cluster::ClusterConfig::test(n, 4096))
+        .collect();
+    let app = bag_of_tasks(
+        "cascade",
+        n_tasks,
+        Distribution::Constant { value: 900.0 },
+        1.0,
+        0.002,
+    );
+    // Pin all three pilots inside the doomed domain: the cascade takes
+    // out the entire footprint, so survival hinges on the recovery arm.
+    let mut strategy = ExecutionStrategy::paper_late(3);
+    strategy.selection =
+        aimes_strategy::ResourceSelection::Fixed(vec!["ca".into(), "cb".into(), "cc".into()]);
+    strategy.walltime = aimes_strategy::WalltimePolicy::FixedSecs(6 * 3600);
+
+    let faults = FaultSpec {
+        cascade: Some(CascadeSpec {
+            domains: vec![
+                DomainSpec {
+                    name: "zone-a".into(),
+                    members: vec!["ca".into(), "cb".into(), "cc".into()],
+                },
+                DomainSpec {
+                    name: "zone-b".into(),
+                    members: vec!["cd".into(), "ce".into(), "cf".into()],
+                },
+            ],
+            // Mid-execution: the bag's 900 s tasks are all in flight when
+            // zone-a starts going down.
+            trigger: OutageSpec {
+                resource: "ca".into(),
+                at_secs: 300.0,
+                duration_secs: 0.0,
+                kind: OutageKind::Permanent,
+            },
+            propagation_chance: 1.0,
+            // Slow enough a spread that the second failure signal lands
+            // while some domain member is still alive to drain.
+            propagation_delay_secs: (120.0, 900.0),
+        }),
+        ..FaultSpec::none()
+    };
+
+    let mut rows = Vec::new();
+    let mut points: Vec<SweepPoint> = Vec::new();
+    let mut arm_errors = 0usize;
+    for arm in ["reactive", "evacuate", "evac+ckpt"] {
+        let mut ttcs = Vec::new();
+        let mut wasted = Vec::new();
+        let mut salvaged = Vec::new();
+        let mut leads = Vec::new();
+        let mut domain_alarms = 0u64;
+        let mut evacuations = 0u64;
+        let mut checkpoints = 0u64;
+        let mut resumes = 0u64;
+        let mut errors: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for rep in 0..opts.reps {
+            // Same seed across all three arms: identical cascade
+            // schedules, the only difference is how the run survives.
+            let seed = SimRng::new(opts.seed)
+                .fork_indexed("cascade", rep as u64)
+                .root_seed();
+            let mut rng = SimRng::new(seed).fork("submit");
+            let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+            let mut recovery = RecoveryPolicy::with_detection();
+            if arm != "reactive" {
+                recovery.evacuation = Some(EvacuationSpec::default());
+            }
+            if arm == "evac+ckpt" {
+                recovery.checkpoint_interval = aimes_sim::SimDuration::from_secs(120.0);
+            }
+            let journal =
+                std::rc::Rc::new(std::cell::RefCell::new(aimes::journal::RunJournal::new()));
+            match run_application(
+                &pool,
+                &app,
+                &strategy,
+                &RunOptions {
+                    seed,
+                    submit_at,
+                    faults: Some(faults.clone()),
+                    recovery: Some(recovery),
+                    journal: Some(journal.clone()),
+                    recorder_dump_dir: opts.dump_dir.clone(),
+                    ..Default::default()
+                },
+            ) {
+                Ok(r) => {
+                    ttcs.push(r.breakdown.ttc.as_secs());
+                    wasted.push(r.wasted_core_hours);
+                    salvaged.push(r.salvaged_core_hours);
+                    // The lead time comes from the journal via analytics,
+                    // cross-checking the simulator's own counters.
+                    let tl = aimes_analytics::timeline::reconstruct(&journal.borrow())
+                        .expect("completed runs leave a well-formed journal");
+                    if let Some(lead) = tl.evacuation_lead_secs {
+                        leads.push(lead);
+                    }
+                    domain_alarms += tl.domain_alarms as u64;
+                    evacuations += tl.evacuations as u64;
+                    checkpoints += tl.checkpoints as u64;
+                    resumes += tl.resumes as u64;
+                }
+                Err(e) => {
+                    let class = match e {
+                        aimes::middleware::RunError::PilotsDrained { .. } => "drained",
+                        aimes::middleware::RunError::ResourceLost { .. } => "lost",
+                        aimes::middleware::RunError::DeadlineExceeded { .. } => "deadline",
+                        _ => "other",
+                    };
+                    *errors.entry(class.to_string()).or_insert(0) += 1;
+                    arm_errors += 1;
+                    eprintln!("cascade arm failed: arm={arm} rep={rep} seed={seed}: {e}");
+                }
+            }
+        }
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        let lead_mean = (!leads.is_empty()).then(|| mean(&leads));
+        rows.push(vec![
+            arm.to_string(),
+            format!("{}/{}", ttcs.len(), opts.reps),
+            if ttcs.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.0}", mean(&ttcs))
+            },
+            format!("{:.2}", mean(&wasted)),
+            format!("{:.2}", mean(&salvaged)),
+            lead_mean.map_or("-".into(), |l| format!("{l:.0}")),
+            domain_alarms.to_string(),
+            evacuations.to_string(),
+            checkpoints.to_string(),
+            resumes.to_string(),
+        ]);
+        points.push(SweepPoint {
+            arm: arm.to_string(),
+            reps: opts.reps,
+            completed: ttcs.len(),
+            ttc_mean_secs: mean(&ttcs),
+            wasted_core_hours_mean: mean(&wasted),
+            salvaged_core_hours_mean: mean(&salvaged),
+            evacuation_lead_mean_secs: lead_mean,
+            domain_alarms,
+            evacuations,
+            checkpoints,
+            resumes,
+            errors,
+        });
+    }
+    println!(
+        "{}",
+        report::markdown_table(
+            &[
+                "Arm",
+                "Completed",
+                "TTC mean(s)",
+                "Wasted(ch)",
+                "Salvaged(ch)",
+                "EvacLead(s)",
+                "Alarms",
+                "Evacuations",
+                "Checkpoints",
+                "Resumes"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\n### JSON\n```json\n{}\n```",
+        serde_json::to_string_pretty(&points).expect("sweep points serialize")
+    );
+    if opts.fail_on_error && arm_errors > 0 {
+        eprintln!("{arm_errors} cascade-arm run(s) failed under --fail-on-error");
+        std::process::exit(1);
+    }
+}
+
 /// Information-degradation ablation: the same workload executed under
 /// four information regimes — an oracle channel (every query measures
 /// live), a streaming cache (5-minute refresh), a degraded channel
@@ -1647,6 +1868,7 @@ fn main() {
         "ablation-faults" => ablation_faults(&opts),
         "ablation-detection" => ablation_detection(&opts),
         "ablation-info" => ablation_info(&opts),
+        "ablation-cascade" => ablation_cascade(&opts),
         "telemetry" => telemetry_run(&opts),
         "journal" => journal_cmd(&opts),
         "analyze" => analyze_cmd(&opts),
@@ -1681,6 +1903,7 @@ fn main() {
             ablation_faults(&opts);
             ablation_detection(&opts);
             ablation_info(&opts);
+            ablation_cascade(&opts);
         }
         _ => {
             println!(
@@ -1689,7 +1912,8 @@ fn main() {
                  ablation-crossover | ablation-throughput | ablation-hetero | \n\
                  ablation-adaptive | ablation-walltime | ablation-queue | \n\
                  ablation-predictor | ablation-faults | ablation-detection | \n\
-                 ablation-info | telemetry | journal | analyze | analytics-diff | all\n\
+                 ablation-info | ablation-cascade | telemetry | journal | analyze | \n\
+                 analytics-diff | all\n\
                  flags: --reps N --seed S --quick --fail-on-error \
                  --emit-metrics DIR --trace-out PATH --dump-dir DIR\n\
                  journal flags: --scenario exp1|exp4|faulty --out PATH\n\

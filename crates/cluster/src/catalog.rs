@@ -21,6 +21,11 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ResourceSpec {
     pub config: ClusterConfig,
+    /// Failure domain the resource belongs to — the site whose shared
+    /// infrastructure (filesystem, network, power) can take every member
+    /// down together. Empty means unassigned (legacy specs).
+    #[serde(default)]
+    pub domain: String,
     /// Human-readable provenance note.
     pub note: String,
 }
@@ -44,9 +49,11 @@ fn spec(
     wl: WorkloadConfig,
     backlog: f64,
     ingress_mbps: f64,
+    domain: &str,
     note: &str,
 ) -> ResourceSpec {
     ResourceSpec {
+        domain: domain.to_string(),
         config: ClusterConfig {
             name: name.to_string(),
             total_cores: cores,
@@ -86,6 +93,7 @@ pub fn paper_testbed() -> Vec<ResourceSpec> {
             workload(0.98, 8.4, 1.5, 9, 0.3),
             1.5,
             120.0,
+            "tacc",
             "XSEDE flagship analog: large, saturated, EASY backfill",
         ),
         spec(
@@ -97,6 +105,7 @@ pub fn paper_testbed() -> Vec<ResourceSpec> {
             workload(0.93, 8.0, 1.3, 8, 0.25),
             0.8,
             100.0,
+            "sdsc",
             "XSEDE mid-size analog: data-intensive, busy",
         ),
         spec(
@@ -109,6 +118,7 @@ pub fn paper_testbed() -> Vec<ResourceSpec> {
             workload(0.91, 7.4, 1.2, 7, 0.2),
             0.6,
             80.0,
+            "sdsc",
             "XSEDE throughput analog: short jobs, lightest load",
         ),
         spec(
@@ -121,6 +131,7 @@ pub fn paper_testbed() -> Vec<ResourceSpec> {
             workload(0.93, 9.0, 1.6, 10, 0.15),
             0.8,
             60.0,
+            "psc",
             "XSEDE shared-memory analog: fat long jobs, strict FCFS",
         ),
         spec(
@@ -132,6 +143,7 @@ pub fn paper_testbed() -> Vec<ResourceSpec> {
             workload(1.0, 8.6, 1.4, 9, 0.35),
             1.2,
             150.0,
+            "nersc",
             "NERSC production analog: oversubscribed, deep backlog",
         ),
     ]
@@ -140,6 +152,22 @@ pub fn paper_testbed() -> Vec<ResourceSpec> {
 /// Look up a testbed resource by name.
 pub fn testbed_resource(name: &str) -> Option<ResourceSpec> {
     paper_testbed().into_iter().find(|s| s.config.name == name)
+}
+
+/// Group resource specs by failure domain: `(domain, member names)` pairs
+/// sorted by domain name, unassigned (empty-domain) specs omitted. The
+/// shape a correlated-failure cascade spec wants for its domain list.
+pub fn failure_domains(specs: &[ResourceSpec]) -> Vec<(String, Vec<String>)> {
+    let mut by_domain: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+    for s in specs {
+        if !s.domain.is_empty() {
+            by_domain
+                .entry(s.domain.clone())
+                .or_default()
+                .push(s.config.name.clone());
+        }
+    }
+    by_domain.into_iter().collect()
 }
 
 #[cfg(test)]
@@ -192,6 +220,29 @@ mod tests {
         assert!(u_max >= 0.95, "pool should include saturated machines");
         assert!(sizes.iter().max().unwrap() / sizes.iter().min().unwrap() >= 4);
         assert!(tb.iter().any(|s| s.config.policy == SchedulingPolicy::Fcfs));
+    }
+
+    #[test]
+    fn testbed_records_failure_domains() {
+        let tb = paper_testbed();
+        for s in &tb {
+            assert!(!s.domain.is_empty(), "{} has no domain", s.config.name);
+        }
+        let domains = failure_domains(&tb);
+        assert_eq!(domains.len(), 4, "four sites back the five resources");
+        let sdsc = domains
+            .iter()
+            .find(|(d, _)| d == "sdsc")
+            .expect("shared-site domain");
+        assert_eq!(sdsc.1, vec!["gordon".to_string(), "trestles".to_string()]);
+        // Legacy specs without a domain key still load and are omitted
+        // from the grouping.
+        let legacy: ResourceSpec =
+            serde_json::from_str(&serde_json::to_string(&tb[0]).unwrap()).unwrap();
+        assert_eq!(legacy.domain, "tacc");
+        let mut unassigned = tb[0].clone();
+        unassigned.domain.clear();
+        assert!(failure_domains(&[unassigned]).is_empty());
     }
 
     #[test]

@@ -193,6 +193,119 @@ impl InfoFaultSpec {
     }
 }
 
+/// A named failure domain: resources that share a fate-carrying
+/// dependency — a zone, a parallel filesystem, a network segment — and
+/// therefore tend to die together rather than independently.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DomainSpec {
+    pub name: String,
+    /// Resource names belonging to the domain. A resource belongs to at
+    /// most one domain.
+    pub members: Vec<String>,
+}
+
+/// The correlated-failure fault family: a trigger outage inside one
+/// failure domain that may propagate to the domain's other members after
+/// a per-member delay. Propagation verdicts and delays are drawn from a
+/// *per-domain* forked stream (`cascade.{domain}`), so a fixed-seed
+/// cascade replays byte-identically and does not depend on pool order or
+/// on what the other domains are doing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CascadeSpec {
+    /// The failure domains over the run's resource pool.
+    pub domains: Vec<DomainSpec>,
+    /// The initiating outage. Its resource must belong to a domain; the
+    /// cascade spreads to that domain's other members.
+    pub trigger: OutageSpec,
+    /// Per-member probability the trigger propagates to it.
+    #[serde(default = "default_propagation_chance")]
+    pub propagation_chance: f64,
+    /// Propagation delay range `[lo, hi)` in seconds after the trigger.
+    #[serde(default = "default_propagation_delay")]
+    pub propagation_delay_secs: (f64, f64),
+}
+
+fn default_propagation_chance() -> f64 {
+    1.0
+}
+
+fn default_propagation_delay() -> (f64, f64) {
+    (30.0, 300.0)
+}
+
+impl CascadeSpec {
+    /// The domain a resource belongs to, if any.
+    pub fn domain_of(&self, resource: &str) -> Option<&DomainSpec> {
+        self.domains
+            .iter()
+            .find(|d| d.members.iter().any(|m| m == resource))
+    }
+
+    /// Reject declarations that cannot mean what they say, in the same
+    /// spirit as [`FaultSpec::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.domains.is_empty() {
+            return Err("cascade.domains: at least one failure domain required".into());
+        }
+        let mut seen_domains = std::collections::BTreeSet::new();
+        let mut seen_members = std::collections::BTreeSet::new();
+        for d in &self.domains {
+            if d.name.is_empty() {
+                return Err("cascade.domains: empty domain name".into());
+            }
+            if !seen_domains.insert(d.name.as_str()) {
+                return Err(format!(
+                    "cascade.domains[{}]: duplicate domain name",
+                    d.name
+                ));
+            }
+            if d.members.is_empty() {
+                return Err(format!("cascade.domains[{}]: no members", d.name));
+            }
+            for m in &d.members {
+                if !seen_members.insert(m.as_str()) {
+                    return Err(format!(
+                        "cascade.domains[{}]: resource {m} is in more than one domain",
+                        d.name
+                    ));
+                }
+            }
+        }
+        if self.domain_of(&self.trigger.resource).is_none() {
+            return Err(format!(
+                "cascade.trigger resource {} belongs to no declared domain",
+                self.trigger.resource
+            ));
+        }
+        if !(self.trigger.at_secs.is_finite() && self.trigger.at_secs >= 0.0) {
+            return Err(format!(
+                "cascade.trigger.at_secs {}: must be finite and non-negative",
+                self.trigger.at_secs
+            ));
+        }
+        if !(self.propagation_chance.is_finite() && (0.0..=1.0).contains(&self.propagation_chance))
+        {
+            return Err(format!(
+                "cascade.propagation_chance {}: must be in [0, 1]",
+                self.propagation_chance
+            ));
+        }
+        let (lo, hi) = self.propagation_delay_secs;
+        if !lo.is_finite() || !hi.is_finite() || lo < 0.0 {
+            return Err(format!(
+                "cascade.propagation_delay_secs ({lo}, {hi}): bounds must be \
+                 finite and non-negative"
+            ));
+        }
+        if hi < lo {
+            return Err(format!(
+                "cascade.propagation_delay_secs ({lo}, {hi}): inverted range"
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Declarative fault model for one run. Compile against the run seed with
 /// [`FaultSpec::compile`] to obtain the concrete, replayable schedule.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -234,6 +347,9 @@ pub struct FaultSpec {
     /// Information-channel degradation (bundle layer).
     #[serde(default)]
     pub info: InfoFaultSpec,
+    /// Correlated-failure cascade over named failure domains.
+    #[serde(default)]
+    pub cascade: Option<CascadeSpec>,
 }
 
 fn default_outage_duration() -> (f64, f64) {
@@ -258,6 +374,7 @@ impl Default for FaultSpec {
             staging: None,
             heartbeat_delays: Vec::new(),
             info: InfoFaultSpec::default(),
+            cascade: None,
         }
     }
 }
@@ -278,6 +395,7 @@ impl FaultSpec {
             && self.staging.is_none()
             && self.heartbeat_delays.is_empty()
             && self.info.is_noop()
+            && self.cascade.is_none()
     }
 
     /// Check the spec for declarations that cannot mean what they say.
@@ -326,6 +444,9 @@ impl FaultSpec {
             }
         }
         self.info.validate()?;
+        if let Some(c) = &self.cascade {
+            c.validate()?;
+        }
         Ok(())
     }
 
@@ -362,6 +483,38 @@ impl FaultSpec {
                         duration: SimDuration::from_secs(duration),
                         kind: OutageKind::Outage,
                     });
+                }
+            }
+        }
+        if let Some(c) = &self.cascade {
+            outages.push(ScheduledOutage {
+                resource: c.trigger.resource.clone(),
+                at: SimTime::from_secs(c.trigger.at_secs),
+                duration: SimDuration::from_secs(c.trigger.duration_secs.max(0.0)),
+                kind: c.trigger.kind,
+            });
+            if let Some(domain) = c.domain_of(&c.trigger.resource) {
+                // Per-domain stream: the verdicts and delays one domain's
+                // cascade produces depend only on the seed and the domain
+                // name. Both draws always happen per member, so each
+                // member's stream position is fixed whatever the chance
+                // resolves to.
+                let mut r = rng.fork(&format!("cascade.{}", domain.name));
+                let (lo, hi) = c.propagation_delay_secs;
+                for member in &domain.members {
+                    if *member == c.trigger.resource {
+                        continue;
+                    }
+                    let hit = r.chance(c.propagation_chance.clamp(0.0, 1.0));
+                    let delay = if hi > lo { r.uniform(lo, hi) } else { lo };
+                    if hit {
+                        outages.push(ScheduledOutage {
+                            resource: member.clone(),
+                            at: SimTime::from_secs(c.trigger.at_secs + delay),
+                            duration: SimDuration::from_secs(c.trigger.duration_secs.max(0.0)),
+                            kind: c.trigger.kind,
+                        });
+                    }
                 }
             }
         }
@@ -487,6 +640,40 @@ impl Default for DetectionSpec {
     }
 }
 
+/// Proactive-evacuation configuration: how many failure signals
+/// (suspicions, declarations, or pilot failures) inside one failure
+/// domain within a sliding window raise a `DomainAlarm`. On alarm the
+/// middleware drains the domain's surviving pilots and re-plans their
+/// units onto unaffected domains instead of waiting for each pilot to be
+/// declared dead individually. Only meaningful when the run's
+/// [`FaultSpec`] declares cascade domains.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvacuationSpec {
+    /// Signals within the window before the domain alarms.
+    #[serde(default = "default_alarm_threshold")]
+    pub alarm_threshold: u32,
+    /// Sliding-window length in seconds.
+    #[serde(default = "default_alarm_window")]
+    pub alarm_window_secs: f64,
+}
+
+fn default_alarm_threshold() -> u32 {
+    2
+}
+
+fn default_alarm_window() -> f64 {
+    600.0
+}
+
+impl Default for EvacuationSpec {
+    fn default() -> Self {
+        EvacuationSpec {
+            alarm_threshold: default_alarm_threshold(),
+            alarm_window_secs: default_alarm_window(),
+        }
+    }
+}
+
 /// Self-healing configuration. `None` at the run level means the legacy
 /// behaviour: failed pilots stay dead and unit retries are immediate.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -520,6 +707,16 @@ pub struct RecoveryPolicy {
     /// recovery purely signal-driven.
     #[serde(default)]
     pub detection: Option<DetectionSpec>,
+    /// Proactive domain evacuation on correlated-failure alarms. `None`
+    /// keeps recovery purely reactive (per-pilot).
+    #[serde(default)]
+    pub evacuation: Option<EvacuationSpec>,
+    /// Checkpoint boundary interval for executing units. Zero (the
+    /// default) disables checkpointing: an aborted attempt restarts from
+    /// scratch. Non-zero makes a restarted attempt resume from the last
+    /// boundary, salvaging the checkpointed core-hours.
+    #[serde(default)]
+    pub checkpoint_interval: SimDuration,
 }
 
 fn default_true() -> bool {
@@ -549,6 +746,8 @@ impl Default for RecoveryPolicy {
             unit_retry_backoff: SimDuration::from_secs(5.0),
             replan_on_resource_loss: true,
             detection: None,
+            evacuation: None,
+            checkpoint_interval: SimDuration::ZERO,
         }
     }
 }
@@ -565,6 +764,8 @@ impl RecoveryPolicy {
             unit_retry_backoff: SimDuration::ZERO,
             replan_on_resource_loss: false,
             detection: None,
+            evacuation: None,
+            checkpoint_interval: SimDuration::ZERO,
         }
     }
 
@@ -574,6 +775,42 @@ impl RecoveryPolicy {
             detection: Some(DetectionSpec::default()),
             ..RecoveryPolicy::default()
         }
+    }
+
+    /// Check the policy for declarations that cannot mean what they say,
+    /// in the same spirit as [`FaultSpec::validate`]. An inverted backoff
+    /// cap used to be silently clamped at delay time; rejecting it here
+    /// keeps the declared policy and the executed policy identical.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replacement_backoff_cap < self.replacement_backoff {
+            return Err(format!(
+                "replacement_backoff_cap {:.0}s < replacement_backoff {:.0}s: inverted cap",
+                self.replacement_backoff_cap.as_secs(),
+                self.replacement_backoff.as_secs()
+            ));
+        }
+        if self.blacklist_after == 0 {
+            return Err(
+                "blacklist_after 0: every resource would be blacklisted before \
+                 its first launch failure"
+                    .into(),
+            );
+        }
+        if let Some(e) = &self.evacuation {
+            if e.alarm_threshold == 0 {
+                return Err("evacuation.alarm_threshold 0: would alarm unconditionally".into());
+            }
+            if !(e.alarm_window_secs.is_finite() && e.alarm_window_secs > 0.0) {
+                return Err(format!(
+                    "evacuation.alarm_window_secs {}: empty window",
+                    e.alarm_window_secs
+                ));
+            }
+        }
+        if !self.checkpoint_interval.as_secs().is_finite() {
+            return Err("checkpoint_interval: must be finite".into());
+        }
+        Ok(())
     }
 
     /// Backoff before replacement generation `generation` (0-based):
@@ -953,5 +1190,236 @@ mod tests {
         assert!(d.confirm_with_status_query);
         assert!(RecoveryPolicy::default().detection.is_none());
         assert!(RecoveryPolicy::with_detection().detection.is_some());
+    }
+
+    fn cascade(chance: f64) -> CascadeSpec {
+        CascadeSpec {
+            domains: vec![
+                DomainSpec {
+                    name: "zone-a".into(),
+                    members: vec!["alpha".into(), "beta".into()],
+                },
+                DomainSpec {
+                    name: "zone-b".into(),
+                    members: vec!["gamma".into()],
+                },
+            ],
+            trigger: OutageSpec {
+                resource: "alpha".into(),
+                at_secs: 500.0,
+                duration_secs: 600.0,
+                kind: OutageKind::Permanent,
+            },
+            propagation_chance: chance,
+            propagation_delay_secs: (30.0, 120.0),
+        }
+    }
+
+    #[test]
+    fn cascade_spreads_inside_the_trigger_domain_only() {
+        let spec = FaultSpec {
+            cascade: Some(cascade(1.0)),
+            ..FaultSpec::default()
+        };
+        assert!(!spec.is_noop(), "a cascade perturbs the run");
+        assert!(spec.validate().is_ok());
+        let sched = spec.compile(&pool(), &mut SimRng::new(11));
+        // Trigger on alpha plus certain propagation to beta; gamma is in
+        // another domain and untouched.
+        assert_eq!(sched.outages.len(), 2);
+        let alpha = sched
+            .outages
+            .iter()
+            .find(|o| o.resource == "alpha")
+            .unwrap();
+        let beta = sched.outages.iter().find(|o| o.resource == "beta").unwrap();
+        assert_eq!(alpha.at, SimTime::from_secs(500.0));
+        assert_eq!(alpha.kind, OutageKind::Permanent);
+        assert_eq!(beta.kind, OutageKind::Permanent);
+        let lag = beta.at.as_secs() - alpha.at.as_secs();
+        assert!(
+            (30.0..120.0).contains(&lag),
+            "delay {lag} escaped the range"
+        );
+        assert!(sched.outages.iter().all(|o| o.resource != "gamma"));
+    }
+
+    #[test]
+    fn cascade_replays_byte_identically_per_domain_stream() {
+        let spec = FaultSpec {
+            cascade: Some(cascade(0.7)),
+            ..FaultSpec::default()
+        };
+        let a = spec.compile(&pool(), &mut SimRng::new(42));
+        let b = spec.compile(&pool(), &mut SimRng::new(42));
+        assert_eq!(a, b, "fixed-seed cascades must replay identically");
+
+        // Adding unrelated random outages must not move the cascade: its
+        // draws come from the domain's own forked stream.
+        let noisy = FaultSpec {
+            random_outages_per_resource: 2.0,
+            cascade: Some(cascade(0.7)),
+            ..FaultSpec::default()
+        };
+        let n = noisy.compile(&pool(), &mut SimRng::new(42));
+        let cascade_only: Vec<_> = n
+            .outages
+            .iter()
+            .filter(|o| o.kind == OutageKind::Permanent)
+            .collect();
+        let plain: Vec<_> = a.outages.iter().collect();
+        assert_eq!(cascade_only, plain);
+    }
+
+    #[test]
+    fn cascade_validate_rejects_broken_declarations() {
+        let mut no_domain = cascade(1.0);
+        no_domain.trigger.resource = "nowhere".into();
+        assert!(no_domain
+            .validate()
+            .unwrap_err()
+            .contains("no declared domain"));
+
+        let mut dup = cascade(1.0);
+        dup.domains.push(DomainSpec {
+            name: "zone-c".into(),
+            members: vec!["alpha".into()],
+        });
+        assert!(dup.validate().unwrap_err().contains("more than one domain"));
+
+        let mut bad_chance = cascade(1.5);
+        assert!(bad_chance.validate().unwrap_err().contains("[0, 1]"));
+        bad_chance.propagation_chance = 0.5;
+        bad_chance.propagation_delay_secs = (120.0, 30.0);
+        assert!(bad_chance.validate().unwrap_err().contains("inverted"));
+
+        let mut empty = cascade(1.0);
+        empty.domains[1].members.clear();
+        assert!(empty.validate().unwrap_err().contains("no members"));
+
+        // The whole-spec validate surfaces cascade problems too.
+        let spec = FaultSpec {
+            cascade: Some(no_domain),
+            ..FaultSpec::default()
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn cascade_and_evacuation_serde_roundtrip() {
+        let spec = FaultSpec {
+            cascade: Some(cascade(0.8)),
+            ..FaultSpec::default()
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // Pre-cascade specs (no `cascade` key) must still load as noop.
+        let legacy: FaultSpec = serde_json::from_str(r#"{"unit_failure_chance": 0.1}"#).unwrap();
+        assert!(legacy.cascade.is_none());
+
+        let policy = RecoveryPolicy {
+            evacuation: Some(EvacuationSpec::default()),
+            checkpoint_interval: SimDuration::from_secs(120.0),
+            ..RecoveryPolicy::default()
+        };
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: RecoveryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(policy, back);
+        // Pre-evacuation policies must still load with both features off.
+        let legacy: RecoveryPolicy =
+            serde_json::from_str(r#"{"pilot_replacement": true}"#).unwrap();
+        assert!(legacy.evacuation.is_none());
+        assert!(legacy.checkpoint_interval.is_zero());
+    }
+
+    #[test]
+    fn recovery_policy_validate_rejects_inverted_caps() {
+        assert!(RecoveryPolicy::default().validate().is_ok());
+        assert!(RecoveryPolicy::with_detection().validate().is_ok());
+        assert!(RecoveryPolicy::disabled().validate().is_ok());
+
+        let inverted = RecoveryPolicy {
+            replacement_backoff: SimDuration::from_secs(600.0),
+            replacement_backoff_cap: SimDuration::from_secs(60.0),
+            ..RecoveryPolicy::default()
+        };
+        assert!(inverted.validate().unwrap_err().contains("inverted cap"));
+
+        let zero_blacklist = RecoveryPolicy {
+            blacklist_after: 0,
+            ..RecoveryPolicy::default()
+        };
+        assert!(zero_blacklist
+            .validate()
+            .unwrap_err()
+            .contains("blacklist_after"));
+
+        let bad_alarm = RecoveryPolicy {
+            evacuation: Some(EvacuationSpec {
+                alarm_threshold: 0,
+                ..EvacuationSpec::default()
+            }),
+            ..RecoveryPolicy::default()
+        };
+        assert!(bad_alarm
+            .validate()
+            .unwrap_err()
+            .contains("alarm_threshold"));
+
+        let bad_window = RecoveryPolicy {
+            evacuation: Some(EvacuationSpec {
+                alarm_window_secs: 0.0,
+                ..EvacuationSpec::default()
+            }),
+            ..RecoveryPolicy::default()
+        };
+        assert!(bad_window.validate().unwrap_err().contains("empty window"));
+    }
+
+    proptest::proptest! {
+        /// Replacement backoff is monotone in generation, saturates at
+        /// the cap, and never overflows — even at generations far past
+        /// any real replacement budget.
+        #[test]
+        fn prop_replacement_delay_monotone_and_capped(
+            base in 1.0f64..600.0,
+            cap_factor in 1.0f64..64.0,
+            gen in 0u32..10_000,
+        ) {
+            let p = RecoveryPolicy {
+                replacement_backoff: SimDuration::from_secs(base),
+                replacement_backoff_cap: SimDuration::from_secs(base * cap_factor),
+                ..RecoveryPolicy::default()
+            };
+            p.validate().unwrap();
+            let d = p.replacement_delay(gen);
+            let next = p.replacement_delay(gen.saturating_add(1));
+            proptest::prop_assert!(d.as_secs().is_finite());
+            proptest::prop_assert!(next >= d, "monotone in generation");
+            proptest::prop_assert!(d <= p.replacement_backoff_cap, "capped");
+            proptest::prop_assert!(d >= p.replacement_backoff.min(p.replacement_backoff_cap));
+            // Saturation: far past the cap the delay is exactly the cap.
+            proptest::prop_assert_eq!(p.replacement_delay(40), p.replacement_backoff_cap);
+        }
+
+        /// Unit-retry backoff is monotone in attempt and saturates at the
+        /// shared replacement cap without overflow at attempts >= 30.
+        #[test]
+        fn prop_unit_retry_delay_monotone_and_capped(
+            base in 0.5f64..120.0,
+            attempt in 1u32..10_000,
+        ) {
+            let p = RecoveryPolicy {
+                unit_retry_backoff: SimDuration::from_secs(base),
+                ..RecoveryPolicy::default()
+            };
+            let d = p.unit_retry_delay(attempt);
+            let next = p.unit_retry_delay(attempt.saturating_add(1));
+            proptest::prop_assert!(d.as_secs().is_finite());
+            proptest::prop_assert!(next >= d, "monotone in attempt");
+            proptest::prop_assert!(d <= p.replacement_backoff_cap, "capped at the shared ceiling");
+            proptest::prop_assert_eq!(p.unit_retry_delay(30), p.unit_retry_delay(100_000));
+        }
     }
 }

@@ -47,4 +47,4 @@ pub use pilot::{Pilot, PilotId, PilotState};
 pub use pilot_manager::{PilotManager, PilotRecovery};
 pub use scheduler::{Binding, UnitScheduler};
 pub use unit::{ComputeUnit, UnitId, UnitState};
-pub use unit_manager::{UmConfig, UnitManager, UnitManagerStats};
+pub use unit_manager::{SalvageEvent, UmConfig, UnitManager, UnitManagerStats};

@@ -92,6 +92,12 @@ pub struct ComputeUnit {
     pub pilot: Option<PilotId>,
     /// Execution attempts so far (1 = first try).
     pub attempts: u32,
+    /// Checkpointed execution progress: the last boundary an aborted
+    /// attempt can resume from. Zero unless checkpointing is enabled.
+    pub checkpointed: SimDuration,
+    /// Total execution time carried across attempts via checkpoints —
+    /// aborted work that did *not* have to be redone.
+    pub salvaged: SimDuration,
     /// Instrumented transitions.
     pub timestamps: Vec<(UnitState, SimTime)>,
 }
@@ -104,6 +110,8 @@ impl ComputeUnit {
             state: UnitState::New,
             pilot: None,
             attempts: 0,
+            checkpointed: SimDuration::ZERO,
+            salvaged: SimDuration::ZERO,
             timestamps: vec![(UnitState::New, now)],
         }
     }

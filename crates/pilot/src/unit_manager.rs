@@ -71,6 +71,11 @@ pub struct UmConfig {
     pub retry_backoff: SimDuration,
     /// Ceiling for the exponential retry backoff.
     pub retry_backoff_cap: SimDuration,
+    /// Checkpoint interval for unit execution. Zero (the default) means
+    /// no checkpointing: an aborted attempt restarts from scratch. Non-
+    /// zero, an aborted Executing attempt keeps its progress truncated
+    /// to the last interval boundary and the next attempt resumes there.
+    pub checkpoint_interval: SimDuration,
 }
 
 impl UmConfig {
@@ -87,21 +92,49 @@ impl UmConfig {
             unit_fault_permanent_chance: 0.0,
             retry_backoff: SimDuration::ZERO,
             retry_backoff_cap: SimDuration::ZERO,
+            checkpoint_interval: SimDuration::ZERO,
         }
+    }
+
+    /// Reject configurations that would silently misbehave at run time.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("max_attempts is 0: every unit would fail before its first try".into());
+        }
+        if !self.retry_backoff.is_zero() && self.retry_backoff_cap < self.retry_backoff {
+            return Err(format!(
+                "inverted cap: retry_backoff_cap {:.0}s < retry_backoff {:.0}s",
+                self.retry_backoff_cap.as_secs(),
+                self.retry_backoff.as_secs()
+            ));
+        }
+        Ok(())
     }
 
     /// Delay before re-queueing attempt number `attempts` (1-based count
     /// of attempts already made): `retry_backoff * 2^(attempts-1)`,
-    /// capped. Zero base means no delay.
+    /// capped. Zero base means no delay. The cap is honored as given —
+    /// an inverted cap is a [`Self::validate`] error, not a silent widen.
     pub fn retry_delay(&self, attempts: u32) -> SimDuration {
         if self.retry_backoff.is_zero() {
             return SimDuration::ZERO;
         }
         let exp = attempts.saturating_sub(1).min(30);
         let delay = self.retry_backoff * 2.0_f64.powi(exp as i32);
-        let cap = self.retry_backoff_cap.max(self.retry_backoff);
-        delay.min(cap)
+        delay.min(self.retry_backoff_cap)
     }
+}
+
+/// Checkpoint-salvage notifications, fired by the unit manager when
+/// checkpointing is enabled (the middleware journals these).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SalvageEvent {
+    /// An aborted attempt's progress was banked at an interval boundary.
+    /// `progress_secs` is the cumulative checkpointed execution time.
+    Checkpoint { progress_secs: f64 },
+    /// A new attempt is starting from the last checkpoint instead of
+    /// from zero; `salvaged_secs` of execution need not be redone.
+    Resume { salvaged_secs: f64 },
 }
 
 /// Progress counters.
@@ -127,6 +160,9 @@ type CompletionCallback = Box<dyn FnOnce(&mut Simulation)>;
 /// middleware's run journal uses to record unit history.
 type UnitTransitionCallback = Box<dyn FnMut(&mut Simulation, UnitId, UnitState)>;
 
+/// Observer fired on checkpoint/resume salvage events.
+type SalvageCallback = Box<dyn FnMut(&mut Simulation, UnitId, SalvageEvent)>;
+
 struct UmState {
     config: UmConfig,
     units: Vec<ComputeUnit>,
@@ -149,6 +185,7 @@ struct UmState {
     rr_cursor: usize,
     stats: UnitManagerStats,
     transition_subscribers: Vec<UnitTransitionCallback>,
+    salvage_subscribers: Vec<SalvageCallback>,
     on_all_done: Vec<CompletionCallback>,
     schedule_pending: bool,
     completion_fired: bool,
@@ -184,6 +221,7 @@ impl UnitManager {
                 rr_cursor: 0,
                 stats: UnitManagerStats::default(),
                 transition_subscribers: Vec::new(),
+                salvage_subscribers: Vec::new(),
                 on_all_done: Vec::new(),
                 schedule_pending: false,
                 completion_fired: false,
@@ -242,6 +280,31 @@ impl UnitManager {
         let added = std::mem::take(&mut st.transition_subscribers);
         st.transition_subscribers = subs;
         st.transition_subscribers.extend(added);
+    }
+
+    /// Register an observer fired on checkpoint/resume salvage events
+    /// (only ever fired when `checkpoint_interval` is non-zero).
+    pub fn on_salvage(&self, cb: impl FnMut(&mut Simulation, UnitId, SalvageEvent) + 'static) {
+        self.inner
+            .borrow_mut()
+            .salvage_subscribers
+            .push(Box::new(cb));
+    }
+
+    /// Fire salvage observers with the state released (callbacks may
+    /// re-enter the manager).
+    fn fire_salvage(&self, sim: &mut Simulation, uid: UnitId, event: SalvageEvent) {
+        let mut subs = std::mem::take(&mut self.inner.borrow_mut().salvage_subscribers);
+        if subs.is_empty() {
+            return;
+        }
+        for cb in &mut subs {
+            cb(sim, uid, event);
+        }
+        let mut st = self.inner.borrow_mut();
+        let added = std::mem::take(&mut st.salvage_subscribers);
+        st.salvage_subscribers = subs;
+        st.salvage_subscribers.extend(added);
     }
 
     /// Register a callback fired once when every unit has reached a
@@ -452,10 +515,37 @@ impl UnitManager {
             self.check_completion(sim);
             return;
         }
-        let backoff = {
+        let (backoff, checkpoint) = {
             let mut st = self.inner.borrow_mut();
             st.stats.restarts += 1;
-            let attempts = st.units[uid.0 as usize].attempts;
+            let interval = st.config.checkpoint_interval;
+            let unit = &mut st.units[uid.0 as usize];
+            // Checkpoint salvage: bank the aborted attempt's progress at
+            // the last interval boundary. Only an Executing abort has
+            // progress to bank; a StagingInput victim keeps whatever an
+            // earlier attempt already checkpointed.
+            let checkpoint = if !interval.is_zero() && unit.state == UnitState::Executing {
+                let entered = unit
+                    .timestamps
+                    .last()
+                    .map(|&(_, t)| t)
+                    .unwrap_or_else(|| sim.now());
+                let elapsed = sim.now().saturating_since(entered).as_secs();
+                let total =
+                    (unit.checkpointed.as_secs() + elapsed).min(unit.task.duration.as_secs());
+                let boundary = (total / interval.as_secs()).floor() * interval.as_secs();
+                if boundary > unit.checkpointed.as_secs() {
+                    let delta = boundary - unit.checkpointed.as_secs();
+                    unit.checkpointed = SimDuration::from_secs(boundary);
+                    unit.salvaged += SimDuration::from_secs(delta);
+                    Some(boundary)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let attempts = unit.attempts;
             transition_unit(
                 sim,
                 &mut st.units[uid.0 as usize],
@@ -466,8 +556,18 @@ impl UnitManager {
             if backoff.is_zero() {
                 st.ready.push_back(uid);
             }
-            backoff
+            (backoff, checkpoint)
         };
+        if let Some(progress) = checkpoint {
+            sim.metrics().inc(|| "unit.manager.checkpoints".into());
+            self.fire_salvage(
+                sim,
+                uid,
+                SalvageEvent::Checkpoint {
+                    progress_secs: progress,
+                },
+            );
+        }
         self.fire_transition(sim, uid, UnitState::PendingExecution);
         if rebind {
             // Early-binding failover: rebind to any live pilot.
@@ -639,12 +739,20 @@ impl UnitManager {
 
     fn on_input_staged(&self, sim: &mut Simulation, uid: UnitId) {
         let now = sim.now();
-        let (duration, fault) = {
+        let (duration, fault, resumed_from) = {
             let mut st = self.inner.borrow_mut();
             let st = &mut *st;
             let unit = &mut st.units[uid.0 as usize];
             transition_unit(sim, unit, UnitState::Executing, now);
-            let duration = unit.task.duration;
+            // Resume from the last checkpoint boundary: only the
+            // remaining work runs. With checkpointing off, `checkpointed`
+            // is always zero and this is exactly the task duration.
+            let duration = if unit.checkpointed.is_zero() {
+                unit.task.duration
+            } else {
+                unit.task.duration.saturating_sub(unit.checkpointed)
+            };
+            let resumed_from = (!unit.checkpointed.is_zero()).then(|| unit.checkpointed.as_secs());
             // Fault draw happens up front so the failure instant is part
             // of the deterministic schedule, not a race with completion.
             let fault = if st.config.unit_fault_chance > 0.0 {
@@ -662,15 +770,19 @@ impl UnitManager {
             } else {
                 None
             };
-            (duration, fault)
+            (duration, fault, resumed_from)
         };
         sim.tracer().record_with(now, || {
             (
                 uid.to_string(),
                 TraceKind::Unit(UnitPhase::Executing),
-                String::new(),
+                resumed_from.map_or_else(String::new, |s| format!("resume from {s:.0}s")),
             )
         });
+        if let Some(salvaged_secs) = resumed_from {
+            sim.metrics().inc(|| "unit.manager.resumes".into());
+            self.fire_salvage(sim, uid, SalvageEvent::Resume { salvaged_secs });
+        }
         self.fire_transition(sim, uid, UnitState::Executing);
         let this = self.clone();
         let ev = match fault {
@@ -1118,6 +1230,126 @@ mod tests {
         assert!(
             delayed.since(immediate) >= d(700.0),
             "immediate {immediate:?} vs delayed {delayed:?}"
+        );
+    }
+
+    #[test]
+    fn retry_delay_honors_the_cap_as_given() {
+        let mut cfg = UmConfig::new(Binding::Late, UnitScheduler::Backfill);
+        cfg.retry_backoff = d(100.0);
+        cfg.retry_backoff_cap = d(150.0);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.retry_delay(1), d(100.0));
+        // Regression: a deliberately-low cap used to be widened to
+        // max(cap, backoff * 2^k); it must clamp exactly where set.
+        assert_eq!(cfg.retry_delay(2), d(150.0));
+        assert_eq!(cfg.retry_delay(10), d(150.0));
+        // An inverted cap is a validation error now, not a silent widen.
+        cfg.retry_backoff_cap = d(50.0);
+        assert!(cfg.validate().unwrap_err().contains("inverted cap"));
+        assert_eq!(cfg.retry_delay(1), d(50.0), "cap honored even inverted");
+    }
+
+    #[test]
+    fn config_validate_rejects_degenerate_settings() {
+        let good = UmConfig::new(Binding::Late, UnitScheduler::Backfill);
+        assert!(good.validate().is_ok());
+        let mut cfg = good.clone();
+        cfg.max_attempts = 0;
+        assert!(cfg.validate().unwrap_err().contains("max_attempts"));
+        // Zero backoff with zero cap is the legacy no-delay config: fine.
+        let mut cfg = good;
+        cfg.retry_backoff = SimDuration::ZERO;
+        cfg.retry_backoff_cap = SimDuration::ZERO;
+        assert!(cfg.validate().is_ok());
+    }
+
+    proptest::proptest! {
+        /// `retry_delay` is monotone in the attempt count, saturates at
+        /// the cap, and never overflows even at absurd attempt counts.
+        #[test]
+        fn prop_retry_delay_monotone_and_capped(
+            base in 1.0f64..600.0,
+            cap_factor in 1.0f64..64.0,
+            attempts in 1u32..10_000,
+        ) {
+            let mut cfg = UmConfig::new(Binding::Late, UnitScheduler::Backfill);
+            cfg.retry_backoff = d(base);
+            cfg.retry_backoff_cap = d(base * cap_factor);
+            proptest::prop_assert!(cfg.validate().is_ok());
+            let delay = cfg.retry_delay(attempts);
+            proptest::prop_assert!(delay.as_secs().is_finite());
+            proptest::prop_assert!(delay >= d(0.0));
+            proptest::prop_assert!(delay <= cfg.retry_backoff_cap);
+            proptest::prop_assert!(delay <= cfg.retry_delay(attempts + 1));
+            // Saturation: far past the cap crossover, the delay is pinned.
+            proptest::prop_assert_eq!(cfg.retry_delay(40), cfg.retry_delay(100_000));
+            proptest::prop_assert_eq!(cfg.retry_delay(40), cfg.retry_backoff_cap);
+        }
+    }
+
+    #[test]
+    fn checkpointed_units_resume_from_the_boundary() {
+        // Pilot 0 dies at walltime 400 s mid-execution (tasks are 900 s);
+        // pilot 1 picks the victims up. With a 60 s checkpoint interval
+        // the restarted units resume partway instead of from zero.
+        let run = |interval: f64| {
+            let (mut sim, pm) = setup(&[("stampede", 64), ("gordon", 64)]);
+            let mut cfg = UmConfig::new(Binding::Late, UnitScheduler::RoundRobin);
+            cfg.checkpoint_interval = d(interval);
+            let um = UnitManager::new(pm.clone(), cfg);
+            let salvage: Rc<RefCell<Vec<(UnitId, SalvageEvent)>>> =
+                Rc::new(RefCell::new(Vec::new()));
+            let s2 = salvage.clone();
+            um.on_salvage(move |_, uid, ev| s2.borrow_mut().push((uid, ev)));
+            pm.submit(
+                &mut sim,
+                vec![PilotDescription::new("stampede", 8, d(400.0))],
+            );
+            pm.submit(
+                &mut sim,
+                vec![PilotDescription::new("gordon", 8, d(20_000.0))],
+            );
+            um.submit_units(&mut sim, &bag_tasks(8));
+            let pm2 = pm.clone();
+            um.on_all_done(move |sim| pm2.cancel_all(sim));
+            sim.run_to_completion();
+            let stats = um.stats();
+            assert_eq!(stats.done, 8, "{stats:?}");
+            assert!(stats.restarts > 0, "short pilot must interrupt units");
+            let events = salvage.borrow().clone();
+            (sim.now(), um.units(), events)
+        };
+        let (plain_ttc, plain_units, plain_events) = run(0.0);
+        assert!(plain_units.iter().all(|u| u.salvaged.is_zero()));
+        assert!(plain_events.is_empty(), "no events with checkpointing off");
+
+        let (ck_ttc, ck_units, ck_events) = run(60.0);
+        let salvaged: f64 = ck_units.iter().map(|u| u.salvaged.as_secs()).sum();
+        assert!(salvaged > 0.0, "interrupted units must bank progress");
+        for u in &ck_units {
+            let b = u.checkpointed.as_secs();
+            assert!(
+                (b / 60.0 - (b / 60.0).round()).abs() < 1e-9,
+                "checkpoint {b}s is not on a 60 s boundary"
+            );
+            assert_eq!(u.checkpointed, u.salvaged, "single-resume accounting");
+        }
+        // Every banked checkpoint was followed by a resume carrying it.
+        let checkpoints: Vec<_> = ck_events
+            .iter()
+            .filter(|(_, e)| matches!(e, SalvageEvent::Checkpoint { .. }))
+            .collect();
+        let resumes: Vec<_> = ck_events
+            .iter()
+            .filter(|(_, e)| matches!(e, SalvageEvent::Resume { .. }))
+            .collect();
+        assert!(!checkpoints.is_empty());
+        assert_eq!(checkpoints.len(), resumes.len());
+        // Resuming partway beats redoing the work from zero.
+        assert!(
+            ck_ttc < plain_ttc,
+            "resume must finish earlier ({ck_ttc:?} vs {plain_ttc:?})"
         );
     }
 

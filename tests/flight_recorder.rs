@@ -125,6 +125,72 @@ fn declared_dead_verdict_dumps_even_when_the_run_recovers() {
 }
 
 #[test]
+fn domain_alarm_dumps_a_snapshot_naming_the_domain_and_its_members() {
+    // A cascade inside zone-a raises a domain alarm; the alarm is a dump
+    // reason, and the snapshot header carries the alarmed domain plus its
+    // member resources (the filename keeps a sanitized form of both).
+    use aimes_repro::fault::{CascadeSpec, DomainSpec, EvacuationSpec};
+    let dir = dump_dir("domain-alarm");
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let pool = vec![
+        ClusterConfig::test("one", 256),
+        ClusterConfig::test("two", 256),
+        ClusterConfig::test("three", 512),
+    ];
+    let mut strategy = paper::late_strategy(2);
+    strategy.selection = ResourceSelection::Fixed(vec!["one".into(), "two".into()]);
+    let mut recovery = RecoveryPolicy::with_detection();
+    recovery.evacuation = Some(EvacuationSpec::default());
+    let r = run_application(
+        &pool,
+        &app,
+        &strategy,
+        &RunOptions {
+            seed: 31,
+            submit_at: SimTime::from_secs(600.0),
+            faults: Some(FaultSpec {
+                cascade: Some(CascadeSpec {
+                    domains: vec![
+                        DomainSpec {
+                            name: "zone-a".into(),
+                            members: vec!["one".into(), "two".into()],
+                        },
+                        DomainSpec {
+                            name: "zone-b".into(),
+                            members: vec!["three".into()],
+                        },
+                    ],
+                    trigger: OutageSpec {
+                        resource: "one".into(),
+                        at_secs: 300.0,
+                        duration_secs: 0.0,
+                        kind: OutageKind::Permanent,
+                    },
+                    propagation_chance: 1.0,
+                    propagation_delay_secs: (600.0, 900.0),
+                }),
+                ..FaultSpec::none()
+            }),
+            recovery: Some(recovery),
+            recorder_dump_dir: Some(dir.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("evacuation rides out the cascade");
+    assert_eq!(r.units_done, 16);
+    assert!(r.domain_alarms >= 1, "the cascade must raise an alarm");
+
+    // Reason chars outside [a-zA-Z0-9-] collapse to '-' in the filename;
+    // the snapshot itself keeps the free-form reason with the raw
+    // domain + member list.
+    let path = dir.join("flight-31-domain-alarm-zone-a-members-one-two.txt");
+    let text = std::fs::read_to_string(&path).expect("alarm dumped a snapshot");
+    let snap = RecorderSnapshot::from_text(&text).expect("dump verifies");
+    assert_eq!(snap.reason, "domain-alarm-zone-a members=one,two");
+    assert!(!snap.events.is_empty());
+}
+
+#[test]
 fn no_dump_dir_means_no_files_and_no_failure() {
     // The recorder stays purely in memory when no dump dir is set: the
     // same interrupted run neither errors on the dump path nor writes
