@@ -7,9 +7,13 @@
 //! repetition gets its own seed so it faces an independent realization of
 //! the background load.
 //!
-//! Repetitions are independent simulations, so they run in parallel across
-//! host cores with rayon (each simulation itself stays single-threaded and
-//! deterministic).
+//! Repetitions are independent simulations, so they fan out across host
+//! cores on the vendored rayon worker pool (each simulation itself stays
+//! single-threaded and deterministic). Worker count comes from
+//! `rayon::ThreadPoolBuilder` (the bench binaries' `--jobs` flag) or the
+//! `AIMES_JOBS` env var, defaulting to `available_parallelism`; results
+//! are collected in input order and every run derives its own seed via
+//! [`per_run_seed`], so output is byte-identical at any worker count.
 
 use crate::middleware::{run_application, RunOptions, RunResult};
 use crate::stats::Summary;
@@ -42,6 +46,30 @@ impl ExperimentConfig {
     pub fn skeleton(&self, n_tasks: u32) -> SkeletonConfig {
         paper_bag(n_tasks, self.duration_spec)
     }
+
+    /// The seed for one (size, repetition) run. See [`per_run_seed`].
+    pub fn run_seed(&self, n_tasks: u32, rep: usize) -> u64 {
+        per_run_seed(self.base_seed, &self.id, n_tasks, rep)
+    }
+
+    /// Submission instant inside the window, drawn from the run's seed.
+    pub fn submit_instant(&self, run_seed: u64) -> SimTime {
+        let mut rng = SimRng::new(run_seed).fork("submit-offset");
+        let (lo, hi) = self.submit_window_hours;
+        SimTime::from_secs(rng.uniform(lo * 3600.0, hi * 3600.0))
+    }
+}
+
+/// Stable per-run seed, independent of execution order.
+///
+/// This is the one definition shared by the campaign engine and the bench
+/// binaries (`bench_report`'s e2e campaigns and metrics emission); any
+/// drift between them would silently change what the perf gate measures,
+/// so the formula is pinned by `per_run_seed_is_pinned` below.
+pub fn per_run_seed(base_seed: u64, id: &str, n_tasks: u32, rep: usize) -> u64 {
+    SimRng::new(base_seed)
+        .fork_indexed(&format!("{id}-{n_tasks}"), rep as u64)
+        .root_seed()
 }
 
 /// All runs for one application size, with summaries.
@@ -93,23 +121,25 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         .iter()
         .flat_map(|n| (0..config.repetitions).map(move |r| (*n, r)))
         .collect();
-    let outcomes: Vec<(u32, Result<RunResult, String>)> = jobs
+    let mut outcomes = jobs
         .par_iter()
-        .map(|(n, rep)| (*n, run_one(config, *n, *rep)))
-        .collect();
+        .map(|(n, rep)| run_one(config, *n, *rep))
+        .collect::<Vec<Result<RunResult, String>>>()
+        .into_iter();
 
+    // The pool returns outcomes in job order — repetitions contiguous per
+    // size — so each point consumes its own chunk in one pass, moving
+    // every RunResult and error instead of re-scanning and cloning.
     let points = config
         .task_counts
         .iter()
         .map(|n| {
-            let mut runs = Vec::new();
+            let mut runs = Vec::with_capacity(config.repetitions);
             let mut errors = Vec::new();
-            for (m, out) in &outcomes {
-                if m == n {
-                    match out {
-                        Ok(r) => runs.push(r.clone()),
-                        Err(e) => errors.push(e.clone()),
-                    }
+            for out in outcomes.by_ref().take(config.repetitions) {
+                match out {
+                    Ok(r) => runs.push(r),
+                    Err(e) => errors.push(e),
                 }
             }
             let summarize = |f: &dyn Fn(&RunResult) -> f64| {
@@ -138,14 +168,8 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
 
 /// Execute one repetition.
 fn run_one(config: &ExperimentConfig, n_tasks: u32, rep: usize) -> Result<RunResult, String> {
-    // Stable per-run seed independent of execution order.
-    let seed = SimRng::new(config.base_seed)
-        .fork_indexed(&format!("{}-{}", config.id, n_tasks), rep as u64)
-        .root_seed();
-    // Submission instant inside the window, drawn from the run's seed.
-    let mut rng = SimRng::new(seed).fork("submit-offset");
-    let (lo, hi) = config.submit_window_hours;
-    let submit_at = SimTime::from_secs(rng.uniform(lo * 3600.0, hi * 3600.0));
+    let seed = config.run_seed(n_tasks, rep);
+    let submit_at = config.submit_instant(seed);
     run_application(
         &config.resources,
         &config.skeleton(n_tasks),
@@ -207,6 +231,52 @@ mod tests {
             assert_eq!(pa.ttc.mean, pb.ttc.mean);
             assert_eq!(pa.tw.mean, pb.tw.mean);
         }
+    }
+
+    #[test]
+    fn per_run_seed_is_pinned() {
+        // The exact legacy derivation, inlined: bench_report used to
+        // duplicate this formula by hand, so the shared helper must keep
+        // producing byte-for-byte the same seeds forever.
+        for (base, id, n, rep) in [
+            (42u64, "exp1", 8u32, 0usize),
+            (42, "exp1", 2048, 7),
+            (20160523, "exp4", 512, 3),
+        ] {
+            let legacy = SimRng::new(base)
+                .fork_indexed(&format!("{id}-{n}"), rep as u64)
+                .root_seed();
+            assert_eq!(per_run_seed(base, id, n, rep), legacy);
+        }
+        let cfg = small_config();
+        assert_eq!(cfg.run_seed(8, 2), per_run_seed(99, "test", 8, 2));
+    }
+
+    #[test]
+    fn all_error_points_round_trip_through_json() {
+        // No resources → every repetition fails → the point carries
+        // EMPTY_SUMMARY (all NaN). The serde_json shim writes non-finite
+        // floats as `null`; deserialization must map them back to NaN
+        // instead of rejecting the document.
+        let mut cfg = small_config();
+        cfg.resources.clear();
+        cfg.task_counts = vec![8];
+        let result = run_experiment(&cfg);
+        let p = &result.points[0];
+        assert!(p.runs.is_empty());
+        assert_eq!(p.errors.len(), 3, "all runs should fail: {:?}", p.errors);
+        assert_eq!(p.ttc.n, 0);
+        assert!(p.ttc.mean.is_nan());
+
+        let json = serde_json::to_string(&result).expect("serialize");
+        let back: ExperimentResult = serde_json::from_str(&json).expect("round-trip");
+        assert_eq!(back.points.len(), 1);
+        let bp = &back.points[0];
+        assert_eq!(bp.errors, p.errors);
+        assert_eq!(bp.ttc.n, 0);
+        assert!(bp.ttc.mean.is_nan() && bp.ttc.ci95.is_nan());
+        // And a second trip is stable: NaN → null → NaN.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }
 
     #[test]

@@ -84,6 +84,12 @@ pub struct RunOptions {
     /// dies (any [`RunError`] return) or a pilot is Declared-Dead. `None`
     /// keeps the recorder purely in memory.
     pub recorder_dump_dir: Option<PathBuf>,
+    /// Disambiguating tag for this run's flight-recorder dump filenames
+    /// (`flight-{tag}-{seed}-{reason}.txt` instead of
+    /// `flight-{seed}-{reason}.txt`). Parallel sweep arms deliberately
+    /// share seeds (paired-seed design) and often share a dump dir; the
+    /// tag keeps their post-mortems from overwriting each other.
+    pub run_tag: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -102,6 +108,7 @@ impl Default for RunOptions {
             info: InfoConfig::default(),
             recorder_capacity: DEFAULT_RECORDER_CAPACITY,
             recorder_dump_dir: None,
+            run_tag: None,
         }
     }
 }
@@ -346,12 +353,22 @@ pub fn run_application(
     ));
     let seed = options.seed;
     let dump_dir = options.recorder_dump_dir.clone();
+    let run_tag = options.run_tag.clone();
     // Post-mortem hook: freeze the recorder's tail into a checksummed
     // snapshot file, named after the death reason.
     let dump = {
         let recorder = recorder.clone();
         let dump_dir = dump_dir.clone();
-        move |reason: &str| dump_snapshot(dump_dir.as_deref(), seed, &recorder.borrow(), reason)
+        let run_tag = run_tag.clone();
+        move |reason: &str| {
+            dump_snapshot(
+                dump_dir.as_deref(),
+                run_tag.as_deref(),
+                seed,
+                &recorder.borrow(),
+                reason,
+            )
+        }
     };
 
     let tracer = match &options.tracer {
@@ -605,6 +622,7 @@ pub fn run_application(
         let jr = options.journal.clone();
         let rec = recorder.clone();
         let dump_dir2 = dump_dir.clone();
+        let run_tag2 = run_tag.clone();
         pm.on_detector_event(move |sim, ev| {
             let event = match ev {
                 DetectorEvent::Suspected {
@@ -653,6 +671,7 @@ pub fn run_application(
             if let DetectorEvent::DeclaredDead { resource, .. } = ev {
                 dump_snapshot(
                     dump_dir2.as_deref(),
+                    run_tag2.as_deref(),
                     seed,
                     &rec.borrow(),
                     &format!("declared-dead-{resource}"),
@@ -899,6 +918,7 @@ pub fn run_application(
                 let jr = options.journal.clone();
                 let rec = recorder.clone();
                 let dump_dir2 = dump_dir.clone();
+                let run_tag2 = run_tag.clone();
                 let alarms2 = domain_alarms.clone();
                 let first_alarm2 = first_alarm.clone();
                 Rc::new(move |sim: &mut Simulation, resource: &str| {
@@ -950,6 +970,7 @@ pub fn run_application(
                     // and its members in the header.
                     dump_snapshot(
                         dump_dir2.as_deref(),
+                        run_tag2.as_deref(),
                         seed,
                         &rec.borrow(),
                         &format!("domain-alarm-{domain} members={}", members.join(",")),
@@ -1329,29 +1350,52 @@ fn record_event(
 /// Write a checksummed snapshot of the recorder into `dir` (no-op when
 /// unset). Dump failures are swallowed: post-mortem writing must never
 /// turn a diagnosable death into a different one.
+///
+/// Concurrent runs (the worker pool) may share `dir`, and paired-seed
+/// sweep arms may even share `seed`; the `tag` keeps their filenames
+/// apart, and the write goes to a unique temp file followed by an atomic
+/// rename so a reader never observes a half-written or interleaved dump.
 fn dump_snapshot(
     dir: Option<&std::path::Path>,
+    tag: Option<&str>,
     seed: u64,
     recorder: &FlightRecorder,
     reason: &str,
 ) {
     let Some(dir) = dir else { return };
     let snapshot = recorder.snapshot(reason);
-    let safe: String = reason
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || c == '-' {
-                c
-            } else {
-                '-'
-            }
-        })
-        .collect();
+    fn sanitize(s: &str) -> String {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect()
+    }
+    let name = match tag {
+        Some(tag) => format!("flight-{}-{seed}-{}.txt", sanitize(tag), sanitize(reason)),
+        None => format!("flight-{seed}-{}.txt", sanitize(reason)),
+    };
     let _ = std::fs::create_dir_all(dir);
-    let _ = std::fs::write(
-        dir.join(format!("flight-{seed}-{safe}.txt")),
-        snapshot.to_text(),
-    );
+    static DUMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let tmp = dir.join(format!(
+        "{name}.tmp-{}-{}",
+        std::process::id(),
+        DUMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    match std::fs::write(&tmp, snapshot.to_text()) {
+        Ok(()) => {
+            if std::fs::rename(&tmp, dir.join(&name)).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+        Err(_) => {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
 }
 
 /// Resume a run that was interrupted mid-flight from its journal.

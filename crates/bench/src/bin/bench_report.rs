@@ -7,7 +7,7 @@
 //! beat:
 //!
 //! ```text
-//! bench-report [--quick] [--seed S] [--out BENCH_sim.json]
+//! bench-report [--quick] [--seed S] [--jobs N] [--out BENCH_sim.json]
 //!              [--check BENCH_baseline.json] [--tolerance 0.25]
 //!              [--emit-metrics DIR]
 //! ```
@@ -25,6 +25,11 @@
 //! * `e2e_exp1` / `e2e_exp4` — whole middleware runs of the paper's
 //!   experiments 1 (early binding) and 4 (late binding, 3 pilots) at
 //!   paper sizes, sequentially, measured as runs/sec.
+//! * `campaign_throughput` — hundreds of fixed-seed experiment-1 runs
+//!   fanned across the worker pool via `run_experiment`; its
+//!   `runs_per_sec` is the campaign engine's real fan-out throughput and
+//!   scales with `--jobs` / host cores (the e2e campaigns deliberately
+//!   don't).
 //!
 //! `--check` compares throughput metrics against a committed baseline and
 //! exits non-zero on a regression beyond the tolerance (CI perf-smoke).
@@ -36,10 +41,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
+use aimes::experiment::run_experiment;
 use aimes::middleware::{run_application, RunOptions};
 use aimes::paper;
 use aimes_cluster::{Cluster, ClusterConfig};
-use aimes_sim::{EventId, SimDuration, SimRng, SimTime, Simulation, Tracer};
+use aimes_sim::{EventId, SimDuration, SimTime, Simulation, Tracer};
 use aimes_workload::WorkloadConfig;
 use serde::{Deserialize, Serialize};
 
@@ -72,6 +78,8 @@ struct Options {
     tolerance: f64,
     only: Option<String>,
     emit_metrics: Option<std::path::PathBuf>,
+    /// Worker count for pool-backed campaigns (default: all cores).
+    jobs: Option<usize>,
 }
 
 fn parse_args() -> Options {
@@ -84,6 +92,7 @@ fn parse_args() -> Options {
         tolerance: 0.25,
         only: None,
         emit_metrics: None,
+        jobs: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -113,10 +122,14 @@ fn parse_args() -> Options {
                 i += 1;
                 opts.emit_metrics = Some(args[i].clone().into());
             }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = Some(args[i].parse().expect("--jobs takes an integer"));
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: bench-report [--quick] [--seed S] [--out FILE] \
+                    "usage: bench-report [--quick] [--seed S] [--jobs N] [--out FILE] \
                      [--check BASELINE] [--tolerance F] [--emit-metrics DIR]"
                 );
                 std::process::exit(2);
@@ -276,8 +289,10 @@ fn cluster_saturation(seed: u64, quick: bool) -> CampaignStat {
     }
 }
 
-/// Sequential end-to-end runs of one paper experiment (no rayon: wall
-/// time per run must not depend on host core count).
+/// Sequential end-to-end runs of one paper experiment. Deliberately NOT
+/// on the worker pool: this campaign measures per-run middleware speed,
+/// so its wall time per run must not depend on host core count or
+/// `--jobs` — fan-out throughput is `campaign_throughput`'s job.
 fn e2e_experiment(id: u32, seed: u64, quick: bool) -> CampaignStat {
     let sizes: Vec<u32> = if quick {
         vec![64]
@@ -290,13 +305,10 @@ fn e2e_experiment(id: u32, seed: u64, quick: bool) -> CampaignStat {
     let mut runs = 0u64;
     for n in &cfg.task_counts {
         for rep in 0..cfg.repetitions {
-            // Same per-run seed derivation as the experiment runner.
-            let seed = SimRng::new(cfg.base_seed)
-                .fork_indexed(&format!("{}-{}", cfg.id, n), rep as u64)
-                .root_seed();
-            let mut rng = SimRng::new(seed).fork("submit-offset");
-            let (lo, hi) = cfg.submit_window_hours;
-            let submit_at = SimTime::from_secs(rng.uniform(lo * 3600.0, hi * 3600.0));
+            // The experiment runner's own per-run derivation (shared
+            // helper, pinned by test in aimes::experiment).
+            let seed = cfg.run_seed(*n, rep);
+            let submit_at = cfg.submit_instant(seed);
             let r = run_application(
                 &cfg.resources,
                 &cfg.skeleton(*n),
@@ -322,6 +334,35 @@ fn e2e_experiment(id: u32, seed: u64, quick: bool) -> CampaignStat {
     }
 }
 
+/// Hundreds of small fixed-seed experiment-1 runs pushed through
+/// `run_experiment` — i.e. through the real worker pool — measured as
+/// runs/sec. This is the campaign engine's fan-out throughput: it scales
+/// with `--jobs` / host cores, and the CI perf gate asserts that scaling
+/// (jobs=4 must beat jobs=1 by ≥1.8× on a 4-core runner).
+fn campaign_throughput(seed: u64, quick: bool) -> CampaignStat {
+    let reps = if quick { 96 } else { 384 };
+    let mut cfg = paper::experiment(1, reps, seed, Some(vec![64]));
+    cfg.id = "campaign-throughput".into();
+    let start = Instant::now();
+    let result = run_experiment(&cfg);
+    let wall = start.elapsed().as_secs_f64();
+    let point = &result.points[0];
+    assert!(
+        point.errors.is_empty(),
+        "campaign runs must succeed: {:?}",
+        point.errors.first()
+    );
+    let runs = point.runs.len() as u64;
+    CampaignStat {
+        label: "campaign_throughput".to_string(),
+        events: 0,
+        runs,
+        wall_secs: wall,
+        events_per_sec: 0.0,
+        runs_per_sec: runs as f64 / wall,
+    }
+}
+
 /// One telemetry-instrumented experiment-1 run at the bench seed,
 /// dumping the Chrome trace, metrics summary JSON, and gauge-timeline
 /// CSV — the observability artifacts CI uploads next to the perf report.
@@ -330,12 +371,8 @@ fn emit_metrics(dir: &std::path::Path, seed: u64, quick: bool) {
     use std::io::Write as _;
     let cfg = paper::experiment(1, 1, seed, Some(vec![if quick { 64 } else { 256 }]));
     let n = cfg.task_counts[0];
-    let run_seed = SimRng::new(cfg.base_seed)
-        .fork_indexed(&format!("{}-{}", cfg.id, n), 0)
-        .root_seed();
-    let mut rng = SimRng::new(run_seed).fork("submit-offset");
-    let (lo, hi) = cfg.submit_window_hours;
-    let submit_at = SimTime::from_secs(rng.uniform(lo * 3600.0, hi * 3600.0));
+    let run_seed = cfg.run_seed(n, 0);
+    let submit_at = cfg.submit_instant(run_seed);
     let telemetry = Telemetry::new();
     let result = run_application(
         &cfg.resources,
@@ -396,6 +433,12 @@ fn check_regressions(new: &BenchReport, baseline: &BenchReport, tolerance: f64) 
 
 fn main() {
     let opts = parse_args();
+    if let Some(jobs) = opts.jobs {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build_global()
+            .expect("configure worker pool");
+    }
     let mut campaigns = Vec::new();
     for (label, run) in [
         (
@@ -405,6 +448,7 @@ fn main() {
         ("cluster_saturation", Box::new(cluster_saturation)),
         ("e2e_exp1", Box::new(|s, q| e2e_experiment(1, s, q))),
         ("e2e_exp4", Box::new(|s, q| e2e_experiment(4, s, q))),
+        ("campaign_throughput", Box::new(campaign_throughput)),
     ] {
         if opts.only.as_deref().is_some_and(|o| o != label) {
             continue;

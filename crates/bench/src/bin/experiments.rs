@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments -- <command> [--reps N] [--seed S] [--quick]
+//! experiments -- <command> [--reps N] [--seed S] [--quick] [--jobs N]
 //!
 //! commands:
 //!   table1              print the experiment-design matrix (Table I)
@@ -35,7 +35,9 @@
 //! `--quick` restricts sizes to {8, 64, 512} and 3 repetitions for a fast
 //! shape check. `--fail-on-error` makes `ablation-faults` exit non-zero
 //! if any healing arm (oracle or detection) fails a run — the chaos-smoke
-//! CI gate.
+//! CI gate. `--jobs N` caps the worker pool the sweeps fan out on
+//! (default: all cores; every run owns its seed and results aggregate in
+//! job order, so output is byte-identical at any worker count).
 //!
 //! `telemetry` runs experiment 1 once at the given seed with the typed
 //! telemetry layer on and prints the metrics summary block.
@@ -53,6 +55,7 @@ use aimes_sim::{SimRng, SimTime};
 use aimes_skeleton::{bag_of_tasks, paper_task_counts, TaskDurationSpec};
 use aimes_strategy::ExecutionStrategy;
 use aimes_workload::Distribution;
+use rayon::prelude::*;
 
 struct Options {
     reps: usize,
@@ -76,6 +79,8 @@ struct Options {
     /// `ablation-faults`): failed runs leave checksummed post-mortem
     /// snapshots here for CI to collect as artifacts.
     dump_dir: Option<std::path::PathBuf>,
+    /// Worker-pool size for the parallel sweeps (default: all cores).
+    jobs: Option<usize>,
 }
 
 fn parse_args() -> (String, Options) {
@@ -94,6 +99,7 @@ fn parse_args() -> (String, Options) {
         threshold: 0.10,
         files: Vec::new(),
         dump_dir: None,
+        jobs: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -135,6 +141,10 @@ fn parse_args() -> (String, Options) {
             "--dump-dir" => {
                 i += 1;
                 opts.dump_dir = Some(args[i].clone().into());
+            }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = Some(args[i].parse().expect("--jobs takes a number"));
             }
             c if !c.starts_with("--") => {
                 if command == "help" {
@@ -826,6 +836,16 @@ fn ablation_queue(opts: &Options) {
 /// Emits the markdown table plus a JSON block for downstream plotting.
 /// With `--fail-on-error`, any failed run in a healing arm (oracle or
 /// detect) exits non-zero — the chaos-smoke CI gate.
+/// Coarse failure class for sweep error tallies.
+fn error_class(e: &aimes::middleware::RunError) -> &'static str {
+    match e {
+        aimes::middleware::RunError::PilotsDrained { .. } => "drained",
+        aimes::middleware::RunError::ResourceLost { .. } => "lost",
+        aimes::middleware::RunError::DeadlineExceeded { .. } => "deadline",
+        _ => "other",
+    }
+}
+
 fn ablation_faults(opts: &Options) {
     use aimes_fault::{FaultSpec, RecoveryPolicy};
 
@@ -867,11 +887,35 @@ fn ablation_faults(opts: &Options) {
     strategy.walltime = aimes_strategy::WalltimePolicy::FixedSecs(6 * 3600);
 
     let rates = [0.0, 0.05, 0.1, 0.2, 0.4];
-    let mut rows = Vec::new();
-    let mut points: Vec<SweepPoint> = Vec::new();
-    let mut healing_errors = 0usize;
-    for &rate in &rates {
-        for mode in ["oracle", "detect", "off"] {
+    let modes = ["oracle", "detect", "off"];
+
+    // Fan the whole (rate × mode × rep) cross product across the worker
+    // pool. Each run returns a plain Send value; aggregation and every
+    // print (stdout table, stderr failure lines) happen below in job
+    // order, so the sweep's output is byte-identical at any --jobs.
+    struct FaultsRun {
+        ttc: f64,
+        tr: f64,
+        td: f64,
+        wasted: f64,
+        restarts: u64,
+        replacements: u64,
+        replans: u64,
+        false_suspicions: u64,
+    }
+    let reps_n = opts.reps;
+    let jobs: Vec<(f64, &str, usize)> = rates
+        .iter()
+        .flat_map(|&rate| {
+            modes
+                .into_iter()
+                .flat_map(move |mode| (0..reps_n).map(move |rep| (rate, mode, rep)))
+        })
+        .collect();
+    type FaultsOutcome = (u64, Result<FaultsRun, (&'static str, String)>);
+    let outcomes: Vec<FaultsOutcome> = jobs
+        .par_iter()
+        .map(|&(rate, mode, rep)| {
             // Outages are placed inside the first hour after submission —
             // the window the run actually occupies — so the rate axis
             // genuinely exercises pilot death, not just unit faults.
@@ -882,6 +926,53 @@ fn ablation_faults(opts: &Options) {
                 horizon_secs: 3600.0,
                 ..FaultSpec::none()
             };
+            // Same seed for all three recovery arms: identical fault
+            // schedules, the only difference is how the run heals.
+            let seed = SimRng::new(opts.seed)
+                .fork_indexed(&format!("faults-{rate}"), rep as u64)
+                .root_seed();
+            let mut rng = SimRng::new(seed).fork("submit");
+            let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+            let recovery = match mode {
+                "oracle" => Some(RecoveryPolicy::default()),
+                "detect" => Some(RecoveryPolicy::with_detection()),
+                _ => None,
+            };
+            let outcome = run_application(
+                &pool,
+                &app,
+                &strategy,
+                &RunOptions {
+                    seed,
+                    submit_at,
+                    faults: Some(faults),
+                    recovery,
+                    recorder_dump_dir: opts.dump_dir.clone(),
+                    run_tag: Some(format!("faults-{rate}-{mode}-r{rep}")),
+                    ..Default::default()
+                },
+            )
+            .map(|r| FaultsRun {
+                ttc: r.breakdown.ttc.as_secs(),
+                tr: r.breakdown.tr.as_secs(),
+                td: r.breakdown.td.as_secs(),
+                wasted: r.wasted_core_hours,
+                restarts: r.restarts,
+                replacements: r.replacements,
+                replans: r.replans,
+                false_suspicions: r.false_suspicions,
+            })
+            .map_err(|e| (error_class(&e), e.to_string()));
+            (seed, outcome)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut points: Vec<SweepPoint> = Vec::new();
+    let mut healing_errors = 0usize;
+    let mut outcome_iter = outcomes.into_iter();
+    for &rate in &rates {
+        for mode in modes {
             let mut ttcs = Vec::new();
             let mut trs = Vec::new();
             let mut tds = Vec::new();
@@ -893,48 +984,19 @@ fn ablation_faults(opts: &Options) {
             let mut errors: std::collections::BTreeMap<String, usize> =
                 std::collections::BTreeMap::new();
             for rep in 0..opts.reps {
-                // Same seed for all three recovery arms: identical fault
-                // schedules, the only difference is how the run heals.
-                let seed = SimRng::new(opts.seed)
-                    .fork_indexed(&format!("faults-{rate}"), rep as u64)
-                    .root_seed();
-                let mut rng = SimRng::new(seed).fork("submit");
-                let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
-                let recovery = match mode {
-                    "oracle" => Some(RecoveryPolicy::default()),
-                    "detect" => Some(RecoveryPolicy::with_detection()),
-                    _ => None,
-                };
-                match run_application(
-                    &pool,
-                    &app,
-                    &strategy,
-                    &RunOptions {
-                        seed,
-                        submit_at,
-                        faults: Some(faults.clone()),
-                        recovery,
-                        recorder_dump_dir: opts.dump_dir.clone(),
-                        ..Default::default()
-                    },
-                ) {
+                let (seed, out) = outcome_iter.next().expect("one outcome per job");
+                match out {
                     Ok(r) => {
-                        ttcs.push(r.breakdown.ttc.as_secs());
-                        trs.push(r.breakdown.tr.as_secs());
-                        tds.push(r.breakdown.td.as_secs());
-                        wasted.push(r.wasted_core_hours);
+                        ttcs.push(r.ttc);
+                        trs.push(r.tr);
+                        tds.push(r.td);
+                        wasted.push(r.wasted);
                         restarts += r.restarts;
                         replacements += r.replacements;
                         replans += r.replans;
                         false_suspicions += r.false_suspicions;
                     }
-                    Err(e) => {
-                        let class = match e {
-                            aimes::middleware::RunError::PilotsDrained { .. } => "drained",
-                            aimes::middleware::RunError::ResourceLost { .. } => "lost",
-                            aimes::middleware::RunError::DeadlineExceeded { .. } => "deadline",
-                            _ => "other",
-                        };
+                    Err((class, e)) => {
                         *errors.entry(class.to_string()).or_insert(0) += 1;
                         if mode != "off" {
                             healing_errors += 1;
@@ -1094,21 +1156,30 @@ fn ablation_cascade(opts: &Options) {
         ..FaultSpec::none()
     };
 
-    let mut rows = Vec::new();
-    let mut points: Vec<SweepPoint> = Vec::new();
-    let mut arm_errors = 0usize;
-    for arm in ["reactive", "evacuate", "evac+ckpt"] {
-        let mut ttcs = Vec::new();
-        let mut wasted = Vec::new();
-        let mut salvaged = Vec::new();
-        let mut leads = Vec::new();
-        let mut domain_alarms = 0u64;
-        let mut evacuations = 0u64;
-        let mut checkpoints = 0u64;
-        let mut resumes = 0u64;
-        let mut errors: std::collections::BTreeMap<String, usize> =
-            std::collections::BTreeMap::new();
-        for rep in 0..opts.reps {
+    // One (arm × rep) run on the pool. The journal Rc and the analytics
+    // reconstruction both live inside the closure; only plain Send data
+    // crosses back. Aggregation and printing run sequentially in job
+    // order, so output is byte-identical at any --jobs.
+    struct CascadeRun {
+        ttc: f64,
+        wasted: f64,
+        salvaged: f64,
+        lead: Option<f64>,
+        domain_alarms: u64,
+        evacuations: u64,
+        checkpoints: u64,
+        resumes: u64,
+    }
+    let arms = ["reactive", "evacuate", "evac+ckpt"];
+    let reps_n = opts.reps;
+    let jobs: Vec<(&str, usize)> = arms
+        .iter()
+        .flat_map(|&arm| (0..reps_n).map(move |rep| (arm, rep)))
+        .collect();
+    type CascadeOutcome = (u64, Result<CascadeRun, (&'static str, String)>);
+    let outcomes: Vec<CascadeOutcome> = jobs
+        .par_iter()
+        .map(|&(arm, rep)| {
             // Same seed across all three arms: identical cascade
             // schedules, the only difference is how the run survives.
             let seed = SimRng::new(opts.seed)
@@ -1125,7 +1196,7 @@ fn ablation_cascade(opts: &Options) {
             }
             let journal =
                 std::rc::Rc::new(std::cell::RefCell::new(aimes::journal::RunJournal::new()));
-            match run_application(
+            let outcome = run_application(
                 &pool,
                 &app,
                 &strategy,
@@ -1136,32 +1207,62 @@ fn ablation_cascade(opts: &Options) {
                     recovery: Some(recovery),
                     journal: Some(journal.clone()),
                     recorder_dump_dir: opts.dump_dir.clone(),
+                    run_tag: Some(format!("cascade-{arm}-r{rep}")),
                     ..Default::default()
                 },
-            ) {
+            )
+            .map(|r| {
+                // The lead time comes from the journal via analytics,
+                // cross-checking the simulator's own counters.
+                let tl = aimes_analytics::timeline::reconstruct(&journal.borrow())
+                    .expect("completed runs leave a well-formed journal");
+                CascadeRun {
+                    ttc: r.breakdown.ttc.as_secs(),
+                    wasted: r.wasted_core_hours,
+                    salvaged: r.salvaged_core_hours,
+                    lead: tl.evacuation_lead_secs,
+                    domain_alarms: tl.domain_alarms as u64,
+                    evacuations: tl.evacuations as u64,
+                    checkpoints: tl.checkpoints as u64,
+                    resumes: tl.resumes as u64,
+                }
+            })
+            .map_err(|e| (error_class(&e), e.to_string()));
+            (seed, outcome)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut points: Vec<SweepPoint> = Vec::new();
+    let mut arm_errors = 0usize;
+    let mut outcome_iter = outcomes.into_iter();
+    for arm in arms {
+        let mut ttcs = Vec::new();
+        let mut wasted = Vec::new();
+        let mut salvaged = Vec::new();
+        let mut leads = Vec::new();
+        let mut domain_alarms = 0u64;
+        let mut evacuations = 0u64;
+        let mut checkpoints = 0u64;
+        let mut resumes = 0u64;
+        let mut errors: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for rep in 0..opts.reps {
+            let (seed, out) = outcome_iter.next().expect("one outcome per job");
+            match out {
                 Ok(r) => {
-                    ttcs.push(r.breakdown.ttc.as_secs());
-                    wasted.push(r.wasted_core_hours);
-                    salvaged.push(r.salvaged_core_hours);
-                    // The lead time comes from the journal via analytics,
-                    // cross-checking the simulator's own counters.
-                    let tl = aimes_analytics::timeline::reconstruct(&journal.borrow())
-                        .expect("completed runs leave a well-formed journal");
-                    if let Some(lead) = tl.evacuation_lead_secs {
+                    ttcs.push(r.ttc);
+                    wasted.push(r.wasted);
+                    salvaged.push(r.salvaged);
+                    if let Some(lead) = r.lead {
                         leads.push(lead);
                     }
-                    domain_alarms += tl.domain_alarms as u64;
-                    evacuations += tl.evacuations as u64;
-                    checkpoints += tl.checkpoints as u64;
-                    resumes += tl.resumes as u64;
+                    domain_alarms += r.domain_alarms;
+                    evacuations += r.evacuations;
+                    checkpoints += r.checkpoints;
+                    resumes += r.resumes;
                 }
-                Err(e) => {
-                    let class = match e {
-                        aimes::middleware::RunError::PilotsDrained { .. } => "drained",
-                        aimes::middleware::RunError::ResourceLost { .. } => "lost",
-                        aimes::middleware::RunError::DeadlineExceeded { .. } => "deadline",
-                        _ => "other",
-                    };
+                Err((class, e)) => {
                     *errors.entry(class.to_string()).or_insert(0) += 1;
                     arm_errors += 1;
                     eprintln!("cascade arm failed: arm={arm} rep={rep} seed={seed}: {e}");
@@ -1307,16 +1408,24 @@ fn ablation_info(opts: &Options) {
         ("blackout", streaming, Some(blackout_faults)),
     ];
 
-    let mut rows = Vec::new();
-    let mut points = Vec::new();
-    let mut failures = 0usize;
-    for (arm, info, faults) in &arms {
-        let mut ttcs = Vec::new();
-        let mut info_fallbacks = 0u64;
-        let mut stale_secs = 0.0f64;
-        let mut counters: std::collections::BTreeMap<String, u64> =
-            std::collections::BTreeMap::new();
-        for rep in 0..opts.reps {
+    // One (arm × rep) run on the pool; each run builds its own Telemetry
+    // inside the closure and hands back only the `bundle.info.*` counter
+    // slice. Aggregation and printing stay sequential in job order, so
+    // output is byte-identical at any --jobs.
+    struct InfoRun {
+        ttc: f64,
+        info_fallbacks: u64,
+        stale_secs: f64,
+        counters: Vec<(String, u64)>,
+    }
+    let reps_n = opts.reps;
+    let jobs: Vec<(usize, usize)> = (0..arms.len())
+        .flat_map(|ai| (0..reps_n).map(move |rep| (ai, rep)))
+        .collect();
+    let outcomes: Vec<(u64, Result<InfoRun, String>)> = jobs
+        .par_iter()
+        .map(|&(ai, rep)| {
+            let (arm, info, faults) = &arms[ai];
             // Same seed across arms: identical workload, background load,
             // and submission instant — only the information regime moves.
             let seed = SimRng::new(opts.seed)
@@ -1325,7 +1434,7 @@ fn ablation_info(opts: &Options) {
             let mut rng = SimRng::new(seed).fork("submit");
             let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
             let telemetry = Telemetry::new();
-            match run_application(
+            let outcome = run_application(
                 &paper::testbed(),
                 &app,
                 &strategy,
@@ -1336,19 +1445,48 @@ fn ablation_info(opts: &Options) {
                     info: info.clone(),
                     telemetry: Some(telemetry.clone()),
                     recorder_dump_dir: opts.dump_dir.clone(),
+                    run_tag: Some(format!("info-{arm}-r{rep}")),
                     ..Default::default()
                 },
-            ) {
+            )
+            .map(|r| InfoRun {
+                ttc: r.breakdown.ttc.as_secs(),
+                info_fallbacks: r.info_fallbacks,
+                stale_secs: r.stale_decision_secs,
+                counters: r
+                    .metrics
+                    .iter()
+                    .flat_map(|summary| summary.counters.iter())
+                    .filter_map(|(name, v)| {
+                        name.strip_prefix("bundle.info.")
+                            .map(|short| (short.to_string(), *v))
+                    })
+                    .collect(),
+            })
+            .map_err(|e| e.to_string());
+            (seed, outcome)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut failures = 0usize;
+    let mut outcome_iter = outcomes.into_iter();
+    for (arm, _, _) in &arms {
+        let mut ttcs = Vec::new();
+        let mut info_fallbacks = 0u64;
+        let mut stale_secs = 0.0f64;
+        let mut counters: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        for rep in 0..opts.reps {
+            let (seed, out) = outcome_iter.next().expect("one outcome per job");
+            match out {
                 Ok(r) => {
-                    ttcs.push(r.breakdown.ttc.as_secs());
+                    ttcs.push(r.ttc);
                     info_fallbacks += r.info_fallbacks;
-                    stale_secs += r.stale_decision_secs;
-                    if let Some(summary) = &r.metrics {
-                        for (name, v) in &summary.counters {
-                            if let Some(short) = name.strip_prefix("bundle.info.") {
-                                *counters.entry(short.to_string()).or_insert(0) += v;
-                            }
-                        }
+                    stale_secs += r.stale_secs;
+                    for (short, v) in r.counters {
+                        *counters.entry(short).or_insert(0) += v;
                     }
                 }
                 Err(e) => {
@@ -1483,20 +1621,29 @@ fn ablation_detection(opts: &Options) {
         ),
     ];
 
-    let mut rows = Vec::new();
-    for (label, det) in &configs {
-        let recovery = RecoveryPolicy {
-            detection: det.clone(),
-            ..RecoveryPolicy::default()
-        };
-        let mut ttcs = Vec::new();
-        let mut trs = Vec::new();
-        let mut tds = Vec::new();
-        let mut mean_tds = Vec::new();
-        let mut replans = 0u64;
-        let mut false_suspicions = 0u64;
-        let mut completed = 0usize;
-        for rep in 0..opts.reps {
+    // One (detector-config × rep) run on the pool; failed runs simply
+    // don't count (as before). Aggregation in job order keeps the table
+    // byte-identical at any --jobs.
+    struct DetectionRun {
+        ttc: f64,
+        tr: f64,
+        td: f64,
+        mean_td: f64,
+        replans: u64,
+        false_suspicions: u64,
+    }
+    let reps_n = opts.reps;
+    let jobs: Vec<(usize, usize)> = (0..configs.len())
+        .flat_map(|ci| (0..reps_n).map(move |rep| (ci, rep)))
+        .collect();
+    let outcomes: Vec<Option<DetectionRun>> = jobs
+        .par_iter()
+        .map(|&(ci, rep)| {
+            let (label, det) = &configs[ci];
+            let recovery = RecoveryPolicy {
+                detection: det.clone(),
+                ..RecoveryPolicy::default()
+            };
             // Same seed across configs: the paired comparison isolates
             // detector tuning from schedule noise.
             let seed = SimRng::new(opts.seed)
@@ -1504,7 +1651,7 @@ fn ablation_detection(opts: &Options) {
                 .root_seed();
             let mut rng = SimRng::new(seed).fork("submit");
             let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
-            if let Ok(r) = run_application(
+            run_application(
                 &pool,
                 &app,
                 &strategy,
@@ -1512,15 +1659,40 @@ fn ablation_detection(opts: &Options) {
                     seed,
                     submit_at,
                     faults: Some(faults.clone()),
-                    recovery: Some(recovery.clone()),
+                    recovery: Some(recovery),
+                    run_tag: Some(format!("detection-{label}-r{rep}")),
                     ..Default::default()
                 },
-            ) {
+            )
+            .ok()
+            .map(|r| DetectionRun {
+                ttc: r.breakdown.ttc.as_secs(),
+                tr: r.breakdown.tr.as_secs(),
+                td: r.breakdown.td.as_secs(),
+                mean_td: r.mean_detection_secs,
+                replans: r.replans,
+                false_suspicions: r.false_suspicions,
+            })
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut outcome_iter = outcomes.into_iter();
+    for (label, _) in &configs {
+        let mut ttcs = Vec::new();
+        let mut trs = Vec::new();
+        let mut tds = Vec::new();
+        let mut mean_tds = Vec::new();
+        let mut replans = 0u64;
+        let mut false_suspicions = 0u64;
+        let mut completed = 0usize;
+        for _rep in 0..opts.reps {
+            if let Some(r) = outcome_iter.next().expect("one outcome per job") {
                 completed += 1;
-                ttcs.push(r.breakdown.ttc.as_secs());
-                trs.push(r.breakdown.tr.as_secs());
-                tds.push(r.breakdown.td.as_secs());
-                mean_tds.push(r.mean_detection_secs);
+                ttcs.push(r.ttc);
+                trs.push(r.tr);
+                tds.push(r.td);
+                mean_tds.push(r.mean_td);
                 replans += r.replans;
                 false_suspicions += r.false_suspicions;
             }
@@ -1849,6 +2021,12 @@ fn analytics_diff_cmd(opts: &Options) {
 
 fn main() {
     let (command, opts) = parse_args();
+    if let Some(jobs) = opts.jobs {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build_global()
+            .expect("configure worker pool");
+    }
     match command.as_str() {
         "table1" => table1(),
         "fig2" => fig2(&opts),
@@ -1914,7 +2092,7 @@ fn main() {
                  ablation-predictor | ablation-faults | ablation-detection | \n\
                  ablation-info | ablation-cascade | telemetry | journal | analyze | \n\
                  analytics-diff | all\n\
-                 flags: --reps N --seed S --quick --fail-on-error \
+                 flags: --reps N --seed S --quick --jobs N --fail-on-error \
                  --emit-metrics DIR --trace-out PATH --dump-dir DIR\n\
                  journal flags: --scenario exp1|exp4|faulty --out PATH\n\
                  analyze: <journal.jsonl> --epsilon E --out report.json\n\

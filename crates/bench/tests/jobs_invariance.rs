@@ -1,0 +1,43 @@
+//! The experiments binary's sweeps must be worker-count invariant end to
+//! end: same command at `--jobs 1` and `--jobs 4` ⇒ byte-identical stdout
+//! (tables + JSON blocks) and stderr (failure lines). This drives the
+//! real CLI, so it covers flag parsing, pool configuration, the fanned-
+//! out run loop, and the order-sensitive aggregation/printing path.
+
+use std::process::Command;
+
+fn run_sweep(command: &str, jobs: &str) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args([
+            command, "--quick", "--reps", "2", "--seed", "42", "--jobs", jobs,
+        ])
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        out.status.success(),
+        "{command} --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+fn ablation_detection_output_is_byte_identical_across_jobs() {
+    let (out1, err1) = run_sweep("ablation-detection", "1");
+    let (out4, err4) = run_sweep("ablation-detection", "4");
+    assert!(out1.contains("| Detector"), "sanity: table rendered");
+    assert_eq!(out1, out4, "stdout diverged between --jobs 1 and 4");
+    assert_eq!(err1, err4, "stderr diverged between --jobs 1 and 4");
+}
+
+#[test]
+fn ablation_cascade_output_is_byte_identical_across_jobs() {
+    let (out1, err1) = run_sweep("ablation-cascade", "1");
+    let (out4, err4) = run_sweep("ablation-cascade", "4");
+    assert!(out1.contains("### JSON"), "sanity: JSON block rendered");
+    assert_eq!(out1, out4, "stdout diverged between --jobs 1 and 4");
+    assert_eq!(err1, err4, "stderr diverged between --jobs 1 and 4");
+}

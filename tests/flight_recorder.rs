@@ -191,6 +191,53 @@ fn domain_alarm_dumps_a_snapshot_naming_the_domain_and_its_members() {
 }
 
 #[test]
+fn run_tag_disambiguates_dump_filenames_on_shared_seed_and_dir() {
+    // Paired-seed ablation arms share both the seed and the dump dir;
+    // each arm's run_tag must keep its post-mortem from overwriting the
+    // other's. Same interrupted run, two tags, one directory.
+    let dir = dump_dir("tagged");
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let pool = vec![
+        ClusterConfig::test("one", 256),
+        ClusterConfig::test("two", 256),
+    ];
+    for tag in ["arm-a/r0", "arm-b-r0"] {
+        let err = run_application(
+            &pool,
+            &app,
+            &paper::late_strategy(2),
+            &RunOptions {
+                seed: 4242,
+                submit_at: SimTime::from_secs(600.0),
+                interrupt_at: Some(SimDuration::from_secs(900.0)),
+                recorder_dump_dir: Some(dir.clone()),
+                run_tag: Some(tag.into()),
+                ..Default::default()
+            },
+        )
+        .expect_err("the run is killed mid-flight");
+        assert!(matches!(err, RunError::Interrupted { .. }));
+    }
+
+    // Tags sanitize like reasons ('/' → '-') and prefix the seed.
+    for name in [
+        "flight-arm-a-r0-4242-interrupted.txt",
+        "flight-arm-b-r0-4242-interrupted.txt",
+    ] {
+        let text = std::fs::read_to_string(dir.join(name)).expect(name);
+        let snap = RecorderSnapshot::from_text(&text).expect("dump verifies");
+        assert_eq!(snap.reason, "interrupted");
+    }
+    // No temp files left behind, and no tag-less collision file.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.contains(".tmp-") || n == "flight-4242-interrupted.txt")
+        .collect();
+    assert!(leftovers.is_empty(), "unexpected files: {leftovers:?}");
+}
+
+#[test]
 fn no_dump_dir_means_no_files_and_no_failure() {
     // The recorder stays purely in memory when no dump dir is set: the
     // same interrupted run neither errors on the dump path nor writes

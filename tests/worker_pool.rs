@@ -1,0 +1,145 @@
+//! Worker-count invariance: the vendored rayon shim is a real scoped-
+//! thread pool, and nothing observable may depend on how many workers it
+//! runs. Each simulation owns its seed and its whole `Rc` world, results
+//! come back in input order, and aggregation is sequential — so the same
+//! campaign at 1 worker and at 4 workers must produce byte-identical
+//! journals and byte-identical `ExperimentResult` JSON. These tests pin
+//! that, plus the fact that >1 worker genuinely means >1 OS thread.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Mutex;
+
+use aimes_repro::cluster::ClusterConfig;
+use aimes_repro::fault::{FaultSpec, OutageKind, OutageSpec, RecoveryPolicy};
+use aimes_repro::middleware::experiment::{run_experiment, ExperimentConfig};
+use aimes_repro::middleware::paper;
+use aimes_repro::middleware::{run_application, RunJournal, RunOptions};
+use aimes_repro::sim::SimTime;
+use aimes_repro::skeleton::{paper_bag, TaskDurationSpec};
+use rayon::prelude::*;
+
+/// Serializes tests that reconfigure the global worker count.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the pool pinned to `n` workers, then reset to auto.
+fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("configure pool");
+    let out = f();
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .expect("reset pool");
+    out
+}
+
+/// FNV-1a 64 over the journal's JSONL serialization (same helper as the
+/// golden-journal suite): sensitive to any byte-level change.
+fn digest(journal: &RunJournal) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in journal.to_jsonl().as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+fn small_experiment() -> ExperimentConfig {
+    ExperimentConfig {
+        id: "pool-invariance".into(),
+        description: "worker-count invariance probe".into(),
+        strategy: aimes_repro::strategy::ExecutionStrategy::paper_late(2),
+        duration_spec: TaskDurationSpec::Gaussian,
+        task_counts: vec![8, 16],
+        repetitions: 4,
+        base_seed: 4242,
+        resources: ["one", "two", "three"]
+            .iter()
+            .map(|n| ClusterConfig::test(n, 512))
+            .collect(),
+        submit_window_hours: (0.1, 0.5),
+    }
+}
+
+/// One journaling chaos run per seed — the kind of per-seed loop the
+/// ablation sweeps fan out — returning the journal's digest.
+fn chaos_digest(seed: u64) -> String {
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let pool = vec![
+        ClusterConfig::test("one", 256),
+        ClusterConfig::test("two", 256),
+    ];
+    let journal = Rc::new(RefCell::new(RunJournal::new()));
+    run_application(
+        &pool,
+        &app,
+        &paper::late_strategy(2),
+        &RunOptions {
+            seed,
+            submit_at: SimTime::from_secs(600.0),
+            faults: Some(FaultSpec {
+                outages: vec![OutageSpec {
+                    resource: "one".into(),
+                    at_secs: 300.0,
+                    duration_secs: 600.0,
+                    kind: OutageKind::Permanent,
+                }],
+                ..FaultSpec::none()
+            }),
+            recovery: Some(RecoveryPolicy::with_detection()),
+            journal: Some(journal.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("chaos run recovers");
+    let d = digest(&journal.borrow());
+    d
+}
+
+#[test]
+fn pool_runs_on_multiple_threads_in_input_order() {
+    // Each item sleeps so the OS interleaves workers even on a one-core
+    // host; >1 distinct ThreadId proves the pool is not sequential.
+    let items: Vec<u32> = (0..16).collect();
+    let out: Vec<(u32, std::thread::ThreadId)> = with_workers(4, || {
+        items
+            .par_iter()
+            .map(|&i| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                (i * 3, std::thread::current().id())
+            })
+            .collect()
+    });
+    let values: Vec<u32> = out.iter().map(|(v, _)| *v).collect();
+    assert_eq!(values, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    let distinct: std::collections::HashSet<_> = out.iter().map(|(_, id)| *id).collect();
+    assert!(distinct.len() >= 2, "expected >1 worker thread");
+}
+
+#[test]
+fn experiment_result_json_is_identical_across_worker_counts() {
+    let cfg = small_experiment();
+    let json_1 = with_workers(1, || {
+        serde_json::to_string(&run_experiment(&cfg)).expect("serialize")
+    });
+    let json_4 = with_workers(4, || {
+        serde_json::to_string(&run_experiment(&cfg)).expect("serialize")
+    });
+    assert_eq!(json_1, json_4, "worker count leaked into results");
+}
+
+#[test]
+fn journal_digests_are_identical_across_worker_counts() {
+    let seeds: Vec<u64> = vec![11, 42, 20160523, 777];
+    let sequential: Vec<String> = seeds.iter().map(|&s| chaos_digest(s)).collect();
+    let pooled_1: Vec<String> =
+        with_workers(1, || seeds.par_iter().map(|&s| chaos_digest(s)).collect());
+    let pooled_4: Vec<String> =
+        with_workers(4, || seeds.par_iter().map(|&s| chaos_digest(s)).collect());
+    assert_eq!(sequential, pooled_1);
+    assert_eq!(sequential, pooled_4, "worker count leaked into journals");
+}

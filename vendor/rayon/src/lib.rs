@@ -1,36 +1,198 @@
-//! Offline shim for `rayon`.
+//! Offline shim for `rayon` — a real worker pool, not a sequential stand-in.
 //!
-//! `par_iter()` degrades to a plain sequential iterator: every adaptor and
-//! `collect()` keep working unchanged, results keep their input order, and
-//! determinism is trivially preserved. The workspace only fans out
-//! embarrassingly parallel simulation repetitions, so the shim trades
-//! wall-clock speed for zero dependencies — callers need no code changes
-//! if the real crate is ever restored.
+//! `par_iter().map(f).collect()` fans the items out over scoped OS threads
+//! (`std::thread::scope`): workers steal indices from a shared atomic
+//! cursor, so a slow item never blocks the queue behind it. Results are
+//! merged back **in input order**, which is what makes worker-count
+//! invariance hold — a campaign at `--jobs 1` and `--jobs 8` produces the
+//! same `Vec` as long as each item's work is self-contained (every AIMES
+//! run owns its seed and its `Rc`-world, so it is).
+//!
+//! Worker count resolution, first match wins:
+//! 1. `ThreadPoolBuilder::new().num_threads(n).build_global()` (the
+//!    `--jobs` flag in the bench binaries lands here; `0` resets to auto),
+//! 2. `AIMES_JOBS` / `RAYON_NUM_THREADS` environment variables,
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Surface is limited to what the workspace uses. One deliberate deviation
+//! from upstream: `build_global()` may be called repeatedly (the
+//! invariance tests flip between 1 and 4 workers inside one process).
 
-pub mod prelude {
-    /// `&'data self → par_iter()`, rayon's borrowing entry point.
-    pub trait IntoParallelRefIterator<'data> {
-        type Item: 'data;
-        type Iter: Iterator<Item = Self::Item>;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-        fn par_iter(&'data self) -> Self::Iter;
+/// Global worker-count override; 0 means "unset, consult env/hardware".
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Mirror of rayon's global-pool configuration entry point.
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self { num_threads: 0 }
     }
 
-    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
+    /// `0` means automatic (env var, then `available_parallelism`).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        WORKER_OVERRIDE.store(self.num_threads, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// The worker count a `par_iter` started now would use.
+pub fn current_num_threads() -> usize {
+    let o = WORKER_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    for var in ["AIMES_JOBS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
         }
     }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
-    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
+/// Borrowing parallel iterator over a slice; only `map` is supported.
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+impl<'data, T: Sync> ParIter<'data, T> {
+    pub fn map<R, F>(self, op: F) -> ParMap<'data, T, R, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            op,
+            _result: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A mapped parallel iterator; `collect()` runs the pool.
+pub struct ParMap<'data, T: Sync, R, F> {
+    items: &'data [T],
+    op: F,
+    _result: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, R, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_pool(self.items, &self.op).into_iter().collect()
+    }
+}
+
+/// Fan `op` over `items` on scoped threads; results come back in input
+/// order. Workers pull the next unclaimed index from a shared atomic
+/// cursor (chunk size 1 — simulation runs are coarse enough that the
+/// fetch_add is noise). A panicking item re-raises on the caller thread.
+fn run_pool<'data, T, R, F>(items: &'data [T], op: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(op).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut claimed = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        claimed.push((i, op(&items[i])));
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(claimed) => buckets.push(claimed),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `&'data self → par_iter()`, rayon's borrowing entry point.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Sync + 'data;
+
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter {
+            items: self.as_slice(),
         }
     }
 }
@@ -38,11 +200,66 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the global worker override.
+    static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .unwrap();
+        let out = f();
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        out
+    }
 
     #[test]
     fn par_iter_maps_and_collects_in_order() {
-        let v = vec![1, 2, 3];
-        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
-        assert_eq!(doubled, vec![2, 4, 6]);
+        for workers in [1, 2, 4] {
+            let v: Vec<i32> = (0..97).collect();
+            let doubled: Vec<i32> = with_workers(workers, || v.par_iter().map(|x| x * 2).collect());
+            assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_runs_on_multiple_threads() {
+        // Each item sleeps so the OS interleaves the four workers even on
+        // a single-core host; at least two distinct ThreadIds must show up.
+        let items: Vec<u32> = (0..16).collect();
+        let ids: Vec<std::thread::ThreadId> = with_workers(4, || {
+            items
+                .par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert!(
+            distinct.len() >= 2,
+            "expected work on >1 thread, saw {}",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let v: Vec<i32> = (0..8).collect();
+        let r = std::panic::catch_unwind(|| {
+            with_workers(2, || {
+                v.par_iter()
+                    .map(|x| if *x == 5 { panic!("boom") } else { *x })
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert!(r.is_err());
     }
 }
