@@ -15,7 +15,8 @@
 //! are collected in input order and every run derives its own seed via
 //! [`per_run_seed`], so output is byte-identical at any worker count.
 
-use crate::middleware::{run_application, RunOptions, RunResult};
+use crate::campaign::{CampaignSender, Progress};
+use crate::middleware::{run_application, RunError, RunOptions, RunResult};
 use crate::stats::Summary;
 use aimes_cluster::ClusterConfig;
 use aimes_sim::{SimRng, SimTime};
@@ -114,16 +115,57 @@ const EMPTY_SUMMARY: Summary = Summary {
     ci95: f64::NAN,
 };
 
+/// Observability hooks for a campaign: where each run reports its record
+/// and progress tick. Both default to off; `run_experiment` passes the
+/// empty set.
+#[derive(Clone, Copy, Default)]
+pub struct CampaignHooks<'a> {
+    /// Manifest channel; each run sends one [`RunRecord`] keyed by its
+    /// job index (arm = the experiment id).
+    pub recorder: Option<&'a CampaignSender>,
+    /// Live stderr status line; ticked once per finished run.
+    pub progress: Option<&'a Progress>,
+}
+
 /// Run every (size × repetition) combination in parallel.
 pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
-    let jobs: Vec<(u32, usize)> = config
+    run_experiment_with(config, CampaignHooks::default())
+}
+
+/// [`run_experiment`] with campaign observability attached.
+pub fn run_experiment_with(config: &ExperimentConfig, hooks: CampaignHooks) -> ExperimentResult {
+    let jobs: Vec<(usize, u32, usize)> = config
         .task_counts
         .iter()
         .flat_map(|n| (0..config.repetitions).map(move |r| (*n, r)))
+        .enumerate()
+        .map(|(job, (n, rep))| (job, n, rep))
         .collect();
     let mut outcomes = jobs
         .par_iter()
-        .map(|(n, rep)| run_one(config, *n, *rep))
+        .map(|(job, n, rep)| {
+            let started = hooks.recorder.map_or(0.0, |s| s.elapsed_secs());
+            let seed = config.run_seed(*n, *rep);
+            let (outcome, build_secs, simulate_secs) = run_one(config, *n, seed);
+            if let Some(sender) = hooks.recorder {
+                sender.record_outcome(
+                    *job as u64,
+                    &config.id,
+                    &config.id,
+                    *rep as u64,
+                    *n,
+                    seed,
+                    &outcome,
+                    started,
+                    build_secs,
+                    simulate_secs,
+                );
+            }
+            if let Some(progress) = hooks.progress {
+                progress.tick(outcome.is_err());
+            }
+            outcome.map_err(|e| e.to_string())
+        })
         .collect::<Vec<Result<RunResult, String>>>()
         .into_iter();
 
@@ -166,21 +208,25 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
     }
 }
 
-/// Execute one repetition.
-fn run_one(config: &ExperimentConfig, n_tasks: u32, rep: usize) -> Result<RunResult, String> {
-    let seed = config.run_seed(n_tasks, rep);
+/// Execute one repetition, returning the outcome plus the wall split
+/// between scenario construction (skeleton + options) and simulation.
+fn run_one(
+    config: &ExperimentConfig,
+    n_tasks: u32,
+    seed: u64,
+) -> (Result<RunResult, RunError>, f64, f64) {
+    let t_build = std::time::Instant::now();
     let submit_at = config.submit_instant(seed);
-    run_application(
-        &config.resources,
-        &config.skeleton(n_tasks),
-        &config.strategy,
-        &RunOptions {
-            seed,
-            submit_at,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| e.to_string())
+    let skeleton = config.skeleton(n_tasks);
+    let options = RunOptions {
+        seed,
+        submit_at,
+        ..Default::default()
+    };
+    let build_secs = t_build.elapsed().as_secs_f64();
+    let t_sim = std::time::Instant::now();
+    let outcome = run_application(&config.resources, &skeleton, &config.strategy, &options);
+    (outcome, build_secs, t_sim.elapsed().as_secs_f64())
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 //! * [`report`] — markdown/CSV table and series rendering.
 
 pub mod adaptive;
+pub mod campaign;
 pub mod experiment;
 pub mod journal;
 pub mod middleware;
@@ -34,6 +35,7 @@ pub mod ttc;
 
 pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveRunResult};
 pub use aimes_fault as fault;
+pub use campaign::{CampaignMeta, CampaignRecorder, CampaignSender, Progress, RunRecord};
 pub use experiment::{ExperimentConfig, ExperimentPoint, ExperimentResult};
 pub use journal::{JournalEntry, JournalEvent, RunJournal};
 pub use middleware::{resume_application, run_application, RunError, RunOptions, RunResult};

@@ -225,6 +225,25 @@ impl RunError {
     pub fn contains(&self, needle: &str) -> bool {
         self.to_string().contains(needle)
     }
+
+    /// Stable taxonomy key for this error variant, message-free — the
+    /// campaign manifest and `campaign-report` failure table bucket on it.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunError::Unplannable(_) => "unplannable",
+            RunError::Skeleton(_) => "skeleton",
+            RunError::InvalidFaultSpec(_) => "invalid_fault_spec",
+            RunError::InvalidInfoConfig(_) => "invalid_info_config",
+            RunError::InvalidRecorderConfig(_) => "invalid_recorder_config",
+            RunError::InvalidRecoveryPolicy(_) => "invalid_recovery_policy",
+            RunError::InvalidUnitConfig(_) => "invalid_unit_config",
+            RunError::DeadlineExceeded { .. } => "deadline_exceeded",
+            RunError::PilotsDrained { .. } => "pilots_drained",
+            RunError::ResourceLost { .. } => "resource_lost",
+            RunError::Interrupted { .. } => "interrupted",
+            RunError::JournalDiverged { .. } => "journal_diverged",
+        }
+    }
 }
 
 /// The measured outcome of one run.

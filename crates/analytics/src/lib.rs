@@ -38,7 +38,7 @@ pub use critical_path::CriticalPath;
 pub use decompose::{ClosureCheck, ExclusiveTtc};
 pub use diff::DiffReport;
 pub use series::StepSeries;
-pub use stragglers::Straggler;
+pub use stragglers::{tukey_upper_fence, Straggler};
 pub use timeline::{ReconstructError, SessionTimelines};
 
 /// Schema tag written into every serialized analysis.

@@ -23,6 +23,20 @@ pub struct Straggler {
     pub median_secs: f64,
 }
 
+/// The Tukey upper outlier fence, `p75 + 1.5 × IQR`, or `None` for
+/// populations smaller than 4 — quartiles of 3 points fence nothing
+/// meaningfully. This is the single outlier definition shared by unit
+/// straggler detection (here) and campaign-level straggler *runs*
+/// (`experiments campaign-report`).
+pub fn tukey_upper_fence(sample: &[f64]) -> Option<f64> {
+    if sample.len() < 4 {
+        return None;
+    }
+    let p25 = percentile(sample, 0.25)?;
+    let p75 = percentile(sample, 0.75)?;
+    Some(p75 + 1.5 * (p75 - p25))
+}
+
 fn component_for(phase: UnitPhase, restarted: bool) -> &'static str {
     match phase {
         UnitPhase::PendingExecution if restarted => "recovery",
@@ -55,14 +69,11 @@ pub fn detect(tl: &SessionTimelines) -> Vec<Straggler> {
             })
             .filter(|(_, d, _)| *d > 0.0)
             .collect();
-        if dwells.len() < 4 {
-            continue;
-        }
         let sample: Vec<f64> = dwells.iter().map(|(_, d, _)| *d).collect();
-        let p25 = percentile(&sample, 0.25).expect("non-empty");
-        let p75 = percentile(&sample, 0.75).expect("non-empty");
+        let Some(bound) = tukey_upper_fence(&sample) else {
+            continue;
+        };
         let median = percentile(&sample, 0.50).expect("non-empty");
-        let bound = p75 + 1.5 * (p75 - p25);
         for (unit, dwell, restarted) in dwells {
             if dwell > bound + 1e-9 {
                 out.push(Straggler {
@@ -139,6 +150,14 @@ mod tests {
         assert_eq!(stragglers[0].state, "Executing");
         assert_eq!(stragglers[0].component, "execution");
         assert!((stragglers[0].dwell_secs - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tukey_fence_matches_hand_computation_and_skips_small_samples() {
+        assert_eq!(tukey_upper_fence(&[1.0, 2.0, 3.0]), None);
+        // p25 = 1.75, p75 = 3.25 (type-7), IQR = 1.5 → fence = 5.5.
+        let fence = tukey_upper_fence(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((fence - 5.5).abs() < 1e-12, "fence = {fence}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! bench-report [--quick] [--seed S] [--jobs N] [--out BENCH_sim.json]
 //!              [--check BENCH_baseline.json] [--tolerance 0.25]
 //!              [--emit-metrics DIR]
+//!              [--campaign-out PATH] [--campaign-timing] [--progress]
 //! ```
 //!
 //! Campaigns (all deterministic given `--seed`):
@@ -33,6 +34,10 @@
 //!
 //! `--check` compares throughput metrics against a committed baseline and
 //! exits non-zero on a regression beyond the tolerance (CI perf-smoke).
+//! `--campaign-out PATH` writes a `campaign.jsonl` manifest for the
+//! `campaign_throughput` fan-out (one record per run, canonical job
+//! order); `--campaign-timing` adds the volatile wall-clock fields and the
+//! pool record; `--progress` draws the live status line on stderr.
 //! `--emit-metrics DIR` additionally performs one telemetry-instrumented
 //! experiment-1 run and writes `trace.json` (Perfetto-loadable),
 //! `metrics.json`, and `metrics.csv` into DIR (CI telemetry-smoke).
@@ -41,7 +46,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Instant;
 
-use aimes::experiment::run_experiment;
+use aimes::experiment::{run_experiment_with, CampaignHooks};
 use aimes::middleware::{run_application, RunOptions};
 use aimes::paper;
 use aimes_cluster::{Cluster, ClusterConfig};
@@ -80,6 +85,13 @@ struct Options {
     emit_metrics: Option<std::path::PathBuf>,
     /// Worker count for pool-backed campaigns (default: all cores).
     jobs: Option<usize>,
+    /// Campaign manifest path for `campaign_throughput` (the one
+    /// pool-backed campaign here).
+    campaign_out: Option<std::path::PathBuf>,
+    /// Record volatile wall-clock fields + pool record in the manifest.
+    campaign_timing: bool,
+    /// Live status line on stderr for `campaign_throughput`.
+    progress: bool,
 }
 
 fn parse_args() -> Options {
@@ -93,6 +105,9 @@ fn parse_args() -> Options {
         only: None,
         emit_metrics: None,
         jobs: None,
+        campaign_out: None,
+        campaign_timing: false,
+        progress: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -126,11 +141,18 @@ fn parse_args() -> Options {
                 i += 1;
                 opts.jobs = Some(args[i].parse().expect("--jobs takes an integer"));
             }
+            "--campaign-out" => {
+                i += 1;
+                opts.campaign_out = Some(args[i].clone().into());
+            }
+            "--campaign-timing" => opts.campaign_timing = true,
+            "--progress" => opts.progress = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench-report [--quick] [--seed S] [--jobs N] [--out FILE] \
-                     [--check BASELINE] [--tolerance F] [--emit-metrics DIR]"
+                     [--check BASELINE] [--tolerance F] [--emit-metrics DIR] \
+                     [--campaign-out PATH] [--campaign-timing] [--progress]"
                 );
                 std::process::exit(2);
             }
@@ -339,13 +361,43 @@ fn e2e_experiment(id: u32, seed: u64, quick: bool) -> CampaignStat {
 /// runs/sec. This is the campaign engine's fan-out throughput: it scales
 /// with `--jobs` / host cores, and the CI perf gate asserts that scaling
 /// (jobs=4 must beat jobs=1 by ≥1.8× on a 4-core runner).
-fn campaign_throughput(seed: u64, quick: bool) -> CampaignStat {
+fn campaign_throughput(seed: u64, quick: bool, opts: &Options) -> CampaignStat {
     let reps = if quick { 96 } else { 384 };
     let mut cfg = paper::experiment(1, reps, seed, Some(vec![64]));
     cfg.id = "campaign-throughput".into();
+    let total_jobs = (cfg.task_counts.len() * cfg.repetitions) as u64;
+    let recorder = opts.campaign_out.as_ref().map(|path| {
+        let meta = aimes::CampaignMeta::new("campaign-throughput", seed, total_jobs);
+        // Fresh pool accounting so a timing-mode pool record covers
+        // exactly this campaign's fan-out.
+        rayon::reset_pool_stats();
+        aimes::CampaignRecorder::create(path, &meta, opts.campaign_timing).unwrap_or_else(|e| {
+            eprintln!("cannot create campaign manifest {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    });
+    let sender = recorder.as_ref().map(|r| r.sender());
+    let progress = opts.progress.then(|| aimes::Progress::new(total_jobs));
+    let hooks = CampaignHooks {
+        recorder: sender.as_ref(),
+        progress: progress.as_ref(),
+    };
     let start = Instant::now();
-    let result = run_experiment(&cfg);
+    let result = run_experiment_with(&cfg, hooks);
     let wall = start.elapsed().as_secs_f64();
+    if let Some(progress) = &progress {
+        progress.finish();
+    }
+    drop(sender);
+    if let Some(recorder) = recorder {
+        let pool = opts
+            .campaign_timing
+            .then(|| aimes::campaign::PoolRecord::from_stats(&rayon::pool_stats()));
+        if let Err(e) = recorder.close(pool.as_ref()) {
+            eprintln!("cannot finalize campaign manifest: {e}");
+            std::process::exit(2);
+        }
+    }
     let point = &result.points[0];
     assert!(
         point.errors.is_empty(),
@@ -443,12 +495,15 @@ fn main() {
     for (label, run) in [
         (
             "engine_heartbeat",
-            Box::new(engine_heartbeat) as Box<dyn Fn(u64, bool) -> CampaignStat>,
+            Box::new(engine_heartbeat) as Box<dyn Fn(u64, bool) -> CampaignStat + '_>,
         ),
         ("cluster_saturation", Box::new(cluster_saturation)),
         ("e2e_exp1", Box::new(|s, q| e2e_experiment(1, s, q))),
         ("e2e_exp4", Box::new(|s, q| e2e_experiment(4, s, q))),
-        ("campaign_throughput", Box::new(campaign_throughput)),
+        (
+            "campaign_throughput",
+            Box::new(|s, q| campaign_throughput(s, q, &opts)),
+        ),
     ] {
         if opts.only.as_deref().is_some_and(|o| o != label) {
             continue;

@@ -29,6 +29,9 @@
 //!                       critical path, stragglers; exits nonzero on closure failure
 //!   analytics-diff      compare two analyses (or journals) component-by-component;
 //!                       exits nonzero past --threshold
+//!   campaign-report     cross-run analysis of a --campaign-out manifest:
+//!                       per-arm TTC percentiles, Tukey-fence straggler runs,
+//!                       failure taxonomy table, pool utilization
 //!   all                 everything above
 //! ```
 //!
@@ -38,6 +41,15 @@
 //! CI gate. `--jobs N` caps the worker pool the sweeps fan out on
 //! (default: all cores; every run owns its seed and results aggregate in
 //! job order, so output is byte-identical at any worker count).
+//!
+//! Campaign observability (the parallel sweeps — faults, detection, info,
+//! cascade): `--campaign-out PATH` writes a `campaign.jsonl` manifest with
+//! one record per run (arm, rep, seed, outcome, TTC components, recovery
+//! counters, error taxonomy), canonicalized to job order on close so it is
+//! byte-identical at any `--jobs`. `--campaign-timing` additionally records
+//! volatile wall-clock fields (worker index, per-phase wall split, a pool
+//! record) — useful, but worker-count dependent. `--progress` draws an
+//! opt-in live status line on stderr.
 //!
 //! `telemetry` runs experiment 1 once at the given seed with the typed
 //! telemetry layer on and prints the metrics summary block.
@@ -81,6 +93,17 @@ struct Options {
     dump_dir: Option<std::path::PathBuf>,
     /// Worker-pool size for the parallel sweeps (default: all cores).
     jobs: Option<usize>,
+    /// Campaign manifest path (`campaign.jsonl`) for the parallel sweeps
+    /// (faults / detection / info / cascade): one record per run,
+    /// canonicalized to job order at close.
+    campaign_out: Option<std::path::PathBuf>,
+    /// Record volatile wall-clock fields (worker index, wall offsets,
+    /// phase split, pool record) in the manifest. Off by default — the
+    /// default manifest is byte-identical at any worker count.
+    campaign_timing: bool,
+    /// Live status line on stderr. Off by default so sweep stderr stays
+    /// byte-identical across worker counts.
+    progress: bool,
 }
 
 fn parse_args() -> (String, Options) {
@@ -100,6 +123,9 @@ fn parse_args() -> (String, Options) {
         files: Vec::new(),
         dump_dir: None,
         jobs: None,
+        campaign_out: None,
+        campaign_timing: false,
+        progress: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -146,6 +172,12 @@ fn parse_args() -> (String, Options) {
                 i += 1;
                 opts.jobs = Some(args[i].parse().expect("--jobs takes a number"));
             }
+            "--campaign-out" => {
+                i += 1;
+                opts.campaign_out = Some(args[i].clone().into());
+            }
+            "--campaign-timing" => opts.campaign_timing = true,
+            "--progress" => opts.progress = true,
             c if !c.starts_with("--") => {
                 if command == "help" {
                     command = c.to_string();
@@ -846,6 +878,90 @@ fn error_class(e: &aimes::middleware::RunError) -> &'static str {
     }
 }
 
+/// The one per-run failure line every sweep prints, with the same
+/// `arm=.. rep=.. seed=..` keys the manifest's failure records carry —
+/// stderr and `campaign.jsonl` always agree on what failed and why.
+fn report_arm_failure(sweep: &str, arm: &str, rep: usize, seed: u64, err: &str) {
+    eprintln!("{sweep} arm failed: arm={arm} rep={rep} seed={seed}: {err}");
+}
+
+/// The shared `--fail-on-error` exit for every sweep.
+fn exit_fail_on_error(sweep: &str, failures: usize) -> ! {
+    eprintln!("{failures} {sweep} run(s) failed under --fail-on-error");
+    std::process::exit(1);
+}
+
+/// Campaign observability for one sweep: the `campaign.jsonl` recorder
+/// (when `--campaign-out`) and the live progress line (when
+/// `--progress`). Both default off, so sweep output at defaults is
+/// untouched by this layer.
+struct Observatory {
+    recorder: Option<aimes::campaign::CampaignRecorder>,
+    sender: Option<aimes::campaign::CampaignSender>,
+    progress: Option<aimes::campaign::Progress>,
+    timing: bool,
+}
+
+impl Observatory {
+    /// Open the manifest (writing its meta line) and reset the pool's
+    /// accounting so a timing-mode pool record covers exactly this sweep.
+    fn open(opts: &Options, command: &str, total_jobs: usize) -> Observatory {
+        let recorder = opts.campaign_out.as_ref().map(|path| {
+            aimes::campaign::CampaignRecorder::create(
+                path,
+                &aimes::campaign::CampaignMeta::new(command, opts.seed, total_jobs as u64),
+                opts.campaign_timing,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot create campaign manifest {}: {e}", path.display());
+                std::process::exit(2);
+            })
+        });
+        if recorder.is_some() {
+            rayon::reset_pool_stats();
+        }
+        let sender = recorder.as_ref().map(|r| r.sender());
+        let progress = opts
+            .progress
+            .then(|| aimes::campaign::Progress::new(total_jobs as u64));
+        Observatory {
+            recorder,
+            sender,
+            progress,
+            timing: opts.campaign_timing,
+        }
+    }
+
+    /// The borrows the worker closures capture.
+    fn handles(
+        &self,
+    ) -> (
+        Option<&aimes::campaign::CampaignSender>,
+        Option<&aimes::campaign::Progress>,
+    ) {
+        (self.sender.as_ref(), self.progress.as_ref())
+    }
+
+    /// Finish the progress line and canonicalize the manifest; in timing
+    /// mode the pool's accounting goes in as the final record.
+    fn close(self) {
+        if let Some(progress) = &self.progress {
+            progress.finish();
+        }
+        let Some(recorder) = self.recorder else {
+            return;
+        };
+        drop(self.sender);
+        let pool = self
+            .timing
+            .then(|| aimes::campaign::PoolRecord::from_stats(&rayon::pool_stats()));
+        if let Err(e) = recorder.close(pool.as_ref()) {
+            eprintln!("cannot finalize campaign manifest: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn ablation_faults(opts: &Options) {
     use aimes_fault::{FaultSpec, RecoveryPolicy};
 
@@ -904,18 +1020,24 @@ fn ablation_faults(opts: &Options) {
         false_suspicions: u64,
     }
     let reps_n = opts.reps;
-    let jobs: Vec<(f64, &str, usize)> = rates
+    let jobs: Vec<(usize, f64, &str, usize)> = rates
         .iter()
         .flat_map(|&rate| {
             modes
                 .into_iter()
                 .flat_map(move |mode| (0..reps_n).map(move |rep| (rate, mode, rep)))
         })
+        .enumerate()
+        .map(|(job, (rate, mode, rep))| (job, rate, mode, rep))
         .collect();
+    let obs = Observatory::open(opts, "ablation-faults", jobs.len());
+    let (sender, progress) = obs.handles();
     type FaultsOutcome = (u64, Result<FaultsRun, (&'static str, String)>);
     let outcomes: Vec<FaultsOutcome> = jobs
         .par_iter()
-        .map(|&(rate, mode, rep)| {
+        .map(|&(job, rate, mode, rep)| {
+            let started = sender.map_or(0.0, |s| s.elapsed_secs());
+            let t_build = std::time::Instant::now();
             // Outages are placed inside the first hour after submission —
             // the window the run actually occupies — so the rate axis
             // genuinely exercises pilot death, not just unit faults.
@@ -938,34 +1060,52 @@ fn ablation_faults(opts: &Options) {
                 "detect" => Some(RecoveryPolicy::with_detection()),
                 _ => None,
             };
-            let outcome = run_application(
-                &pool,
-                &app,
-                &strategy,
-                &RunOptions {
+            let options = RunOptions {
+                seed,
+                submit_at,
+                faults: Some(faults),
+                recovery,
+                recorder_dump_dir: opts.dump_dir.clone(),
+                run_tag: Some(format!("faults-{rate}-{mode}-r{rep}")),
+                ..Default::default()
+            };
+            let build_secs = t_build.elapsed().as_secs_f64();
+            let t_sim = std::time::Instant::now();
+            let outcome = run_application(&pool, &app, &strategy, &options);
+            let simulate_secs = t_sim.elapsed().as_secs_f64();
+            if let Some(sender) = sender {
+                sender.record_outcome(
+                    job as u64,
+                    "ablation-faults",
+                    &format!("{rate:.2}/{mode}"),
+                    rep as u64,
+                    n_tasks,
                     seed,
-                    submit_at,
-                    faults: Some(faults),
-                    recovery,
-                    recorder_dump_dir: opts.dump_dir.clone(),
-                    run_tag: Some(format!("faults-{rate}-{mode}-r{rep}")),
-                    ..Default::default()
-                },
-            )
-            .map(|r| FaultsRun {
-                ttc: r.breakdown.ttc.as_secs(),
-                tr: r.breakdown.tr.as_secs(),
-                td: r.breakdown.td.as_secs(),
-                wasted: r.wasted_core_hours,
-                restarts: r.restarts,
-                replacements: r.replacements,
-                replans: r.replans,
-                false_suspicions: r.false_suspicions,
-            })
-            .map_err(|e| (error_class(&e), e.to_string()));
+                    &outcome,
+                    started,
+                    build_secs,
+                    simulate_secs,
+                );
+            }
+            if let Some(progress) = progress {
+                progress.tick(outcome.is_err());
+            }
+            let outcome = outcome
+                .map(|r| FaultsRun {
+                    ttc: r.breakdown.ttc.as_secs(),
+                    tr: r.breakdown.tr.as_secs(),
+                    td: r.breakdown.td.as_secs(),
+                    wasted: r.wasted_core_hours,
+                    restarts: r.restarts,
+                    replacements: r.replacements,
+                    replans: r.replans,
+                    false_suspicions: r.false_suspicions,
+                })
+                .map_err(|e| (error_class(&e), e.to_string()));
             (seed, outcome)
         })
         .collect();
+    obs.close();
 
     let mut rows = Vec::new();
     let mut points: Vec<SweepPoint> = Vec::new();
@@ -1000,9 +1140,12 @@ fn ablation_faults(opts: &Options) {
                         *errors.entry(class.to_string()).or_insert(0) += 1;
                         if mode != "off" {
                             healing_errors += 1;
-                            eprintln!(
-                                "healing arm failed: rate={rate} mode={mode} rep={rep} \
-                                 seed={seed}: {e}"
+                            report_arm_failure(
+                                "ablation-faults",
+                                &format!("{rate:.2}/{mode}"),
+                                rep,
+                                seed,
+                                &e,
                             );
                         }
                     }
@@ -1073,8 +1216,7 @@ fn ablation_faults(opts: &Options) {
         serde_json::to_string_pretty(&points).expect("sweep points serialize")
     );
     if opts.fail_on_error && healing_errors > 0 {
-        eprintln!("{healing_errors} healing-arm run(s) failed under --fail-on-error");
-        std::process::exit(1);
+        exit_fail_on_error("ablation-faults healing-arm", healing_errors);
     }
 }
 
@@ -1172,14 +1314,20 @@ fn ablation_cascade(opts: &Options) {
     }
     let arms = ["reactive", "evacuate", "evac+ckpt"];
     let reps_n = opts.reps;
-    let jobs: Vec<(&str, usize)> = arms
+    let jobs: Vec<(usize, &str, usize)> = arms
         .iter()
         .flat_map(|&arm| (0..reps_n).map(move |rep| (arm, rep)))
+        .enumerate()
+        .map(|(job, (arm, rep))| (job, arm, rep))
         .collect();
+    let obs = Observatory::open(opts, "ablation-cascade", jobs.len());
+    let (sender, progress) = obs.handles();
     type CascadeOutcome = (u64, Result<CascadeRun, (&'static str, String)>);
     let outcomes: Vec<CascadeOutcome> = jobs
         .par_iter()
-        .map(|&(arm, rep)| {
+        .map(|&(job, arm, rep)| {
+            let started = sender.map_or(0.0, |s| s.elapsed_secs());
+            let t_build = std::time::Instant::now();
             // Same seed across all three arms: identical cascade
             // schedules, the only difference is how the run survives.
             let seed = SimRng::new(opts.seed)
@@ -1196,41 +1344,59 @@ fn ablation_cascade(opts: &Options) {
             }
             let journal =
                 std::rc::Rc::new(std::cell::RefCell::new(aimes::journal::RunJournal::new()));
-            let outcome = run_application(
-                &pool,
-                &app,
-                &strategy,
-                &RunOptions {
+            let options = RunOptions {
+                seed,
+                submit_at,
+                faults: Some(faults.clone()),
+                recovery: Some(recovery),
+                journal: Some(journal.clone()),
+                recorder_dump_dir: opts.dump_dir.clone(),
+                run_tag: Some(format!("cascade-{arm}-r{rep}")),
+                ..Default::default()
+            };
+            let build_secs = t_build.elapsed().as_secs_f64();
+            let t_sim = std::time::Instant::now();
+            let outcome = run_application(&pool, &app, &strategy, &options);
+            let simulate_secs = t_sim.elapsed().as_secs_f64();
+            if let Some(sender) = sender {
+                sender.record_outcome(
+                    job as u64,
+                    "ablation-cascade",
+                    arm,
+                    rep as u64,
+                    n_tasks,
                     seed,
-                    submit_at,
-                    faults: Some(faults.clone()),
-                    recovery: Some(recovery),
-                    journal: Some(journal.clone()),
-                    recorder_dump_dir: opts.dump_dir.clone(),
-                    run_tag: Some(format!("cascade-{arm}-r{rep}")),
-                    ..Default::default()
-                },
-            )
-            .map(|r| {
-                // The lead time comes from the journal via analytics,
-                // cross-checking the simulator's own counters.
-                let tl = aimes_analytics::timeline::reconstruct(&journal.borrow())
-                    .expect("completed runs leave a well-formed journal");
-                CascadeRun {
-                    ttc: r.breakdown.ttc.as_secs(),
-                    wasted: r.wasted_core_hours,
-                    salvaged: r.salvaged_core_hours,
-                    lead: tl.evacuation_lead_secs,
-                    domain_alarms: tl.domain_alarms as u64,
-                    evacuations: tl.evacuations as u64,
-                    checkpoints: tl.checkpoints as u64,
-                    resumes: tl.resumes as u64,
-                }
-            })
-            .map_err(|e| (error_class(&e), e.to_string()));
+                    &outcome,
+                    started,
+                    build_secs,
+                    simulate_secs,
+                );
+            }
+            if let Some(progress) = progress {
+                progress.tick(outcome.is_err());
+            }
+            let outcome = outcome
+                .map(|r| {
+                    // The lead time comes from the journal via analytics,
+                    // cross-checking the simulator's own counters.
+                    let tl = aimes_analytics::timeline::reconstruct(&journal.borrow())
+                        .expect("completed runs leave a well-formed journal");
+                    CascadeRun {
+                        ttc: r.breakdown.ttc.as_secs(),
+                        wasted: r.wasted_core_hours,
+                        salvaged: r.salvaged_core_hours,
+                        lead: tl.evacuation_lead_secs,
+                        domain_alarms: tl.domain_alarms as u64,
+                        evacuations: tl.evacuations as u64,
+                        checkpoints: tl.checkpoints as u64,
+                        resumes: tl.resumes as u64,
+                    }
+                })
+                .map_err(|e| (error_class(&e), e.to_string()));
             (seed, outcome)
         })
         .collect();
+    obs.close();
 
     let mut rows = Vec::new();
     let mut points: Vec<SweepPoint> = Vec::new();
@@ -1265,7 +1431,7 @@ fn ablation_cascade(opts: &Options) {
                 Err((class, e)) => {
                     *errors.entry(class.to_string()).or_insert(0) += 1;
                     arm_errors += 1;
-                    eprintln!("cascade arm failed: arm={arm} rep={rep} seed={seed}: {e}");
+                    report_arm_failure("ablation-cascade", arm, rep, seed, &e);
                 }
             }
         }
@@ -1331,8 +1497,7 @@ fn ablation_cascade(opts: &Options) {
         serde_json::to_string_pretty(&points).expect("sweep points serialize")
     );
     if opts.fail_on_error && arm_errors > 0 {
-        eprintln!("{arm_errors} cascade-arm run(s) failed under --fail-on-error");
-        std::process::exit(1);
+        exit_fail_on_error("ablation-cascade", arm_errors);
     }
 }
 
@@ -1419,12 +1584,18 @@ fn ablation_info(opts: &Options) {
         counters: Vec<(String, u64)>,
     }
     let reps_n = opts.reps;
-    let jobs: Vec<(usize, usize)> = (0..arms.len())
+    let jobs: Vec<(usize, usize, usize)> = (0..arms.len())
         .flat_map(|ai| (0..reps_n).map(move |rep| (ai, rep)))
+        .enumerate()
+        .map(|(job, (ai, rep))| (job, ai, rep))
         .collect();
+    let obs = Observatory::open(opts, "ablation-info", jobs.len());
+    let (sender, progress) = obs.handles();
     let outcomes: Vec<(u64, Result<InfoRun, String>)> = jobs
         .par_iter()
-        .map(|&(ai, rep)| {
+        .map(|&(job, ai, rep)| {
+            let started = sender.map_or(0.0, |s| s.elapsed_secs());
+            let t_build = std::time::Instant::now();
             let (arm, info, faults) = &arms[ai];
             // Same seed across arms: identical workload, background load,
             // and submission instant — only the information regime moves.
@@ -1434,39 +1605,58 @@ fn ablation_info(opts: &Options) {
             let mut rng = SimRng::new(seed).fork("submit");
             let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
             let telemetry = Telemetry::new();
-            let outcome = run_application(
-                &paper::testbed(),
-                &app,
-                &strategy,
-                &RunOptions {
+            let options = RunOptions {
+                seed,
+                submit_at,
+                faults: faults.clone(),
+                info: info.clone(),
+                telemetry: Some(telemetry.clone()),
+                recorder_dump_dir: opts.dump_dir.clone(),
+                run_tag: Some(format!("info-{arm}-r{rep}")),
+                ..Default::default()
+            };
+            let testbed = paper::testbed();
+            let build_secs = t_build.elapsed().as_secs_f64();
+            let t_sim = std::time::Instant::now();
+            let outcome = run_application(&testbed, &app, &strategy, &options);
+            let simulate_secs = t_sim.elapsed().as_secs_f64();
+            if let Some(sender) = sender {
+                sender.record_outcome(
+                    job as u64,
+                    "ablation-info",
+                    arm,
+                    rep as u64,
+                    n_tasks,
                     seed,
-                    submit_at,
-                    faults: faults.clone(),
-                    info: info.clone(),
-                    telemetry: Some(telemetry.clone()),
-                    recorder_dump_dir: opts.dump_dir.clone(),
-                    run_tag: Some(format!("info-{arm}-r{rep}")),
-                    ..Default::default()
-                },
-            )
-            .map(|r| InfoRun {
-                ttc: r.breakdown.ttc.as_secs(),
-                info_fallbacks: r.info_fallbacks,
-                stale_secs: r.stale_decision_secs,
-                counters: r
-                    .metrics
-                    .iter()
-                    .flat_map(|summary| summary.counters.iter())
-                    .filter_map(|(name, v)| {
-                        name.strip_prefix("bundle.info.")
-                            .map(|short| (short.to_string(), *v))
-                    })
-                    .collect(),
-            })
-            .map_err(|e| e.to_string());
+                    &outcome,
+                    started,
+                    build_secs,
+                    simulate_secs,
+                );
+            }
+            if let Some(progress) = progress {
+                progress.tick(outcome.is_err());
+            }
+            let outcome = outcome
+                .map(|r| InfoRun {
+                    ttc: r.breakdown.ttc.as_secs(),
+                    info_fallbacks: r.info_fallbacks,
+                    stale_secs: r.stale_decision_secs,
+                    counters: r
+                        .metrics
+                        .iter()
+                        .flat_map(|summary| summary.counters.iter())
+                        .filter_map(|(name, v)| {
+                            name.strip_prefix("bundle.info.")
+                                .map(|short| (short.to_string(), *v))
+                        })
+                        .collect(),
+                })
+                .map_err(|e| e.to_string());
             (seed, outcome)
         })
         .collect();
+    obs.close();
 
     let mut rows = Vec::new();
     let mut points = Vec::new();
@@ -1491,7 +1681,7 @@ fn ablation_info(opts: &Options) {
                 }
                 Err(e) => {
                     failures += 1;
-                    eprintln!("info arm failed: arm={arm} rep={rep} seed={seed}: {e}");
+                    report_arm_failure("ablation-info", arm, rep, seed, &e);
                 }
             }
         }
@@ -1555,8 +1745,7 @@ fn ablation_info(opts: &Options) {
          slows selection down, but never panics or loses work."
     );
     if opts.fail_on_error && failures > 0 {
-        eprintln!("{failures} info-arm run(s) failed under --fail-on-error");
-        std::process::exit(1);
+        exit_fail_on_error("ablation-info", failures);
     }
 }
 
@@ -1621,9 +1810,11 @@ fn ablation_detection(opts: &Options) {
         ),
     ];
 
-    // One (detector-config × rep) run on the pool; failed runs simply
-    // don't count (as before). Aggregation in job order keeps the table
-    // byte-identical at any --jobs.
+    // One (detector-config × rep) run on the pool. Failed runs don't
+    // count toward the table means, but — unlike the pre-observatory
+    // version that swallowed them — they now print the shared failure
+    // line and land in the campaign manifest. Aggregation in job order
+    // keeps the output byte-identical at any --jobs.
     struct DetectionRun {
         ttc: f64,
         tr: f64,
@@ -1633,12 +1824,18 @@ fn ablation_detection(opts: &Options) {
         false_suspicions: u64,
     }
     let reps_n = opts.reps;
-    let jobs: Vec<(usize, usize)> = (0..configs.len())
+    let jobs: Vec<(usize, usize, usize)> = (0..configs.len())
         .flat_map(|ci| (0..reps_n).map(move |rep| (ci, rep)))
+        .enumerate()
+        .map(|(job, (ci, rep))| (job, ci, rep))
         .collect();
-    let outcomes: Vec<Option<DetectionRun>> = jobs
+    let obs = Observatory::open(opts, "ablation-detection", jobs.len());
+    let (sender, progress) = obs.handles();
+    let outcomes: Vec<(u64, Result<DetectionRun, String>)> = jobs
         .par_iter()
-        .map(|&(ci, rep)| {
+        .map(|&(job, ci, rep)| {
+            let started = sender.map_or(0.0, |s| s.elapsed_secs());
+            let t_build = std::time::Instant::now();
             let (label, det) = &configs[ci];
             let recovery = RecoveryPolicy {
                 detection: det.clone(),
@@ -1651,30 +1848,49 @@ fn ablation_detection(opts: &Options) {
                 .root_seed();
             let mut rng = SimRng::new(seed).fork("submit");
             let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
-            run_application(
-                &pool,
-                &app,
-                &strategy,
-                &RunOptions {
+            let options = RunOptions {
+                seed,
+                submit_at,
+                faults: Some(faults.clone()),
+                recovery: Some(recovery),
+                run_tag: Some(format!("detection-{label}-r{rep}")),
+                ..Default::default()
+            };
+            let build_secs = t_build.elapsed().as_secs_f64();
+            let t_sim = std::time::Instant::now();
+            let outcome = run_application(&pool, &app, &strategy, &options);
+            let simulate_secs = t_sim.elapsed().as_secs_f64();
+            if let Some(sender) = sender {
+                sender.record_outcome(
+                    job as u64,
+                    "ablation-detection",
+                    label,
+                    rep as u64,
+                    n_tasks,
                     seed,
-                    submit_at,
-                    faults: Some(faults.clone()),
-                    recovery: Some(recovery),
-                    run_tag: Some(format!("detection-{label}-r{rep}")),
-                    ..Default::default()
-                },
-            )
-            .ok()
-            .map(|r| DetectionRun {
-                ttc: r.breakdown.ttc.as_secs(),
-                tr: r.breakdown.tr.as_secs(),
-                td: r.breakdown.td.as_secs(),
-                mean_td: r.mean_detection_secs,
-                replans: r.replans,
-                false_suspicions: r.false_suspicions,
-            })
+                    &outcome,
+                    started,
+                    build_secs,
+                    simulate_secs,
+                );
+            }
+            if let Some(progress) = progress {
+                progress.tick(outcome.is_err());
+            }
+            let outcome = outcome
+                .map(|r| DetectionRun {
+                    ttc: r.breakdown.ttc.as_secs(),
+                    tr: r.breakdown.tr.as_secs(),
+                    td: r.breakdown.td.as_secs(),
+                    mean_td: r.mean_detection_secs,
+                    replans: r.replans,
+                    false_suspicions: r.false_suspicions,
+                })
+                .map_err(|e| e.to_string());
+            (seed, outcome)
         })
         .collect();
+    obs.close();
 
     let mut rows = Vec::new();
     let mut outcome_iter = outcomes.into_iter();
@@ -1686,15 +1902,19 @@ fn ablation_detection(opts: &Options) {
         let mut replans = 0u64;
         let mut false_suspicions = 0u64;
         let mut completed = 0usize;
-        for _rep in 0..opts.reps {
-            if let Some(r) = outcome_iter.next().expect("one outcome per job") {
-                completed += 1;
-                ttcs.push(r.ttc);
-                trs.push(r.tr);
-                tds.push(r.td);
-                mean_tds.push(r.mean_td);
-                replans += r.replans;
-                false_suspicions += r.false_suspicions;
+        for rep in 0..opts.reps {
+            let (seed, out) = outcome_iter.next().expect("one outcome per job");
+            match out {
+                Ok(r) => {
+                    completed += 1;
+                    ttcs.push(r.ttc);
+                    trs.push(r.tr);
+                    tds.push(r.td);
+                    mean_tds.push(r.mean_td);
+                    replans += r.replans;
+                    false_suspicions += r.false_suspicions;
+                }
+                Err(e) => report_arm_failure("ablation-detection", label, rep, seed, &e),
             }
         }
         let mean = |v: &[f64]| {
@@ -2019,6 +2239,165 @@ fn analytics_diff_cmd(opts: &Options) {
     }
 }
 
+/// Cross-run analysis of one `--campaign-out` manifest: per-arm TTC
+/// percentiles, Tukey-fence straggler runs (same fence as the per-unit
+/// analytics), a failure table keyed by the `RunError` taxonomy, and — in
+/// timing mode — the pool-utilization section. Exits 2 on a malformed
+/// manifest.
+fn campaign_report_cmd(opts: &Options) {
+    let [path] = opts.files.as_slice() else {
+        eprintln!("usage: experiments campaign-report <campaign.jsonl>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).expect("read campaign manifest");
+    let manifest = match aimes::campaign::read_manifest(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = manifest.validate() {
+        eprintln!("malformed manifest {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    let meta = &manifest.meta;
+    println!(
+        "## Campaign report — {} (seed {}, {} runs)\n",
+        meta.command, meta.seed, meta.total_jobs
+    );
+
+    // Arms in first-seen job order, so the report matches the sweep's
+    // own table ordering.
+    let mut arms: Vec<&str> = Vec::new();
+    for rec in &manifest.runs {
+        if !arms.iter().any(|a| *a == rec.arm) {
+            arms.push(&rec.arm);
+        }
+    }
+    let arm_runs = |arm: &str| -> Vec<&aimes::RunRecord> {
+        manifest.runs.iter().filter(|r| r.arm == arm).collect()
+    };
+
+    println!("### TTC percentiles by arm\n");
+    println!("| arm | runs | completed | p50 TTC (s) | p95 (s) | p99 (s) |");
+    println!("|---|---|---|---|---|---|");
+    for arm in &arms {
+        let runs = arm_runs(arm);
+        let ttcs: Vec<f64> = runs.iter().filter_map(|r| r.ttc_secs).collect();
+        match aimes::stats::p50_p95_p99(&ttcs) {
+            Some((p50, p95, p99)) => println!(
+                "| {arm} | {} | {} | {p50:.1} | {p95:.1} | {p99:.1} |",
+                runs.len(),
+                ttcs.len()
+            ),
+            None => println!("| {arm} | {} | 0 | - | - | - |", runs.len()),
+        }
+    }
+
+    // Straggler *runs*: within each arm, completed runs whose TTC clears
+    // the same Tukey upper fence the per-unit analytics use.
+    println!("\n### Straggler runs (Tukey fence per arm)\n");
+    let mut stragglers: Vec<(&aimes::RunRecord, f64)> = Vec::new();
+    for arm in &arms {
+        let ttcs: Vec<f64> = arm_runs(arm).iter().filter_map(|r| r.ttc_secs).collect();
+        let Some(bound) = aimes_analytics::tukey_upper_fence(&ttcs) else {
+            continue;
+        };
+        for rec in arm_runs(arm) {
+            if let Some(ttc) = rec.ttc_secs {
+                if ttc > bound + 1e-9 {
+                    stragglers.push((rec, bound));
+                }
+            }
+        }
+    }
+    // Worst excess first; job index breaks ties deterministically.
+    stragglers.sort_by(|(a, ba), (b, bb)| {
+        let ea = a.ttc_secs.unwrap_or(0.0) - ba;
+        let eb = b.ttc_secs.unwrap_or(0.0) - bb;
+        eb.partial_cmp(&ea)
+            .expect("finite TTCs")
+            .then(a.job.cmp(&b.job))
+    });
+    if stragglers.is_empty() {
+        println!("none — no completed run exceeds its arm's fence");
+    } else {
+        println!("| arm | job | rep | seed | TTC (s) | fence (s) |");
+        println!("|---|---|---|---|---|---|");
+        for (rec, bound) in &stragglers {
+            println!(
+                "| {} | {} | {} | {} | {:.1} | {bound:.1} |",
+                rec.arm,
+                rec.job,
+                rec.rep,
+                rec.seed,
+                rec.ttc_secs.expect("stragglers completed"),
+            );
+        }
+    }
+
+    // Failure table keyed by the RunError taxonomy.
+    println!("\n### Failures\n");
+    let failed: Vec<&aimes::RunRecord> = manifest.runs.iter().filter(|r| r.is_failed()).collect();
+    if failed.is_empty() {
+        println!("none — every run completed");
+    } else {
+        let mut kinds: Vec<&str> = Vec::new();
+        for rec in &failed {
+            let kind = rec.error_kind.as_deref().unwrap_or("unknown");
+            if !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+        println!("| error kind | count | arms |");
+        println!("|---|---|---|");
+        for kind in kinds {
+            let of_kind: Vec<&&aimes::RunRecord> = failed
+                .iter()
+                .filter(|r| r.error_kind.as_deref().unwrap_or("unknown") == kind)
+                .collect();
+            let mut in_arms: Vec<&str> = Vec::new();
+            for rec in &of_kind {
+                if !in_arms.iter().any(|a| *a == rec.arm) {
+                    in_arms.push(&rec.arm);
+                }
+            }
+            println!("| {kind} | {} | {} |", of_kind.len(), in_arms.join(", "));
+        }
+    }
+
+    // Pool utilization, present only in timing-mode manifests.
+    if let Some(pool) = &manifest.pool {
+        println!("\n### Pool utilization\n");
+        println!(
+            "invocations: {} | wall: {:.2} s | busy: {:.2} s | \
+             utilization: {:.0}% | cursor overshoots: {}\n",
+            pool.invocations,
+            pool.wall_secs,
+            pool.busy_secs,
+            100.0 * pool.utilization,
+            pool.cursor_overshoots
+        );
+        println!("| worker | items | busy (s) | idle (s) | busy fraction |");
+        println!("|---|---|---|---|---|");
+        for w in &pool.workers {
+            println!(
+                "| {} | {} | {:.2} | {:.2} | {:.0}% |",
+                w.worker,
+                w.items,
+                w.busy_secs,
+                w.idle_secs,
+                100.0 * w.busy_fraction
+            );
+        }
+    } else {
+        println!(
+            "\n(no pool record — rerun the sweep with --campaign-timing for pool utilization)"
+        );
+    }
+}
+
 fn main() {
     let (command, opts) = parse_args();
     if let Some(jobs) = opts.jobs {
@@ -2051,6 +2430,7 @@ fn main() {
         "journal" => journal_cmd(&opts),
         "analyze" => analyze_cmd(&opts),
         "analytics-diff" => analytics_diff_cmd(&opts),
+        "campaign-report" => campaign_report_cmd(&opts),
         "all" => {
             table1();
             // Run experiments 1-4 once and render both figures from them.
@@ -2091,12 +2471,14 @@ fn main() {
                  ablation-adaptive | ablation-walltime | ablation-queue | \n\
                  ablation-predictor | ablation-faults | ablation-detection | \n\
                  ablation-info | ablation-cascade | telemetry | journal | analyze | \n\
-                 analytics-diff | all\n\
+                 analytics-diff | campaign-report | all\n\
                  flags: --reps N --seed S --quick --jobs N --fail-on-error \
                  --emit-metrics DIR --trace-out PATH --dump-dir DIR\n\
+                 campaign flags: --campaign-out PATH --campaign-timing --progress\n\
                  journal flags: --scenario exp1|exp4|faulty --out PATH\n\
                  analyze: <journal.jsonl> --epsilon E --out report.json\n\
-                 analytics-diff: <run-a> <run-b> --threshold T"
+                 analytics-diff: <run-a> <run-b> --threshold T\n\
+                 campaign-report: <campaign.jsonl>"
             );
         }
     }

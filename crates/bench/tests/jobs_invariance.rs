@@ -1,16 +1,24 @@
 //! The experiments binary's sweeps must be worker-count invariant end to
 //! end: same command at `--jobs 1` and `--jobs 4` ⇒ byte-identical stdout
-//! (tables + JSON blocks) and stderr (failure lines). This drives the
-//! real CLI, so it covers flag parsing, pool configuration, the fanned-
-//! out run loop, and the order-sensitive aggregation/printing path.
+//! (tables + JSON blocks) and stderr (failure lines), and — when a
+//! campaign manifest is requested — a byte-identical `campaign.jsonl`.
+//! This drives the real CLI, so it covers flag parsing, pool
+//! configuration, the fanned-out run loop, the order-sensitive
+//! aggregation/printing path, and the manifest canonicalization.
 
 use std::process::Command;
 
 fn run_sweep(command: &str, jobs: &str) -> (String, String) {
+    run_sweep_with(command, jobs, &[])
+}
+
+fn run_sweep_with(command: &str, jobs: &str, extra: &[&str]) -> (String, String) {
+    let mut args = vec![
+        command, "--quick", "--reps", "2", "--seed", "42", "--jobs", jobs,
+    ];
+    args.extend_from_slice(extra);
     let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
-        .args([
-            command, "--quick", "--reps", "2", "--seed", "42", "--jobs", jobs,
-        ])
+        .args(&args)
         .output()
         .expect("experiments binary runs");
     assert!(
@@ -24,6 +32,16 @@ fn run_sweep(command: &str, jobs: &str) -> (String, String) {
     )
 }
 
+/// Progress is opt-in: at defaults, sweep stderr must carry no live
+/// status line (no carriage returns, no `[campaign]` marker) — that is
+/// what keeps the stderr byte-compare gates meaningful.
+fn assert_no_progress_output(command: &str, stderr: &str) {
+    assert!(
+        !stderr.contains('\r') && !stderr.contains("[campaign]"),
+        "{command}: progress output leaked into default stderr: {stderr:?}"
+    );
+}
+
 #[test]
 fn ablation_detection_output_is_byte_identical_across_jobs() {
     let (out1, err1) = run_sweep("ablation-detection", "1");
@@ -31,6 +49,7 @@ fn ablation_detection_output_is_byte_identical_across_jobs() {
     assert!(out1.contains("| Detector"), "sanity: table rendered");
     assert_eq!(out1, out4, "stdout diverged between --jobs 1 and 4");
     assert_eq!(err1, err4, "stderr diverged between --jobs 1 and 4");
+    assert_no_progress_output("ablation-detection", &err1);
 }
 
 #[test]
@@ -40,4 +59,46 @@ fn ablation_cascade_output_is_byte_identical_across_jobs() {
     assert!(out1.contains("### JSON"), "sanity: JSON block rendered");
     assert_eq!(out1, out4, "stdout diverged between --jobs 1 and 4");
     assert_eq!(err1, err4, "stderr diverged between --jobs 1 and 4");
+    assert_no_progress_output("ablation-cascade", &err1);
+}
+
+#[test]
+fn campaign_manifest_is_byte_identical_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("aimes-jobs-invariance-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path1 = dir.join("campaign-j1.jsonl");
+    let path4 = dir.join("campaign-j4.jsonl");
+
+    run_sweep_with(
+        "ablation-detection",
+        "1",
+        &["--campaign-out", path1.to_str().unwrap()],
+    );
+    run_sweep_with(
+        "ablation-detection",
+        "4",
+        &["--campaign-out", path4.to_str().unwrap()],
+    );
+
+    let m1 = std::fs::read(&path1).expect("manifest at --jobs 1");
+    let m4 = std::fs::read(&path4).expect("manifest at --jobs 4");
+    assert!(!m1.is_empty(), "manifest not empty");
+    assert_eq!(
+        m1, m4,
+        "campaign.jsonl diverged between --jobs 1 and 4 — canonicalization \
+         or a volatile default field is broken"
+    );
+
+    // The canonical manifest parses, validates, and covers every job.
+    let text = String::from_utf8(m1).expect("utf8 manifest");
+    let manifest = aimes::campaign::read_manifest(&text).expect("manifest parses");
+    manifest.validate().expect("manifest validates");
+    assert_eq!(manifest.meta.command, "ablation-detection");
+    assert_eq!(manifest.runs.len() as u64, manifest.meta.total_jobs);
+    // Defaults are the deterministic mode: no timing, no pool record.
+    assert!(manifest.runs.iter().all(|r| r.timing.is_none()));
+    assert!(manifest.pool.is_none());
+
+    std::fs::remove_file(&path1).ok();
+    std::fs::remove_file(&path4).ok();
 }

@@ -133,6 +133,89 @@ fn experiment_result_json_is_identical_across_worker_counts() {
 }
 
 #[test]
+fn pool_stats_account_every_item_and_all_wall_time() {
+    let items: Vec<u32> = (0..24).collect();
+    let stats = with_workers(3, || {
+        rayon::reset_pool_stats();
+        let _: Vec<u32> = items
+            .par_iter()
+            .map(|&i| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                i
+            })
+            .collect();
+        rayon::pool_stats()
+    });
+    assert_eq!(stats.invocations, 1);
+    assert_eq!(stats.workers.len(), 3);
+    // Every input item is claimed by exactly one worker.
+    assert_eq!(stats.items(), items.len() as u64);
+    // Per-worker busy + idle spans the pool invocation's wall time: a
+    // worker is either running an item or waiting for the merge. The
+    // bound is loose (scheduling noise) but two-sided.
+    for (w, ws) in stats.workers.iter().enumerate() {
+        let span = ws.busy_secs + ws.idle_secs;
+        assert!(
+            span <= stats.wall_secs + 1e-3,
+            "worker {w}: busy {} + idle {} exceeds wall {}",
+            ws.busy_secs,
+            ws.idle_secs,
+            stats.wall_secs
+        );
+        assert!(
+            span >= 0.5 * stats.wall_secs,
+            "worker {w}: busy {} + idle {} covers too little of wall {}",
+            ws.busy_secs,
+            ws.idle_secs,
+            stats.wall_secs
+        );
+        let frac = ws.busy_fraction();
+        assert!((0.0..=1.0).contains(&frac), "busy fraction {frac}");
+    }
+    assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
+}
+
+#[test]
+fn pool_stats_are_well_formed_at_one_worker() {
+    let items: Vec<u32> = (0..8).collect();
+    let stats = with_workers(1, || {
+        rayon::reset_pool_stats();
+        let _: Vec<u32> = items.par_iter().map(|&i| i + 1).collect();
+        rayon::pool_stats()
+    });
+    assert_eq!(stats.invocations, 1);
+    // The sequential fast path books the whole batch on worker 0 with no
+    // idle time and no wasted cursor fetches.
+    assert_eq!(stats.workers.len(), 1);
+    assert_eq!(stats.workers[0].items, items.len() as u64);
+    assert_eq!(stats.workers[0].idle_secs, 0.0);
+    assert_eq!(stats.cursor_overshoots, 0);
+    assert_eq!(stats.items(), items.len() as u64);
+}
+
+#[test]
+fn pool_stats_accumulate_across_invocations_until_reset() {
+    let stats = with_workers(2, || {
+        rayon::reset_pool_stats();
+        for _ in 0..3 {
+            let _: Vec<u32> = (0..10u32)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .map(|&i| i)
+                .collect();
+        }
+        rayon::pool_stats()
+    });
+    assert_eq!(stats.invocations, 3);
+    assert_eq!(stats.items(), 30);
+    rayon::reset_pool_stats();
+    let fresh = rayon::pool_stats();
+    assert_eq!(fresh.invocations, 0);
+    assert_eq!(fresh.items(), 0);
+    assert!(fresh.workers.is_empty());
+}
+
+#[test]
 fn journal_digests_are_identical_across_worker_counts() {
     let seeds: Vec<u64> = vec![11, 42, 20160523, 777];
     let sequential: Vec<String> = seeds.iter().map(|&s| chaos_digest(s)).collect();

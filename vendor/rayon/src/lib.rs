@@ -17,11 +17,132 @@
 //! Surface is limited to what the workspace uses. One deliberate deviation
 //! from upstream: `build_global()` may be called repeatedly (the
 //! invariance tests flip between 1 and 4 workers inside one process).
+//!
+//! The pool is instrumented: every `run_pool` invocation accumulates
+//! per-worker busy/idle wall time, items processed, and cursor traffic
+//! into a process-global [`PoolStats`], readable via [`pool_stats`] and
+//! cleared via [`reset_pool_stats`]. Inside a pool closure,
+//! [`current_worker_index`] names the worker executing the item.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Global worker-count override; 0 means "unset, consult env/hardware".
 static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Accumulated pool accounting since process start (or the last
+/// [`reset_pool_stats`]).
+static POOL_STATS: Mutex<Option<PoolStats>> = Mutex::new(None);
+
+thread_local! {
+    /// Index of the pool worker running on this thread, if any.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// One worker's accumulated accounting across pool invocations (merged by
+/// worker index; the sequential fast path counts as worker 0).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Items this worker claimed and completed.
+    pub items: u64,
+    /// Wall time spent inside the mapped closure.
+    pub busy_secs: f64,
+    /// Wall time the worker existed but was not executing an item
+    /// (pool wall minus busy, per invocation).
+    pub idle_secs: f64,
+}
+
+impl WorkerStats {
+    /// Busy share of this worker's lifetime: busy / (busy + idle).
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.busy_secs + self.idle_secs;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.busy_secs / total
+        }
+    }
+}
+
+/// Snapshot of the pool's accumulated accounting.
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// `run_pool` invocations folded into this snapshot.
+    pub invocations: u64,
+    /// Summed wall time of those invocations (first spawn to last join).
+    pub wall_secs: f64,
+    /// Cursor fetches that found the queue already drained — each worker's
+    /// final, wasted `fetch_add`. The pool's contention analogue: it grows
+    /// with worker count, never with input size.
+    pub cursor_overshoots: u64,
+    /// Per-worker accounting, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Total items processed across all workers.
+    pub fn items(&self) -> u64 {
+        self.workers.iter().map(|w| w.items).sum()
+    }
+
+    /// Total busy wall time across all workers.
+    pub fn busy_secs(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_secs).sum()
+    }
+
+    /// Pool utilization: total busy over total (busy + idle) worker time.
+    pub fn utilization(&self) -> f64 {
+        let busy = self.busy_secs();
+        let idle: f64 = self.workers.iter().map(|w| w.idle_secs).sum();
+        if busy + idle <= 0.0 {
+            0.0
+        } else {
+            busy / (busy + idle)
+        }
+    }
+}
+
+/// Snapshot the accumulated pool accounting.
+pub fn pool_stats() -> PoolStats {
+    POOL_STATS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_default()
+}
+
+/// Clear the accumulated pool accounting.
+pub fn reset_pool_stats() {
+    *POOL_STATS.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// The pool-worker index of the current thread: `Some(w)` inside a mapped
+/// closure (the sequential fast path reports worker 0), `None` elsewhere.
+pub fn current_worker_index() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+/// Fold one invocation's accounting into the global stats.
+/// `per_worker` holds `(items, busy_secs)` indexed by worker.
+fn record_invocation(wall_secs: f64, per_worker: &[(u64, f64)], overshoots: u64) {
+    let mut guard = POOL_STATS.lock().unwrap_or_else(|e| e.into_inner());
+    let stats = guard.get_or_insert_with(PoolStats::default);
+    stats.invocations += 1;
+    stats.wall_secs += wall_secs;
+    stats.cursor_overshoots += overshoots;
+    if stats.workers.len() < per_worker.len() {
+        stats
+            .workers
+            .resize(per_worker.len(), WorkerStats::default());
+    }
+    for (w, &(items, busy)) in per_worker.iter().enumerate() {
+        stats.workers[w].items += items;
+        stats.workers[w].busy_secs += busy;
+        stats.workers[w].idle_secs += (wall_secs - busy).max(0.0);
+    }
+}
 
 /// Mirror of rayon's global-pool configuration entry point.
 pub struct ThreadPoolBuilder {
@@ -127,37 +248,59 @@ where
     let n = items.len();
     let workers = current_num_threads().clamp(1, n.max(1));
     if workers <= 1 || n <= 1 {
-        return items.iter().map(op).collect();
+        // Sequential fast path still books as worker 0 so `pool_stats()`
+        // is well-formed on single-core hosts and single-item inputs.
+        let start = Instant::now();
+        let prev = WORKER_INDEX.with(|w| w.replace(Some(0)));
+        let out: Vec<R> = items.iter().map(op).collect();
+        WORKER_INDEX.with(|w| w.set(prev));
+        let wall = start.elapsed().as_secs_f64();
+        record_invocation(wall, &[(n as u64, wall)], 0);
+        return out;
     }
 
+    let start = Instant::now();
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    let mut per_worker: Vec<(u64, f64)> = vec![(0, 0.0); workers];
+    let mut overshoots = 0u64;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let cursor = &cursor;
                 scope.spawn(move || {
+                    WORKER_INDEX.with(|idx| idx.set(Some(w)));
                     let mut claimed = Vec::new();
+                    let mut busy = 0.0f64;
+                    let mut wasted_fetches = 0u64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
+                            wasted_fetches += 1;
                             break;
                         }
+                        let t0 = Instant::now();
                         claimed.push((i, op(&items[i])));
+                        busy += t0.elapsed().as_secs_f64();
                     }
-                    claimed
+                    (claimed, busy, wasted_fetches)
                 })
             })
             .collect();
-        for handle in handles {
+        for (w, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(claimed) => buckets.push(claimed),
+                Ok((claimed, busy, wasted)) => {
+                    per_worker[w] = (claimed.len() as u64, busy);
+                    overshoots += wasted;
+                    buckets.push(claimed);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
+    record_invocation(start.elapsed().as_secs_f64(), &per_worker, overshoots);
     for (i, r) in buckets.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "index {i} claimed twice");
         slots[i] = Some(r);
@@ -248,6 +391,63 @@ mod tests {
             "expected work on >1 thread, saw {}",
             distinct.len()
         );
+    }
+
+    #[test]
+    fn pool_stats_account_items_and_workers() {
+        let items: Vec<u32> = (0..24).collect();
+        let stats = with_workers(3, || {
+            crate::reset_pool_stats();
+            let _: Vec<u32> = items
+                .par_iter()
+                .map(|x| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    *x
+                })
+                .collect();
+            crate::pool_stats()
+        });
+        assert_eq!(stats.invocations, 1);
+        assert_eq!(stats.items(), 24);
+        assert_eq!(stats.workers.len(), 3);
+        assert_eq!(stats.cursor_overshoots, 3, "one wasted fetch per worker");
+        for (w, ws) in stats.workers.iter().enumerate() {
+            let lifetime = ws.busy_secs + ws.idle_secs;
+            assert!(
+                (lifetime - stats.wall_secs).abs() <= stats.wall_secs * 0.5 + 1e-3,
+                "worker {w}: busy+idle {lifetime} vs wall {}",
+                stats.wall_secs
+            );
+        }
+    }
+
+    #[test]
+    fn pool_stats_sequential_path_books_worker_zero() {
+        let items: Vec<u32> = (0..5).collect();
+        let stats = with_workers(1, || {
+            crate::reset_pool_stats();
+            let _: Vec<u32> = items.par_iter().map(|x| *x + 1).collect();
+            crate::pool_stats()
+        });
+        assert_eq!(stats.invocations, 1);
+        assert_eq!(stats.workers.len(), 1);
+        assert_eq!(stats.workers[0].items, 5);
+        assert_eq!(stats.workers[0].idle_secs, 0.0);
+        assert_eq!(stats.cursor_overshoots, 0);
+    }
+
+    #[test]
+    fn worker_index_visible_inside_closure() {
+        assert_eq!(crate::current_worker_index(), None);
+        let items: Vec<u32> = (0..8).collect();
+        let idxs: Vec<Option<usize>> = with_workers(2, || {
+            items
+                .par_iter()
+                .map(|_| crate::current_worker_index())
+                .collect()
+        });
+        assert!(idxs.iter().all(|i| matches!(i, Some(0) | Some(1))));
+        assert_eq!(crate::current_worker_index(), None);
     }
 
     #[test]
