@@ -17,9 +17,10 @@
 
 use crate::campaign::{CampaignSender, Progress};
 use crate::middleware::{run_application, RunError, RunOptions, RunResult};
+use crate::profile::ProfileAccumulator;
 use crate::stats::Summary;
 use aimes_cluster::ClusterConfig;
-use aimes_sim::{SimRng, SimTime};
+use aimes_sim::{Profiler, SimRng, SimTime};
 use aimes_skeleton::{paper_bag, SkeletonConfig, TaskDurationSpec};
 use aimes_strategy::ExecutionStrategy;
 use rayon::prelude::*;
@@ -125,6 +126,10 @@ pub struct CampaignHooks<'a> {
     pub recorder: Option<&'a CampaignSender>,
     /// Live stderr status line; ticked once per finished run.
     pub progress: Option<&'a Progress>,
+    /// Engine self-profiling: when set, each run gets its own
+    /// [`Profiler`] and ships its report here keyed by job index, so the
+    /// merged profile is worker-count invariant. Strictly passive.
+    pub profile: Option<&'a ProfileAccumulator>,
 }
 
 /// Run every (size × repetition) combination in parallel.
@@ -146,7 +151,13 @@ pub fn run_experiment_with(config: &ExperimentConfig, hooks: CampaignHooks) -> E
         .map(|(job, n, rep)| {
             let started = hooks.recorder.map_or(0.0, |s| s.elapsed_secs());
             let seed = config.run_seed(*n, *rep);
-            let (outcome, build_secs, simulate_secs) = run_one(config, *n, seed);
+            // The profiler handle is created inside the worker closure and
+            // never crosses threads; only its plain-data report does.
+            let profiler = hooks.profile.map(|_| Profiler::new());
+            let (outcome, build_secs, simulate_secs) = run_one(config, *n, seed, profiler.clone());
+            if let (Some(acc), Some(prof)) = (hooks.profile, &profiler) {
+                acc.record(*job as u64, prof.report());
+            }
             if let Some(sender) = hooks.recorder {
                 sender.record_outcome(
                     *job as u64,
@@ -214,6 +225,7 @@ fn run_one(
     config: &ExperimentConfig,
     n_tasks: u32,
     seed: u64,
+    profiler: Option<Profiler>,
 ) -> (Result<RunResult, RunError>, f64, f64) {
     let t_build = std::time::Instant::now();
     let submit_at = config.submit_instant(seed);
@@ -221,6 +233,7 @@ fn run_one(
     let options = RunOptions {
         seed,
         submit_at,
+        profiler,
         ..Default::default()
     };
     let build_secs = t_build.elapsed().as_secs_f64();

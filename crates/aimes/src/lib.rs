@@ -28,6 +28,7 @@ pub mod experiment;
 pub mod journal;
 pub mod middleware;
 pub mod paper;
+pub mod profile;
 pub mod recorder;
 pub mod report;
 pub mod stats;
@@ -39,6 +40,7 @@ pub use campaign::{CampaignMeta, CampaignRecorder, CampaignSender, Progress, Run
 pub use experiment::{ExperimentConfig, ExperimentPoint, ExperimentResult};
 pub use journal::{JournalEntry, JournalEvent, RunJournal};
 pub use middleware::{resume_application, run_application, RunError, RunOptions, RunResult};
+pub use profile::{ProfileAccumulator, ProfileDoc, TimingInputs, PROFILE_SCHEMA};
 pub use recorder::{FlightRecorder, RecorderSnapshot, DEFAULT_RECORDER_CAPACITY};
 pub use stats::Summary;
 pub use ttc::TtcBreakdown;

@@ -19,8 +19,8 @@ use aimes_pilot::{
 };
 use aimes_saga::{BreakerConfig, Session};
 use aimes_sim::{
-    ManagerPhase, MetricsSummary, SimDuration, SimTime, Simulation, Span, Telemetry, TraceKind,
-    Tracer,
+    ManagerPhase, MetricsSummary, Profiler, SimDuration, SimTime, Simulation, Span, Telemetry,
+    TraceKind, Tracer,
 };
 use aimes_skeleton::{SkeletonApp, SkeletonConfig};
 use aimes_strategy::{ExecutionManager, ExecutionStrategy, ResourceSelection};
@@ -90,6 +90,15 @@ pub struct RunOptions {
     /// share seeds (paired-seed design) and often share a dump dir; the
     /// tag keeps their post-mortems from overwriting each other.
     pub run_tag: Option<String>,
+    /// Engine self-profiler (a cheap shared handle, like
+    /// [`RunOptions::tracer`]): when set, the run attributes host wall
+    /// time to engine dispatch, the cluster scheduler, pilot/unit
+    /// managers, SAGA session, info plane, and middleware planning, and
+    /// snapshots the engine's queue-health counters at every exit.
+    /// Strictly passive — journals, traces, and results are bit-identical
+    /// with or without it. `None` (the default) costs one branch per
+    /// scope.
+    pub profiler: Option<Profiler>,
 }
 
 impl Default for RunOptions {
@@ -109,6 +118,7 @@ impl Default for RunOptions {
             recorder_capacity: DEFAULT_RECORDER_CAPACITY,
             recorder_dump_dir: None,
             run_tag: None,
+            profiler: None,
         }
     }
 }
@@ -399,6 +409,9 @@ pub fn run_application(
     if let Some(telemetry) = &options.telemetry {
         sim.attach_metrics(telemetry.registry().clone());
     }
+    if let Some(profiler) = &options.profiler {
+        sim.attach_profiler(profiler.clone());
+    }
 
     // Resource layer: clusters with background load, SAGA session, bundle.
     let mut session = Session::new();
@@ -417,6 +430,9 @@ pub fn run_application(
     // counters must still be readable at run end.
     let info_handle = bundle.info_handle();
     info_handle.borrow_mut().set_metrics(sim.metrics().clone());
+    info_handle
+        .borrow_mut()
+        .set_profiler(sim.profiler().clone());
 
     // Compile the fault model against the run seed. Everything below is
     // gated on `schedule` so a fault-free run replays the exact event and
@@ -513,9 +529,11 @@ pub fn run_application(
     // Steps 1–4: derive the plan at submission time.
     let em = ExecutionManager::default();
     let mut selection_rng = sim.fork_rng("resource-selection");
-    let plan = em
-        .derive_plan_with_rng(submitted, &app, &mut bundle, strategy, &mut selection_rng)
-        .map_err(RunError::Unplannable)?;
+    let plan = {
+        let _prof = sim.profiler().scope("middleware.plan");
+        em.derive_plan_with_rng(submitted, &app, &mut bundle, strategy, &mut selection_rng)
+            .map_err(RunError::Unplannable)?
+    };
 
     // Step 5–6: enact. Fault chances and recovery knobs are threaded into
     // the unit manager's config; the pilot manager gets its healing policy.
@@ -791,6 +809,7 @@ pub fn run_application(
                 let mut replan_strategy = strategy.clone();
                 replan_strategy.pilot_count = (doomed as u32).min(survivors.len() as u32).max(1);
                 replan_strategy.selection = ResourceSelection::Fixed(survivors.clone());
+                let _prof = sim.profiler().scope("middleware.plan");
                 let em = ExecutionManager::default();
                 match em.derive_plan_with_rng(
                     sim.now(),
@@ -1167,6 +1186,7 @@ pub fn run_application(
             // persisted.
             if sim.now() >= t {
                 dump("interrupted");
+                sim.publish_engine_stats();
                 return Err(RunError::Interrupted {
                     at: sim.now(),
                     stats: um.stats(),
@@ -1175,6 +1195,7 @@ pub fn run_application(
         }
         if sim.now() > deadline {
             dump("deadline-exceeded");
+            sim.publish_engine_stats();
             return Err(RunError::DeadlineExceeded {
                 n_tasks,
                 strategy_label: strategy.label(),
@@ -1186,6 +1207,9 @@ pub fn run_application(
             break;
         }
     }
+    // Queue-health counters go to the metrics registry and profiler on
+    // every exit, success or not — passive on both sinks.
+    sim.publish_engine_stats();
     let finished_at = match *finished.borrow() {
         Some(t) => t,
         None => {

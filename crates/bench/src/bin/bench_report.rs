@@ -11,6 +11,7 @@
 //!              [--check BENCH_baseline.json] [--tolerance 0.25]
 //!              [--emit-metrics DIR]
 //!              [--campaign-out PATH] [--campaign-timing] [--progress]
+//!              [--profile-out PATH]
 //! ```
 //!
 //! Campaigns (all deterministic given `--seed`):
@@ -41,6 +42,13 @@
 //! `--emit-metrics DIR` additionally performs one telemetry-instrumented
 //! experiment-1 run and writes `trace.json` (Perfetto-loadable),
 //! `metrics.json`, and `metrics.csv` into DIR (CI telemetry-smoke).
+//! `--profile-out PATH` attaches a per-run engine profiler to the
+//! `campaign_throughput` fan-out and writes the merged `aimes-profile-v1`
+//! document; host timing and allocator sections appear only with
+//! `--campaign-timing` (without it the document is worker-count
+//! invariant). Every report row also carries `peak_rss_bytes` (VmHWM
+//! after the campaign) and `allocs_per_event` from the binary's counting
+//! global allocator.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -49,10 +57,17 @@ use std::time::Instant;
 use aimes::experiment::{run_experiment_with, CampaignHooks};
 use aimes::middleware::{run_application, RunOptions};
 use aimes::paper;
+use aimes::profile::{AllocSection, ProfileAccumulator, ProfileDoc, TimingInputs};
+use aimes_bench::alloc::{self as heap, CountingAlloc};
 use aimes_cluster::{Cluster, ClusterConfig};
 use aimes_sim::{EventId, SimDuration, SimTime, Simulation, Tracer};
 use aimes_workload::WorkloadConfig;
 use serde::{Deserialize, Serialize};
+
+/// Heap accounting for the perf trajectory: every allocation in this
+/// binary is counted (relaxed atomics, peak via atomic max).
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
 
 /// One campaign's measurements. Throughput fields are zero when the
 /// campaign has no meaningful value for them.
@@ -64,6 +79,13 @@ struct CampaignStat {
     wall_secs: f64,
     events_per_sec: f64,
     runs_per_sec: f64,
+    /// Process peak RSS (`VmHWM`) sampled after the campaign — monotone
+    /// across campaigns, so this is "peak so far", not a per-campaign
+    /// footprint.
+    peak_rss_bytes: u64,
+    /// Allocator calls per engine event during the campaign (0 for
+    /// run-based campaigns, which do not count events).
+    allocs_per_event: f64,
 }
 
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -92,6 +114,9 @@ struct Options {
     campaign_timing: bool,
     /// Live status line on stderr for `campaign_throughput`.
     progress: bool,
+    /// Merged `aimes-profile-v1` document for `campaign_throughput`'s
+    /// per-run engine profiles (timing gated by `--campaign-timing`).
+    profile_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -108,6 +133,7 @@ fn parse_args() -> Options {
         campaign_out: None,
         campaign_timing: false,
         progress: false,
+        profile_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -147,12 +173,17 @@ fn parse_args() -> Options {
             }
             "--campaign-timing" => opts.campaign_timing = true,
             "--progress" => opts.progress = true,
+            "--profile-out" => {
+                i += 1;
+                opts.profile_out = Some(args[i].clone().into());
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench-report [--quick] [--seed S] [--jobs N] [--out FILE] \
                      [--check BASELINE] [--tolerance F] [--emit-metrics DIR] \
-                     [--campaign-out PATH] [--campaign-timing] [--progress]"
+                     [--campaign-out PATH] [--campaign-timing] [--progress] \
+                     [--profile-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -228,6 +259,8 @@ fn engine_heartbeat(seed: u64, quick: bool) -> CampaignStat {
         wall_secs: wall,
         events_per_sec: events as f64 / wall,
         runs_per_sec: 0.0,
+        peak_rss_bytes: 0,
+        allocs_per_event: 0.0,
     }
 }
 
@@ -308,6 +341,8 @@ fn cluster_saturation(seed: u64, quick: bool) -> CampaignStat {
         wall_secs: wall,
         events_per_sec: events as f64 / wall,
         runs_per_sec: 0.0,
+        peak_rss_bytes: 0,
+        allocs_per_event: 0.0,
     }
 }
 
@@ -353,6 +388,8 @@ fn e2e_experiment(id: u32, seed: u64, quick: bool) -> CampaignStat {
         wall_secs: wall,
         events_per_sec: 0.0,
         runs_per_sec: runs as f64 / wall,
+        peak_rss_bytes: 0,
+        allocs_per_event: 0.0,
     }
 }
 
@@ -378,10 +415,13 @@ fn campaign_throughput(seed: u64, quick: bool, opts: &Options) -> CampaignStat {
     });
     let sender = recorder.as_ref().map(|r| r.sender());
     let progress = opts.progress.then(|| aimes::Progress::new(total_jobs));
+    let profile = opts.profile_out.as_ref().map(|_| ProfileAccumulator::new());
     let hooks = CampaignHooks {
         recorder: sender.as_ref(),
         progress: progress.as_ref(),
+        profile: profile.as_ref(),
     };
+    let alloc_before = heap::snapshot();
     let start = Instant::now();
     let result = run_experiment_with(&cfg, hooks);
     let wall = start.elapsed().as_secs_f64();
@@ -405,6 +445,41 @@ fn campaign_throughput(seed: u64, quick: bool, opts: &Options) -> CampaignStat {
         point.errors.first()
     );
     let runs = point.runs.len() as u64;
+    if let (Some(path), Some(acc)) = (&opts.profile_out, &profile) {
+        let merged = acc.merged();
+        // Timing is volatile (depends on host + worker count), so it is
+        // gated exactly like the campaign manifest's wall-clock fields.
+        let timing = opts.campaign_timing.then(|| {
+            let delta = heap::snapshot().since(&alloc_before);
+            let events = merged.engine.events_processed;
+            TimingInputs {
+                total_wall_secs: wall,
+                sequential: false,
+                run_walls: Vec::new(),
+                alloc: Some(AllocSection {
+                    allocs: delta.allocs,
+                    bytes_allocated: delta.bytes_allocated,
+                    peak_bytes: delta.peak_bytes,
+                    allocs_per_event: if events > 0 {
+                        delta.allocs as f64 / events as f64
+                    } else {
+                        0.0
+                    },
+                }),
+            }
+        });
+        let doc = ProfileDoc::build("campaign_throughput", seed, acc.runs(), &merged, timing);
+        doc.validate().unwrap_or_else(|e| {
+            eprintln!("internal error: produced invalid profile doc: {e}");
+            std::process::exit(2);
+        });
+        let json = serde_json::to_string_pretty(&doc).expect("profile doc serializes");
+        std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write profile doc {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        eprintln!("wrote profile doc {}", path.display());
+    }
     CampaignStat {
         label: "campaign_throughput".to_string(),
         events: 0,
@@ -412,6 +487,8 @@ fn campaign_throughput(seed: u64, quick: bool, opts: &Options) -> CampaignStat {
         wall_secs: wall,
         events_per_sec: 0.0,
         runs_per_sec: runs as f64 / wall,
+        peak_rss_bytes: 0,
+        allocs_per_event: 0.0,
     }
 }
 
@@ -509,10 +586,18 @@ fn main() {
             continue;
         }
         eprintln!("running campaign {label} ...");
-        let stat = run(opts.seed, opts.quick);
+        let alloc_before = heap::snapshot();
+        let mut stat = run(opts.seed, opts.quick);
+        let delta = heap::snapshot().since(&alloc_before);
+        stat.peak_rss_bytes = peak_rss_bytes();
+        stat.allocs_per_event = if stat.events > 0 {
+            delta.allocs as f64 / stat.events as f64
+        } else {
+            0.0
+        };
         eprintln!(
-            "  {label}: {:.2}s wall, {:.0} events/s, {:.3} runs/s",
-            stat.wall_secs, stat.events_per_sec, stat.runs_per_sec
+            "  {label}: {:.2}s wall, {:.0} events/s, {:.3} runs/s, {:.1} allocs/event",
+            stat.wall_secs, stat.events_per_sec, stat.runs_per_sec, stat.allocs_per_event
         );
         campaigns.push(stat);
     }

@@ -24,6 +24,9 @@
 //!   ablation-cascade    correlated-failure domains: reactive vs proactive
 //!                       evacuation vs evacuation + checkpointed salvage
 //!   telemetry           one instrumented experiment-1 run; see --emit-metrics
+//!   profile             engine self-profile: sequential experiment-1 runs
+//!                       under one shared profiler; prints the self-time
+//!                       table and writes an aimes-profile-v1 document
 //!   journal             run a named scenario, write its journal JSONL (--scenario, --out)
 //!   analyze             post-mortem analysis of a journal: timelines, TTC closure,
 //!                       critical path, stragglers; exits nonzero on closure failure
@@ -49,7 +52,12 @@
 //! byte-identical at any `--jobs`. `--campaign-timing` additionally records
 //! volatile wall-clock fields (worker index, per-phase wall split, a pool
 //! record) — useful, but worker-count dependent. `--progress` draws an
-//! opt-in live status line on stderr.
+//! opt-in live status line on stderr. `--profile-out PATH` attaches a
+//! per-run engine profiler to every run of the sweep and writes the
+//! merged `aimes-profile-v1` document — scope counts and engine counters
+//! always, host timing and allocator sections only with
+//! `--campaign-timing`, so the default document is byte-identical at any
+//! `--jobs`.
 //!
 //! `telemetry` runs experiment 1 once at the given seed with the typed
 //! telemetry layer on and prints the metrics summary block.
@@ -61,13 +69,20 @@
 use aimes::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 use aimes::middleware::{run_application, RunOptions};
 use aimes::paper;
+use aimes::profile::{self, AllocSection, ProfileAccumulator, ProfileDoc, TimingInputs};
 use aimes::report;
 use aimes::stats::Summary;
-use aimes_sim::{SimRng, SimTime};
+use aimes_bench::alloc::{self as heap, CountingAlloc};
+use aimes_sim::{EngineStats, Profiler, SimRng, SimTime};
 use aimes_skeleton::{bag_of_tasks, paper_task_counts, TaskDurationSpec};
 use aimes_strategy::ExecutionStrategy;
 use aimes_workload::Distribution;
 use rayon::prelude::*;
+
+/// Heap accounting for profile documents: every allocation in this
+/// binary is counted (relaxed atomics, peak via atomic max).
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
 
 struct Options {
     reps: usize,
@@ -104,6 +119,12 @@ struct Options {
     /// Live status line on stderr. Off by default so sweep stderr stays
     /// byte-identical across worker counts.
     progress: bool,
+    /// `aimes-profile-v1` output path: for the parallel sweeps, the
+    /// merged per-run engine profile (host timing gated by
+    /// `--campaign-timing`, so the default document is byte-identical at
+    /// any `--jobs`); for the `profile` command, where the document goes
+    /// instead of stdout.
+    profile_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> (String, Options) {
@@ -126,6 +147,7 @@ fn parse_args() -> (String, Options) {
         campaign_out: None,
         campaign_timing: false,
         progress: false,
+        profile_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -178,6 +200,10 @@ fn parse_args() -> (String, Options) {
             }
             "--campaign-timing" => opts.campaign_timing = true,
             "--progress" => opts.progress = true,
+            "--profile-out" => {
+                i += 1;
+                opts.profile_out = Some(args[i].clone().into());
+            }
             c if !c.starts_with("--") => {
                 if command == "help" {
                     command = c.to_string();
@@ -892,14 +918,20 @@ fn exit_fail_on_error(sweep: &str, failures: usize) -> ! {
 }
 
 /// Campaign observability for one sweep: the `campaign.jsonl` recorder
-/// (when `--campaign-out`) and the live progress line (when
-/// `--progress`). Both default off, so sweep output at defaults is
-/// untouched by this layer.
+/// (when `--campaign-out`), the live progress line (when `--progress`),
+/// and the merged engine profile (when `--profile-out`). All default
+/// off, so sweep output at defaults is untouched by this layer.
 struct Observatory {
     recorder: Option<aimes::campaign::CampaignRecorder>,
     sender: Option<aimes::campaign::CampaignSender>,
     progress: Option<aimes::campaign::Progress>,
     timing: bool,
+    /// Per-run profile collection point, merged in job order at close.
+    profile: Option<(std::path::PathBuf, ProfileAccumulator)>,
+    command: String,
+    seed: u64,
+    alloc_before: heap::AllocSnapshot,
+    wall_started: std::time::Instant,
 }
 
 impl Observatory {
@@ -924,41 +956,94 @@ impl Observatory {
         let progress = opts
             .progress
             .then(|| aimes::campaign::Progress::new(total_jobs as u64));
+        let profile = opts
+            .profile_out
+            .as_ref()
+            .map(|path| (path.clone(), ProfileAccumulator::new()));
         Observatory {
             recorder,
             sender,
             progress,
             timing: opts.campaign_timing,
+            profile,
+            command: command.to_string(),
+            seed: opts.seed,
+            alloc_before: heap::snapshot(),
+            wall_started: std::time::Instant::now(),
         }
     }
 
-    /// The borrows the worker closures capture.
+    /// The borrows the worker closures capture. When profiling is on,
+    /// each worker makes a fresh per-run [`Profiler`] (the handle is
+    /// `!Send`) and records its report into the accumulator by job index.
     fn handles(
         &self,
     ) -> (
         Option<&aimes::campaign::CampaignSender>,
         Option<&aimes::campaign::Progress>,
+        Option<&ProfileAccumulator>,
     ) {
-        (self.sender.as_ref(), self.progress.as_ref())
+        (
+            self.sender.as_ref(),
+            self.progress.as_ref(),
+            self.profile.as_ref().map(|(_, acc)| acc),
+        )
     }
 
-    /// Finish the progress line and canonicalize the manifest; in timing
-    /// mode the pool's accounting goes in as the final record.
+    /// Finish the progress line, canonicalize the manifest (in timing
+    /// mode the pool's accounting goes in as the final record), and write
+    /// the merged profile document.
     fn close(self) {
         if let Some(progress) = &self.progress {
             progress.finish();
         }
-        let Some(recorder) = self.recorder else {
+        drop(self.sender);
+        if let Some(recorder) = self.recorder {
+            let pool = self
+                .timing
+                .then(|| aimes::campaign::PoolRecord::from_stats(&rayon::pool_stats()));
+            if let Err(e) = recorder.close(pool.as_ref()) {
+                eprintln!("cannot finalize campaign manifest: {e}");
+                std::process::exit(2);
+            }
+        }
+        let Some((path, acc)) = self.profile else {
             return;
         };
-        drop(self.sender);
-        let pool = self
-            .timing
-            .then(|| aimes::campaign::PoolRecord::from_stats(&rayon::pool_stats()));
-        if let Err(e) = recorder.close(pool.as_ref()) {
-            eprintln!("cannot finalize campaign manifest: {e}");
+        let merged = acc.merged();
+        // Host timing and allocator counters are volatile (worker-count
+        // and host dependent), so they are gated exactly like the
+        // manifest's wall-clock fields: only present in timing mode.
+        let timing = self.timing.then(|| {
+            let delta = heap::snapshot().since(&self.alloc_before);
+            let events = merged.engine.events_processed;
+            TimingInputs {
+                total_wall_secs: self.wall_started.elapsed().as_secs_f64(),
+                sequential: false,
+                run_walls: Vec::new(),
+                alloc: Some(AllocSection {
+                    allocs: delta.allocs,
+                    bytes_allocated: delta.bytes_allocated,
+                    peak_bytes: delta.peak_bytes,
+                    allocs_per_event: if events > 0 {
+                        delta.allocs as f64 / events as f64
+                    } else {
+                        0.0
+                    },
+                }),
+            }
+        });
+        let doc = ProfileDoc::build(&self.command, self.seed, acc.runs(), &merged, timing);
+        if let Err(e) = doc.validate() {
+            eprintln!("internal error: produced invalid profile doc: {e}");
             std::process::exit(2);
         }
+        let json = serde_json::to_string_pretty(&doc).expect("profile doc serializes");
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("cannot write profile doc {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote profile doc {}", path.display());
     }
 }
 
@@ -1031,7 +1116,7 @@ fn ablation_faults(opts: &Options) {
         .map(|(job, (rate, mode, rep))| (job, rate, mode, rep))
         .collect();
     let obs = Observatory::open(opts, "ablation-faults", jobs.len());
-    let (sender, progress) = obs.handles();
+    let (sender, progress, profile) = obs.handles();
     type FaultsOutcome = (u64, Result<FaultsRun, (&'static str, String)>);
     let outcomes: Vec<FaultsOutcome> = jobs
         .par_iter()
@@ -1060,6 +1145,7 @@ fn ablation_faults(opts: &Options) {
                 "detect" => Some(RecoveryPolicy::with_detection()),
                 _ => None,
             };
+            let profiler = profile.map(|_| Profiler::new());
             let options = RunOptions {
                 seed,
                 submit_at,
@@ -1067,12 +1153,16 @@ fn ablation_faults(opts: &Options) {
                 recovery,
                 recorder_dump_dir: opts.dump_dir.clone(),
                 run_tag: Some(format!("faults-{rate}-{mode}-r{rep}")),
+                profiler: profiler.clone(),
                 ..Default::default()
             };
             let build_secs = t_build.elapsed().as_secs_f64();
             let t_sim = std::time::Instant::now();
             let outcome = run_application(&pool, &app, &strategy, &options);
             let simulate_secs = t_sim.elapsed().as_secs_f64();
+            if let (Some(acc), Some(prof)) = (profile, &profiler) {
+                acc.record(job as u64, prof.report());
+            }
             if let Some(sender) = sender {
                 sender.record_outcome(
                     job as u64,
@@ -1321,7 +1411,7 @@ fn ablation_cascade(opts: &Options) {
         .map(|(job, (arm, rep))| (job, arm, rep))
         .collect();
     let obs = Observatory::open(opts, "ablation-cascade", jobs.len());
-    let (sender, progress) = obs.handles();
+    let (sender, progress, profile) = obs.handles();
     type CascadeOutcome = (u64, Result<CascadeRun, (&'static str, String)>);
     let outcomes: Vec<CascadeOutcome> = jobs
         .par_iter()
@@ -1344,6 +1434,7 @@ fn ablation_cascade(opts: &Options) {
             }
             let journal =
                 std::rc::Rc::new(std::cell::RefCell::new(aimes::journal::RunJournal::new()));
+            let profiler = profile.map(|_| Profiler::new());
             let options = RunOptions {
                 seed,
                 submit_at,
@@ -1352,12 +1443,16 @@ fn ablation_cascade(opts: &Options) {
                 journal: Some(journal.clone()),
                 recorder_dump_dir: opts.dump_dir.clone(),
                 run_tag: Some(format!("cascade-{arm}-r{rep}")),
+                profiler: profiler.clone(),
                 ..Default::default()
             };
             let build_secs = t_build.elapsed().as_secs_f64();
             let t_sim = std::time::Instant::now();
             let outcome = run_application(&pool, &app, &strategy, &options);
             let simulate_secs = t_sim.elapsed().as_secs_f64();
+            if let (Some(acc), Some(prof)) = (profile, &profiler) {
+                acc.record(job as u64, prof.report());
+            }
             if let Some(sender) = sender {
                 sender.record_outcome(
                     job as u64,
@@ -1590,7 +1685,7 @@ fn ablation_info(opts: &Options) {
         .map(|(job, (ai, rep))| (job, ai, rep))
         .collect();
     let obs = Observatory::open(opts, "ablation-info", jobs.len());
-    let (sender, progress) = obs.handles();
+    let (sender, progress, profile) = obs.handles();
     let outcomes: Vec<(u64, Result<InfoRun, String>)> = jobs
         .par_iter()
         .map(|&(job, ai, rep)| {
@@ -1605,6 +1700,7 @@ fn ablation_info(opts: &Options) {
             let mut rng = SimRng::new(seed).fork("submit");
             let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
             let telemetry = Telemetry::new();
+            let profiler = profile.map(|_| Profiler::new());
             let options = RunOptions {
                 seed,
                 submit_at,
@@ -1613,6 +1709,7 @@ fn ablation_info(opts: &Options) {
                 telemetry: Some(telemetry.clone()),
                 recorder_dump_dir: opts.dump_dir.clone(),
                 run_tag: Some(format!("info-{arm}-r{rep}")),
+                profiler: profiler.clone(),
                 ..Default::default()
             };
             let testbed = paper::testbed();
@@ -1620,6 +1717,9 @@ fn ablation_info(opts: &Options) {
             let t_sim = std::time::Instant::now();
             let outcome = run_application(&testbed, &app, &strategy, &options);
             let simulate_secs = t_sim.elapsed().as_secs_f64();
+            if let (Some(acc), Some(prof)) = (profile, &profiler) {
+                acc.record(job as u64, prof.report());
+            }
             if let Some(sender) = sender {
                 sender.record_outcome(
                     job as u64,
@@ -1830,7 +1930,7 @@ fn ablation_detection(opts: &Options) {
         .map(|(job, (ci, rep))| (job, ci, rep))
         .collect();
     let obs = Observatory::open(opts, "ablation-detection", jobs.len());
-    let (sender, progress) = obs.handles();
+    let (sender, progress, profile) = obs.handles();
     let outcomes: Vec<(u64, Result<DetectionRun, String>)> = jobs
         .par_iter()
         .map(|&(job, ci, rep)| {
@@ -1848,18 +1948,23 @@ fn ablation_detection(opts: &Options) {
                 .root_seed();
             let mut rng = SimRng::new(seed).fork("submit");
             let submit_at = SimTime::from_secs(rng.uniform(4.0, 16.0) * 3600.0);
+            let profiler = profile.map(|_| Profiler::new());
             let options = RunOptions {
                 seed,
                 submit_at,
                 faults: Some(faults.clone()),
                 recovery: Some(recovery),
                 run_tag: Some(format!("detection-{label}-r{rep}")),
+                profiler: profiler.clone(),
                 ..Default::default()
             };
             let build_secs = t_build.elapsed().as_secs_f64();
             let t_sim = std::time::Instant::now();
             let outcome = run_application(&pool, &app, &strategy, &options);
             let simulate_secs = t_sim.elapsed().as_secs_f64();
+            if let (Some(acc), Some(prof)) = (profile, &profiler) {
+                acc.record(job as u64, prof.report());
+            }
             if let Some(sender) = sender {
                 sender.record_outcome(
                     job as u64,
@@ -2398,6 +2503,106 @@ fn campaign_report_cmd(opts: &Options) {
     }
 }
 
+/// The engine self-profile: sequential experiment-1 runs under one
+/// shared profiler, with one outer `harness` scope around the whole
+/// loop. Because the harness is single-threaded and every subsystem
+/// scope nests inside `harness`, per-label exclusive times tile the
+/// measured wall clock — the printed coverage sits near 100% (the CI
+/// profile-smoke gate asserts within 5%). The `aimes-profile-v1`
+/// document (with the volatile timing and allocator sections always
+/// present — this command exists to measure them) goes to
+/// `--profile-out`/`--out`, or into the stdout report.
+fn profile_cmd(opts: &Options) {
+    let n_tasks = if opts.quick { 64 } else { 256 };
+    let cfg = paper::experiment(1, opts.reps, opts.seed, Some(vec![n_tasks]));
+    println!(
+        "## Engine self-profile — experiment 1 ({n_tasks} tasks x {} reps, sequential)\n",
+        cfg.repetitions
+    );
+    let prof = Profiler::new();
+    let alloc_before = heap::snapshot();
+    let mut run_walls: Vec<f64> = Vec::new();
+    let mut engine = EngineStats::default();
+    let wall_started = std::time::Instant::now();
+    {
+        let _harness = prof.scope("harness");
+        for n in &cfg.task_counts {
+            for rep in 0..cfg.repetitions {
+                let seed = cfg.run_seed(*n, rep);
+                let submit_at = cfg.submit_instant(seed);
+                let t_run = std::time::Instant::now();
+                run_application(
+                    &cfg.resources,
+                    &cfg.skeleton(*n),
+                    &cfg.strategy,
+                    &RunOptions {
+                        seed,
+                        submit_at,
+                        profiler: Some(prof.clone()),
+                        ..Default::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("profile run failed: {e}"));
+                run_walls.push(t_run.elapsed().as_secs_f64());
+                // The engine handle overwrites its counters at each run's
+                // exit; fold them here so the document sums every run.
+                engine.merge(&prof.report().engine);
+            }
+        }
+    }
+    let total_wall = wall_started.elapsed().as_secs_f64();
+    let mut report = prof.report();
+    report.engine = engine;
+    let delta = heap::snapshot().since(&alloc_before);
+    let events = engine.events_processed;
+    let alloc = AllocSection {
+        allocs: delta.allocs,
+        bytes_allocated: delta.bytes_allocated,
+        peak_bytes: delta.peak_bytes,
+        allocs_per_event: if events > 0 {
+            delta.allocs as f64 / events as f64
+        } else {
+            0.0
+        },
+    };
+    let doc = ProfileDoc::build(
+        "profile",
+        opts.seed,
+        run_walls.len() as u64,
+        &report,
+        Some(TimingInputs {
+            total_wall_secs: total_wall,
+            sequential: true,
+            run_walls,
+            alloc: Some(alloc),
+        }),
+    );
+    if let Err(e) = doc.validate() {
+        eprintln!("internal error: produced invalid profile doc: {e}");
+        std::process::exit(2);
+    }
+    println!("```\n{}```\n", profile::self_time_table(&report, 16));
+    let coverage = doc.timing.as_ref().and_then(|t| t.coverage).unwrap_or(0.0);
+    println!(
+        "wall {total_wall:.3} s | attributed {:.3} s | coverage {:.1}% | \
+         {events} events | {:.1} allocs/event",
+        report.attributed_secs(),
+        100.0 * coverage,
+        alloc.allocs_per_event
+    );
+    let json = serde_json::to_string_pretty(&doc).expect("profile doc serializes");
+    match opts.profile_out.as_ref().or(opts.out.as_ref()) {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("cannot write profile doc {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            eprintln!("wrote profile doc {}", path.display());
+        }
+        None => println!("\n### JSON\n```json\n{json}\n```"),
+    }
+}
+
 fn main() {
     let (command, opts) = parse_args();
     if let Some(jobs) = opts.jobs {
@@ -2427,6 +2632,7 @@ fn main() {
         "ablation-info" => ablation_info(&opts),
         "ablation-cascade" => ablation_cascade(&opts),
         "telemetry" => telemetry_run(&opts),
+        "profile" => profile_cmd(&opts),
         "journal" => journal_cmd(&opts),
         "analyze" => analyze_cmd(&opts),
         "analytics-diff" => analytics_diff_cmd(&opts),
@@ -2470,11 +2676,12 @@ fn main() {
                  ablation-crossover | ablation-throughput | ablation-hetero | \n\
                  ablation-adaptive | ablation-walltime | ablation-queue | \n\
                  ablation-predictor | ablation-faults | ablation-detection | \n\
-                 ablation-info | ablation-cascade | telemetry | journal | analyze | \n\
+                 ablation-info | ablation-cascade | telemetry | profile | journal | analyze | \n\
                  analytics-diff | campaign-report | all\n\
                  flags: --reps N --seed S --quick --jobs N --fail-on-error \
                  --emit-metrics DIR --trace-out PATH --dump-dir DIR\n\
-                 campaign flags: --campaign-out PATH --campaign-timing --progress\n\
+                 campaign flags: --campaign-out PATH --campaign-timing --progress \
+                 --profile-out PATH\n\
                  journal flags: --scenario exp1|exp4|faulty --out PATH\n\
                  analyze: <journal.jsonl> --epsilon E --out report.json\n\
                  analytics-diff: <run-a> <run-b> --threshold T\n\

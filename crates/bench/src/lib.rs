@@ -17,6 +17,117 @@ pub fn quick_sizes() -> Vec<u32> {
     vec![8, 64, 512]
 }
 
+pub mod alloc {
+    //! Opt-in heap accounting: a counting [`GlobalAlloc`] shim.
+    //!
+    //! The bench binaries install this as their `#[global_allocator]`
+    //! (opt-in per binary — the library and tests never pay for it) so
+    //! perf reports can track allocation pressure and peak live heap
+    //! alongside events/sec. Counters are relaxed atomics (~2 ns per
+    //! allocation); the peak is maintained with an atomic max so it is
+    //! correct under the parallel campaign pool.
+    //!
+    //! Caveats: counts are process-global (all threads and worker pools
+    //! mix), and the peak never resets — per-region deltas come from
+    //! [`snapshot`] pairs, but `peak_bytes` is monotone like VmHWM.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+    static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+    static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// Counting pass-through to the system allocator.
+    pub struct CountingAlloc;
+
+    fn on_alloc(size: u64) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(size, Ordering::Relaxed);
+        let live = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(size: u64) {
+        LIVE_BYTES.fetch_sub(size, Ordering::Relaxed);
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc_zeroed(layout) };
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) };
+            on_dealloc(layout.size() as u64);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = unsafe { System.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                on_dealloc(layout.size() as u64);
+                on_alloc(new_size as u64);
+            }
+            p
+        }
+    }
+
+    /// Point-in-time reading of the allocator counters.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AllocSnapshot {
+        /// Allocation calls since process start.
+        pub allocs: u64,
+        /// Bytes handed out since process start.
+        pub bytes_allocated: u64,
+        /// Currently live heap bytes.
+        pub live_bytes: u64,
+        /// Peak live heap bytes since process start (monotone).
+        pub peak_bytes: u64,
+    }
+
+    impl AllocSnapshot {
+        /// Counter growth since `earlier` (peak stays absolute).
+        pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+            AllocSnapshot {
+                allocs: self.allocs.saturating_sub(earlier.allocs),
+                bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
+                live_bytes: self.live_bytes,
+                peak_bytes: self.peak_bytes,
+            }
+        }
+    }
+
+    /// Read the counters. All zeros unless a binary installed
+    /// [`CountingAlloc`] as its global allocator.
+    pub fn snapshot() -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: ALLOCS.load(Ordering::Relaxed),
+            bytes_allocated: BYTES_ALLOCATED.load(Ordering::Relaxed),
+            live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
+            peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True when the shim has observed at least one allocation — i.e.
+    /// the running binary actually installed it.
+    pub fn is_active() -> bool {
+        ALLOCS.load(Ordering::Relaxed) > 0
+    }
+}
+
 pub mod scenarios {
     //! Named journal-producing scenarios shared by the `experiments`
     //! CLI (`journal`, `analyze`) and the analytics CI gates. The shapes

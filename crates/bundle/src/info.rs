@@ -32,7 +32,7 @@
 //! any randomness lives in the injected disposition hook, which the
 //! middleware feeds from per-resource forked streams.
 
-use aimes_sim::{MetricsRegistry, SimDuration, SimTime};
+use aimes_sim::{MetricsRegistry, Profiler, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -319,6 +319,7 @@ pub struct InfoChannel {
     disposition: Option<DispositionFn>,
     sink: Option<InfoSink>,
     metrics: Option<MetricsRegistry>,
+    profiler: Profiler,
     stats: InfoStats,
 }
 
@@ -333,6 +334,7 @@ impl InfoChannel {
             disposition: None,
             sink: None,
             metrics: None,
+            profiler: Profiler::disabled(),
             stats: InfoStats::default(),
         }
     }
@@ -365,6 +367,14 @@ impl InfoChannel {
     /// through it (one branch per query when disabled).
     pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attach a self-profiler; queries accrue to the `bundle.info` label.
+    /// The info plane runs inside other components' callbacks rather than
+    /// from its own events, so it receives the handle directly (one branch
+    /// per query when disabled, like the metrics hook above).
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     fn count(&self, name: &'static str) {
@@ -455,6 +465,7 @@ impl InfoChannel {
     ) -> InfoAnswer {
         use crate::predictor::WaitPredictor;
 
+        let _prof = self.profiler.scope("bundle.info");
         let disposition = match &mut self.disposition {
             Some(f) => f(resource, now),
             None => InfoDisposition::Ok,

@@ -456,6 +456,7 @@ impl Cluster {
     }
 
     fn schedule_next_background(&self, sim: &mut Simulation) {
+        let _prof = sim.profiler().scope("cluster.scheduler");
         let (arrival, horizon) = {
             let st = self.inner.borrow();
             let Some(bg) = st.background.as_ref() else {
@@ -635,6 +636,7 @@ impl Cluster {
     /// free (no policy can start a job on zero free cores) — returns
     /// without rebuilding views or consulting the policy.
     fn dispatch(&self, sim: &mut Simulation) {
+        let _prof = sim.profiler().scope("cluster.scheduler");
         let now = sim.now();
         let starts: Vec<(JobId, SimTime, JobOwner, String, SimDuration)> = {
             let mut st = self.inner.borrow_mut();
@@ -731,6 +733,7 @@ impl Cluster {
     }
 
     fn on_completion(&self, sim: &mut Simulation, id: JobId) {
+        let _prof = sim.profiler().scope("cluster.scheduler");
         let now = sim.now();
         let (owner, tag, final_state) = {
             let mut st = self.inner.borrow_mut();

@@ -369,6 +369,7 @@ impl PilotManager {
     }
 
     fn on_saga_state(&self, sim: &mut Simulation, id: PilotId, state: SagaJobState) {
+        let _prof = sim.profiler().scope("pilot.manager");
         let current = self.state(id);
         match state {
             SagaJobState::New => {}
@@ -519,6 +520,7 @@ impl PilotManager {
     /// then schedule the next. A dead or terminal agent emits nothing —
     /// that silence *is* the failure signal.
     fn emit_heartbeat(&self, sim: &mut Simulation, id: PilotId) {
+        let _prof = sim.profiler().scope("pilot.manager");
         let now = sim.now();
         let (latency, interval) = {
             let mut st = self.inner.borrow_mut();
@@ -557,6 +559,7 @@ impl PilotManager {
     /// already terminal or a blacklisted resource — are dropped with a
     /// note instead of resurrecting anything.
     fn deliver_heartbeat(&self, sim: &mut Simulation, id: PilotId) {
+        let _prof = sim.profiler().scope("pilot.manager");
         let now = sim.now();
         enum Disposition {
             Stale(String),
@@ -648,6 +651,7 @@ impl PilotManager {
     /// A suspicion deadline fired: advance the detector if no newer
     /// heartbeat superseded the check.
     fn run_detector_check(&self, sim: &mut Simulation, id: PilotId, epoch: u64) {
+        let _prof = sim.profiler().scope("pilot.manager");
         let now = sim.now();
         let advanced = {
             let mut st = self.inner.borrow_mut();

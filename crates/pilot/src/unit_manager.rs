@@ -653,6 +653,7 @@ impl UnitManager {
     }
 
     fn do_schedule(&self, sim: &mut Simulation) {
+        let _prof = sim.profiler().scope("unit.manager");
         let now = sim.now();
         let assignments = {
             let mut st = self.inner.borrow_mut();
@@ -738,6 +739,7 @@ impl UnitManager {
     }
 
     fn on_input_staged(&self, sim: &mut Simulation, uid: UnitId) {
+        let _prof = sim.profiler().scope("unit.manager");
         let now = sim.now();
         let (duration, fault, resumed_from) = {
             let mut st = self.inner.borrow_mut();
@@ -841,6 +843,7 @@ impl UnitManager {
     }
 
     fn on_executed(&self, sim: &mut Simulation, uid: UnitId) {
+        let _prof = sim.profiler().scope("unit.manager");
         let now = sim.now();
         let out_end = {
             let mut st = self.inner.borrow_mut();
@@ -874,6 +877,7 @@ impl UnitManager {
     }
 
     fn on_done(&self, sim: &mut Simulation, uid: UnitId) {
+        let _prof = sim.profiler().scope("unit.manager");
         let now = sim.now();
         let newly_ready: Vec<UnitId> = {
             let mut st = self.inner.borrow_mut();

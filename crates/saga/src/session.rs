@@ -237,6 +237,7 @@ impl JobService {
     }
 
     fn attempt_submission(&self, sim: &mut Simulation, id: SagaJobId) {
+        let _prof = sim.profiler().scope("saga.session");
         enum Outcome {
             Cancelled,
             Retry(SimDuration),
@@ -349,6 +350,7 @@ impl JobService {
     }
 
     fn on_backend_change(&self, sim: &mut Simulation, id: SagaJobId, bstate: JobState) {
+        let _prof = sim.profiler().scope("saga.session");
         let next = SagaJobState::from_backend(bstate);
         self.transition(sim, id, next);
     }
@@ -423,6 +425,7 @@ impl JobService {
     /// cancellation (the job simply runs on — exactly what a lost `qdel`
     /// does in the field).
     fn attempt_cancel(&self, sim: &mut Simulation, id: SagaJobId, attempt: u32) {
+        let _prof = sim.profiler().scope("saga.session");
         enum Outcome {
             Settled,
             Retry(SimDuration),

@@ -61,6 +61,12 @@ pub struct EventQueue<T> {
     cancelled: HashSet<EventId>,
     next_seq: u64,
     next_id: u64,
+    /// High-water mark of live pending events (queue-pressure diagnostic).
+    hwm: usize,
+    /// Number of eager heap compactions performed.
+    compactions: u64,
+    /// Number of successful cancellations.
+    cancels: u64,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -78,6 +84,9 @@ impl<T> EventQueue<T> {
             cancelled: HashSet::new(),
             next_seq: 0,
             next_id: 0,
+            hwm: 0,
+            compactions: 0,
+            cancels: 0,
         }
     }
 
@@ -89,6 +98,9 @@ impl<T> EventQueue<T> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.live.insert(id);
+        if self.live.len() > self.hwm {
+            self.hwm = self.live.len();
+        }
         self.heap.push(ScheduledEvent {
             time,
             id,
@@ -104,6 +116,7 @@ impl<T> EventQueue<T> {
         if !self.live.remove(&id) {
             return false;
         }
+        self.cancels += 1;
         self.cancelled.insert(id);
         // Eager compaction: once cancelled entries outnumber live ones,
         // rebuild the heap without them. O(n) here, amortized O(1) per
@@ -118,6 +131,7 @@ impl<T> EventQueue<T> {
     /// Rebuild the heap without cancelled events, draining the cancelled
     /// set of every id that was actually still in the heap.
     fn compact(&mut self) {
+        self.compactions += 1;
         let mut events = std::mem::take(&mut self.heap).into_vec();
         events.retain(|ev| !self.cancelled.remove(&ev.id));
         self.heap = BinaryHeap::from(events);
@@ -168,6 +182,26 @@ impl<T> EventQueue<T> {
     /// (diagnostics; the compaction bound keeps this ≤ `raw_len` / 2).
     pub fn cancelled_len(&self) -> usize {
         self.cancelled.len()
+    }
+
+    /// High-water mark of live pending events over the queue's lifetime.
+    pub fn high_water_mark(&self) -> usize {
+        self.hwm
+    }
+
+    /// Number of eager heap compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Total events ever scheduled (fired, pending, or cancelled).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Total successful cancellations over the queue's lifetime.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancels
     }
 }
 
@@ -273,6 +307,33 @@ mod tests {
         }
         let expect: Vec<usize> = (0..1_000).filter(|i| i % 2 == 1).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn health_counters_track_queue_churn() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..8).map(|i| q.schedule(t(i as f64), i)).collect();
+        assert_eq!(q.high_water_mark(), 8);
+        assert_eq!(q.scheduled_total(), 8);
+        // Pop below the high-water mark: the mark must not recede.
+        q.pop();
+        q.pop();
+        assert_eq!(q.high_water_mark(), 8);
+        // Cancel past the eager-compaction threshold and check the tallies.
+        let mut cancelled = 0;
+        for id in &ids[2..] {
+            if q.cancel(*id) {
+                cancelled += 1;
+            }
+        }
+        assert_eq!(cancelled, 6);
+        assert_eq!(q.cancelled_total(), 6);
+        assert!(
+            q.compactions() >= 1,
+            "cancelling 6 of 6 live events must trigger eager compaction"
+        );
+        assert!(!q.cancel(ids[0]), "already-fired cancel must not count");
+        assert_eq!(q.cancelled_total(), 6);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod profile;
 pub mod rng;
 pub mod telemetry;
 pub mod time;
@@ -33,6 +34,7 @@ pub mod trace;
 
 pub use engine::{EventContext, Simulation};
 pub use event::{EventId, EventQueue, ScheduledEvent};
+pub use profile::{EngineStats, LabelProfile, ProfileGuard, ProfileLabel, ProfileReport, Profiler};
 pub use rng::{SimRng, StreamId};
 pub use telemetry::{MetricsRegistry, MetricsSummary, Span, Telemetry};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,650 @@
+//! Engine self-profiling: wall-time attribution for the simulator itself.
+//!
+//! The tracer and metrics registry observe the *simulated* system; this
+//! module observes the *simulator*. A [`Profiler`] attached to
+//! [`crate::Simulation`] records, per label, how much host wall time was
+//! spent exclusively inside that scope — "exclusively" meaning time inside
+//! child scopes is subtracted, so the per-label exclusive times tile the
+//! wall clock of the outermost scope with no double counting.
+//!
+//! The cost model matches [`crate::trace::Tracer`]: a disabled profiler is
+//! one branch per scope (no clock read, no allocation), and attaching one
+//! is strictly passive — no events scheduled, no RNG draws — so a profiled
+//! run produces bit-identical journals and traces to an unprofiled one.
+//!
+//! Scopes nest via RAII guards and must be dropped in LIFO order, which
+//! Rust's scoping gives for free:
+//!
+//! ```
+//! use aimes_sim::profile::Profiler;
+//!
+//! let prof = Profiler::new();
+//! {
+//!     let _outer = prof.scope("harness");
+//!     {
+//!         let _inner = prof.scope("engine.dispatch");
+//!     } // inner's elapsed time is credited to "engine.dispatch" and
+//!       // subtracted from "harness"'s exclusive total
+//! }
+//! let report = prof.report();
+//! assert_eq!(report.labels.len(), 2);
+//! ```
+//!
+//! The engine additionally pushes its always-on queue-health counters
+//! ([`EngineStats`]) into the profiler at end of run, so one report carries
+//! both time attribution and queue-pressure data.
+
+use crate::telemetry::LogHistogram;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Power-of-two tick buckets per label: index `i >= 1` holds calls whose
+/// exclusive tick count is in `(2^(i-1), 2^i]`; index 0 holds 0–1 ticks.
+/// 65 buckets cover the full `u64` tick range.
+const TICK_BUCKETS: usize = 65;
+
+/// A raw monotonic cycle counter for the hot path. On x86-64 this is one
+/// `rdtsc` (~a few ns, no syscall, invariant rate on every CPU this
+/// project targets); elsewhere it falls back to nanoseconds from a
+/// process-wide epoch. Tick durations are converted to seconds only at
+/// [`Profiler::report`] time, using the rate calibrated at
+/// [`Profiler::new`].
+#[inline(always)]
+fn now_ticks() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: RDTSC is unprivileged and universally available on x86-64.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Measure the tick rate against the OS monotonic clock over a short
+/// busy-wait. 100 µs keeps clock granularity under ~0.1% of the window
+/// while costing effectively nothing at run scale.
+fn calibrate_secs_per_tick() -> f64 {
+    let t0 = Instant::now();
+    let c0 = now_ticks();
+    while t0.elapsed() < std::time::Duration::from_micros(100) {
+        std::hint::spin_loop();
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let dc = now_ticks().saturating_sub(c0);
+    if dc == 0 {
+        // Tick source stuck (emulators); fall back to nanosecond ticks.
+        return 1e-9;
+    }
+    dt / dc as f64
+}
+
+/// `ceil(log2(ticks))` as a bucket index, matching the bucket ranges in
+/// [`TICK_BUCKETS`]'s doc: one `leading_zeros`, no floating point.
+#[inline(always)]
+fn tick_bucket(ticks: u64) -> usize {
+    if ticks <= 1 {
+        return 0;
+    }
+    (64 - (ticks - 1).leading_zeros()) as usize
+}
+
+/// Always-on engine health counters, snapshotted from the event queue.
+///
+/// These are maintained unconditionally (plain integer arithmetic in the
+/// schedule/cancel paths) and are deterministic: two runs with the same
+/// seed produce identical `EngineStats` regardless of host timing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events dispatched by the run loop.
+    pub events_processed: u64,
+    /// Events ever scheduled (fired, pending, or cancelled).
+    pub events_scheduled: u64,
+    /// Successful cancellations.
+    pub events_cancelled: u64,
+    /// High-water mark of live pending events.
+    pub pending_events_hwm: u64,
+    /// Eager heap compactions triggered by cancellation pressure.
+    pub compactions: u64,
+}
+
+impl EngineStats {
+    /// Fold another run's counters into this one. Sums everywhere except
+    /// the high-water mark, which takes the max across runs.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.events_processed += other.events_processed;
+        self.events_scheduled += other.events_scheduled;
+        self.events_cancelled += other.events_cancelled;
+        self.pending_events_hwm = self.pending_events_hwm.max(other.pending_events_hwm);
+        self.compactions += other.compactions;
+    }
+}
+
+/// Pre-interned label handle: lets hot paths skip the name lookup.
+///
+/// Only valid with the profiler that issued it (the engine interns its
+/// dispatch label once at attach time).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProfileLabel(usize);
+
+struct Frame {
+    slot: usize,
+    /// Ticks spent in already-closed child scopes of this frame.
+    child_ticks: u64,
+}
+
+/// Per-label accumulation, entirely in integer ticks: the hot path does
+/// one subtraction, one `leading_zeros`, and four adds. Conversion to
+/// seconds and the per-call microsecond histogram happen once, at
+/// [`Profiler::report`].
+struct LabelStat {
+    label: &'static str,
+    count: u64,
+    exclusive_ticks: u64,
+    /// Per-call exclusive ticks, power-of-two bucketed: counts and tick
+    /// sums per bucket, so the report can place each bucket's mass at
+    /// its true average (keeping the converted histogram's mean exact).
+    bucket_counts: [u64; TICK_BUCKETS],
+    bucket_ticks: [u64; TICK_BUCKETS],
+}
+
+impl LabelStat {
+    fn new(label: &'static str) -> Self {
+        LabelStat {
+            label,
+            count: 0,
+            exclusive_ticks: 0,
+            bucket_counts: [0; TICK_BUCKETS],
+            bucket_ticks: [0; TICK_BUCKETS],
+        }
+    }
+}
+
+struct ProfInner {
+    stack: Vec<Frame>,
+    slots: HashMap<&'static str, usize>,
+    stats: Vec<LabelStat>,
+    engine: EngineStats,
+    /// Tick-to-seconds rate measured once at construction.
+    secs_per_tick: f64,
+}
+
+/// Cheaply cloneable handle to shared self-profiling state.
+///
+/// Deliberately `!Send` (like the run journal): a profiler belongs to one
+/// single-threaded run. Only the plain-data [`ProfileReport`] extracted at
+/// end of run crosses thread boundaries in parallel campaigns.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    inner: Option<Rc<RefCell<ProfInner>>>,
+}
+
+impl Profiler {
+    /// A recording profiler. Construction calibrates the tick clock
+    /// against the OS monotonic clock (~100 µs, once per profiler).
+    pub fn new() -> Self {
+        Profiler {
+            inner: Some(Rc::new(RefCell::new(ProfInner {
+                stack: Vec::with_capacity(16),
+                slots: HashMap::new(),
+                stats: Vec::new(),
+                engine: EngineStats::default(),
+                secs_per_tick: calibrate_secs_per_tick(),
+            }))),
+        }
+    }
+
+    /// A disabled profiler: every call is a single branch.
+    pub fn disabled() -> Self {
+        Profiler { inner: None }
+    }
+
+    /// True when this profiler records.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Intern `name`, returning a handle that skips the lookup on
+    /// [`Profiler::enter`]. On a disabled profiler the handle is inert.
+    pub fn label(&self, name: &'static str) -> ProfileLabel {
+        match &self.inner {
+            Some(rc) => ProfileLabel(Self::intern(&mut rc.borrow_mut(), name)),
+            None => ProfileLabel(0),
+        }
+    }
+
+    fn intern(inner: &mut ProfInner, name: &'static str) -> usize {
+        if let Some(&slot) = inner.slots.get(name) {
+            return slot;
+        }
+        let slot = inner.stats.len();
+        inner.stats.push(LabelStat::new(name));
+        inner.slots.insert(name, slot);
+        slot
+    }
+
+    /// Open a scope for `name`; time accrues to it until the guard drops.
+    #[inline]
+    pub fn scope(&self, name: &'static str) -> ProfileGuard {
+        match &self.inner {
+            Some(rc) => {
+                let slot = Self::intern(&mut rc.borrow_mut(), name);
+                self.push(rc, slot)
+            }
+            None => ProfileGuard { active: None },
+        }
+    }
+
+    /// Open a scope for a pre-interned label (hot-path variant of
+    /// [`Profiler::scope`]).
+    #[inline]
+    pub fn enter(&self, label: ProfileLabel) -> ProfileGuard {
+        match &self.inner {
+            Some(rc) => self.push(rc, label.0),
+            None => ProfileGuard { active: None },
+        }
+    }
+
+    #[inline]
+    fn push(&self, rc: &Rc<RefCell<ProfInner>>, slot: usize) -> ProfileGuard {
+        rc.borrow_mut().stack.push(Frame {
+            slot,
+            child_ticks: 0,
+        });
+        // Read the clock last so guard setup is not billed to the scope.
+        ProfileGuard {
+            active: Some((rc.clone(), now_ticks())),
+        }
+    }
+
+    /// Current tick reading, for the marked hot path below.
+    #[inline]
+    pub(crate) fn mark(&self) -> u64 {
+        now_ticks()
+    }
+
+    /// Open the run loop's persistent root frame for `label` without
+    /// reading the clock. The batch run loops push one dispatch frame per
+    /// run (not per event) and settle it after every payload via
+    /// [`Profiler::finish_root`], so each dispatched event costs a single
+    /// clock read and a single `RefCell` borrow. Pair with
+    /// [`Profiler::close_root`] at loop exit.
+    #[inline]
+    pub(crate) fn open_root(&self, label: ProfileLabel) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().stack.push(Frame {
+                slot: label.0,
+                child_ticks: 0,
+            });
+        }
+    }
+
+    /// Settle the root frame for the last `n` events, crediting the time
+    /// since `mark` and advancing `mark` to now. Because the end of one
+    /// stride is the start of the next, a batch run loop pays one clock
+    /// read per *stride* (see `PROFILE_STRIDE` in the engine), not per
+    /// event — on hosts where reading the TSC costs ~20 ns that is the
+    /// difference between a ~1% and a ~10% dispatch overhead. The queue
+    /// work between payloads (pop, peek, compaction) is billed to the
+    /// dispatch label, which is exactly where engine overhead belongs.
+    ///
+    /// The stride enters the histogram as `n` observations at their
+    /// average, so the dispatch label's count, total, and mean are exact
+    /// and only its quantile spread is smoothed; subsystem scopes use
+    /// exact per-call guards. The frame stays on the stack with its
+    /// child accumulator reset, ready for the next stride.
+    #[inline]
+    pub(crate) fn finish_root_n(&self, mark: &mut u64, n: u64) {
+        if let Some(rc) = &self.inner {
+            let now = now_ticks();
+            let elapsed = now.saturating_sub(*mark);
+            *mark = now;
+            let mut guard = rc.borrow_mut();
+            let inner = &mut *guard;
+            let depth = inner.stack.len();
+            let frame = inner
+                .stack
+                .last_mut()
+                .expect("finish_root_n without matching open_root");
+            let exclusive = elapsed.saturating_sub(frame.child_ticks);
+            frame.child_ticks = 0;
+            let slot = frame.slot;
+            let stat = &mut inner.stats[slot];
+            stat.count += n;
+            stat.exclusive_ticks += exclusive;
+            let bucket = tick_bucket(exclusive / n.max(1));
+            stat.bucket_counts[bucket] += n;
+            stat.bucket_ticks[bucket] += exclusive;
+            if depth >= 2 {
+                // An enclosing scope (e.g. a harness wrapping the whole
+                // run) sees the stride as child time.
+                inner.stack[depth - 2].child_ticks += elapsed;
+            }
+        }
+    }
+
+    /// Pop the frame pushed by [`Profiler::open_root`]. Per-event time
+    /// was already recorded by [`Profiler::finish_root`]; the sliver
+    /// between the last event and loop exit is dropped.
+    #[inline]
+    pub(crate) fn close_root(&self) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut()
+                .stack
+                .pop()
+                .expect("close_root without matching open_root");
+        }
+    }
+
+    /// Record the engine's queue-health counters (overwrites; the counters
+    /// are cumulative over the run).
+    pub fn record_engine(&self, stats: EngineStats) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().engine = stats;
+        }
+    }
+
+    /// Snapshot collected data, converting accumulated ticks to seconds
+    /// at the calibrated rate. Each tick bucket lands in the microsecond
+    /// histogram at its true average value, so the histogram's count and
+    /// mean are exact and its quantiles are bucket-accurate. Labels are
+    /// sorted by name so reports are deterministic regardless of
+    /// first-use order.
+    pub fn report(&self) -> ProfileReport {
+        let mut report = ProfileReport::default();
+        if let Some(rc) = &self.inner {
+            let inner = rc.borrow();
+            let us_per_tick = inner.secs_per_tick * 1e6;
+            report.engine = inner.engine;
+            report.labels = inner
+                .stats
+                .iter()
+                .filter(|s| s.count > 0)
+                .map(|s| {
+                    let mut hist = LogHistogram::default();
+                    for (count, ticks) in s.bucket_counts.iter().zip(s.bucket_ticks.iter()) {
+                        if *count > 0 {
+                            hist.observe_n(*ticks as f64 / *count as f64 * us_per_tick, *count);
+                        }
+                    }
+                    LabelProfile {
+                        label: s.label.to_string(),
+                        count: s.count,
+                        exclusive_secs: s.exclusive_ticks as f64 * inner.secs_per_tick,
+                        hist,
+                    }
+                })
+                .collect();
+            report.labels.sort_by(|a, b| a.label.cmp(&b.label));
+        }
+        report
+    }
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// RAII scope guard issued by [`Profiler::scope`] / [`Profiler::enter`].
+///
+/// On drop, the scope's elapsed ticks minus its children's elapsed ticks
+/// are credited to the label, and the full elapsed ticks are reported to
+/// the parent frame as child time.
+pub struct ProfileGuard {
+    active: Option<(Rc<RefCell<ProfInner>>, u64)>,
+}
+
+impl Drop for ProfileGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((rc, start)) = self.active.take() {
+            // Read the clock first so guard teardown is not billed.
+            let elapsed = now_ticks().saturating_sub(start);
+            let mut inner = rc.borrow_mut();
+            let frame = inner
+                .stack
+                .pop()
+                .expect("profile guard dropped with empty scope stack");
+            let exclusive = elapsed.saturating_sub(frame.child_ticks);
+            let stat = &mut inner.stats[frame.slot];
+            stat.count += 1;
+            stat.exclusive_ticks += exclusive;
+            let bucket = tick_bucket(exclusive);
+            stat.bucket_counts[bucket] += 1;
+            stat.bucket_ticks[bucket] += exclusive;
+            if let Some(parent) = inner.stack.last_mut() {
+                parent.child_ticks += elapsed;
+            }
+        }
+    }
+}
+
+/// Per-label slice of a [`ProfileReport`].
+#[derive(Clone, Debug)]
+pub struct LabelProfile {
+    /// Scope label (`engine.dispatch`, `cluster.scheduler`, ...).
+    pub label: String,
+    /// Number of times the scope was entered.
+    pub count: u64,
+    /// Total wall seconds exclusively inside this scope (children
+    /// subtracted).
+    pub exclusive_secs: f64,
+    /// Distribution of exclusive time per call, in microseconds.
+    pub hist: LogHistogram,
+}
+
+/// Plain-data snapshot of one profiled run (or a merge of many).
+///
+/// Unlike [`Profiler`] this is `Send`: parallel campaign workers extract a
+/// report per run and ship it to the aggregator.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileReport {
+    /// Engine queue-health counters (deterministic).
+    pub engine: EngineStats,
+    /// Per-label attribution, sorted by label name (timing volatile).
+    pub labels: Vec<LabelProfile>,
+}
+
+impl ProfileReport {
+    /// Fold another run's report into this one: counts and times add,
+    /// histograms merge bucket-wise, engine counters combine per
+    /// [`EngineStats::merge`].
+    pub fn merge(&mut self, other: &ProfileReport) {
+        self.engine.merge(&other.engine);
+        for theirs in &other.labels {
+            match self
+                .labels
+                .binary_search_by(|mine| mine.label.cmp(&theirs.label))
+            {
+                Ok(i) => {
+                    let mine = &mut self.labels[i];
+                    mine.count += theirs.count;
+                    mine.exclusive_secs += theirs.exclusive_secs;
+                    mine.hist.merge(&theirs.hist);
+                }
+                Err(i) => self.labels.insert(i, theirs.clone()),
+            }
+        }
+    }
+
+    /// Sum of per-label exclusive wall seconds — the profiler's view of
+    /// total attributed time. With an outermost scope wrapping the run,
+    /// this tiles (and therefore approximates) that scope's wall clock.
+    pub fn attributed_secs(&self) -> f64 {
+        self.labels.iter().map(|l| l.exclusive_secs).sum()
+    }
+
+    /// Total scope entries across all labels.
+    pub fn total_calls(&self) -> u64 {
+        self.labels.iter().map(|l| l.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let prof = Profiler::disabled();
+        assert!(!prof.is_enabled());
+        {
+            let _g = prof.scope("anything");
+            let _h = prof.enter(prof.label("other"));
+        }
+        let report = prof.report();
+        assert!(report.labels.is_empty());
+        assert_eq!(report.attributed_secs(), 0.0);
+    }
+
+    #[test]
+    fn exclusive_time_subtracts_children() {
+        let prof = Profiler::new();
+        let started = Instant::now();
+        {
+            let _outer = prof.scope("outer");
+            sleep(Duration::from_millis(4));
+            {
+                let _inner = prof.scope("inner");
+                sleep(Duration::from_millis(8));
+            }
+            sleep(Duration::from_millis(2));
+        }
+        let wall = started.elapsed().as_secs_f64();
+        let report = prof.report();
+        let get = |name: &str| {
+            report
+                .labels
+                .iter()
+                .find(|l| l.label == name)
+                .unwrap_or_else(|| panic!("missing label {name}"))
+        };
+        let outer = get("outer");
+        let inner = get("inner");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Sleeps may overshoot under load, so assert only invariants that
+        // survive oversleeping: each scope covers at least its own sleep,
+        // and the outer scope's exclusive time excludes the inner scope
+        // entirely (inner slept >= 8 ms, so outer exclusive must fit in
+        // what remains of the measured wall clock).
+        assert!(
+            inner.exclusive_secs >= 0.008,
+            "inner={}",
+            inner.exclusive_secs
+        );
+        assert!(
+            outer.exclusive_secs >= 0.006,
+            "outer={}",
+            outer.exclusive_secs
+        );
+        assert!(
+            outer.exclusive_secs <= wall - 0.008,
+            "outer exclusive {} must exclude inner's 8 ms (wall {wall})",
+            outer.exclusive_secs
+        );
+        // Exclusive times tile the outer scope's wall clock. The 1%
+        // headroom covers tick-rate calibration error: attributed time
+        // is ticks * calibrated rate, wall is the OS clock directly.
+        let total = report.attributed_secs();
+        assert!(
+            total >= 0.014 && total <= wall * 1.01,
+            "total={total} wall={wall}"
+        );
+    }
+
+    #[test]
+    fn sibling_scopes_accumulate_per_label() {
+        let prof = Profiler::new();
+        let label = prof.label("work");
+        for _ in 0..10 {
+            let _g = prof.enter(label);
+        }
+        let report = prof.report();
+        assert_eq!(report.labels.len(), 1);
+        assert_eq!(report.labels[0].count, 10);
+        assert_eq!(report.labels[0].hist.count(), 10);
+        assert_eq!(report.total_calls(), 10);
+    }
+
+    #[test]
+    fn report_labels_sorted_and_merge_folds() {
+        let prof_a = Profiler::new();
+        {
+            let _z = prof_a.scope("zeta");
+        }
+        {
+            let _a = prof_a.scope("alpha");
+        }
+        let mut a = prof_a.report();
+        assert_eq!(
+            a.labels
+                .iter()
+                .map(|l| l.label.as_str())
+                .collect::<Vec<_>>(),
+            vec!["alpha", "zeta"]
+        );
+
+        let prof_b = Profiler::new();
+        {
+            let _m = prof_b.scope("mid");
+        }
+        {
+            let _a = prof_b.scope("alpha");
+        }
+        prof_b.record_engine(EngineStats {
+            events_processed: 7,
+            events_scheduled: 9,
+            events_cancelled: 1,
+            pending_events_hwm: 5,
+            compactions: 2,
+        });
+        a.merge(&prof_b.report());
+        assert_eq!(
+            a.labels
+                .iter()
+                .map(|l| l.label.as_str())
+                .collect::<Vec<_>>(),
+            vec!["alpha", "mid", "zeta"]
+        );
+        let alpha = &a.labels[0];
+        assert_eq!(alpha.count, 2);
+        assert_eq!(a.engine.events_processed, 7);
+        assert_eq!(a.engine.pending_events_hwm, 5);
+    }
+
+    #[test]
+    fn engine_stats_merge_sums_and_maxes() {
+        let mut a = EngineStats {
+            events_processed: 10,
+            events_scheduled: 12,
+            events_cancelled: 2,
+            pending_events_hwm: 40,
+            compactions: 1,
+        };
+        a.merge(&EngineStats {
+            events_processed: 5,
+            events_scheduled: 6,
+            events_cancelled: 1,
+            pending_events_hwm: 25,
+            compactions: 0,
+        });
+        assert_eq!(a.events_processed, 15);
+        assert_eq!(a.events_scheduled, 18);
+        assert_eq!(a.events_cancelled, 3);
+        assert_eq!(a.pending_events_hwm, 40, "hwm takes the max, not the sum");
+        assert_eq!(a.compactions, 1);
+    }
+}

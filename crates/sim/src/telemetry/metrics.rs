@@ -69,12 +69,19 @@ impl LogHistogram {
 
     /// Record one observation. Non-finite values are dropped.
     pub fn observe(&mut self, value: f64) {
-        if !value.is_finite() {
+        self.observe_n(value, 1);
+    }
+
+    /// Record `n` observations of `value` at once — the bulk form used
+    /// when re-bucketing pre-aggregated data (e.g. the profiler's tick
+    /// buckets). Non-finite values are dropped.
+    pub fn observe_n(&mut self, value: f64, n: u64) {
+        if !value.is_finite() || n == 0 {
             return;
         }
-        self.counts[Self::bucket(value)] += 1;
-        self.count += 1;
-        self.sum += value;
+        self.counts[Self::bucket(value)] += n;
+        self.count += n;
+        self.sum += value * n as f64;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -105,6 +112,21 @@ impl LogHistogram {
         } else {
             self.max
         }
+    }
+
+    /// Fold another histogram into this one: bucket counts add, exact
+    /// min/max/sum/count combine. Both sides must use the same unit.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Quantile estimate by linear interpolation inside the target bucket,

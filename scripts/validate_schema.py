@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Unified schema validator for the repo's machine-readable artifacts.
+
+One entry point for the three JSON families CI gates on, replacing the
+hand-rolled inline validators that used to live in each workflow job:
+
+    validate_schema.py bench BENCH_quick.json
+    validate_schema.py campaign campaign.jsonl --timing --command ablation-cascade
+    validate_schema.py profile profile.json [--timing]
+
+Exits non-zero with a diagnostic on the first violation. Volatile fields
+(walls, rates) are type- and range-checked only; deterministic fields are
+checked structurally so the validator stays seed-independent.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_schema: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+# ---------------------------------------------------------------- bench
+
+
+def validate_bench(path, args):
+    doc = json.load(open(path))
+    require(doc.get("schema") == "aimes-bench-v1", f"schema: {doc.get('schema')}")
+    require(isinstance(doc.get("seed"), int), "seed must be an integer")
+    require(isinstance(doc.get("quick"), bool), "quick must be a bool")
+    require(
+        isinstance(doc.get("peak_rss_bytes"), int) and doc["peak_rss_bytes"] > 0,
+        "top-level peak_rss_bytes must be a positive integer",
+    )
+    campaigns = doc.get("campaigns")
+    require(isinstance(campaigns, list) and campaigns, "campaigns must be non-empty")
+    for c in campaigns:
+        label = c.get("label")
+        require(isinstance(label, str) and label, "campaign label missing")
+        for key in ("events", "runs", "peak_rss_bytes"):
+            require(
+                isinstance(c.get(key), int) and c[key] >= 0,
+                f"{label}: {key} must be a non-negative integer",
+            )
+        for key in ("wall_secs", "events_per_sec", "runs_per_sec", "allocs_per_event"):
+            require(
+                is_num(c.get(key)) and c[key] >= 0,
+                f"{label}: {key} must be a non-negative number",
+            )
+        require(c["wall_secs"] > 0, f"{label}: wall_secs must be positive")
+    print(f"bench OK: {len(campaigns)} campaigns, seed {doc['seed']}")
+
+
+# ------------------------------------------------------------- campaign
+
+
+def validate_campaign(path, args):
+    lines = [json.loads(l) for l in open(path)]
+    require(lines, "empty manifest")
+    meta = lines[0]
+    require(meta.get("kind") == "meta", "first line must be the meta record")
+    require(meta.get("schema") == "aimes-campaign-v1", f"schema: {meta.get('schema')}")
+    if args.command:
+        require(
+            meta.get("command") == args.command,
+            f"command: {meta.get('command')} != {args.command}",
+        )
+    runs = [l for l in lines if l.get("kind") == "run"]
+    pools = [l for l in lines if l.get("kind") == "pool"]
+    require(len(runs) == meta.get("total_jobs"), "run record per job")
+    require(
+        [r["job"] for r in runs] == list(range(len(runs))),
+        "manifest must list runs in canonical job order",
+    )
+    for r in runs:
+        require(r.get("outcome") in ("ok", "failed"), f"outcome: {r.get('outcome')}")
+        if r["outcome"] == "ok":
+            require(
+                r.get("ttc_secs", 0) > 0 and r.get("error_kind") is None,
+                f"job {r['job']}: ok runs carry ttc and no error taxonomy",
+            )
+        else:
+            require(r.get("error_kind"), f"job {r['job']}: failed runs carry error_kind")
+        if args.timing:
+            t = r.get("timing")
+            require(t is not None, f"job {r['job']}: timing mode records the wall split")
+            require(
+                t["wall_end_secs"] >= t["wall_start_secs"],
+                f"job {r['job']}: wall must not run backwards",
+            )
+        else:
+            require(
+                r.get("timing") is None,
+                f"job {r['job']}: timing must be gated off without --campaign-timing",
+            )
+    if args.timing:
+        require(len(pools) == 1, "timing mode appends exactly one pool record")
+        workers = pools[0].get("workers")
+        require(workers, "per-worker accounting present")
+        require(
+            sum(w["items"] for w in workers) == len(runs),
+            "worker items must sum to the run count",
+        )
+        for w in workers:
+            require(
+                0.0 <= w["busy_fraction"] <= 1.0,
+                f"worker {w.get('worker')}: busy_fraction out of range",
+            )
+        print(f"campaign OK: {len(runs)} runs, {len(workers)} workers")
+    else:
+        require(not pools, "pool record requires timing mode")
+        print(f"campaign OK: {len(runs)} runs (timing gated)")
+
+
+# -------------------------------------------------------------- profile
+
+ENGINE_KEYS = (
+    "events_processed",
+    "events_scheduled",
+    "events_cancelled",
+    "pending_events_hwm",
+    "compactions",
+)
+
+
+def validate_profile(path, args):
+    doc = json.load(open(path))
+    require(doc.get("schema") == "aimes-profile-v1", f"schema: {doc.get('schema')}")
+    require(isinstance(doc.get("command"), str) and doc["command"], "command missing")
+    require(isinstance(doc.get("seed"), int), "seed must be an integer")
+    require(isinstance(doc.get("runs"), int) and doc["runs"] > 0, "runs must be positive")
+    engine = doc.get("engine")
+    require(isinstance(engine, dict), "engine section missing")
+    for key in ENGINE_KEYS:
+        require(
+            isinstance(engine.get(key), int) and engine[key] >= 0,
+            f"engine.{key} must be a non-negative integer",
+        )
+    require(engine["events_processed"] > 0, "engine must have processed events")
+    labels = doc.get("labels")
+    require(isinstance(labels, list) and labels, "labels must be non-empty")
+    names = [l.get("label") for l in labels]
+    require(names == sorted(names), "labels must be sorted by name (deterministic)")
+    for l in labels:
+        require(isinstance(l.get("count"), int) and l["count"] > 0, f"{l}: bad count")
+    timing = doc.get("timing")
+    if args.timing:
+        require(timing is not None, "--timing requires the timing section")
+    if timing is None:
+        for l in labels:
+            require(
+                l.get("timing") is None,
+                "label timing must be gated with the document timing section",
+            )
+        require(doc.get("alloc") is None, "alloc section requires timing mode")
+        print(f"profile OK: {len(labels)} labels, timing gated")
+        return
+    require(is_num(timing.get("total_wall_secs")), "timing.total_wall_secs")
+    require(is_num(timing.get("attributed_secs")), "timing.attributed_secs")
+    for l in labels:
+        lt = l.get("timing")
+        require(lt is not None, f"{l['label']}: timed docs carry label timing")
+        for key in ("exclusive_secs", "share", "mean_us", "p50_us", "p95_us", "p99_us"):
+            require(is_num(lt.get(key)) and lt[key] >= 0, f"{l['label']}: {key}")
+    coverage = timing.get("coverage")
+    if coverage is not None:
+        # Sequential harnesses attribute the whole wall: the exclusive
+        # times must tile it to within 5% (the tentpole's acceptance bar).
+        require(
+            0.95 <= coverage <= 1.05,
+            f"attributed/wall coverage {coverage:.4f} outside [0.95, 1.05]",
+        )
+    alloc = doc.get("alloc")
+    if alloc is not None:
+        for key in ("allocs", "bytes_allocated", "peak_bytes"):
+            require(
+                isinstance(alloc.get(key), int) and alloc[key] >= 0, f"alloc.{key}"
+            )
+        require(is_num(alloc.get("allocs_per_event")), "alloc.allocs_per_event")
+    cov = f", coverage {coverage:.3f}" if coverage is not None else ""
+    print(f"profile OK: {len(labels)} labels, {doc['runs']} runs{cov}")
+
+
+# ------------------------------------------------------------------ cli
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("family", choices=("bench", "campaign", "profile"))
+    parser.add_argument("path")
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="require the volatile timing sections (campaign/profile families)",
+    )
+    parser.add_argument(
+        "--command",
+        help="expected producing command recorded in the document (campaign family)",
+    )
+    args = parser.parse_args()
+    {"bench": validate_bench, "campaign": validate_campaign, "profile": validate_profile}[
+        args.family
+    ](args.path, args)
+
+
+if __name__ == "__main__":
+    main()

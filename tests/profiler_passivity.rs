@@ -1,0 +1,182 @@
+//! Profiler passivity: attaching the engine self-profiler must not
+//! change observable behavior — the profiler reads the clock and counts
+//! scopes, but never schedules events, draws randomness, or reorders
+//! work. These tests pin that claim against the same golden digests the
+//! un-profiled runs are pinned to (see `golden_journal.rs`), and bound
+//! the profiler's overhead on the event-dispatch hot path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+// The shipped binaries (`experiments`, `bench-report`) run under the
+// counting allocator, so the overhead gate below is measured in the same
+// environment they ship in — per-event cost includes the allocator shim
+// on both sides of the comparison.
+#[global_allocator]
+static ALLOC: aimes_bench::alloc::CountingAlloc = aimes_bench::alloc::CountingAlloc;
+
+use aimes_repro::cluster::ClusterConfig;
+use aimes_repro::fault::{FaultSpec, OutageKind, OutageSpec, RecoveryPolicy};
+use aimes_repro::middleware::paper;
+use aimes_repro::middleware::{run_application, RunJournal, RunOptions};
+use aimes_repro::sim::{Profiler, SimDuration, SimTime, Simulation, Tracer};
+use aimes_repro::skeleton::{paper_bag, TaskDurationSpec};
+use aimes_repro::strategy::ResourceSelection;
+
+// The same pinned digests as golden_journal.rs: a profiled run must land
+// on the identical bytes.
+const GOLDEN_EXP1: &str = "3d15343bf1674af7";
+const GOLDEN_FAULTY: &str = "978899a2c7723d7d";
+
+fn pool() -> Vec<ClusterConfig> {
+    vec![
+        ClusterConfig::test("one", 256),
+        ClusterConfig::test("two", 256),
+        ClusterConfig::test("three", 512),
+    ]
+}
+
+/// FNV-1a 64 over the journal's JSONL serialization (same as
+/// `golden_journal.rs`).
+fn digest(journal: &RunJournal) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in journal.to_jsonl().as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+#[test]
+fn profiled_exp1_journal_is_bit_identical_to_golden() {
+    let app = paper_bag(32, TaskDurationSpec::Uniform15Min);
+    let journal = Rc::new(RefCell::new(RunJournal::new()));
+    let profiler = Profiler::new();
+    let options = RunOptions {
+        seed: 101,
+        submit_at: SimTime::from_secs(600.0),
+        journal: Some(Rc::clone(&journal)),
+        profiler: Some(profiler.clone()),
+        ..Default::default()
+    };
+    run_application(&pool(), &app, &paper::early_strategy(), &options)
+        .expect("profiled run completes");
+    let out = journal.borrow().clone();
+    assert_eq!(
+        digest(&out),
+        GOLDEN_EXP1,
+        "attaching the profiler changed exp1's journal bytes"
+    );
+    // And the profiler really was live: every dispatched event counted,
+    // every subsystem left a scope.
+    let report = profiler.report();
+    assert!(report.engine.events_processed > 0);
+    let labels: Vec<&str> = report.labels.iter().map(|l| l.label.as_str()).collect();
+    for expected in ["engine.dispatch", "cluster.scheduler", "unit.manager"] {
+        assert!(
+            labels.contains(&expected),
+            "missing label {expected}: {labels:?}"
+        );
+    }
+}
+
+#[test]
+fn profiled_chaos_journal_is_bit_identical_to_golden() {
+    // The faulty-recovery scenario exercises detection, kill ordering,
+    // blacklisting, and re-planning — the paths where a non-passive
+    // observer would most plausibly perturb event order.
+    let mut strategy = paper::late_strategy(2);
+    strategy.selection = ResourceSelection::Fixed(vec!["one".into()]);
+    let faults = FaultSpec {
+        outages: vec![OutageSpec {
+            resource: "one".into(),
+            at_secs: 300.0,
+            duration_secs: 600.0,
+            kind: OutageKind::Permanent,
+        }],
+        ..FaultSpec::none()
+    };
+    let app = paper_bag(16, TaskDurationSpec::Uniform15Min);
+    let journal = Rc::new(RefCell::new(RunJournal::new()));
+    let options = RunOptions {
+        seed: 777,
+        submit_at: SimTime::from_secs(600.0),
+        faults: Some(faults),
+        recovery: Some(RecoveryPolicy::with_detection()),
+        journal: Some(Rc::clone(&journal)),
+        profiler: Some(Profiler::new()),
+        ..Default::default()
+    };
+    run_application(&pool(), &app, &strategy, &options).expect("profiled chaos run completes");
+    let out = journal.borrow().clone();
+    assert_eq!(
+        digest(&out),
+        GOLDEN_FAULTY,
+        "attaching the profiler changed the chaos journal bytes"
+    );
+}
+
+/// The `engine_heartbeat` benchmark workload at reduced size: every beat
+/// cancels and replaces a far-future timeout, then schedules the next
+/// beat — the detector's schedule + cancel churn. Returns events/sec.
+fn heartbeat_events_per_sec(profiled: bool) -> f64 {
+    use aimes_repro::sim::EventId;
+
+    fn beat(
+        sim: &mut Simulation,
+        timeouts: &Rc<RefCell<Vec<Option<EventId>>>>,
+        chain: usize,
+        remaining: u32,
+        period: f64,
+    ) {
+        if let Some(ev) = timeouts.borrow_mut()[chain].take() {
+            sim.cancel(ev);
+        }
+        if remaining == 0 {
+            return;
+        }
+        let ev = sim.schedule_in(SimDuration::from_secs(period * 1000.0), |_| {});
+        timeouts.borrow_mut()[chain] = Some(ev);
+        let handles = Rc::clone(timeouts);
+        sim.schedule_in(SimDuration::from_secs(period), move |sim| {
+            beat(sim, &handles, chain, remaining - 1, period)
+        });
+    }
+
+    let chains = 64usize;
+    let mut sim = Simulation::with_tracer(7, Tracer::disabled());
+    if profiled {
+        sim.attach_profiler(Profiler::new());
+    }
+    let timeouts: Rc<RefCell<Vec<Option<EventId>>>> = Rc::new(RefCell::new(vec![None; chains]));
+    for chain in 0..chains {
+        let period = 1.0 + chain as f64 * 0.013;
+        beat(&mut sim, &timeouts, chain, 4_000, period);
+    }
+    let start = std::time::Instant::now();
+    sim.run_to_completion();
+    sim.events_processed() as f64 / start.elapsed().as_secs_f64()
+}
+
+#[test]
+fn profiler_overhead_on_dispatch_is_bounded() {
+    // The issue's gate: engine_heartbeat events/sec with profiling within
+    // 10% of disabled. Best-of-3 on each side to shed scheduler noise on
+    // loaded CI hosts; the arms interleave so thermal drift hits both.
+    let mut best_plain: f64 = 0.0;
+    let mut best_profiled: f64 = 0.0;
+    for _ in 0..3 {
+        best_plain = best_plain.max(heartbeat_events_per_sec(false));
+        best_profiled = best_profiled.max(heartbeat_events_per_sec(true));
+    }
+    println!(
+        "heartbeat: plain {best_plain:.0} ev/s, profiled {best_profiled:.0} ev/s ({:.1}%)",
+        100.0 * best_profiled / best_plain
+    );
+    assert!(
+        best_profiled >= 0.90 * best_plain,
+        "profiled dispatch too slow: {best_profiled:.0} ev/s vs {best_plain:.0} ev/s plain \
+         ({:.1}% of plain, gate is 90%)",
+        100.0 * best_profiled / best_plain
+    );
+}
